@@ -1,0 +1,33 @@
+//! §5.3 allocator ablation: where does the `alloc` overhead come from?
+//!
+//! Paper reference: serving both pools from `M_T` (gates disabled)
+//! "removed any detectable overhead", showing the `alloc` column's cost is
+//! the less performant `M_U` allocator, not the split-allocator plumbing.
+
+use bench::header;
+use servolite::BrowserConfig;
+use workloads::{kraken, profile_for, run_matrix, ConfigReport, SuiteSummary};
+
+fn main() {
+    let benchmarks = kraken();
+    let profile = profile_for(&benchmarks).expect("profiling corpus");
+    let reports = run_matrix(
+        &[
+            (BrowserConfig::Base, None),
+            (BrowserConfig::Alloc, Some(&profile)),
+            (BrowserConfig::AllocUnified, Some(&profile)),
+        ],
+        &benchmarks,
+    )
+    .expect("matrix");
+    let [base, alloc, unified]: [ConfigReport; 3] = reports.try_into().expect("three reports");
+
+    let split = SuiteSummary::compare(&base, &alloc);
+    let uni = SuiteSummary::compare(&base, &unified);
+    header(
+        "Allocator ablation on Kraken (paper: unified pools ~ no detectable overhead)",
+        &["configuration", "mean overhead", "geomean"],
+    );
+    println!("alloc (split pools)\t{:+.2}%\t{:.3}", split.mean_overhead_pct, split.geomean);
+    println!("alloc (unified pools)\t{:+.2}%\t{:.3}", uni.mean_overhead_pct, uni.geomean);
+}

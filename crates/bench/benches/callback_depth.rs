@@ -1,0 +1,64 @@
+//! Nested-callback depth micro-benchmark (§5.3's dom analysis).
+//!
+//! The `dom` suite's overhead comes from "deeply nested stacks of
+//! compartment transitions where only a small amount of work is performed
+//! before the compartment stack unwinds". This bench builds exactly that
+//! shape: an event listener that re-dispatches to the next depth, so one
+//! outer dispatch produces a 2·depth-deep compartment stack.
+
+use bench::header;
+use servolite::{Browser, BrowserConfig};
+use workloads::micro_page;
+
+fn main() {
+    header(
+        "Nested callback depth vs. cost (per outer dispatch)",
+        &["depth", "ns/dispatch", "transitions/dispatch", "max stack depth"],
+    );
+    for depth in [1u32, 2, 4, 8, 12, 16] {
+        let profile = {
+            let mut p = Browser::new(BrowserConfig::Profiling).expect("browser");
+            p.load_html(micro_page()).expect("page");
+            p.eval_script(&script(depth)).expect("setup");
+            p.call_script("run", &[]).expect("profiling run");
+            p.into_profile()
+        };
+        let mut b = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).expect("browser");
+        b.load_html(micro_page()).expect("page");
+        b.eval_script(&script(depth)).expect("setup");
+        b.call_script("run", &[]).expect("warmup");
+        b.machine.gates.reset_transitions();
+        let dispatches = 400u32;
+        let start = std::time::Instant::now();
+        for _ in 0..dispatches {
+            b.call_script("run", &[]).expect("dispatch");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = b.stats();
+        println!(
+            "{depth}\t{:.0}\t{:.1}\t{}",
+            elapsed / f64::from(dispatches) * 1e9,
+            stats.transitions as f64 / f64::from(dispatches),
+            b.machine.gates.max_depth(),
+        );
+    }
+}
+
+fn script(depth: u32) -> String {
+    format!(
+        r#"
+var el = document.getElementById('target');
+var DEPTH = {depth};
+function arm(level) {{
+  el.addEventListener('ev' + level, function() {{
+    if (level < DEPTH) el.dispatchEvent('ev' + (level + 1));
+  }});
+}}
+for (var i = 1; i <= DEPTH; i++) arm(i);
+function run() {{
+  el.dispatchEvent('ev1');
+  return DEPTH;
+}}
+"#
+    )
+}

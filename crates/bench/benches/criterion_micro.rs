@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the isolation primitives.
+//!
+//! Statistical measurements of the building blocks: the PKRU write, a
+//! gate round trip, rights-checked loads/stores, allocator operations in
+//! each pool, and the provenance fault path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use pkalloc::{BaselineAlloc, CompartmentAlloc, PkAlloc};
+use pkru_gates::Gates;
+use pkru_mpk::{Cpu, Pkey, Pkru};
+use pkru_provenance::{AllocId, ProfilingRuntime};
+use pkru_vmem::{AddressSpace, Prot};
+
+fn bench_pkru(c: &mut Criterion) {
+    let mut cpu = Cpu::new();
+    let trusted = Pkey::new(1).expect("key");
+    let untrusted = Pkru::deny_only(trusted);
+    c.bench_function("wrpkru", |b| {
+        b.iter(|| {
+            cpu.wrpkru(std::hint::black_box(untrusted.bits()));
+            std::hint::black_box(cpu.rdpkru())
+        })
+    });
+
+    let mut gates = Gates::new(trusted);
+    c.bench_function("gate_round_trip", |b| {
+        b.iter(|| {
+            gates.enter_untrusted(&mut cpu).expect("enter");
+            gates.exit_untrusted(&mut cpu).expect("exit");
+        })
+    });
+    let mut unchecked = Gates::new(trusted);
+    unchecked.set_verify(false);
+    c.bench_function("gate_round_trip_unchecked", |b| {
+        b.iter(|| {
+            unchecked.enter_untrusted(&mut cpu).expect("enter");
+            unchecked.exit_untrusted(&mut cpu).expect("exit");
+        })
+    });
+}
+
+fn bench_vmem(c: &mut Criterion) {
+    let mut space = AddressSpace::new();
+    let addr = space.mmap(1 << 20, Prot::READ_WRITE).expect("map");
+    space.write_u64(Pkru::ALL_ACCESS, addr, 1).expect("touch");
+    c.bench_function("vmem_read_u64", |b| {
+        b.iter(|| space.read_u64(Pkru::ALL_ACCESS, std::hint::black_box(addr + 64)).expect("read"))
+    });
+    c.bench_function("vmem_write_u64", |b| {
+        b.iter(|| {
+            space.write_u64(Pkru::ALL_ACCESS, std::hint::black_box(addr + 128), 7).expect("write")
+        })
+    });
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let space = Arc::new(Mutex::new(AddressSpace::new()));
+    let mut pk = PkAlloc::new(Arc::clone(&space), Pkey::new(1).expect("key")).expect("alloc");
+    c.bench_function("pkalloc_trusted_alloc_free_64", |b| {
+        b.iter(|| {
+            let p = pk.alloc(64).expect("alloc");
+            pk.dealloc(p).expect("free");
+        })
+    });
+    c.bench_function("pkalloc_untrusted_alloc_free_64", |b| {
+        b.iter(|| {
+            let p = pk.untrusted_alloc(64).expect("alloc");
+            pk.dealloc(p).expect("free");
+        })
+    });
+    let space2 = Arc::new(Mutex::new(AddressSpace::new()));
+    let mut baseline = BaselineAlloc::new(space2).expect("alloc");
+    c.bench_function("baseline_alloc_free_64", |b| {
+        b.iter(|| {
+            let p = baseline.alloc(64).expect("alloc");
+            baseline.dealloc(p).expect("free");
+        })
+    });
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let mut rt = ProfilingRuntime::new();
+    for i in 0..10_000u64 {
+        rt.metadata.log_alloc(0x1_0000 + i * 64, 64, AllocId::new((i % 97) as u32, 0, 0));
+    }
+    c.bench_function("metadata_lookup", |b| {
+        b.iter(|| rt.metadata.lookup(std::hint::black_box(0x1_0000 + 5_000 * 64 + 32)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pkru, bench_vmem, bench_allocators, bench_provenance
+);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 3: call-gate overhead vs. work per compartment transition.
+//!
+//! Paper reference: normalized runtime falls from ~8× toward 1× as the
+//! loop count inside the FFI function grows from 0 to 200.
+
+use bench::{header, measure_micro, MicroKind};
+
+fn main() {
+    header(
+        "Figure 3: normalized runtime vs. loop count (paper: ~8x at 0 falling toward 1x by 200)",
+        &["loop_count", "normalized_runtime"],
+    );
+    let iters = 60_000i64;
+    for loop_count in [0u32, 5, 10, 20, 40, 60, 80, 100, 125, 150, 175, 200] {
+        let kind =
+            if loop_count == 0 { MicroKind::Empty } else { MicroKind::Work(loop_count) };
+        let (gated, plain) = measure_micro(kind, iters);
+        println!("{loop_count}\t{:.3}", gated / plain);
+    }
+}

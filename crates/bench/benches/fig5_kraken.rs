@@ -1,0 +1,43 @@
+//! Figure 5: Kraken per-benchmark normalized runtime overhead.
+//!
+//! Paper reference: all 14 benchmarks on par with baseline (mean −0.41%
+//! for mpk) — compute-bound JS crosses the boundary only at eval
+//! granularity.
+
+use bench::{geomean, header};
+use servolite::BrowserConfig;
+use workloads::{kraken, profile_for, run_matrix, ConfigReport};
+
+fn main() {
+    let benchmarks = kraken();
+    let profile = profile_for(&benchmarks).expect("profiling corpus");
+    let reports = run_matrix(
+        &[
+            (BrowserConfig::Base, None),
+            (BrowserConfig::Alloc, Some(&profile)),
+            (BrowserConfig::Mpk, Some(&profile)),
+        ],
+        &benchmarks,
+    )
+    .expect("matrix");
+    let [base, alloc, mpk]: [ConfigReport; 3] = reports.try_into().expect("three reports");
+
+    header(
+        "Figure 5: Kraken normalized runtime (paper: near 1.0 everywhere)",
+        &["benchmark", "alloc", "mpk", "transitions(mpk)"],
+    );
+    let mut ratios = Vec::new();
+    for b in &base.rows {
+        let a = alloc.rows.iter().find(|r| r.name == b.name).expect("alloc row");
+        let m = mpk.rows.iter().find(|r| r.name == b.name).expect("mpk row");
+        println!(
+            "{}\t{:.3}\t{:.3}\t{}",
+            b.name,
+            a.seconds / b.seconds,
+            m.seconds / b.seconds,
+            m.transitions
+        );
+        ratios.push(m.seconds / b.seconds);
+    }
+    println!("geomean(mpk)\t\t{:.3}", geomean(&ratios));
+}

@@ -1,0 +1,42 @@
+//! Figure 6: Octane per-benchmark normalized runtime overhead.
+//!
+//! Paper reference: low overhead, mean 3.28% under mpk across the 17
+//! benchmarks.
+
+use bench::{geomean, header};
+use servolite::BrowserConfig;
+use workloads::{octane, profile_for, run_matrix, ConfigReport};
+
+fn main() {
+    let benchmarks = octane();
+    let profile = profile_for(&benchmarks).expect("profiling corpus");
+    let reports = run_matrix(
+        &[
+            (BrowserConfig::Base, None),
+            (BrowserConfig::Alloc, Some(&profile)),
+            (BrowserConfig::Mpk, Some(&profile)),
+        ],
+        &benchmarks,
+    )
+    .expect("matrix");
+    let [base, alloc, mpk]: [ConfigReport; 3] = reports.try_into().expect("three reports");
+
+    header(
+        "Figure 6: Octane normalized runtime (paper: mean +3.28% mpk)",
+        &["benchmark", "alloc", "mpk", "transitions(mpk)"],
+    );
+    let mut ratios = Vec::new();
+    for b in &base.rows {
+        let a = alloc.rows.iter().find(|r| r.name == b.name).expect("alloc row");
+        let m = mpk.rows.iter().find(|r| r.name == b.name).expect("mpk row");
+        println!(
+            "{}\t{:.3}\t{:.3}\t{}",
+            b.name,
+            a.seconds / b.seconds,
+            m.seconds / b.seconds,
+            m.transitions
+        );
+        ratios.push(m.seconds / b.seconds);
+    }
+    println!("geomean(mpk)\t\t{:.3}", geomean(&ratios));
+}

@@ -1,0 +1,52 @@
+//! Figure 7 + Table 3: JetStream2 per-benchmark overhead and overall
+//! scores.
+//!
+//! Paper reference: per-benchmark runtimes on par with baseline; overall
+//! scores (geometric mean of per-benchmark scores) 60.31 (base) / 61.20
+//! (alloc, −1.48%) / 59.94 (mpk, +0.61%).
+
+use bench::{geomean, header};
+use servolite::BrowserConfig;
+use workloads::{jetstream2, profile_for, run_matrix, ConfigReport};
+
+/// JetStream2-style score: a constant over runtime, so bigger is better
+/// and the geometric mean is scale-free.
+fn scores(report: &ConfigReport) -> Vec<f64> {
+    report.rows.iter().map(|r| 1.0 / r.seconds.max(1e-9)).collect()
+}
+
+fn main() {
+    let benchmarks = jetstream2();
+    let profile = profile_for(&benchmarks).expect("profiling corpus");
+    let reports = run_matrix(
+        &[
+            (BrowserConfig::Base, None),
+            (BrowserConfig::Alloc, Some(&profile)),
+            (BrowserConfig::Mpk, Some(&profile)),
+        ],
+        &benchmarks,
+    )
+    .expect("matrix");
+    let [base, alloc, mpk]: [ConfigReport; 3] = reports.try_into().expect("three reports");
+
+    header(
+        "Figure 7: JetStream2 normalized runtime per benchmark",
+        &["benchmark", "alloc", "mpk"],
+    );
+    for b in &base.rows {
+        let a = alloc.rows.iter().find(|r| r.name == b.name).expect("alloc row");
+        let m = mpk.rows.iter().find(|r| r.name == b.name).expect("mpk row");
+        println!("{}\t{:.3}\t{:.3}", b.name, a.seconds / b.seconds, m.seconds / b.seconds);
+    }
+
+    header(
+        "Table 3: JetStream2 overall scores (geomean; paper: 60.31 / 61.20 / 59.94)",
+        &["config", "score", "overhead vs base"],
+    );
+    let gb = geomean(&scores(&base));
+    let ga = geomean(&scores(&alloc));
+    let gm = geomean(&scores(&mpk));
+    println!("base\t{gb:.2}\t-");
+    println!("alloc\t{ga:.2}\t{:+.2}%", (gb / ga - 1.0) * 100.0);
+    println!("mpk\t{gm:.2}\t{:+.2}%", (gb / gm - 1.0) * 100.0);
+}

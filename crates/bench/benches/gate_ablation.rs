@@ -1,0 +1,37 @@
+//! Gate-verification ablation: cost of the checked call gates.
+//!
+//! Each PKRU-Safe gate verifies that the value it wrote to PKRU is in
+//! force and aborts otherwise (§4.1). This bench measures the Empty
+//! micro-benchmark with verification on (the shipped configuration) and
+//! off, isolating the check's share of the gate cost.
+
+use bench::{header, micro_module, MicroKind};
+use lir::{FaultPolicy, Interp, Machine};
+use pkru_safe::{Annotations, Pipeline, ProfileInput};
+
+fn main() {
+    let iters = 200_000i64;
+    let module = micro_module(MicroKind::Empty, iters, true);
+    let app = Pipeline::new(module, Annotations::distrusting(["clib"]))
+        .with_input(ProfileInput::new("main", &[]))
+        .build()
+        .expect("pipeline");
+
+    header(
+        "Gate ablation: checked vs. unchecked call gates (Empty workload)",
+        &["configuration", "ns/call", "transitions"],
+    );
+    for (label, verify, cost_ns) in [
+        ("checked gates (calibrated)", true, 250u64),
+        ("unchecked gates (calibrated)", false, 250),
+        ("checked gates (raw software model)", true, 0),
+    ] {
+        let mut machine = Machine::split(FaultPolicy::Crash).expect("machine");
+        machine.gates.set_verify(verify);
+        machine.gates.set_crossing_cost(std::time::Duration::from_nanos(cost_ns));
+        let start = std::time::Instant::now();
+        Interp::new(&app.module, &mut machine).run("main", &[]).expect("run");
+        let per_call = start.elapsed().as_secs_f64() / iters as f64;
+        println!("{label}\t{:.1}\t{}", per_call * 1e9, machine.gates.transitions());
+    }
+}

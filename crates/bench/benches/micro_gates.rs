@@ -1,0 +1,25 @@
+//! §5.2 micro-benchmarks: Empty / Read-One / Callback call-gate overhead.
+//!
+//! Paper reference: Empty 8.55×, Read-One 7.61×, Callback 6.17× per
+//! instrumented call, with overhead falling as per-call work grows.
+
+use bench::{header, measure_micro, MicroKind};
+
+fn main() {
+    let iters = 200_000i64;
+    header(
+        "Micro-benchmarks: per-call gate overhead (paper: Empty 8.55x, Read-One 7.61x, Callback 6.17x)",
+        &["workload", "gated ns/call", "plain ns/call", "overhead"],
+    );
+    let cases =
+        [("Empty", MicroKind::Empty), ("Read-One", MicroKind::ReadOne), ("Callback", MicroKind::Callback)];
+    for (name, kind) in cases {
+        let (gated, plain) = measure_micro(kind, iters);
+        println!(
+            "{name}\t{:.1}\t{:.1}\t{:.2}x",
+            gated * 1e9,
+            plain * 1e9,
+            gated / plain
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! §5.4 / artifact E3: the CVE-2019-11707-analog exploit.
+//!
+//! Paper reference: on vulnerable Servo the exploit overwrites the secret
+//! (42 → 1337); on PKRU-Safe Servo the write raises an MPK violation and
+//! the application terminates with the secret intact.
+
+use bench::header;
+use servolite::{Browser, BrowserConfig, SECRET_ADDR};
+use workloads::micro_page;
+
+fn exploit() -> String {
+    format!(
+        r#"
+// CVE-2019-11707 analog: type-confusion-derived arbitrary write.
+var a = [1.1, 2.2];
+a.length = 1e15;                  // corrupt the length header (the bug)
+var base = debugAddrOf(a);        // pointer-leak step
+var idx = ({SECRET_ADDR} - base) / 8;
+a[idx] = 1337;                    // arbitrary write at the fixed address
+return a[idx];
+"#
+    )
+}
+
+fn main() {
+    header("Security experiment E3 (paper §5.4)", &["configuration", "secret before", "outcome", "secret after"]);
+
+    // Vulnerable browser (no PKRU-Safe).
+    let mut vulnerable = Browser::new(BrowserConfig::Base).expect("browser");
+    vulnerable.load_html(micro_page()).expect("page");
+    let before = vulnerable.secret_value().expect("secret");
+    let outcome = match vulnerable.eval_script(&exploit()) {
+        Ok(_) => "exploit write landed".to_string(),
+        Err(e) => format!("unexpected: {e}"),
+    };
+    let after = vulnerable.secret_value().expect("secret");
+    println!("servo-exploitable\t{before}\t{outcome}\t{after}");
+
+    // PKRU-Safe browser: profile a benign corpus, then enforce.
+    let profile = {
+        let mut p = Browser::new(BrowserConfig::Profiling).expect("browser");
+        p.load_html(micro_page()).expect("page");
+        p.eval_script(
+            "var n = document.getElementById('para'); var s = n.tagName + n.innerText();",
+        )
+        .expect("benign corpus");
+        p.into_profile()
+    };
+    let mut protected = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).expect("browser");
+    protected.load_html(micro_page()).expect("page");
+    let before = protected.secret_value().expect("secret");
+    let outcome = match protected.eval_script(&exploit()) {
+        Ok(_) => "EXPLOIT SUCCEEDED (reproduction failure)".to_string(),
+        Err(e) if e.is_pkey_violation() => "MPK violation, execution terminated".to_string(),
+        Err(e) => format!("other failure: {e}"),
+    };
+    let after = protected.secret_value().expect("secret");
+    println!("servo-pkru\t{before}\t{outcome}\t{after}");
+    assert_eq!(after, 42.0, "the secret must survive under PKRU-Safe");
+}

@@ -1,0 +1,99 @@
+//! Developer annotations: the compartment boundary definition (§3.2).
+
+use std::collections::BTreeSet;
+
+use lir::Module;
+
+/// The developer-provided compartment boundary.
+///
+/// Annotations operate at the level of *library interfaces*: the developer
+/// tags whole crates as untrusted (a few lines in build files and
+/// dependencies, §4.1), and the frontend marks every function belonging to
+/// those crates. A function belongs to a crate when its symbol name is
+/// `crate::function` — the same convention Rust mangling preserves.
+///
+/// Functions whose `untrusted` attribute is already set (e.g. hand-marked
+/// in the IR text) are honored as well.
+#[derive(Clone, Debug, Default)]
+pub struct Annotations {
+    untrusted_crates: BTreeSet<String>,
+}
+
+impl Annotations {
+    /// No crates distrusted.
+    pub fn new() -> Annotations {
+        Annotations::default()
+    }
+
+    /// Tags a crate as untrusted (the `#![pkru_untrusted]` plugin
+    /// annotation).
+    pub fn distrust_crate(&mut self, name: &str) -> &mut Self {
+        self.untrusted_crates.insert(name.to_string());
+        self
+    }
+
+    /// Convenience constructor from a crate list.
+    pub fn distrusting<I: IntoIterator<Item = S>, S: AsRef<str>>(crates: I) -> Annotations {
+        let mut a = Annotations::new();
+        for c in crates {
+            a.distrust_crate(c.as_ref());
+        }
+        a
+    }
+
+    /// The crates currently distrusted.
+    pub fn untrusted_crates(&self) -> impl Iterator<Item = &str> {
+        self.untrusted_crates.iter().map(String::as_str)
+    }
+
+    /// Whether the function named `symbol` belongs to a distrusted crate.
+    pub fn covers(&self, symbol: &str) -> bool {
+        match symbol.split_once("::") {
+            Some((krate, _)) => self.untrusted_crates.contains(krate),
+            None => false,
+        }
+    }
+
+    /// Applies the crate annotations to `module`, setting the `untrusted`
+    /// attribute on every covered function. Returns how many functions were
+    /// newly marked.
+    pub fn mark(&self, module: &mut Module) -> usize {
+        let mut marked = 0;
+        for func in &mut module.functions {
+            if !func.attrs.untrusted && self.covers(&func.name) {
+                func.attrs.untrusted = true;
+                marked += 1;
+            }
+        }
+        marked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::Function;
+
+    #[test]
+    fn crate_prefix_matching() {
+        let a = Annotations::distrusting(["mozjs"]);
+        assert!(a.covers("mozjs::eval"));
+        assert!(a.covers("mozjs::context::new"));
+        assert!(!a.covers("servo::layout"));
+        assert!(!a.covers("mozjs_helper::x"));
+        assert!(!a.covers("standalone"));
+    }
+
+    #[test]
+    fn mark_sets_attributes() {
+        let mut m = Module::new();
+        m.add_function(Function::new("mozjs::eval", 1));
+        m.add_function(Function::new("servo::main", 0));
+        let a = Annotations::distrusting(["mozjs"]);
+        assert_eq!(a.mark(&mut m), 1);
+        assert!(m.function(m.find("mozjs::eval").unwrap()).attrs.untrusted);
+        assert!(!m.function(m.find("servo::main").unwrap()).attrs.untrusted);
+        // Idempotent.
+        assert_eq!(a.mark(&mut m), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! `pkru-safe-build`: the command-line pipeline driver.
+//!
+//! The drop-in-toolchain face of PKRU-Safe (§4: "a drop-in replacement for
+//! a normal Rust toolchain"): point it at a textual LIR program, name the
+//! crates you distrust, and it runs the four-stage pipeline — or any
+//! single stage, with the profile as a JSON file between stages, exactly
+//! like the artifact's three-step walkthrough (E1).
+//!
+//! ```text
+//! pkru-safe-build run       app.lir --distrust clib            # full pipeline + run
+//! pkru-safe-build annotate  app.lir --distrust clib            # dump the gated build
+//! pkru-safe-build profile   app.lir --distrust clib -o p.json  # stages 2–3
+//! pkru-safe-build enforce   app.lir --distrust clib -p p.json  # stage 4 + run
+//! pkru-safe-build check     app.lir                            # parse + verify only
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lir::{parse_module, verify_module, Module};
+use pkru_provenance::Profile;
+use pkru_safe::{run_profiling, Annotations, Pipeline, ProfileInput};
+
+struct Options {
+    command: String,
+    input: PathBuf,
+    distrust: Vec<String>,
+    profile_path: Option<PathBuf>,
+    output: Option<PathBuf>,
+    entry: String,
+    args: Vec<i64>,
+}
+
+const USAGE: &str = "\
+pkru-safe-build <command> <input.lir> [options]
+
+commands:
+  check      parse and verify the module
+  annotate   run stage 1 (gates + site IDs) and print the module
+  profile    run stages 2-3 and write the profile (-o profile.json)
+  enforce    run stage 4 with a profile (-p profile.json) and execute
+  run        run the full pipeline (profile with --entry) and execute
+
+options:
+  --distrust <crate>     mark a crate untrusted (repeatable)
+  --entry <name>         entry function (default: main)
+  --arg <n>              entry argument (repeatable)
+  -p, --profile <file>   profile to apply (enforce)
+  -o, --output <file>    where to write the profile (profile)
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let input = PathBuf::from(argv.next().ok_or("missing input file")?);
+    let mut options = Options {
+        command,
+        input,
+        distrust: Vec::new(),
+        profile_path: None,
+        output: None,
+        entry: "main".to_string(),
+        args: Vec::new(),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--distrust" => {
+                options.distrust.push(argv.next().ok_or("--distrust needs a crate name")?);
+            }
+            "--entry" => options.entry = argv.next().ok_or("--entry needs a name")?,
+            "--arg" => {
+                let raw = argv.next().ok_or("--arg needs a number")?;
+                options.args.push(raw.parse().map_err(|_| format!("bad --arg {raw:?}"))?);
+            }
+            "-p" | "--profile" => {
+                options.profile_path = Some(PathBuf::from(argv.next().ok_or("-p needs a file")?));
+            }
+            "-o" | "--output" => {
+                options.output = Some(PathBuf::from(argv.next().ok_or("-o needs a file")?));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn load_module(options: &Options) -> Result<Module, String> {
+    let text = std::fs::read_to_string(&options.input)
+        .map_err(|e| format!("cannot read {}: {e}", options.input.display()))?;
+    parse_module(&text).map_err(|e| format!("parse error: {e}"))
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let options = parse_args()?;
+    let module = load_module(&options)?;
+    let annotations = Annotations::distrusting(&options.distrust);
+    let input = ProfileInput::new(&options.entry, &options.args);
+
+    match options.command.as_str() {
+        "check" => {
+            verify_module(&module).map_err(|errs| {
+                errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+            })?;
+            println!(
+                "ok: {} function(s), verified",
+                module.functions.len()
+            );
+            Ok(())
+        }
+        "annotate" => {
+            let pipeline = Pipeline::new(module, annotations);
+            let annotated = pipeline.annotated_build().map_err(|e| e.to_string())?;
+            print!("{}", annotated.dump());
+            Ok(())
+        }
+        "profile" => {
+            let pipeline = Pipeline::new(module, annotations);
+            let profiling = pipeline.profiling_build().map_err(|e| e.to_string())?;
+            let profile =
+                run_profiling(&profiling, &[input]).map_err(|e| e.to_string())?;
+            eprintln!(
+                "profiled: {} shared site(s), {} fault(s) observed",
+                profile.len(),
+                profile.faults_observed
+            );
+            match &options.output {
+                Some(path) => profile.save(path).map_err(|e| e.to_string())?,
+                None => println!("{}", profile.to_json()),
+            }
+            Ok(())
+        }
+        "enforce" => {
+            let profile = match &options.profile_path {
+                Some(path) => Profile::load(path).map_err(|e| e.to_string())?,
+                None => Profile::new(),
+            };
+            let pipeline = Pipeline::new(module, annotations);
+            let mut enforced = pipeline.annotated_build().map_err(|e| e.to_string())?;
+            let moved = pkru_safe::passes::apply_profile(&mut enforced, &profile);
+            eprintln!("applied profile: {moved} site(s) moved to M_U");
+            execute(&enforced, &options)
+        }
+        "run" => {
+            let app = Pipeline::new(module, annotations)
+                .with_input(input)
+                .build()
+                .map_err(|e| e.to_string())?;
+            eprintln!("census: {}", app.census);
+            execute(&app.module, &options)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn execute(module: &Module, options: &Options) -> Result<(), String> {
+    let mut machine =
+        lir::Machine::split(lir::FaultPolicy::Crash).map_err(|e| e.to_string())?;
+    let result = lir::Interp::new(module, &mut machine).run(&options.entry, &options.args);
+    for line in &machine.output {
+        println!("{line}");
+    }
+    match result {
+        Ok(value) => {
+            eprintln!(
+                "exit: {:?} ({} transitions, {} instructions)",
+                value,
+                machine.gates.transitions(),
+                machine.instret
+            );
+            Ok(())
+        }
+        Err(trap) => Err(format!("program crashed: {trap}")),
+    }
+}

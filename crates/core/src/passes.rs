@@ -1,0 +1,418 @@
+//! The four compiler passes over LIR modules.
+
+use std::collections::BTreeSet;
+
+use lir::{Function, Instr, Module, Operand, SiteDomain};
+use pkru_provenance::{AllocId, Profile};
+
+use crate::annotations::Annotations;
+
+/// Prefix of synthesized T→U gate wrappers.
+pub const GATE_PREFIX: &str = "__pkru_gate_";
+
+/// Prefix the trusted-entry pass renames wrapped implementations to.
+pub const IMPL_PREFIX: &str = "__pkru_impl_";
+
+/// Pass 1a: expands crate annotations into call-gate wrappers (§4.1).
+///
+/// Marks every function of a distrusted crate as untrusted, then for each
+/// untrusted function `f` synthesizes a transparent wrapper
+/// `__pkru_gate_f` that drops access to `M_T`, calls `f`, and restores the
+/// caller's rights. Every call and address-take of `f` from trusted code is
+/// rewired to the wrapper — dependent code never notices (the wrapping
+/// happens "during AST expansion, prior to type or borrow checking").
+///
+/// Returns the number of gate wrappers created.
+pub fn expand_annotations(module: &mut Module, annotations: &Annotations) -> usize {
+    annotations.mark(module);
+
+    let untrusted: Vec<String> = module
+        .functions
+        .iter()
+        .filter(|f| f.attrs.untrusted && !f.attrs.synthetic_gate)
+        .map(|f| f.name.clone())
+        .collect();
+
+    // Synthesize one wrapper per untrusted function.
+    for name in &untrusted {
+        let params = {
+            // Marked above; the name came from this module.
+            let id = module.find(name).expect("function exists");
+            module.function(id).params
+        };
+        let wrapper_name = format!("{GATE_PREFIX}{name}");
+        if module.find(&wrapper_name).is_some() {
+            continue; // Idempotent re-runs.
+        }
+        let mut wrapper = Function::new(wrapper_name, params);
+        wrapper.attrs.synthetic_gate = true;
+        wrapper.num_regs = params + 1;
+        let result = params; // One extra register for the call result.
+        let args: Vec<Operand> = (0..params).map(Operand::Reg).collect();
+        wrapper.blocks[0].instrs.extend([
+            Instr::GateEnterUntrusted,
+            Instr::Call { dst: Some(result), callee: name.clone(), args },
+            Instr::GateExitUntrusted,
+            Instr::Ret { value: Some(Operand::Reg(result)) },
+        ]);
+        module.add_function(wrapper);
+    }
+
+    // Rewire trusted call sites (and address-takes) to the wrappers.
+    let untrusted_set: BTreeSet<&str> = untrusted.iter().map(String::as_str).collect();
+    for func in &mut module.functions {
+        if func.attrs.untrusted || func.attrs.synthetic_gate {
+            continue; // U→U calls stay direct; wrappers already gate.
+        }
+        for block in &mut func.blocks {
+            for instr in &mut block.instrs {
+                match instr {
+                    Instr::Call { callee, .. } | Instr::FuncAddr { callee, .. }
+                        if untrusted_set.contains(callee.as_str()) =>
+                    {
+                        *callee = format!("{GATE_PREFIX}{callee}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    untrusted.len()
+}
+
+/// Pass 1b: gates every trusted entry reachable from `U` (§3.3).
+///
+/// PKRU-Safe does not reason about `U`'s call graph, so it conservatively
+/// instruments *all* exported and address-taken trusted functions: each is
+/// renamed to `__pkru_impl_f` and replaced by a wrapper `f` that raises
+/// rights on entry and restores the caller's rights on return. Callbacks
+/// from `U` (via the address-taken value) therefore transition correctly;
+/// an uninstrumented trusted function called from `U` would simply crash on
+/// its first `M_T` access, exactly as §3.3 describes.
+///
+/// Returns the number of trusted entries gated.
+pub fn instrument_trusted_entries(module: &mut Module) -> usize {
+    // Collect address-taken trusted functions (any FuncAddr target).
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    for func in &module.functions {
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                if let Instr::FuncAddr { callee, .. } = instr {
+                    targets.insert(callee.clone());
+                }
+            }
+        }
+    }
+    let entries: Vec<String> = module
+        .functions
+        .iter()
+        .filter(|f| {
+            !f.attrs.untrusted
+                && !f.attrs.synthetic_gate
+                && !f.name.starts_with(IMPL_PREFIX)
+                && (f.attrs.exported || targets.contains(&f.name))
+        })
+        .map(|f| f.name.clone())
+        .collect();
+
+    for name in &entries {
+        let impl_name = format!("{IMPL_PREFIX}{name}");
+        if module.find(&impl_name).is_some() {
+            continue; // Idempotent re-runs.
+        }
+        // Rename the implementation, then synthesize the gated entry under
+        // the original name so all references flow through the gate.
+        let id = module.find(name).expect("function exists");
+        let params = module.function(id).params;
+        module.rename_function(id, &impl_name);
+
+        let mut wrapper = Function::new(name.clone(), params);
+        wrapper.attrs.synthetic_gate = true;
+        wrapper.attrs.exported = module.function(id).attrs.exported;
+        wrapper.num_regs = params + 1;
+        let result = params;
+        let args: Vec<Operand> = (0..params).map(Operand::Reg).collect();
+        wrapper.blocks[0].instrs.extend([
+            Instr::GateEnterTrusted,
+            Instr::Call { dst: Some(result), callee: impl_name, args },
+            Instr::GateExitTrusted,
+            Instr::Ret { value: Some(Operand::Reg(result)) },
+        ]);
+        module.add_function(wrapper);
+    }
+    entries.len()
+}
+
+/// Pass 2: assigns every trusted allocation site its [`AllocId`] (§4.3.1).
+///
+/// The identifier is the (function, basic block, call site) triple, so a
+/// recorded fault can be tied back to its exact origin. Only trusted
+/// functions are instrumented — `U`'s own allocations are not tracked.
+///
+/// Returns the number of sites labeled.
+pub fn assign_alloc_ids(module: &mut Module) -> usize {
+    let mut total = 0;
+    for (fi, func) in module.functions.iter_mut().enumerate() {
+        if func.attrs.untrusted {
+            continue;
+        }
+        for (bi, block) in func.blocks.iter_mut().enumerate() {
+            let mut site = 0u32;
+            for instr in &mut block.instrs {
+                if let Instr::Alloc { id, .. } = instr {
+                    *id = Some(AllocId::new(fi as u32, bi as u32, site));
+                    site += 1;
+                    total += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Pass 3 (profiling build only): inserts the provenance callbacks.
+///
+/// After every labeled allocation site a `log_alloc` callback records the
+/// object's address, size, and `AllocId`; reallocation and deallocation
+/// sites get `log_realloc` / `log_dealloc` so the metadata table tracks
+/// object lifetimes exactly (§4.3.1, Figure 2).
+///
+/// Returns the number of callbacks inserted.
+pub fn insert_provenance_instrumentation(module: &mut Module) -> usize {
+    let mut inserted = 0;
+    for func in &mut module.functions {
+        if func.attrs.untrusted {
+            continue;
+        }
+        for block in &mut func.blocks {
+            let mut out: Vec<Instr> = Vec::with_capacity(block.instrs.len());
+            for instr in block.instrs.drain(..) {
+                match &instr {
+                    Instr::Alloc { dst, size, id: Some(id), .. } => {
+                        let log = Instr::ProvLogAlloc {
+                            ptr: Operand::Reg(*dst),
+                            size: *size,
+                            id: *id,
+                        };
+                        out.push(instr.clone());
+                        out.push(log);
+                        inserted += 1;
+                    }
+                    Instr::Realloc { dst, ptr, new_size } => {
+                        let log = Instr::ProvLogRealloc {
+                            old: *ptr,
+                            new: Operand::Reg(*dst),
+                            size: *new_size,
+                        };
+                        out.push(instr.clone());
+                        out.push(log);
+                        inserted += 1;
+                    }
+                    Instr::Dealloc { ptr } => {
+                        out.push(Instr::ProvLogDealloc { ptr: *ptr });
+                        out.push(instr.clone());
+                        inserted += 1;
+                    }
+                    _ => out.push(instr),
+                }
+            }
+            block.instrs = out;
+        }
+    }
+    inserted
+}
+
+/// Pass 4 (enforcement build): rewrites profiled sites to `M_U` (§4.3.1).
+///
+/// Each allocation site whose `AllocId` appears in the profile has its
+/// allocator call switched from `__rust_alloc` to
+/// `__rust_untrusted_alloc` — no new allocation sites are introduced, only
+/// the pool changes.
+///
+/// Returns the number of sites rewritten.
+pub fn apply_profile(module: &mut Module, profile: &Profile) -> usize {
+    let mut rewritten = 0;
+    for func in &mut module.functions {
+        for block in &mut func.blocks {
+            for instr in &mut block.instrs {
+                if let Instr::Alloc { domain, id: Some(id), .. } = instr {
+                    if profile.contains(*id) && *domain == SiteDomain::Trusted {
+                        *domain = SiteDomain::Untrusted;
+                        rewritten += 1;
+                    }
+                }
+            }
+        }
+    }
+    rewritten
+}
+
+/// Strips provenance callbacks (when deriving the enforcement build from
+/// the profiling build rather than the annotated build).
+pub fn strip_provenance_instrumentation(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for func in &mut module.functions {
+        for block in &mut func.blocks {
+            let before = block.instrs.len();
+            block.instrs.retain(|i| {
+                !matches!(
+                    i,
+                    Instr::ProvLogAlloc { .. }
+                        | Instr::ProvLogRealloc { .. }
+                        | Instr::ProvLogDealloc { .. }
+                )
+            });
+            removed += before - block.instrs.len();
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::{parse_module, verify_module};
+
+    const SOURCE: &str = r#"
+fn @mozjs::read(1) {
+bb0:
+  %1 = load %0, 0
+  ret %1
+}
+fn @app::callback(1) {
+bb0:
+  %1 = load %0, 0
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 64
+  store %0, 0, 7
+  %1 = call @mozjs::read(%0)
+  %2 = addr @app::callback
+  %3 = alloc 16
+  ret %1
+}
+"#;
+
+    fn annotated() -> Module {
+        let mut m = parse_module(SOURCE).unwrap();
+        let a = Annotations::distrusting(["mozjs"]);
+        expand_annotations(&mut m, &a);
+        instrument_trusted_entries(&mut m);
+        assign_alloc_ids(&mut m);
+        m
+    }
+
+    #[test]
+    fn annotation_expansion_wraps_ffi_calls() {
+        let m = annotated();
+        verify_module(&m).unwrap();
+        let wrapper = m.find("__pkru_gate_mozjs::read").expect("wrapper exists");
+        let wf = m.function(wrapper);
+        assert!(wf.attrs.synthetic_gate);
+        assert!(matches!(wf.blocks[0].instrs[0], Instr::GateEnterUntrusted));
+        // main's call site was rewired to the wrapper.
+        let main = m.function(m.find("main").unwrap());
+        let called: Vec<&str> = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i {
+                Instr::Call { callee, .. } => Some(callee.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(called.contains(&"__pkru_gate_mozjs::read"), "{called:?}");
+        assert!(!called.contains(&"mozjs::read"));
+    }
+
+    #[test]
+    fn trusted_entries_are_gated() {
+        let m = annotated();
+        // app::callback is address-taken, so its name now fronts a gate.
+        let gated = m.function(m.find("app::callback").unwrap());
+        assert!(gated.attrs.synthetic_gate);
+        assert!(matches!(gated.blocks[0].instrs[0], Instr::GateEnterTrusted));
+        assert!(m.find("__pkru_impl_app::callback").is_some());
+    }
+
+    #[test]
+    fn alloc_ids_are_unique_and_only_in_trusted_code() {
+        let m = annotated();
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &m.functions {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    if let Instr::Alloc { id, .. } = i {
+                        if let Some(id) = id {
+                            assert!(!f.attrs.untrusted);
+                            assert!(seen.insert(*id), "duplicate {id}");
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn provenance_instrumentation_follows_each_site() {
+        let mut m = annotated();
+        let inserted = insert_provenance_instrumentation(&mut m);
+        assert_eq!(inserted, 2);
+        let main = m.function(m.find("main").unwrap());
+        let instrs = &main.blocks[0].instrs;
+        let alloc_pos = instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Alloc { .. }))
+            .unwrap();
+        assert!(matches!(instrs[alloc_pos + 1], Instr::ProvLogAlloc { .. }));
+        // Stripping removes them all.
+        assert_eq!(strip_provenance_instrumentation(&mut m), 2);
+    }
+
+    #[test]
+    fn apply_profile_rewrites_only_recorded_sites() {
+        let mut m = annotated();
+        // Find the first site's id.
+        let main_id = m.find("main").unwrap();
+        let first_id = m
+            .function(main_id)
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find_map(|i| match i {
+                Instr::Alloc { id: Some(id), .. } => Some(*id),
+                _ => None,
+            })
+            .unwrap();
+        let mut profile = Profile::new();
+        profile.record(first_id);
+        assert_eq!(apply_profile(&mut m, &profile), 1);
+        let domains: Vec<SiteDomain> = m
+            .function(main_id)
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter_map(|i| match i {
+                Instr::Alloc { domain, .. } => Some(*domain),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(domains, vec![SiteDomain::Untrusted, SiteDomain::Trusted]);
+        // Idempotent.
+        assert_eq!(apply_profile(&mut m, &profile), 0);
+    }
+
+    #[test]
+    fn passes_are_idempotent() {
+        let mut m = annotated();
+        let a = Annotations::distrusting(["mozjs"]);
+        assert_eq!(expand_annotations(&mut m, &a), 1); // Counts, creates nothing new.
+        // The address-taken name now fronts a synthetic gate, so nothing
+        // further is instrumented.
+        assert_eq!(instrument_trusted_entries(&mut m), 0);
+        verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,310 @@
+//! MPK call gates and the per-thread compartment stack (paper §3.3, §4.1).
+//!
+//! Every interface from the trusted compartment `T` to the untrusted
+//! compartment `U` is transparently wrapped: the call first revokes access
+//! to trusted memory `M_T` (a `WRPKRU` loading the untrusted rights), and
+//! the previous rights are restored when execution returns to `T`. The
+//! previous value is *not assumed* — it is tracked on a per-thread
+//! compartment stack, so arbitrarily nested transitions (the deeply nested
+//! callback stacks the `dom` benchmarks produce, §5.3) unwind correctly.
+//!
+//! Each gate verifies that the PKRU value it wrote is actually in force and
+//! aborts otherwise, modeling the checked assembly stubs of §4.1 that stop
+//! whole-function reuse from escalating rights.
+//!
+//! In the other direction, any exported or address-taken function of `T`
+//! that `U` may call (including callbacks) is wrapped in a *trusted entry*
+//! gate that raises rights on entry and restores the caller's rights on
+//! exit.
+
+use core::fmt;
+use std::time::{Duration, Instant};
+
+use pkru_mpk::{Cpu, Pkey, Pkru};
+
+/// Calibrated wall-clock cost of one gate crossing.
+///
+/// On hardware, a checked call gate costs tens of nanoseconds (two
+/// `WRPKRU`s with their serialization effects, the compare, the stub); in
+/// this simulation the register write is a ~1 ns struct update, which
+/// would make gate-driven overhead invisible relative to interpreted
+/// work. Each crossing therefore spins for this long, calibrated so the
+/// `Empty` micro-benchmark reproduces the paper's ~8.5× per-call overhead
+/// (§5.2). Set to zero via [`Gates::set_crossing_cost`] to measure the
+/// raw software model.
+pub const DEFAULT_CROSSING_COST: Duration = Duration::from_nanos(200);
+
+/// Errors raised by the call gates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GateError {
+    /// The PKRU read back after the gate's `WRPKRU` does not match the
+    /// rights the gate enforces; the gate aborts the application (§4.1).
+    PkruMismatch {
+        /// The value the gate wrote.
+        expected: u32,
+        /// The value actually in force.
+        actual: u32,
+    },
+    /// An exit gate ran without a matching enter (corrupted or empty
+    /// compartment stack).
+    StackUnderflow,
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::PkruMismatch { expected, actual } => {
+                write!(f, "call gate PKRU mismatch: wrote {expected:#010x}, found {actual:#010x}")
+            }
+            GateError::StackUnderflow => write!(f, "compartment stack underflow"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// The per-thread call-gate runtime.
+///
+/// Owns the compartment stack and the transition counters the evaluation
+/// reports (the `Transitions` columns of Tables 1 and 2). One `Gates`
+/// instance pairs with one [`Cpu`]; both are per-thread state.
+#[derive(Clone, Debug)]
+pub struct Gates {
+    trusted_pkru: Pkru,
+    untrusted_pkru: Pkru,
+    stack: Vec<Pkru>,
+    transitions: u64,
+    max_depth: usize,
+    verify: bool,
+    crossing_cost: Duration,
+}
+
+impl Gates {
+    /// Creates a gate runtime for a system whose trusted pool is protected
+    /// by `trusted_pkey`.
+    pub fn new(trusted_pkey: Pkey) -> Gates {
+        Gates {
+            trusted_pkru: Pkru::ALL_ACCESS,
+            untrusted_pkru: Pkru::deny_only(trusted_pkey),
+            stack: Vec::new(),
+            transitions: 0,
+            max_depth: 0,
+            verify: true,
+            crossing_cost: DEFAULT_CROSSING_COST,
+        }
+    }
+
+    /// Disables the post-`WRPKRU` verification (ablation measurement only).
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Overrides the calibrated per-crossing cost (zero = raw model).
+    pub fn set_crossing_cost(&mut self, cost: Duration) {
+        self.crossing_cost = cost;
+    }
+
+    /// The PKRU value enforced inside the untrusted compartment.
+    pub fn untrusted_pkru(&self) -> Pkru {
+        self.untrusted_pkru
+    }
+
+    /// The PKRU value enforced inside the trusted compartment.
+    pub fn trusted_pkru(&self) -> Pkru {
+        self.trusted_pkru
+    }
+
+    /// Total compartment transitions executed (each gate crossing counts
+    /// once, in either direction).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Resets the transition counter (between benchmark runs).
+    pub fn reset_transitions(&mut self) {
+        self.transitions = 0;
+    }
+
+    /// Current nesting depth of the compartment stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Deepest nesting observed (the `dom` suite's nested-callback stacks).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Burns the calibrated crossing cost (the WRPKRU timing model).
+    fn burn(&self) {
+        if self.crossing_cost.is_zero() {
+            return;
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.crossing_cost {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn switch(&mut self, cpu: &mut Cpu, target: Pkru) -> Result<(), GateError> {
+        self.burn();
+        self.stack.push(cpu.pkru());
+        self.max_depth = self.max_depth.max(self.stack.len());
+        cpu.wrpkru(target.bits());
+        self.transitions += 1;
+        if self.verify && cpu.rdpkru() != target.bits() {
+            return Err(GateError::PkruMismatch { expected: target.bits(), actual: cpu.rdpkru() });
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, cpu: &mut Cpu) -> Result<(), GateError> {
+        self.burn();
+        let previous = self.stack.pop().ok_or(GateError::StackUnderflow)?;
+        cpu.wrpkru(previous.bits());
+        self.transitions += 1;
+        if self.verify && cpu.rdpkru() != previous.bits() {
+            return Err(GateError::PkruMismatch {
+                expected: previous.bits(),
+                actual: cpu.rdpkru(),
+            });
+        }
+        Ok(())
+    }
+
+    /// T→U enter gate: drops access to `M_T` before calling into `U`.
+    pub fn enter_untrusted(&mut self, cpu: &mut Cpu) -> Result<(), GateError> {
+        self.switch(cpu, self.untrusted_pkru)
+    }
+
+    /// T→U exit gate: restores the caller's rights after `U` returns.
+    pub fn exit_untrusted(&mut self, cpu: &mut Cpu) -> Result<(), GateError> {
+        self.restore(cpu)
+    }
+
+    /// U→T trusted-entry gate: raises rights on entry to an exported or
+    /// address-taken trusted function.
+    pub fn enter_trusted(&mut self, cpu: &mut Cpu) -> Result<(), GateError> {
+        self.switch(cpu, self.trusted_pkru)
+    }
+
+    /// U→T trusted-exit gate: restores the untrusted caller's rights.
+    pub fn exit_trusted(&mut self, cpu: &mut Cpu) -> Result<(), GateError> {
+        self.restore(cpu)
+    }
+
+    /// Runs `f` inside the untrusted compartment, restoring rights on the
+    /// way out even if `f` fails.
+    pub fn with_untrusted<R, E: From<GateError>>(
+        &mut self,
+        cpu: &mut Cpu,
+        f: impl FnOnce(&mut Gates, &mut Cpu) -> Result<R, E>,
+    ) -> Result<R, E> {
+        self.enter_untrusted(cpu)?;
+        let result = f(self, cpu);
+        self.exit_untrusted(cpu)?;
+        result
+    }
+
+    /// Runs `f` inside the trusted compartment (a callback from `U`),
+    /// restoring the untrusted caller's rights on the way out.
+    pub fn with_trusted<R, E: From<GateError>>(
+        &mut self,
+        cpu: &mut Cpu,
+        f: impl FnOnce(&mut Gates, &mut Cpu) -> Result<R, E>,
+    ) -> Result<R, E> {
+        self.enter_trusted(cpu)?;
+        let result = f(self, cpu);
+        self.exit_trusted(cpu)?;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkru_mpk::AccessKind;
+
+    fn setup() -> (Gates, Cpu, Pkey) {
+        let key = Pkey::new(1).unwrap();
+        (Gates::new(key), Cpu::new(), key)
+    }
+
+    #[test]
+    fn enter_untrusted_drops_trusted_access() {
+        let (mut gates, mut cpu, key) = setup();
+        assert!(cpu.pkru().allows(key, AccessKind::Read));
+        gates.enter_untrusted(&mut cpu).unwrap();
+        assert!(!cpu.pkru().allows(key, AccessKind::Read));
+        assert!(!cpu.pkru().allows(key, AccessKind::Write));
+        gates.exit_untrusted(&mut cpu).unwrap();
+        assert!(cpu.pkru().allows(key, AccessKind::Write));
+    }
+
+    #[test]
+    fn exit_restores_previous_not_assumed_rights() {
+        // The gate must restore whatever was in force before, not blindly
+        // grant trusted access (§3.3).
+        let (mut gates, mut cpu, _key) = setup();
+        let quirky = Pkru::from_bits(0x0000_0040);
+        cpu.set_pkru(quirky);
+        gates.enter_untrusted(&mut cpu).unwrap();
+        gates.exit_untrusted(&mut cpu).unwrap();
+        assert_eq!(cpu.pkru(), quirky);
+    }
+
+    #[test]
+    fn nested_transitions_unwind_in_order() {
+        let (mut gates, mut cpu, key) = setup();
+        gates.enter_untrusted(&mut cpu).unwrap();
+        gates.enter_trusted(&mut cpu).unwrap(); // Callback into T.
+        assert!(cpu.pkru().allows(key, AccessKind::Write));
+        gates.enter_untrusted(&mut cpu).unwrap(); // T calls back into U.
+        assert!(!cpu.pkru().allows(key, AccessKind::Read));
+        gates.exit_untrusted(&mut cpu).unwrap();
+        gates.exit_trusted(&mut cpu).unwrap();
+        assert!(!cpu.pkru().allows(key, AccessKind::Read), "back in U");
+        gates.exit_untrusted(&mut cpu).unwrap();
+        assert!(cpu.pkru().allows(key, AccessKind::Write), "back in T");
+        assert_eq!(gates.depth(), 0);
+        assert_eq!(gates.max_depth(), 3);
+        assert_eq!(gates.transitions(), 6);
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let (mut gates, mut cpu, _) = setup();
+        assert_eq!(gates.exit_untrusted(&mut cpu), Err(GateError::StackUnderflow));
+    }
+
+    #[test]
+    fn closure_helpers_restore_on_error() {
+        let (mut gates, mut cpu, key) = setup();
+        let before = cpu.pkru();
+        let result: Result<(), GateError> = gates.with_untrusted(&mut cpu, |_, cpu| {
+            assert!(!cpu.pkru().allows(key, AccessKind::Read));
+            Err(GateError::StackUnderflow)
+        });
+        assert!(result.is_err());
+        assert_eq!(cpu.pkru(), before);
+        assert_eq!(gates.depth(), 0);
+    }
+
+    #[test]
+    fn transition_counter_resets() {
+        let (mut gates, mut cpu, _) = setup();
+        gates.with_untrusted::<_, GateError>(&mut cpu, |_, _| Ok(())).unwrap();
+        assert_eq!(gates.transitions(), 2);
+        gates.reset_transitions();
+        assert_eq!(gates.transitions(), 0);
+    }
+
+    #[test]
+    fn unchecked_gate_skips_verification() {
+        let (mut gates, mut cpu, _) = setup();
+        gates.set_verify(false);
+        gates.enter_untrusted(&mut cpu).unwrap();
+        gates.exit_untrusted(&mut cpu).unwrap();
+        assert_eq!(gates.transitions(), 2);
+    }
+}

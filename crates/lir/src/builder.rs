@@ -1,0 +1,198 @@
+//! Programmatic IR construction.
+
+use pkru_provenance::AllocId;
+
+use crate::ir::{BinOp, Block, BlockId, Function, Instr, Module, Operand, Reg, SiteDomain};
+
+/// Builds a [`Module`] function by function.
+#[derive(Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ModuleBuilder {
+        ModuleBuilder::default()
+    }
+
+    /// Starts a new function; call [`FunctionBuilder::finish`] to add it.
+    pub fn function(&mut self, name: &str, params: u32) -> FunctionBuilder<'_> {
+        FunctionBuilder {
+            module: &mut self.module,
+            func: Function::new(name, params),
+            next_reg: params,
+        }
+    }
+
+    /// Finalizes the module.
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds one function.
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: Function,
+    next_reg: Reg,
+}
+
+impl FunctionBuilder<'_> {
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    /// Appends a new empty basic block, returning its ID.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(Block::default());
+        (self.func.blocks.len() - 1) as BlockId
+    }
+
+    /// Cursor over the entry block.
+    pub fn entry(&mut self) -> BlockCursor<'_> {
+        self.block(0)
+    }
+
+    /// Cursor over the given block.
+    pub fn block(&mut self, id: BlockId) -> BlockCursor<'_> {
+        BlockCursor { block: &mut self.func.blocks[id as usize] }
+    }
+
+    /// Marks the function as belonging to the untrusted compartment.
+    pub fn untrusted(&mut self) -> &mut Self {
+        self.func.attrs.untrusted = true;
+        self
+    }
+
+    /// Marks the function as externally visible from `U`.
+    pub fn exported(&mut self) -> &mut Self {
+        self.func.attrs.exported = true;
+        self
+    }
+
+    /// Finalizes the function and adds it to the module.
+    pub fn finish(self) {
+        let mut func = self.func;
+        func.num_regs = self.next_reg;
+        self.module.add_function(func);
+    }
+}
+
+/// Appends instructions to one basic block.
+pub struct BlockCursor<'b> {
+    block: &'b mut Block,
+}
+
+impl BlockCursor<'_> {
+    fn push(&mut self, instr: Instr) -> &mut Self {
+        self.block.instrs.push(instr);
+        self
+    }
+
+    /// `dst = const value`.
+    pub fn const_(&mut self, dst: Reg, value: i64) -> &mut Self {
+        self.push(Instr::Const { dst, value })
+    }
+
+    /// `dst = op lhs, rhs`.
+    pub fn bin(&mut self, dst: Reg, op: BinOp, lhs: Operand, rhs: Operand) -> &mut Self {
+        self.push(Instr::Bin { dst, op, lhs, rhs })
+    }
+
+    /// `dst = load addr, offset`.
+    pub fn load(&mut self, dst: Reg, addr: Operand, offset: i64) -> &mut Self {
+        self.push(Instr::Load { dst, addr, offset })
+    }
+
+    /// `store addr, offset, value`.
+    pub fn store(&mut self, addr: Operand, offset: i64, value: Operand) -> &mut Self {
+        self.push(Instr::Store { addr, offset, value })
+    }
+
+    /// `dst = alloc size` (trusted site).
+    pub fn alloc(&mut self, dst: Reg, size: Operand) -> &mut Self {
+        self.push(Instr::Alloc { dst, size, domain: SiteDomain::Trusted, id: None })
+    }
+
+    /// `dst = ualloc size` (untrusted site).
+    pub fn ualloc(&mut self, dst: Reg, size: Operand) -> &mut Self {
+        self.push(Instr::Alloc { dst, size, domain: SiteDomain::Untrusted, id: None })
+    }
+
+    /// `dst = alloc size` with an explicit site ID (used by passes/tests).
+    pub fn alloc_with_id(&mut self, dst: Reg, size: Operand, id: AllocId) -> &mut Self {
+        self.push(Instr::Alloc { dst, size, domain: SiteDomain::Trusted, id: Some(id) })
+    }
+
+    /// `dst = realloc ptr, new_size`.
+    pub fn realloc(&mut self, dst: Reg, ptr: Operand, new_size: Operand) -> &mut Self {
+        self.push(Instr::Realloc { dst, ptr, new_size })
+    }
+
+    /// `free ptr`.
+    pub fn dealloc(&mut self, ptr: Operand) -> &mut Self {
+        self.push(Instr::Dealloc { ptr })
+    }
+
+    /// `dst = call @callee(args)`.
+    pub fn call(&mut self, dst: Option<Reg>, callee: &str, args: Vec<Operand>) -> &mut Self {
+        self.push(Instr::Call { dst, callee: callee.to_string(), args })
+    }
+
+    /// `dst = icall target(args)`.
+    pub fn icall(&mut self, dst: Option<Reg>, target: Operand, args: Vec<Operand>) -> &mut Self {
+        self.push(Instr::CallIndirect { dst, target, args })
+    }
+
+    /// `dst = addr @callee`.
+    pub fn func_addr(&mut self, dst: Reg, callee: &str) -> &mut Self {
+        self.push(Instr::FuncAddr { dst, callee: callee.to_string() })
+    }
+
+    /// `print value`.
+    pub fn print(&mut self, value: Operand) -> &mut Self {
+        self.push(Instr::Print { value })
+    }
+
+    /// `br target`.
+    pub fn br(&mut self, target: BlockId) -> &mut Self {
+        self.push(Instr::Br { target })
+    }
+
+    /// `brif cond, then_bb, else_bb`.
+    pub fn brif(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) -> &mut Self {
+        self.push(Instr::BrIf { cond, then_bb, else_bb })
+    }
+
+    /// `ret [value]`.
+    pub fn ret(&mut self, value: Option<Operand>) -> &mut Self {
+        self.push(Instr::Ret { value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_well_formed_function() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("f", 1);
+        let out = f.reg();
+        f.entry()
+            .bin(out, BinOp::Add, Operand::Reg(0), Operand::Imm(1))
+            .ret(Some(Operand::Reg(out)));
+        f.untrusted();
+        f.finish();
+        let m = mb.build();
+        let func = m.function(m.find("f").unwrap());
+        assert_eq!(func.params, 1);
+        assert_eq!(func.num_regs, 2);
+        assert!(func.attrs.untrusted);
+        assert_eq!(func.blocks[0].instrs.len(), 2);
+    }
+}

@@ -1,0 +1,498 @@
+//! The IR data model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pkru_provenance::AllocId;
+
+/// Index of a function within its [`Module`].
+pub type FuncId = u32;
+
+/// Index of a basic block within its [`Function`].
+pub type BlockId = u32;
+
+/// A virtual register index within a function frame.
+pub type Reg = u32;
+
+/// An instruction operand: a register or an immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "%{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Binary ALU and comparison operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on division by zero).
+    Div,
+    /// Signed remainder (traps on division by zero).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift (modulo 64).
+    Shl,
+    /// Arithmetic right shift (modulo 64).
+    Shr,
+    /// Equality; yields 0 or 1.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl BinOp {
+    /// The textual mnemonic used by the parser and printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+        }
+    }
+}
+
+/// Which pool an allocation site draws from.
+///
+/// Every site starts as `Trusted` (`__rust_alloc`); the profile-apply pass
+/// rewrites recorded sites to `Untrusted` (`__rust_untrusted_alloc`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SiteDomain {
+    /// Allocate from `M_T`.
+    Trusted,
+    /// Allocate from `M_U`.
+    Untrusted,
+}
+
+/// One IR instruction.
+///
+/// Gate and provenance-logging instructions never appear in source
+/// programs; the compiler passes insert them.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Instr {
+    /// `dst = const imm`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// The constant.
+        value: i64,
+    },
+    /// `dst = op lhs, rhs`.
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = load addr, offset` — an 8-byte load from `addr + offset`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address.
+        addr: Operand,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// `store addr, offset, value` — an 8-byte store to `addr + offset`.
+    Store {
+        /// Base address.
+        addr: Operand,
+        /// Constant byte offset.
+        offset: i64,
+        /// The value stored.
+        value: Operand,
+    },
+    /// `dst = alloc size` — an allocation call site.
+    Alloc {
+        /// Destination register receiving the pointer.
+        dst: Reg,
+        /// Requested size in bytes.
+        size: Operand,
+        /// Which pool the site draws from (rewritten by `apply_profile`).
+        domain: SiteDomain,
+        /// The site identifier assigned by the compiler pass.
+        id: Option<AllocId>,
+    },
+    /// `dst = realloc ptr, new_size` — stays in the pointer's pool.
+    Realloc {
+        /// Destination register receiving the (possibly moved) pointer.
+        dst: Reg,
+        /// The existing object.
+        ptr: Operand,
+        /// The new size.
+        new_size: Operand,
+    },
+    /// `free ptr`.
+    Dealloc {
+        /// The object to free.
+        ptr: Operand,
+    },
+    /// `dst = call @callee(args...)`.
+    Call {
+        /// Destination register, if the result is used.
+        dst: Option<Reg>,
+        /// Callee name, resolved at execution time.
+        callee: String,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// `dst = icall target(args...)` — indirect call through a function
+    /// address produced by [`Instr::FuncAddr`].
+    CallIndirect {
+        /// Destination register, if the result is used.
+        dst: Option<Reg>,
+        /// The function address value.
+        target: Operand,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// `dst = addr @callee` — takes a function's address (marks the callee
+    /// address-taken, hence a potential callback from `U`).
+    FuncAddr {
+        /// Destination register.
+        dst: Reg,
+        /// The named function.
+        callee: String,
+    },
+    /// `print value` — appends to the machine's output log.
+    Print {
+        /// The value printed.
+        value: Operand,
+    },
+    /// Pass-inserted: T→U enter gate (drop access to `M_T`).
+    GateEnterUntrusted,
+    /// Pass-inserted: T→U exit gate (restore caller rights).
+    GateExitUntrusted,
+    /// Pass-inserted: U→T trusted-entry gate.
+    GateEnterTrusted,
+    /// Pass-inserted: U→T trusted-exit gate.
+    GateExitTrusted,
+    /// Pass-inserted: `log_alloc(ptr, size, id)` provenance callback.
+    ProvLogAlloc {
+        /// The freshly allocated pointer.
+        ptr: Operand,
+        /// The allocation size.
+        size: Operand,
+        /// The site identifier.
+        id: AllocId,
+    },
+    /// Pass-inserted: `log_realloc(old, new, size)` provenance callback.
+    ProvLogRealloc {
+        /// The old pointer.
+        old: Operand,
+        /// The new pointer.
+        new: Operand,
+        /// The new size.
+        size: Operand,
+    },
+    /// Pass-inserted: `log_dealloc(ptr)` provenance callback.
+    ProvLogDealloc {
+        /// The freed pointer.
+        ptr: Operand,
+    },
+    /// Unconditional branch.
+    Br {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch (non-zero takes `then_bb`).
+    BrIf {
+        /// The condition value.
+        cond: Operand,
+        /// Target when non-zero.
+        then_bb: BlockId,
+        /// Target when zero.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret {
+        /// Returned value, if any.
+        value: Option<Operand>,
+    },
+}
+
+impl Instr {
+    /// Whether this instruction terminates a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Br { .. } | Instr::BrIf { .. } | Instr::Ret { .. })
+    }
+}
+
+/// A basic block: straight-line instructions ending in a terminator.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    /// The instructions, terminator last.
+    pub instrs: Vec<Instr>,
+}
+
+/// Per-function attributes driving the compiler passes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FnAttrs {
+    /// The function belongs to the untrusted compartment `U` (set by the
+    /// crate-level annotation expansion).
+    pub untrusted: bool,
+    /// The function is externally visible from `U` and needs a trusted
+    /// entry gate.
+    pub exported: bool,
+    /// Pass-synthesized gate wrapper (excluded from re-instrumentation).
+    pub synthetic_gate: bool,
+}
+
+/// One IR function.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// The function's symbol name (no `@` prefix).
+    pub name: String,
+    /// Number of parameters; they arrive in registers `0..params`.
+    pub params: u32,
+    /// Total virtual registers used (must cover `params`).
+    pub num_regs: u32,
+    /// The basic blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+    /// Compartment attributes.
+    pub attrs: FnAttrs,
+}
+
+impl Function {
+    /// Creates an empty function with one empty entry block.
+    pub fn new(name: impl Into<String>, params: u32) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            num_regs: params,
+            blocks: vec![Block::default()],
+            attrs: FnAttrs::default(),
+        }
+    }
+}
+
+/// A whole program: a set of functions with unique names.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// The functions, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    name_index: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function, returning its ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists; module
+    /// construction is programmer-driven and duplicate symbols are a bug.
+    pub fn add_function(&mut self, function: Function) -> FuncId {
+        let id = self.functions.len() as FuncId;
+        let previous = self.name_index.insert(function.name.clone(), id);
+        assert!(previous.is_none(), "duplicate function name {:?}", function.name);
+        self.functions.push(function);
+        id
+    }
+
+    /// Renames a function, keeping the name index consistent.
+    ///
+    /// Call sites referencing the old name are *not* rewritten — that is
+    /// the point for gate-wrapper synthesis, where a new function takes
+    /// over the old name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_name` is already taken.
+    pub fn rename_function(&mut self, id: FuncId, new_name: &str) {
+        assert!(
+            !self.name_index.contains_key(new_name),
+            "rename target {new_name:?} already exists"
+        );
+        let func = &mut self.functions[id as usize];
+        self.name_index.remove(&func.name);
+        self.name_index.insert(new_name.to_string(), id);
+        func.name = new_name.to_string();
+    }
+
+    /// Looks up a function ID by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The function with the given ID.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id as usize]
+    }
+
+    /// Mutable access to the function with the given ID.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id as usize]
+    }
+
+    /// Renders the module in the textual format.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for f in &self.functions {
+            if f.attrs.untrusted {
+                out.push_str("untrusted ");
+            }
+            if f.attrs.exported {
+                out.push_str("export ");
+            }
+            out.push_str(&format!("fn @{}({}) {{\n", f.name, f.params));
+            for (bi, block) in f.blocks.iter().enumerate() {
+                out.push_str(&format!("bb{bi}:\n"));
+                for instr in &block.instrs {
+                    out.push_str(&format!("  {}\n", render_instr(instr)));
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn render_instr(instr: &Instr) -> String {
+    match instr {
+        Instr::Const { dst, value } => format!("%{dst} = const {value}"),
+        Instr::Bin { dst, op, lhs, rhs } => {
+            format!("%{dst} = {} {lhs}, {rhs}", op.mnemonic())
+        }
+        Instr::Load { dst, addr, offset } => format!("%{dst} = load {addr}, {offset}"),
+        Instr::Store { addr, offset, value } => format!("store {addr}, {offset}, {value}"),
+        Instr::Alloc { dst, size, domain, id } => {
+            let op = match domain {
+                SiteDomain::Trusted => "alloc",
+                SiteDomain::Untrusted => "ualloc",
+            };
+            match id {
+                Some(id) => format!("%{dst} = {op} {size}  ; site {id}"),
+                None => format!("%{dst} = {op} {size}"),
+            }
+        }
+        Instr::Realloc { dst, ptr, new_size } => format!("%{dst} = realloc {ptr}, {new_size}"),
+        Instr::Dealloc { ptr } => format!("free {ptr}"),
+        Instr::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("%{d} = call @{callee}({})", args.join(", ")),
+                None => format!("call @{callee}({})", args.join(", ")),
+            }
+        }
+        Instr::CallIndirect { dst, target, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("%{d} = icall {target}({})", args.join(", ")),
+                None => format!("icall {target}({})", args.join(", ")),
+            }
+        }
+        Instr::FuncAddr { dst, callee } => format!("%{dst} = addr @{callee}"),
+        Instr::Print { value } => format!("print {value}"),
+        Instr::GateEnterUntrusted => "gate.enter.untrusted".to_string(),
+        Instr::GateExitUntrusted => "gate.exit.untrusted".to_string(),
+        Instr::GateEnterTrusted => "gate.enter.trusted".to_string(),
+        Instr::GateExitTrusted => "gate.exit.trusted".to_string(),
+        Instr::ProvLogAlloc { ptr, size, id } => format!("prov.log_alloc {ptr}, {size}, {id}"),
+        Instr::ProvLogRealloc { old, new, size } => {
+            format!("prov.log_realloc {old}, {new}, {size}")
+        }
+        Instr::ProvLogDealloc { ptr } => format!("prov.log_dealloc {ptr}"),
+        Instr::Br { target } => format!("br bb{target}"),
+        Instr::BrIf { cond, then_bb, else_bb } => format!("brif {cond}, bb{then_bb}, bb{else_bb}"),
+        Instr::Ret { value } => match value {
+            Some(v) => format!("ret {v}"),
+            None => "ret".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_indexing() {
+        let mut m = Module::new();
+        let f = m.add_function(Function::new("main", 0));
+        let g = m.add_function(Function::new("helper", 2));
+        assert_eq!(m.find("main"), Some(f));
+        assert_eq!(m.find("helper"), Some(g));
+        assert_eq!(m.find("nope"), None);
+        assert_eq!(m.function(g).params, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new();
+        m.add_function(Function::new("f", 0));
+        m.add_function(Function::new("f", 0));
+    }
+
+    #[test]
+    fn dump_renders_attributes_and_instrs() {
+        let mut m = Module::new();
+        let mut f = Function::new("ffi_read", 1);
+        f.attrs.untrusted = true;
+        f.num_regs = 2;
+        f.blocks[0].instrs.push(Instr::Load { dst: 1, addr: Operand::Reg(0), offset: 0 });
+        f.blocks[0].instrs.push(Instr::Ret { value: Some(Operand::Reg(1)) });
+        m.add_function(f);
+        let text = m.dump();
+        assert!(text.contains("untrusted fn @ffi_read(1)"), "{text}");
+        assert!(text.contains("%1 = load %0, 0"), "{text}");
+        assert!(text.contains("ret %1"), "{text}");
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Instr::Ret { value: None }.is_terminator());
+        assert!(Instr::Br { target: 0 }.is_terminator());
+        assert!(!Instr::Print { value: Operand::Imm(1) }.is_terminator());
+    }
+}

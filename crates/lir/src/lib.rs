@@ -1,0 +1,39 @@
+//! LIR — a little compiler IR with an interpreter over the simulated machine.
+//!
+//! PKRU-Safe's compiler work is a set of transformations over LLVM IR:
+//! annotation expansion into gate wrappers, allocation-site identification,
+//! provenance-logging instrumentation, and profile-driven allocation-site
+//! rewriting. To reproduce that pipeline without a modified rustc/LLVM,
+//! this crate provides a small, explicit IR with the features those passes
+//! need — allocation call sites, loads/stores, direct and indirect calls,
+//! address-taken functions, per-function `untrusted`/`export` attributes —
+//! plus:
+//!
+//! - a textual format ([`parse_module`]) and a builder API ([`ModuleBuilder`]),
+//! - a structural verification pass ([`verify_module`]),
+//! - an interpreter ([`Interp`]) that executes modules against the simulated machine
+//!   ([`Machine`]): every load and store is rights-checked by the MMU, gate
+//!   instructions drive the real call-gate runtime, and pkey faults either
+//!   crash the program (enforcement) or are recorded and resumed by the
+//!   profiling runtime — exactly the two behaviors the paper's builds
+//!   exhibit.
+//!
+//! The `pkru-safe` crate implements the four compiler passes over this IR.
+
+mod builder;
+mod interp;
+mod ir;
+mod machine;
+mod parse;
+mod trap;
+mod verify;
+
+pub use builder::{BlockCursor, FunctionBuilder, ModuleBuilder};
+pub use interp::Interp;
+pub use ir::{
+    BinOp, Block, BlockId, FnAttrs, FuncId, Function, Instr, Module, Operand, Reg, SiteDomain,
+};
+pub use machine::{FaultPolicy, Machine, MachineConfig};
+pub use parse::{parse_module, ParseError};
+pub use trap::Trap;
+pub use verify::{verify_module, VerifyError};

@@ -1,0 +1,276 @@
+//! The simulated machine a LIR program executes on.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pkalloc::{BaselineAlloc, CompartmentAlloc, PkAlloc, PkAllocConfig};
+use pkru_gates::Gates;
+use pkru_mpk::{Cpu, Pkey, PkeyPool};
+use pkru_provenance::{single_step_access, FaultResolution, ProfilingRuntime};
+use pkru_vmem::{AddressSpace, Fault, VirtAddr};
+
+use crate::trap::Trap;
+
+/// What happens when an access raises an MPK violation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultPolicy {
+    /// The fault terminates the program (the enforcement build and any
+    /// build with no profiling runtime registered).
+    Crash,
+    /// The profiling runtime records the faulting allocation site and
+    /// resumes by single-stepping under raised rights (§4.3.2).
+    Profile,
+}
+
+/// Machine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Use the split allocator (`pkalloc`); otherwise the baseline
+    /// single-pool allocator.
+    pub split_allocator: bool,
+    /// Serve both pools from `M_T` (§5.3 allocator ablation; requires
+    /// `split_allocator`).
+    pub unified_pools: bool,
+    /// The fault policy in force.
+    pub fault_policy: FaultPolicy,
+    /// Instruction budget; `u64::MAX` means effectively unlimited.
+    pub fuel: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            split_allocator: true,
+            unified_pools: false,
+            fault_policy: FaultPolicy::Crash,
+            fuel: u64::MAX,
+        }
+    }
+}
+
+/// The per-program execution environment: address space, allocator, CPU,
+/// call gates, and the profiling runtime.
+pub struct Machine {
+    /// The simulated address space.
+    pub space: Arc<Mutex<AddressSpace>>,
+    /// The heap allocator behind the `alloc`/`ualloc` instructions.
+    pub alloc: Box<dyn CompartmentAlloc>,
+    /// The executing thread's CPU state (PKRU lives here).
+    pub cpu: Cpu,
+    /// The call-gate runtime.
+    pub gates: Gates,
+    /// The profiling runtime (consulted only under
+    /// [`FaultPolicy::Profile`]).
+    pub profiler: ProfilingRuntime,
+    /// The fault policy in force.
+    pub fault_policy: FaultPolicy,
+    /// Values produced by `print` instructions.
+    pub output: Vec<i64>,
+    /// Instructions retired so far.
+    pub instret: u64,
+    /// Remaining instruction budget.
+    pub fuel: u64,
+    /// The key protecting the trusted pool.
+    trusted_pkey: Pkey,
+}
+
+impl Machine {
+    /// Builds a machine per `config`, with a fresh address space.
+    pub fn new(config: MachineConfig) -> Result<Machine, Trap> {
+        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let mut pool = PkeyPool::new();
+        // Key allocation cannot fail on a fresh pool.
+        let trusted_pkey = pool.alloc().expect("fresh key pool");
+        let alloc: Box<dyn CompartmentAlloc> = if config.split_allocator {
+            let pk_config = PkAllocConfig { unified_pools: config.unified_pools, ..PkAllocConfig::default() };
+            Box::new(PkAlloc::with_config(Arc::clone(&space), trusted_pkey, pk_config)?)
+        } else {
+            Box::new(BaselineAlloc::new(Arc::clone(&space))?)
+        };
+        Ok(Machine {
+            space,
+            alloc,
+            cpu: Cpu::new(),
+            gates: Gates::new(trusted_pkey),
+            profiler: ProfilingRuntime::new(),
+            fault_policy: config.fault_policy,
+            output: Vec::new(),
+            instret: 0,
+            fuel: config.fuel,
+            trusted_pkey,
+        })
+    }
+
+    /// A baseline machine: single-pool allocator, crash on fault.
+    pub fn baseline() -> Result<Machine, Trap> {
+        Machine::new(MachineConfig { split_allocator: false, ..MachineConfig::default() })
+    }
+
+    /// A split-allocator machine with the given fault policy.
+    pub fn split(fault_policy: FaultPolicy) -> Result<Machine, Trap> {
+        Machine::new(MachineConfig { fault_policy, ..MachineConfig::default() })
+    }
+
+    /// The key protecting `M_T`.
+    pub fn trusted_pkey(&self) -> Pkey {
+        self.trusted_pkey
+    }
+
+    /// Burns one unit of instruction budget.
+    pub(crate) fn tick(&mut self) -> Result<(), Trap> {
+        self.instret += 1;
+        match self.fuel.checked_sub(1) {
+            Some(f) => {
+                self.fuel = f;
+                Ok(())
+            }
+            None => Err(Trap::FuelExhausted),
+        }
+    }
+
+    /// A rights-checked 8-byte load with fault-policy handling.
+    pub fn mem_read(&mut self, addr: VirtAddr) -> Result<u64, Trap> {
+        let pkru = self.cpu.pkru();
+        let result = self.space.lock().read_u64(pkru, addr);
+        match result {
+            Ok(v) => Ok(v),
+            Err(fault) => self.resolve_fault(fault, |cpu, space| {
+                let pkru = cpu.pkru();
+                space.read_u64(pkru, addr).map(Some)
+            }),
+        }
+    }
+
+    /// A rights-checked 8-byte store with fault-policy handling.
+    pub fn mem_write(&mut self, addr: VirtAddr, value: u64) -> Result<(), Trap> {
+        let pkru = self.cpu.pkru();
+        let result = self.space.lock().write_u64(pkru, addr, value);
+        match result {
+            Ok(()) => Ok(()),
+            Err(fault) => self
+                .resolve_fault(fault, |cpu, space| {
+                    let pkru = cpu.pkru();
+                    space.write_u64(pkru, addr, value).map(|()| None)
+                })
+                .map(|_| ()),
+        }
+    }
+
+    /// A rights-checked single-byte load with fault-policy handling.
+    pub fn mem_read_u8(&mut self, addr: VirtAddr) -> Result<u8, Trap> {
+        let pkru = self.cpu.pkru();
+        let result = self.space.lock().read_u8(pkru, addr);
+        match result {
+            Ok(v) => Ok(v),
+            Err(fault) => self
+                .resolve_fault(fault, |cpu, space| {
+                    let pkru = cpu.pkru();
+                    space.read_u8(pkru, addr).map(|b| Some(u64::from(b)))
+                })
+                .map(|v| v as u8),
+        }
+    }
+
+    /// A rights-checked single-byte store with fault-policy handling.
+    pub fn mem_write_u8(&mut self, addr: VirtAddr, value: u8) -> Result<(), Trap> {
+        let pkru = self.cpu.pkru();
+        let result = self.space.lock().write_u8(pkru, addr, value);
+        match result {
+            Ok(()) => Ok(()),
+            Err(fault) => self
+                .resolve_fault(fault, |cpu, space| {
+                    let pkru = cpu.pkru();
+                    space.write_u8(pkru, addr, value).map(|()| None)
+                })
+                .map(|_| ()),
+        }
+    }
+
+    /// Applies the fault policy: under [`FaultPolicy::Profile`], consult the
+    /// profiling runtime and single-step the retry; otherwise crash.
+    fn resolve_fault(
+        &mut self,
+        fault: Fault,
+        retry: impl FnOnce(&mut Cpu, &mut AddressSpace) -> Result<Option<u64>, Fault>,
+    ) -> Result<u64, Trap> {
+        if self.fault_policy == FaultPolicy::Crash {
+            return Err(Trap::Fault(fault));
+        }
+        match self.profiler.handle_fault(&fault) {
+            FaultResolution::SingleStep { grant } => {
+                let space = Arc::clone(&self.space);
+                let outcome = single_step_access(&mut self.cpu, grant, |cpu| {
+                    retry(cpu, &mut space.lock())
+                });
+                match outcome {
+                    Ok(v) => Ok(v.unwrap_or(0)),
+                    // The retry itself faulted (e.g. unmapped): crash.
+                    Err(f) => Err(Trap::Fault(f)),
+                }
+            }
+            FaultResolution::Chain => {
+                if self.profiler.chain(&fault) {
+                    Ok(0)
+                } else {
+                    Err(Trap::Fault(fault))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkalloc::Domain;
+    use pkru_mpk::AccessKind;
+
+    #[test]
+    fn split_machine_wires_pkey_through() {
+        let mut m = Machine::split(FaultPolicy::Crash).unwrap();
+        let p = m.alloc.alloc(64).unwrap();
+        assert_eq!(m.alloc.domain_of(p), Some(Domain::Trusted));
+        assert_eq!(m.space.lock().page_pkey(p), Some(m.trusted_pkey()));
+        // Trusted CPU state reads fine.
+        m.mem_write(p, 5).unwrap();
+        assert_eq!(m.mem_read(p).unwrap(), 5);
+    }
+
+    #[test]
+    fn crash_policy_propagates_pkey_fault() {
+        let mut m = Machine::split(FaultPolicy::Crash).unwrap();
+        let p = m.alloc.alloc(64).unwrap();
+        m.gates.enter_untrusted(&mut m.cpu).unwrap();
+        let err = m.mem_read(p).unwrap_err();
+        match err {
+            Trap::Fault(f) => assert!(f.is_pkey_violation()),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_policy_records_and_resumes() {
+        let mut m = Machine::split(FaultPolicy::Profile).unwrap();
+        let p = m.alloc.alloc(64).unwrap();
+        m.mem_write(p, 1234).unwrap();
+        m.profiler.metadata.log_alloc(p, 64, pkru_provenance::AllocId::new(1, 2, 3));
+        m.gates.enter_untrusted(&mut m.cpu).unwrap();
+        let v = m.mem_read(p).unwrap();
+        assert_eq!(v, 1234, "single-step must complete the faulting load");
+        assert!(m.profiler.profile.contains(pkru_provenance::AllocId::new(1, 2, 3)));
+        // Rights are unchanged after the resume: a second read faults and
+        // is again serviced (recorded once).
+        assert!(!m.cpu.pkru().allows(m.trusted_pkey(), AccessKind::Read));
+        assert_eq!(m.mem_read(p).unwrap(), 1234);
+        assert_eq!(m.profiler.profile.len(), 1);
+        assert_eq!(m.profiler.profile.faults_observed, 2);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut m = Machine::new(MachineConfig { fuel: 2, ..MachineConfig::default() }).unwrap();
+        assert!(m.tick().is_ok());
+        assert!(m.tick().is_ok());
+        assert_eq!(m.tick(), Err(Trap::FuelExhausted));
+    }
+}

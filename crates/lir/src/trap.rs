@@ -1,0 +1,86 @@
+//! Execution traps.
+
+use core::fmt;
+
+use pkalloc::AllocError;
+use pkru_gates::GateError;
+use pkru_vmem::Fault;
+
+/// Abnormal termination of an interpreted program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trap {
+    /// An unhandled memory fault: the program crashed. Under the
+    /// enforcement build this is how an illegal cross-compartment access
+    /// manifests (§5.4).
+    Fault(Fault),
+    /// A call gate aborted the program (PKRU mismatch or stack corruption).
+    Gate(GateError),
+    /// The allocator rejected a request.
+    Alloc(AllocError),
+    /// A call referenced a function that does not exist.
+    UndefinedFunction(String),
+    /// An indirect call through a value that is not a function address.
+    BadFunctionAddress(i64),
+    /// A call passed the wrong number of arguments.
+    ArityMismatch {
+        /// The callee.
+        callee: String,
+        /// Arguments expected.
+        expected: u32,
+        /// Arguments provided.
+        got: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Fell off the end of a block without a terminator (verifier bypass).
+    MissingTerminator,
+    /// A branch targeted a nonexistent block (verifier bypass).
+    BadBlock(u32),
+    /// The instruction budget was exhausted (runaway loop guard).
+    FuelExhausted,
+    /// The call stack exceeded the depth limit.
+    StackOverflow,
+    /// An allocation size operand was negative or absurd.
+    BadAllocSize(i64),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Fault(fault) => write!(f, "crashed: {fault}"),
+            Trap::Gate(e) => write!(f, "gate abort: {e}"),
+            Trap::Alloc(e) => write!(f, "allocator error: {e}"),
+            Trap::UndefinedFunction(name) => write!(f, "undefined function @{name}"),
+            Trap::BadFunctionAddress(v) => write!(f, "bad function address {v}"),
+            Trap::ArityMismatch { callee, expected, got } => {
+                write!(f, "@{callee} expects {expected} args, got {got}")
+            }
+            Trap::DivisionByZero => write!(f, "division by zero"),
+            Trap::MissingTerminator => write!(f, "block missing terminator"),
+            Trap::BadBlock(b) => write!(f, "branch to nonexistent bb{b}"),
+            Trap::FuelExhausted => write!(f, "instruction budget exhausted"),
+            Trap::StackOverflow => write!(f, "call depth limit exceeded"),
+            Trap::BadAllocSize(v) => write!(f, "bad allocation size {v}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<Fault> for Trap {
+    fn from(f: Fault) -> Trap {
+        Trap::Fault(f)
+    }
+}
+
+impl From<GateError> for Trap {
+    fn from(e: GateError) -> Trap {
+        Trap::Gate(e)
+    }
+}
+
+impl From<AllocError> for Trap {
+    fn from(e: AllocError) -> Trap {
+        Trap::Alloc(e)
+    }
+}

@@ -1,0 +1,337 @@
+//! Structural verification of IR modules.
+
+use core::fmt;
+
+use crate::ir::{Instr, Module, Operand};
+
+/// A structural defect found by [`verify_module`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// A block's last instruction is not a terminator (or the block is
+    /// empty).
+    MissingTerminator {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: u32,
+    },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: u32,
+        /// Instruction index.
+        index: usize,
+    },
+    /// A branch targets a block that does not exist.
+    BadBranchTarget {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: u32,
+        /// The missing target.
+        target: u32,
+    },
+    /// An instruction references a register outside `0..num_regs`.
+    BadRegister {
+        /// Function name.
+        func: String,
+        /// The register.
+        reg: u32,
+    },
+    /// A direct call or address-take names a function not in the module.
+    UnknownCallee {
+        /// Function name.
+        func: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// A direct call passes the wrong number of arguments.
+    ArityMismatch {
+        /// Calling function.
+        func: String,
+        /// The callee.
+        callee: String,
+        /// Expected argument count.
+        expected: u32,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// A function has no blocks at all.
+    NoBlocks {
+        /// Function name.
+        func: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingTerminator { func, block } => {
+                write!(f, "@{func} bb{block}: missing terminator")
+            }
+            VerifyError::EarlyTerminator { func, block, index } => {
+                write!(f, "@{func} bb{block}: terminator at index {index} is not last")
+            }
+            VerifyError::BadBranchTarget { func, block, target } => {
+                write!(f, "@{func} bb{block}: branch to nonexistent bb{target}")
+            }
+            VerifyError::BadRegister { func, reg } => {
+                write!(f, "@{func}: register %{reg} out of range")
+            }
+            VerifyError::UnknownCallee { func, callee } => {
+                write!(f, "@{func}: call to unknown @{callee}")
+            }
+            VerifyError::ArityMismatch { func, callee, expected, got } => {
+                write!(f, "@{func}: @{callee} expects {expected} args, got {got}")
+            }
+            VerifyError::NoBlocks { func } => write!(f, "@{func}: no basic blocks"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks every function for structural soundness.
+///
+/// Catches the defects that would otherwise surface as confusing interpreter
+/// traps: missing/misplaced terminators, dangling branch targets,
+/// out-of-range registers, unknown callees, and direct-call arity errors.
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    for func in &module.functions {
+        if func.blocks.is_empty() {
+            errors.push(VerifyError::NoBlocks { func: func.name.clone() });
+            continue;
+        }
+        let nblocks = func.blocks.len() as u32;
+        let nregs = func.num_regs.max(func.params);
+        let check_op = |op: &Operand, errors: &mut Vec<VerifyError>| {
+            if let Operand::Reg(r) = op {
+                if *r >= nregs {
+                    errors.push(VerifyError::BadRegister { func: func.name.clone(), reg: *r });
+                }
+            }
+        };
+        let check_reg = |r: u32, errors: &mut Vec<VerifyError>| {
+            if r >= nregs {
+                errors.push(VerifyError::BadRegister { func: func.name.clone(), reg: r });
+            }
+        };
+        let check_callee =
+            |callee: &str, args: Option<usize>, errors: &mut Vec<VerifyError>| match module
+                .find(callee)
+            {
+                None => errors.push(VerifyError::UnknownCallee {
+                    func: func.name.clone(),
+                    callee: callee.to_string(),
+                }),
+                Some(id) => {
+                    if let Some(got) = args {
+                        let expected = module.function(id).params;
+                        if got as u32 != expected {
+                            errors.push(VerifyError::ArityMismatch {
+                                func: func.name.clone(),
+                                callee: callee.to_string(),
+                                expected,
+                                got,
+                            });
+                        }
+                    }
+                }
+            };
+
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let bi = bi as u32;
+            match block.instrs.last() {
+                Some(last) if last.is_terminator() => {}
+                _ => errors
+                    .push(VerifyError::MissingTerminator { func: func.name.clone(), block: bi }),
+            }
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                if instr.is_terminator() && ii + 1 != block.instrs.len() {
+                    errors.push(VerifyError::EarlyTerminator {
+                        func: func.name.clone(),
+                        block: bi,
+                        index: ii,
+                    });
+                }
+                let check_target = |t: u32, errors: &mut Vec<VerifyError>| {
+                    if t >= nblocks {
+                        errors.push(VerifyError::BadBranchTarget {
+                            func: func.name.clone(),
+                            block: bi,
+                            target: t,
+                        });
+                    }
+                };
+                match instr {
+                    Instr::Const { dst, .. } => check_reg(*dst, &mut errors),
+                    Instr::Bin { dst, lhs, rhs, .. } => {
+                        check_reg(*dst, &mut errors);
+                        check_op(lhs, &mut errors);
+                        check_op(rhs, &mut errors);
+                    }
+                    Instr::Load { dst, addr, .. } => {
+                        check_reg(*dst, &mut errors);
+                        check_op(addr, &mut errors);
+                    }
+                    Instr::Store { addr, value, .. } => {
+                        check_op(addr, &mut errors);
+                        check_op(value, &mut errors);
+                    }
+                    Instr::Alloc { dst, size, .. } => {
+                        check_reg(*dst, &mut errors);
+                        check_op(size, &mut errors);
+                    }
+                    Instr::Realloc { dst, ptr, new_size } => {
+                        check_reg(*dst, &mut errors);
+                        check_op(ptr, &mut errors);
+                        check_op(new_size, &mut errors);
+                    }
+                    Instr::Dealloc { ptr } => check_op(ptr, &mut errors),
+                    Instr::Call { dst, callee, args } => {
+                        if let Some(d) = dst {
+                            check_reg(*d, &mut errors);
+                        }
+                        for a in args {
+                            check_op(a, &mut errors);
+                        }
+                        check_callee(callee, Some(args.len()), &mut errors);
+                    }
+                    Instr::CallIndirect { dst, target, args } => {
+                        if let Some(d) = dst {
+                            check_reg(*d, &mut errors);
+                        }
+                        check_op(target, &mut errors);
+                        for a in args {
+                            check_op(a, &mut errors);
+                        }
+                    }
+                    Instr::FuncAddr { dst, callee } => {
+                        check_reg(*dst, &mut errors);
+                        check_callee(callee, None, &mut errors);
+                    }
+                    Instr::Print { value } => check_op(value, &mut errors),
+                    Instr::GateEnterUntrusted
+                    | Instr::GateExitUntrusted
+                    | Instr::GateEnterTrusted
+                    | Instr::GateExitTrusted => {}
+                    Instr::ProvLogAlloc { ptr, size, .. } => {
+                        check_op(ptr, &mut errors);
+                        check_op(size, &mut errors);
+                    }
+                    Instr::ProvLogRealloc { old, new, size } => {
+                        check_op(old, &mut errors);
+                        check_op(new, &mut errors);
+                        check_op(size, &mut errors);
+                    }
+                    Instr::ProvLogDealloc { ptr } => check_op(ptr, &mut errors),
+                    Instr::Br { target } => check_target(*target, &mut errors),
+                    Instr::BrIf { cond, then_bb, else_bb } => {
+                        check_op(cond, &mut errors);
+                        check_target(*then_bb, &mut errors);
+                        check_target(*else_bb, &mut errors);
+                    }
+                    Instr::Ret { value } => {
+                        if let Some(v) = value {
+                            check_op(v, &mut errors);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::{Block, Function};
+
+    #[test]
+    fn well_formed_module_passes() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.function("main", 0);
+        let r = f.reg();
+        f.entry().const_(r, 1).ret(Some(Operand::Reg(r)));
+        f.finish();
+        assert!(verify_module(&mb.build()).is_ok());
+    }
+
+    #[test]
+    fn missing_terminator_detected() {
+        let mut m = Module::new();
+        let mut f = Function::new("bad", 0);
+        f.blocks[0].instrs.push(Instr::Const { dst: 0, value: 1 });
+        f.num_regs = 1;
+        m.add_function(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::MissingTerminator { .. }));
+    }
+
+    #[test]
+    fn bad_register_and_target_detected() {
+        let mut m = Module::new();
+        let mut f = Function::new("bad", 0);
+        f.num_regs = 1;
+        f.blocks[0].instrs.push(Instr::Const { dst: 5, value: 1 });
+        f.blocks[0].instrs.push(Instr::Br { target: 9 });
+        m.add_function(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::BadRegister { reg: 5, .. })));
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::BadBranchTarget { target: 9, .. })));
+    }
+
+    #[test]
+    fn unknown_callee_and_arity_detected() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        f.blocks[0].instrs.push(Instr::Call { dst: None, callee: "ghost".into(), args: vec![] });
+        f.blocks[0]
+            .instrs
+            .push(Instr::Call { dst: None, callee: "main".into(), args: vec![Operand::Imm(1)] });
+        f.blocks[0].instrs.push(Instr::Ret { value: None });
+        m.add_function(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::UnknownCallee { .. })));
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn early_terminator_detected() {
+        let mut m = Module::new();
+        let mut f = Function::new("bad", 0);
+        f.blocks[0].instrs.push(Instr::Ret { value: None });
+        f.blocks[0].instrs.push(Instr::Const { dst: 0, value: 1 });
+        f.num_regs = 1;
+        m.add_function(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::EarlyTerminator { .. })));
+    }
+
+    #[test]
+    fn empty_function_detected() {
+        let mut m = Module::new();
+        let mut f = Function::new("empty", 0);
+        f.blocks.clear();
+        let _ = &mut f.blocks;
+        m.add_function(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(matches!(errs[0], VerifyError::NoBlocks { .. }));
+        // An empty block is also a missing terminator.
+        let mut m2 = Module::new();
+        let mut f2 = Function::new("emptyblock", 0);
+        f2.blocks[0] = Block::default();
+        m2.add_function(f2);
+        let errs2 = verify_module(&m2).unwrap_err();
+        assert!(matches!(errs2[0], VerifyError::MissingTerminator { .. }));
+    }
+}

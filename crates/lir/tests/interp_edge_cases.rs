@@ -1,0 +1,198 @@
+//! Interpreter edge cases and gate semantics at the IR level.
+
+use lir::{
+    parse_module, verify_module, FaultPolicy, Instr, Interp, Machine, MachineConfig, Trap,
+};
+
+fn run(src: &str, entry: &str, args: &[i64]) -> Result<Option<i64>, Trap> {
+    let module = parse_module(src).unwrap();
+    verify_module(&module).unwrap();
+    let mut machine = Machine::split(FaultPolicy::Crash).unwrap();
+    Interp::new(&module, &mut machine).run(entry, args)
+}
+
+#[test]
+fn wrapping_arithmetic() {
+    assert_eq!(
+        run(
+            &format!("fn @f(0) {{\nbb0:\n  %0 = const {}\n  %1 = add %0, 1\n  ret %1\n}}", i64::MAX),
+            "f",
+            &[]
+        )
+        .unwrap(),
+        Some(i64::MIN)
+    );
+    assert_eq!(
+        run("fn @f(2) {\nbb0:\n  %2 = mul %0, %1\n  ret %2\n}", "f", &[i64::MAX, 2]).unwrap(),
+        Some(-2)
+    );
+}
+
+#[test]
+fn shift_semantics() {
+    assert_eq!(run("fn @f(0) {\nbb0:\n  %0 = shl 1, 3\n  ret %0\n}", "f", &[]).unwrap(), Some(8));
+    assert_eq!(
+        run("fn @f(0) {\nbb0:\n  %0 = shr -16, 2\n  ret %0\n}", "f", &[]).unwrap(),
+        Some(-4),
+        "shr is arithmetic"
+    );
+}
+
+#[test]
+fn rem_and_div_trap_on_zero() {
+    assert_eq!(
+        run("fn @f(1) {\nbb0:\n  %1 = div 1, %0\n  ret %1\n}", "f", &[0]),
+        Err(Trap::DivisionByZero)
+    );
+    assert_eq!(
+        run("fn @f(1) {\nbb0:\n  %1 = rem 1, %0\n  ret %1\n}", "f", &[0]),
+        Err(Trap::DivisionByZero)
+    );
+}
+
+#[test]
+fn icall_rejects_garbage_addresses() {
+    for target in [0i64, -1, 99999] {
+        let result = run(
+            "fn @f(1) {\nbb0:\n  %1 = icall %0()\n  ret %1\n}",
+            "f",
+            &[target],
+        );
+        assert!(matches!(result, Err(Trap::BadFunctionAddress(_))), "{target}: {result:?}");
+    }
+}
+
+#[test]
+fn arity_checked_at_runtime_for_icall() {
+    let result = run(
+        "fn @takes2(2) {\nbb0:\n  ret %0\n}\nfn @f(0) {\nbb0:\n  %0 = addr @takes2\n  %1 = icall %0(1)\n  ret %1\n}",
+        "f",
+        &[],
+    );
+    assert!(matches!(result, Err(Trap::ArityMismatch { .. })), "{result:?}");
+}
+
+#[test]
+fn dealloc_of_garbage_traps() {
+    let result = run("fn @f(0) {\nbb0:\n  free 12345\n  ret\n}", "f", &[]);
+    assert!(matches!(result, Err(Trap::Alloc(_))), "{result:?}");
+}
+
+#[test]
+fn alloc_size_validation() {
+    for size in [0i64, -5] {
+        let result = run(
+            &format!("fn @f(0) {{\nbb0:\n  %0 = const {size}\n  %1 = alloc %0\n  ret\n}}"),
+            "f",
+            &[],
+        );
+        assert_eq!(result, Err(Trap::BadAllocSize(size)));
+    }
+}
+
+#[test]
+fn fuel_limits_ir_loops() {
+    let module = parse_module(
+        "fn @f(0) {\nbb0:\n  br bb1\nbb1:\n  br bb1\n}",
+    )
+    .unwrap();
+    let mut machine =
+        Machine::new(MachineConfig { fuel: 10_000, ..MachineConfig::default() }).unwrap();
+    let result = Interp::new(&module, &mut machine).run("f", &[]);
+    assert_eq!(result, Err(Trap::FuelExhausted));
+    // The trapping instruction is counted as attempted.
+    assert_eq!(machine.instret, 10_001);
+}
+
+#[test]
+fn gate_underflow_is_a_gate_trap() {
+    // A hand-written module with an unmatched exit gate.
+    let mut module = parse_module("fn @f(0) {\nbb0:\n  ret\n}").unwrap();
+    let id = module.find("f").unwrap();
+    module.function_mut(id).blocks[0].instrs.insert(0, Instr::GateExitUntrusted);
+    let mut machine = Machine::split(FaultPolicy::Crash).unwrap();
+    let result = Interp::new(&module, &mut machine).run("f", &[]);
+    assert!(matches!(result, Err(Trap::Gate(_))), "{result:?}");
+}
+
+#[test]
+fn nested_gates_restore_rights_exactly() {
+    // Enter/exit nested two deep via IR gates; PKRU must round-trip.
+    let mut module = parse_module("fn @f(0) {\nbb0:\n  ret 1\n}").unwrap();
+    let id = module.find("f").unwrap();
+    let instrs = &mut module.function_mut(id).blocks[0].instrs;
+    instrs.splice(
+        0..0,
+        [
+            Instr::GateEnterUntrusted,
+            Instr::GateEnterTrusted,
+            Instr::GateExitTrusted,
+            Instr::GateExitUntrusted,
+        ],
+    );
+    let mut machine = Machine::split(FaultPolicy::Crash).unwrap();
+    let before = machine.cpu.pkru();
+    assert_eq!(Interp::new(&module, &mut machine).run("f", &[]).unwrap(), Some(1));
+    assert_eq!(machine.cpu.pkru(), before);
+    assert_eq!(machine.gates.transitions(), 4);
+}
+
+#[test]
+fn profiling_mode_counts_every_fault_once_per_access() {
+    // Two reads of trusted memory from the untrusted side: both fault,
+    // both resume, one site recorded.
+    let src = "
+untrusted fn @clib::read2(1) {
+bb0:
+  %1 = load %0, 0
+  %2 = load %0, 8
+  %3 = add %1, %2
+  ret %3
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 16
+  store %0, 0, 30
+  store %0, 8, 12
+  %1 = call @clib::read2(%0)
+  ret %1
+}
+";
+    let app = pkru_safe::Pipeline::new(
+        parse_module(src).unwrap(),
+        pkru_safe::Annotations::new(),
+    )
+    .profiling_build()
+    .unwrap();
+    let mut machine = Machine::split(FaultPolicy::Profile).unwrap();
+    assert_eq!(Interp::new(&app, &mut machine).run("main", &[]).unwrap(), Some(42));
+    assert_eq!(machine.profiler.profile.len(), 1);
+    assert_eq!(machine.profiler.profile.faults_observed, 2);
+}
+
+#[test]
+fn dump_of_gated_module_reparses() {
+    let src = "
+untrusted fn @clib::f(1) {
+bb0:
+  %1 = load %0, 0
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 8
+  %1 = call @clib::f(%0)
+  ret %1
+}
+";
+    let module = parse_module(src).unwrap();
+    let app = pkru_safe::Pipeline::new(module, pkru_safe::Annotations::new())
+        .annotated_build()
+        .unwrap();
+    // Gate instructions render in the dump; the dump itself is for humans
+    // (gates are pass-inserted, not re-parseable) — but every non-gate
+    // function of the dump still reparses.
+    let text = app.dump();
+    assert!(text.contains("gate.enter.untrusted"), "{text}");
+    assert!(text.contains("; site f"), "site annotations shown: {text}");
+}

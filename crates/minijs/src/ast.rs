@@ -1,0 +1,185 @@
+//! The abstract syntax tree.
+
+use std::rc::Rc;
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinaryOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `==` (implemented as strict equality; the subset has no coercing
+    /// equality).
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&` with `ToInt32` semantics.
+    BitAnd,
+    /// `|`.
+    BitOr,
+    /// `^`.
+    BitXor,
+    /// `<<`.
+    Shl,
+    /// `>>` (sign-propagating).
+    Shr,
+    /// `>>>` (zero-fill).
+    UShr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Bitwise not (`ToInt32`).
+    BitNot,
+    /// `typeof`.
+    TypeOf,
+    /// Unary plus (`ToNumber`).
+    Plus,
+}
+
+/// Assignment operators (`=`, `+=`, ...).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AssignOp {
+    /// Plain assignment.
+    Assign,
+    /// Compound assignment via a binary operator.
+    Compound(BinaryOp),
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug)]
+pub enum Target {
+    /// A variable.
+    Ident(Rc<str>),
+    /// `obj.prop`.
+    Member(Box<Expr>, Rc<str>),
+    /// `obj[index]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// A function definition (declaration or expression).
+#[derive(Debug)]
+pub struct FuncDef {
+    /// The function's name (empty for anonymous expressions).
+    pub name: Rc<str>,
+    /// Parameter names.
+    pub params: Vec<Rc<str>>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A number literal.
+    Num(f64),
+    /// A string literal.
+    Str(Rc<str>),
+    /// A boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// `this` (the method receiver).
+    This,
+    /// A variable reference.
+    Ident(Rc<str>),
+    /// `[a, b, c]`.
+    ArrayLit(Vec<Expr>),
+    /// `{k: v, ...}`.
+    ObjectLit(Vec<(Rc<str>, Expr)>),
+    /// A function expression.
+    Function(Rc<FuncDef>),
+    /// `f(args)`; when `callee` is a member expression the receiver
+    /// becomes `this`.
+    Call {
+        /// The callee expression.
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `obj.prop`.
+    Member(Box<Expr>, Rc<str>),
+    /// `obj[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// A binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// An assignment (expression-valued).
+    Assign(Target, AssignOp, Box<Expr>),
+    /// `++x` / `x++` / `--x` / `x--`; `is_incr` selects ±1, `prefix`
+    /// selects the returned value.
+    IncrDecr {
+        /// The mutated target.
+        target: Target,
+        /// `true` for `++`.
+        is_incr: bool,
+        /// `true` for prefix form.
+        prefix: bool,
+    },
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `var`/`let` declaration list (uniform function scoping in the
+    /// subset).
+    Var(Vec<(Rc<str>, Option<Expr>)>),
+    /// A function declaration.
+    Func(Rc<FuncDef>),
+    /// An expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while`.
+    While(Expr, Vec<Stmt>),
+    /// `do ... while`.
+    DoWhile(Vec<Stmt>, Expr),
+    /// `for (init; cond; update) body`.
+    For {
+        /// The initializer (a statement so declarations work).
+        init: Option<Box<Stmt>>,
+        /// The loop condition (missing = `true`).
+        cond: Option<Expr>,
+        /// The update expression.
+        update: Option<Expr>,
+        /// The body.
+        body: Vec<Stmt>,
+    },
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// A `{ ... }` block.
+    Block(Vec<Stmt>),
+}

@@ -1,0 +1,957 @@
+//! The tree-walking evaluator.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lir::Machine;
+
+use crate::ast::{AssignOp, BinaryOp, Expr, Stmt, Target, UnaryOp};
+use crate::engine::{HostClass, HostFieldKind, NativeFn};
+use crate::error::EngineError;
+use crate::heap::{Closure, Heap, ObjKind};
+use crate::parser::fmt_f64;
+use crate::{to_int32, to_uint32, Value};
+
+/// Maximum JS call depth (guards the native stack).
+const MAX_CALL_DEPTH: usize = 128;
+
+/// A lexical scope.
+pub struct Env {
+    vars: RefCell<HashMap<Rc<str>, Value>>,
+    parent: Option<Rc<Env>>,
+}
+
+impl Env {
+    /// Creates a root scope.
+    pub fn root() -> Rc<Env> {
+        Rc::new(Env { vars: RefCell::new(HashMap::new()), parent: None })
+    }
+
+    /// Creates a child scope.
+    pub fn child(parent: &Rc<Env>) -> Rc<Env> {
+        Rc::new(Env { vars: RefCell::new(HashMap::new()), parent: Some(Rc::clone(parent)) })
+    }
+
+    /// Declares (or overwrites) a binding in this scope.
+    pub fn declare(&self, name: Rc<str>, value: Value) {
+        self.vars.borrow_mut().insert(name, value);
+    }
+
+    /// Reads a binding, walking the scope chain.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        if let Some(v) = self.vars.borrow().get(name) {
+            return Some(v.clone());
+        }
+        self.parent.as_ref()?.get(name)
+    }
+
+    /// Assigns to an existing binding, walking the chain; returns whether
+    /// a binding was found.
+    pub fn set(&self, name: &str, value: Value) -> bool {
+        if let Some(slot) = self.vars.borrow_mut().get_mut(name) {
+            *slot = value;
+            return true;
+        }
+        match &self.parent {
+            Some(p) => p.set(name, value),
+            None => false,
+        }
+    }
+}
+
+/// Statement completion.
+enum Flow {
+    Normal,
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// The execution context: everything the evaluator and native functions
+/// need. Natives receive `&mut Ctx`, so they can allocate engine values
+/// and call back into script (the `Callback` micro-benchmark path).
+pub struct Ctx<'a> {
+    /// The simulated machine (memory, CPU/PKRU, gates, allocator).
+    pub machine: &'a mut Machine,
+    /// The engine heap.
+    pub heap: &'a mut Heap,
+    /// Registered native functions.
+    pub natives: &'a [NativeFn],
+    /// Host class definitions (DOM node layouts).
+    pub host_classes: &'a [HostClass],
+    /// Remaining step budget.
+    pub fuel: &'a mut u64,
+    /// Deterministic RNG state (`Math.random`).
+    pub rng: &'a mut u64,
+    /// Virtual clock (`Date.now`), advanced by execution steps.
+    pub clock: &'a mut u64,
+    /// Lines produced by the `__print` builtin.
+    pub output: &'a mut Vec<String>,
+    depth: usize,
+}
+
+impl<'a> Ctx<'a> {
+    /// Assembles a context (used by [`crate::Engine`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        machine: &'a mut Machine,
+        heap: &'a mut Heap,
+        natives: &'a [NativeFn],
+        host_classes: &'a [HostClass],
+        fuel: &'a mut u64,
+        rng: &'a mut u64,
+        clock: &'a mut u64,
+        output: &'a mut Vec<String>,
+    ) -> Ctx<'a> {
+        Ctx { machine, heap, natives, host_classes, fuel, rng, clock, output, depth: 0 }
+    }
+
+    fn tick(&mut self) -> Result<(), EngineError> {
+        *self.clock += 1;
+        match self.fuel.checked_sub(1) {
+            Some(f) => {
+                *self.fuel = f;
+                Ok(())
+            }
+            None => Err(EngineError::Fuel),
+        }
+    }
+
+    /// Runs a list of statements in `env` (function declarations hoisted).
+    pub fn exec_program(&mut self, stmts: &[Stmt], env: &Rc<Env>) -> Result<Value, EngineError> {
+        match self.exec_block(stmts, env)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Undefined),
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], env: &Rc<Env>) -> Result<Flow, EngineError> {
+        // Hoist function declarations so mutual recursion works.
+        for stmt in stmts {
+            if let Stmt::Func(def) = stmt {
+                let handle =
+                    self.heap.add_closure(Closure { def: Rc::clone(def), env: Rc::clone(env) });
+                env.declare(Rc::clone(&def.name), Value::Fun(handle));
+            }
+        }
+        for stmt in stmts {
+            match self.exec_stmt(stmt, env)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &Rc<Env>) -> Result<Flow, EngineError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Var(decls) => {
+                for (name, init) in decls {
+                    let v = match init {
+                        Some(e) => self.eval(e, env)?,
+                        None => Value::Undefined,
+                    };
+                    env.declare(Rc::clone(name), v);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Func(_) => Ok(Flow::Normal), // Hoisted.
+            Stmt::Expr(e) => {
+                self.eval(e, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If(cond, then, alt) => {
+                if self.eval(cond, env)?.truthy() {
+                    self.exec_block(then, env)
+                } else {
+                    self.exec_block(alt, env)
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(cond, env)?.truthy() {
+                    match self.exec_block(body, env)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile(body, cond) => {
+                loop {
+                    match self.exec_block(body, env)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if !self.eval(cond, env)?.truthy() {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, update, body } => {
+                let scope = Env::child(env);
+                if let Some(init) = init {
+                    self.exec_stmt(init, &scope)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if !self.eval(cond, &scope)?.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec_block(body, &scope)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(update) = update {
+                        self.eval(update, &scope)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Undefined,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Block(body) => {
+                let scope = Env::child(env);
+                self.exec_block(body, &scope)
+            }
+        }
+    }
+
+    /// Evaluates an expression.
+    pub fn eval(&mut self, expr: &Expr, env: &Rc<Env>) -> Result<Value, EngineError> {
+        self.tick()?;
+        match expr {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::Str(Rc::clone(s))),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Undefined => Ok(Value::Undefined),
+            Expr::This => Ok(env.get("this").unwrap_or(Value::Undefined)),
+            Expr::Ident(name) => {
+                env.get(name).ok_or_else(|| EngineError::Reference(name.to_string()))
+            }
+            Expr::ArrayLit(items) => {
+                let mut vals = Vec::with_capacity(items.len());
+                for item in items {
+                    vals.push(self.eval(item, env)?);
+                }
+                Ok(Value::Obj(self.heap.new_array(self.machine, &vals)?))
+            }
+            Expr::ObjectLit(props) => {
+                let h = self.heap.new_object();
+                for (key, value_expr) in props {
+                    let v = self.eval(value_expr, env)?;
+                    self.heap.prop_set(self.machine, h, key, &v)?;
+                }
+                Ok(Value::Obj(h))
+            }
+            Expr::Function(def) => {
+                let handle =
+                    self.heap.add_closure(Closure { def: Rc::clone(def), env: Rc::clone(env) });
+                Ok(Value::Fun(handle))
+            }
+            Expr::Call { callee, args } => self.eval_call(callee, args, env),
+            Expr::Member(obj, name) => {
+                let receiver = self.eval(obj, env)?;
+                self.member_get(&receiver, name)
+            }
+            Expr::Index(obj, idx) => {
+                let receiver = self.eval(obj, env)?;
+                let index = self.eval(idx, env)?;
+                self.index_get(&receiver, &index)
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let a = self.eval(lhs, env)?;
+                let b = self.eval(rhs, env)?;
+                self.binary(*op, &a, &b)
+            }
+            Expr::And(lhs, rhs) => {
+                let a = self.eval(lhs, env)?;
+                if a.truthy() {
+                    self.eval(rhs, env)
+                } else {
+                    Ok(a)
+                }
+            }
+            Expr::Or(lhs, rhs) => {
+                let a = self.eval(lhs, env)?;
+                if a.truthy() {
+                    Ok(a)
+                } else {
+                    self.eval(rhs, env)
+                }
+            }
+            Expr::Unary(op, operand) => {
+                let v = self.eval(operand, env)?;
+                Ok(match op {
+                    UnaryOp::Neg => Value::Num(-self.to_number(&v)?),
+                    UnaryOp::Plus => Value::Num(self.to_number(&v)?),
+                    UnaryOp::Not => Value::Bool(!v.truthy()),
+                    UnaryOp::BitNot => Value::Num(f64::from(!to_int32(self.to_number(&v)?))),
+                    UnaryOp::TypeOf => Value::Str(v.type_of().into()),
+                })
+            }
+            Expr::Ternary(cond, a, b) => {
+                if self.eval(cond, env)?.truthy() {
+                    self.eval(a, env)
+                } else {
+                    self.eval(b, env)
+                }
+            }
+            Expr::Assign(target, op, value_expr) => {
+                let value = match op {
+                    AssignOp::Assign => self.eval(value_expr, env)?,
+                    AssignOp::Compound(bin) => {
+                        let current = self.read_target(target, env)?;
+                        let rhs = self.eval(value_expr, env)?;
+                        self.binary(*bin, &current, &rhs)?
+                    }
+                };
+                self.write_target(target, env, &value)?;
+                Ok(value)
+            }
+            Expr::IncrDecr { target, is_incr, prefix } => {
+                let current = self.read_target(target, env)?;
+                let old = self.to_number(&current)?;
+                let new = if *is_incr { old + 1.0 } else { old - 1.0 };
+                self.write_target(target, env, &Value::Num(new))?;
+                Ok(Value::Num(if *prefix { new } else { old }))
+            }
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        callee: &Expr,
+        args: &[Expr],
+        env: &Rc<Env>,
+    ) -> Result<Value, EngineError> {
+        let mut this = Value::Undefined;
+        let target = match callee {
+            Expr::Member(obj, name) => {
+                let receiver = self.eval(obj, env)?;
+                // Builtin methods on primitives and arrays dispatch
+                // directly; everything else is a property holding a
+                // function value.
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.eval(a, env)?);
+                }
+                if let Some(result) = self.builtin_method(&receiver, name, &arg_vals)? {
+                    return Ok(result);
+                }
+                this = receiver.clone();
+                let f = self.member_get(&receiver, name)?;
+                return self.call_value(&f, this, &arg_vals);
+            }
+            other => self.eval(other, env)?,
+        };
+        let mut arg_vals = Vec::with_capacity(args.len());
+        for a in args {
+            arg_vals.push(self.eval(a, env)?);
+        }
+        self.call_value(&target, this, &arg_vals)
+    }
+
+    /// Calls a function value (closure or native) with `this` and `args`.
+    pub fn call_value(
+        &mut self,
+        callee: &Value,
+        this: Value,
+        args: &[Value],
+    ) -> Result<Value, EngineError> {
+        if self.depth >= MAX_CALL_DEPTH {
+            return Err(EngineError::Range("call stack exceeded".into()));
+        }
+        match callee {
+            Value::Fun(handle) => {
+                let closure = self.heap.closure(*handle)?.clone();
+                let scope = Env::child(&closure.env);
+                for (i, param) in closure.def.params.iter().enumerate() {
+                    scope.declare(Rc::clone(param), args.get(i).cloned().unwrap_or(Value::Undefined));
+                }
+                scope.declare("this".into(), this);
+                self.depth += 1;
+                let result = self.exec_block(&closure.def.body, &scope);
+                self.depth -= 1;
+                match result? {
+                    Flow::Return(v) => Ok(v),
+                    _ => Ok(Value::Undefined),
+                }
+            }
+            Value::Native(handle) => {
+                let native = self
+                    .natives
+                    .get(*handle as usize)
+                    .cloned()
+                    .ok_or_else(|| EngineError::Type("stale native handle".into()))?;
+                self.depth += 1;
+                let result = native(self, this, args);
+                self.depth -= 1;
+                result
+            }
+            other => Err(EngineError::Type(format!("{} is not a function", other.type_of()))),
+        }
+    }
+
+    // ---- member / index access ----
+
+    fn member_get(&mut self, receiver: &Value, name: &str) -> Result<Value, EngineError> {
+        match receiver {
+            Value::Str(s) => match name {
+                "length" => Ok(Value::Num(s.chars().count() as f64)),
+                _ => Err(EngineError::Type(format!("string has no property {name}"))),
+            },
+            Value::Obj(h) => {
+                if name == "length" && self.heap.kind(*h)? == ObjKind::Array {
+                    return Ok(Value::Num(self.heap.array_len(self.machine, *h)? as f64));
+                }
+                self.heap.prop_get(self.machine, *h, name)
+            }
+            Value::HostRef { addr, class } => self.host_field_get(*addr, class.0, name),
+            Value::Null | Value::Undefined => {
+                Err(EngineError::Type(format!("cannot read {name} of {}", receiver.type_of())))
+            }
+            _ => Err(EngineError::Type(format!(
+                "cannot read property {name} of a {}",
+                receiver.type_of()
+            ))),
+        }
+    }
+
+    fn member_set(
+        &mut self,
+        receiver: &Value,
+        name: &Rc<str>,
+        value: &Value,
+    ) -> Result<(), EngineError> {
+        match receiver {
+            Value::Obj(h) => {
+                if &**name == "length" && self.heap.kind(*h)? == ObjKind::Array {
+                    let n = self.to_number(value)?;
+                    // The vulnerable setter (§5.4).
+                    return self.heap.array_set_len(self.machine, *h, n);
+                }
+                self.heap.prop_set(self.machine, *h, name, value)
+            }
+            Value::HostRef { addr, class } => {
+                let n = self.to_number(value)?;
+                self.host_field_set(*addr, class.0, name, n)
+            }
+            other => {
+                Err(EngineError::Type(format!("cannot set property on a {}", other.type_of())))
+            }
+        }
+    }
+
+    fn index_get(&mut self, receiver: &Value, index: &Value) -> Result<Value, EngineError> {
+        match (receiver, index) {
+            (Value::Obj(h), Value::Num(i)) if self.heap.kind(*h)? == ObjKind::Array => {
+                self.heap.elem_get(self.machine, *h, *i)
+            }
+            (Value::Obj(h), Value::Str(name)) => self.heap.prop_get(self.machine, *h, name),
+            (Value::Obj(h), Value::Num(i)) => {
+                self.heap.prop_get(self.machine, *h, &fmt_f64(*i))
+            }
+            (Value::Str(s), Value::Num(i)) => {
+                let i = *i;
+                if i < 0.0 || i.fract() != 0.0 {
+                    return Ok(Value::Undefined);
+                }
+                match s.chars().nth(i as usize) {
+                    Some(c) => Ok(Value::Str(c.to_string().into())),
+                    None => Ok(Value::Undefined),
+                }
+            }
+            (Value::HostRef { addr, class }, Value::Num(i)) => {
+                // Indexing a host node yields its i-th child, per the host
+                // class's element spec.
+                self.host_index_get(*addr, class.0, *i)
+            }
+            _ => Err(EngineError::Type(format!("cannot index a {}", receiver.type_of()))),
+        }
+    }
+
+    fn index_set(
+        &mut self,
+        receiver: &Value,
+        index: &Value,
+        value: &Value,
+    ) -> Result<(), EngineError> {
+        match (receiver, index) {
+            (Value::Obj(h), Value::Num(i)) if self.heap.kind(*h)? == ObjKind::Array => {
+                self.heap.elem_set(self.machine, *h, *i, value)
+            }
+            (Value::Obj(h), Value::Str(name)) => self.heap.prop_set(self.machine, *h, name, value),
+            (Value::Obj(h), Value::Num(i)) => {
+                let key: Rc<str> = fmt_f64(*i).into();
+                self.heap.prop_set(self.machine, *h, &key, value)
+            }
+            _ => Err(EngineError::Type(format!("cannot index-assign a {}", receiver.type_of()))),
+        }
+    }
+
+    fn read_target(&mut self, target: &Target, env: &Rc<Env>) -> Result<Value, EngineError> {
+        match target {
+            Target::Ident(name) => {
+                env.get(name).ok_or_else(|| EngineError::Reference(name.to_string()))
+            }
+            Target::Member(obj, name) => {
+                let receiver = self.eval(obj, env)?;
+                self.member_get(&receiver, name)
+            }
+            Target::Index(obj, idx) => {
+                let receiver = self.eval(obj, env)?;
+                let index = self.eval(idx, env)?;
+                self.index_get(&receiver, &index)
+            }
+        }
+    }
+
+    fn write_target(
+        &mut self,
+        target: &Target,
+        env: &Rc<Env>,
+        value: &Value,
+    ) -> Result<(), EngineError> {
+        match target {
+            Target::Ident(name) => {
+                if !env.set(name, value.clone()) {
+                    // Implicit global, as in sloppy-mode JS.
+                    let mut root = env;
+                    while let Some(p) = &root.parent {
+                        root = p;
+                    }
+                    root.declare(Rc::clone(name), value.clone());
+                }
+                Ok(())
+            }
+            Target::Member(obj, name) => {
+                let receiver = self.eval(obj, env)?;
+                self.member_set(&receiver, name, value)
+            }
+            Target::Index(obj, idx) => {
+                let receiver = self.eval(obj, env)?;
+                let index = self.eval(idx, env)?;
+                self.index_set(&receiver, &index, value)
+            }
+        }
+    }
+
+    // ---- host classes (direct cross-compartment field access) ----
+
+    fn host_class(&self, class: u32) -> Result<&HostClass, EngineError> {
+        self.host_classes
+            .get(class as usize)
+            .ok_or_else(|| EngineError::Type("unknown host class".into()))
+    }
+
+    fn host_field_get(&mut self, addr: u64, class: u32, name: &str) -> Result<Value, EngineError> {
+        let spec = self.host_class(class)?;
+        if let Some(&method) = spec.methods.get(name) {
+            return Ok(Value::Native(method));
+        }
+        let Some(field) = spec.fields.get(name).copied() else {
+            return Err(EngineError::Type(format!(
+                "host class {} has no field {name}",
+                spec.name
+            )));
+        };
+        let field_addr = addr + field.offset;
+        match field.kind {
+            HostFieldKind::U64 => {
+                let raw = self.machine.mem_read(field_addr)?;
+                Ok(Value::Num(raw as f64))
+            }
+            HostFieldKind::F64 => {
+                let raw = self.machine.mem_read(field_addr)?;
+                Ok(Value::Num(f64::from_bits(raw)))
+            }
+            HostFieldKind::Ref(target_class) => {
+                let ptr = self.machine.mem_read(field_addr)?;
+                if ptr == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::HostRef { addr: ptr, class: target_class })
+                }
+            }
+            HostFieldKind::Text => {
+                // The field holds a pointer to `[len: u64][bytes...]`.
+                let ptr = self.machine.mem_read(field_addr)?;
+                if ptr == 0 {
+                    return Ok(Value::Str("".into()));
+                }
+                let len = self.machine.mem_read(ptr)? as usize;
+                let mut bytes = Vec::with_capacity(len);
+                for i in 0..len {
+                    bytes.push(self.machine.mem_read_u8(ptr + 8 + i as u64)?);
+                }
+                let s = String::from_utf8_lossy(&bytes).into_owned();
+                Ok(Value::Str(s.into()))
+            }
+        }
+    }
+
+    fn host_field_set(
+        &mut self,
+        addr: u64,
+        class: u32,
+        name: &str,
+        value: f64,
+    ) -> Result<(), EngineError> {
+        let spec = self.host_class(class)?;
+        let Some(field) = spec.fields.get(name).copied() else {
+            return Err(EngineError::Type(format!(
+                "host class {} has no field {name}",
+                spec.name
+            )));
+        };
+        if !field.writable {
+            return Err(EngineError::Type(format!("host field {name} is read-only")));
+        }
+        let field_addr = addr + field.offset;
+        match field.kind {
+            HostFieldKind::U64 => self.machine.mem_write(field_addr, value as u64)?,
+            HostFieldKind::F64 => self.machine.mem_write(field_addr, value.to_bits())?,
+            _ => return Err(EngineError::Type(format!("host field {name} is not writable"))),
+        }
+        Ok(())
+    }
+
+    fn host_index_get(&mut self, addr: u64, class: u32, index: f64) -> Result<Value, EngineError> {
+        let spec = self.host_class(class)?;
+        let Some(elements) = spec.elements else {
+            return Err(EngineError::Type(format!("host class {} is not indexable", spec.name)));
+        };
+        if index < 0.0 || index.fract() != 0.0 {
+            return Ok(Value::Undefined);
+        }
+        // elements = (count field offset, first-child field offset,
+        // next-sibling field offset within the child class, child class).
+        let count = self.machine.mem_read(addr + elements.count_offset)?;
+        if index as u64 >= count {
+            return Ok(Value::Undefined);
+        }
+        let mut child = self.machine.mem_read(addr + elements.first_offset)?;
+        for _ in 0..index as u64 {
+            if child == 0 {
+                return Ok(Value::Undefined);
+            }
+            child = self.machine.mem_read(child + elements.next_offset)?;
+        }
+        if child == 0 {
+            Ok(Value::Undefined)
+        } else {
+            Ok(Value::HostRef { addr: child, class: elements.child_class })
+        }
+    }
+
+    // ---- conversions and operators ----
+
+    /// `ToNumber`.
+    pub fn to_number(&self, v: &Value) -> Result<f64, EngineError> {
+        Ok(match v {
+            Value::Num(n) => *n,
+            Value::Bool(true) => 1.0,
+            Value::Bool(false) | Value::Null => 0.0,
+            Value::Undefined => f64::NAN,
+            Value::Str(s) => {
+                let t = s.trim();
+                if t.is_empty() {
+                    0.0
+                } else if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16).map(|v| v as f64).unwrap_or(f64::NAN)
+                } else {
+                    t.parse().unwrap_or(f64::NAN)
+                }
+            }
+            _ => f64::NAN,
+        })
+    }
+
+    /// `ToString`.
+    pub fn to_string_value(&mut self, v: &Value) -> Result<String, EngineError> {
+        Ok(match v {
+            Value::Num(n) => fmt_f64(*n),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => "null".into(),
+            Value::Undefined => "undefined".into(),
+            Value::Str(s) => s.to_string(),
+            Value::Obj(h) => {
+                if self.heap.kind(*h)? == ObjKind::Array {
+                    let len = self.heap.array_len(self.machine, *h)?;
+                    let mut parts = Vec::with_capacity(len as usize);
+                    for i in 0..len {
+                        let e = self.heap.elem_get(self.machine, *h, i as f64)?;
+                        parts.push(self.to_string_value(&e)?);
+                    }
+                    parts.join(",")
+                } else {
+                    "[object Object]".into()
+                }
+            }
+            Value::Fun(_) | Value::Native(_) => "function".into(),
+            Value::HostRef { .. } => "[object HostRef]".into(),
+        })
+    }
+
+    fn binary(&mut self, op: BinaryOp, a: &Value, b: &Value) -> Result<Value, EngineError> {
+        Ok(match op {
+            BinaryOp::Add => match (a, b) {
+                (Value::Str(_), _) | (_, Value::Str(_)) => {
+                    let mut s = self.to_string_value(a)?;
+                    s.push_str(&self.to_string_value(b)?);
+                    Value::Str(s.into())
+                }
+                _ => Value::Num(self.to_number(a)? + self.to_number(b)?),
+            },
+            BinaryOp::Sub => Value::Num(self.to_number(a)? - self.to_number(b)?),
+            BinaryOp::Mul => Value::Num(self.to_number(a)? * self.to_number(b)?),
+            BinaryOp::Div => Value::Num(self.to_number(a)? / self.to_number(b)?),
+            BinaryOp::Rem => Value::Num(self.to_number(a)? % self.to_number(b)?),
+            BinaryOp::Eq => Value::Bool(self.strict_eq(a, b)),
+            BinaryOp::Ne => Value::Bool(!self.strict_eq(a, b)),
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+                match (a, b) {
+                    (Value::Str(x), Value::Str(y)) => Value::Bool(match op {
+                        BinaryOp::Lt => x < y,
+                        BinaryOp::Le => x <= y,
+                        BinaryOp::Gt => x > y,
+                        _ => x >= y,
+                    }),
+                    _ => {
+                        let x = self.to_number(a)?;
+                        let y = self.to_number(b)?;
+                        Value::Bool(match op {
+                            BinaryOp::Lt => x < y,
+                            BinaryOp::Le => x <= y,
+                            BinaryOp::Gt => x > y,
+                            _ => x >= y,
+                        })
+                    }
+                }
+            }
+            BinaryOp::BitAnd => {
+                Value::Num(f64::from(to_int32(self.to_number(a)?) & to_int32(self.to_number(b)?)))
+            }
+            BinaryOp::BitOr => {
+                Value::Num(f64::from(to_int32(self.to_number(a)?) | to_int32(self.to_number(b)?)))
+            }
+            BinaryOp::BitXor => {
+                Value::Num(f64::from(to_int32(self.to_number(a)?) ^ to_int32(self.to_number(b)?)))
+            }
+            BinaryOp::Shl => Value::Num(f64::from(
+                to_int32(self.to_number(a)?) << (to_uint32(self.to_number(b)?) & 31),
+            )),
+            BinaryOp::Shr => Value::Num(f64::from(
+                to_int32(self.to_number(a)?) >> (to_uint32(self.to_number(b)?) & 31),
+            )),
+            BinaryOp::UShr => Value::Num(f64::from(
+                to_uint32(self.to_number(a)?) >> (to_uint32(self.to_number(b)?) & 31),
+            )),
+        })
+    }
+
+    fn strict_eq(&self, a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Num(x), Value::Num(y)) => x == y,
+            (Value::Str(x), Value::Str(y)) => x == y,
+            (Value::Bool(x), Value::Bool(y)) => x == y,
+            (Value::Null, Value::Null) => true,
+            (Value::Undefined, Value::Undefined) => true,
+            // Loose null/undefined equivalence, as `==` in JS.
+            (Value::Null, Value::Undefined) | (Value::Undefined, Value::Null) => true,
+            (Value::Obj(x), Value::Obj(y)) => x == y,
+            (Value::Fun(x), Value::Fun(y)) => x == y,
+            (Value::Native(x), Value::Native(y)) => x == y,
+            (Value::HostRef { addr: x, .. }, Value::HostRef { addr: y, .. }) => x == y,
+            _ => false,
+        }
+    }
+
+    // ---- builtin methods on primitives and arrays ----
+
+    /// Dispatches builtin methods; returns `None` when `name` is not a
+    /// builtin for this receiver (the caller falls back to properties).
+    fn builtin_method(
+        &mut self,
+        receiver: &Value,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, EngineError> {
+        match receiver {
+            Value::Str(s) => self.string_method(s, name, args),
+            Value::Obj(h) if self.heap.kind(*h)? == ObjKind::Array => {
+                self.array_method(*h, name, args)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn string_method(
+        &mut self,
+        s: &Rc<str>,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, EngineError> {
+        let arg_num = |i: usize| -> f64 {
+            match args.get(i) {
+                Some(Value::Num(n)) => *n,
+                _ => 0.0,
+            }
+        };
+        Ok(Some(match name {
+            "charCodeAt" => {
+                let i = arg_num(0) as usize;
+                match s.as_bytes().get(i) {
+                    // ASCII fast path; non-ASCII falls back to chars().
+                    Some(&b) if b < 0x80 => Value::Num(f64::from(b)),
+                    _ => match s.chars().nth(i) {
+                        Some(c) => Value::Num(c as u32 as f64),
+                        None => Value::Num(f64::NAN),
+                    },
+                }
+            }
+            "charAt" => {
+                let i = arg_num(0) as usize;
+                match s.chars().nth(i) {
+                    Some(c) => Value::Str(c.to_string().into()),
+                    None => Value::Str("".into()),
+                }
+            }
+            "substring" | "slice" => {
+                let len = s.chars().count() as f64;
+                let a = arg_num(0).max(0.0).min(len) as usize;
+                let b = match args.get(1) {
+                    Some(v) => self.to_number(v)?.max(0.0).min(len) as usize,
+                    None => len as usize,
+                };
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let out: String = s.chars().skip(lo).take(hi - lo).collect();
+                Value::Str(out.into())
+            }
+            "indexOf" => {
+                let needle = self.to_string_value(args.first().unwrap_or(&Value::Undefined))?;
+                match s.find(&needle) {
+                    Some(byte_pos) => Value::Num(s[..byte_pos].chars().count() as f64),
+                    None => Value::Num(-1.0),
+                }
+            }
+            "split" => {
+                let sep = self.to_string_value(args.first().unwrap_or(&Value::Undefined))?;
+                let parts: Vec<Value> = if sep.is_empty() {
+                    s.chars().map(|c| Value::Str(c.to_string().into())).collect()
+                } else {
+                    s.split(&sep as &str).map(|p| Value::Str(p.into())).collect()
+                };
+                Value::Obj(self.heap.new_array(self.machine, &parts)?)
+            }
+            "toUpperCase" => Value::Str(s.to_uppercase().into()),
+            "toLowerCase" => Value::Str(s.to_lowercase().into()),
+            "concat" => {
+                let mut out = s.to_string();
+                for a in args {
+                    out.push_str(&self.to_string_value(a)?);
+                }
+                Value::Str(out.into())
+            }
+            _ => return Ok(None),
+        }))
+    }
+
+    fn array_method(
+        &mut self,
+        h: crate::heap::ObjHandle,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, EngineError> {
+        Ok(Some(match name {
+            "push" => {
+                let mut len = 0;
+                for v in args {
+                    len = self.heap.array_push(self.machine, h, v)?;
+                }
+                Value::Num(len as f64)
+            }
+            "pop" => self.heap.array_pop(self.machine, h)?,
+            "join" => {
+                let sep = match args.first() {
+                    Some(v) => self.to_string_value(v)?,
+                    None => ",".into(),
+                };
+                let len = self.heap.array_len(self.machine, h)?;
+                let mut parts = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    let e = self.heap.elem_get(self.machine, h, i as f64)?;
+                    parts.push(self.to_string_value(&e)?);
+                }
+                Value::Str(parts.join(&sep).into())
+            }
+            "indexOf" => {
+                let needle = args.first().cloned().unwrap_or(Value::Undefined);
+                let len = self.heap.array_len(self.machine, h)?;
+                let mut found = -1.0;
+                for i in 0..len {
+                    let e = self.heap.elem_get(self.machine, h, i as f64)?;
+                    if self.strict_eq(&e, &needle) {
+                        found = i as f64;
+                        break;
+                    }
+                }
+                Value::Num(found)
+            }
+            "slice" => {
+                let len = self.heap.array_len(self.machine, h)? as f64;
+                let norm = |v: f64| if v < 0.0 { (len + v).max(0.0) } else { v.min(len) };
+                let a = match args.first() {
+                    Some(v) => norm(self.to_number(v)?),
+                    None => 0.0,
+                };
+                let b = match args.get(1) {
+                    Some(v) => norm(self.to_number(v)?),
+                    None => len,
+                };
+                let mut out = Vec::new();
+                let mut i = a;
+                while i < b {
+                    out.push(self.heap.elem_get(self.machine, h, i)?);
+                    i += 1.0;
+                }
+                Value::Obj(self.heap.new_array(self.machine, &out)?)
+            }
+            "concat" => {
+                let len = self.heap.array_len(self.machine, h)?;
+                let mut out = Vec::new();
+                for i in 0..len {
+                    out.push(self.heap.elem_get(self.machine, h, i as f64)?);
+                }
+                for arg in args {
+                    match arg {
+                        Value::Obj(g) if self.heap.kind(*g)? == ObjKind::Array => {
+                            let glen = self.heap.array_len(self.machine, *g)?;
+                            for i in 0..glen {
+                                out.push(self.heap.elem_get(self.machine, *g, i as f64)?);
+                            }
+                        }
+                        other => out.push(other.clone()),
+                    }
+                }
+                Value::Obj(self.heap.new_array(self.machine, &out)?)
+            }
+            _ => return Ok(None),
+        }))
+    }
+}

@@ -1,0 +1,627 @@
+//! The engine heap: objects, arrays, strings, closures, host references.
+//!
+//! Array element storage and object property slots live in the simulated
+//! untrusted pool `M_U` and are accessed through the rights-checked
+//! machine, so the engine's data accesses are subject to MPK enforcement.
+//! Array headers (`length` and `capacity`) are stored *in memory* in front
+//! of the elements, exactly like real engines — which is what makes the
+//! planted length-corruption vulnerability (§5.4) meaningful: the bounds
+//! check trusts a header the attacker can corrupt.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lir::Machine;
+
+use crate::ast::FuncDef;
+use crate::error::EngineError;
+use crate::exec::Env;
+use crate::nanbox::{DecodedBox, NanBox};
+use crate::Value;
+
+/// Handle to an object in the engine heap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ObjHandle(pub u32);
+
+/// Handle to a host class definition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HostClassId(pub u32);
+
+/// What an object is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObjKind {
+    /// A plain `{}` object.
+    Plain,
+    /// An array with in-memory `[len][cap]` header and element storage.
+    Array,
+}
+
+/// Array header size in bytes: `[len: u64][cap: u64]`.
+const ARRAY_HEADER: u64 = 16;
+
+/// Arrays refuse to grow past this many elements (a sane engine limit; the
+/// vulnerability matters precisely because the *corrupted* length is never
+/// validated against it).
+const MAX_ARRAY_LEN: u64 = 1 << 28;
+
+/// A closure: function definition plus captured environment.
+#[derive(Clone)]
+pub struct Closure {
+    /// The function definition.
+    pub def: Rc<FuncDef>,
+    /// The captured scope chain.
+    pub env: Rc<Env>,
+}
+
+/// Engine-internal object record.
+///
+/// This bookkeeping is engine-internal state (analogous to GC cell
+/// metadata); the *data* — elements and property slots — lives in `M_U`.
+pub struct ObjData {
+    /// The object's kind.
+    pub kind: ObjKind,
+    /// Property name → slot index.
+    pub shape: HashMap<Rc<str>, u32>,
+    /// Base address of the property-slot buffer (0 = none yet).
+    pub slots_addr: u64,
+    /// Capacity of the slot buffer, in slots.
+    pub slots_cap: u32,
+    /// Base address of the array buffer (`[len][cap]` header first).
+    pub elems_addr: u64,
+}
+
+/// The engine heap.
+pub struct Heap {
+    objects: Vec<ObjData>,
+    strings: Vec<Rc<str>>,
+    string_index: HashMap<Rc<str>, u32>,
+    closures: Vec<Closure>,
+    hostrefs: Vec<(u64, HostClassId)>,
+    hostref_index: HashMap<(u64, u32), u64>,
+    /// Whether the `length`-setter bug is present (it is, by default — the
+    /// engine models SpiderMonkey prior to the CVE-2019-11707 fix).
+    pub vulnerable: bool,
+    /// Element reads performed (engine statistics).
+    pub elem_reads: u64,
+    /// Element writes performed.
+    pub elem_writes: u64,
+}
+
+impl Default for Heap {
+    fn default() -> Heap {
+        Heap::new()
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap (vulnerable engine build).
+    pub fn new() -> Heap {
+        Heap {
+            objects: Vec::new(),
+            strings: Vec::new(),
+            string_index: HashMap::new(),
+            closures: Vec::new(),
+            hostrefs: Vec::new(),
+            hostref_index: HashMap::new(),
+            vulnerable: true,
+            elem_reads: 0,
+            elem_writes: 0,
+        }
+    }
+
+    fn obj(&self, h: ObjHandle) -> Result<&ObjData, EngineError> {
+        self.objects
+            .get(h.0 as usize)
+            .ok_or_else(|| EngineError::Type("stale object handle".into()))
+    }
+
+    fn obj_mut(&mut self, h: ObjHandle) -> Result<&mut ObjData, EngineError> {
+        self.objects
+            .get_mut(h.0 as usize)
+            .ok_or_else(|| EngineError::Type("stale object handle".into()))
+    }
+
+    /// The kind of `h`.
+    pub fn kind(&self, h: ObjHandle) -> Result<ObjKind, EngineError> {
+        Ok(self.obj(h)?.kind)
+    }
+
+    /// Creates a plain object.
+    pub fn new_object(&mut self) -> ObjHandle {
+        let h = ObjHandle(self.objects.len() as u32);
+        self.objects.push(ObjData {
+            kind: ObjKind::Plain,
+            shape: HashMap::new(),
+            slots_addr: 0,
+            slots_cap: 0,
+            elems_addr: 0,
+        });
+        h
+    }
+
+    /// Creates an array with the given initial elements.
+    pub fn new_array(
+        &mut self,
+        machine: &mut Machine,
+        initial: &[Value],
+    ) -> Result<ObjHandle, EngineError> {
+        let cap = initial.len().max(4) as u64;
+        let addr = machine.alloc.untrusted_alloc(ARRAY_HEADER + 8 * cap)?;
+        machine.mem_write(addr, initial.len() as u64)?;
+        machine.mem_write(addr + 8, cap)?;
+        let h = ObjHandle(self.objects.len() as u32);
+        self.objects.push(ObjData {
+            kind: ObjKind::Array,
+            shape: HashMap::new(),
+            slots_addr: 0,
+            slots_cap: 0,
+            elems_addr: addr,
+        });
+        for (i, v) in initial.iter().enumerate() {
+            let boxed = self.box_value(v);
+            machine.mem_write(addr + ARRAY_HEADER + 8 * i as u64, boxed.0)?;
+        }
+        Ok(h)
+    }
+
+    /// Reads the array's length from its in-memory header.
+    pub fn array_len(&self, machine: &mut Machine, h: ObjHandle) -> Result<u64, EngineError> {
+        let data = self.obj(h)?;
+        if data.kind != ObjKind::Array {
+            return Err(EngineError::Type("not an array".into()));
+        }
+        Ok(machine.mem_read(data.elems_addr)?)
+    }
+
+    /// Sets the array's length (the `arr.length = n` setter).
+    ///
+    /// **This is the planted vulnerability.** The fixed engine clamps the
+    /// new length to the buffer capacity (or reallocates); this one writes
+    /// the header directly when `vulnerable` is set, violating the
+    /// `len <= cap` invariant the indexed fast path trusts — the exact
+    /// shape of the type-confusion-derived primitive used in §5.4.
+    pub fn array_set_len(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        new_len: f64,
+    ) -> Result<(), EngineError> {
+        let data = self.obj(h)?;
+        if data.kind != ObjKind::Array {
+            return Err(EngineError::Type("not an array".into()));
+        }
+        let addr = data.elems_addr;
+        if new_len < 0.0 || new_len.fract() != 0.0 {
+            return Err(EngineError::Range("invalid array length".into()));
+        }
+        let n = new_len as u64;
+        if self.vulnerable {
+            // BUG: no clamp against capacity; the header is written as-is.
+            machine.mem_write(addr, n)?;
+            return Ok(());
+        }
+        // Patched behavior: shrink freely, grow via the safe path.
+        let cap = machine.mem_read(addr + 8)?;
+        if n <= cap {
+            machine.mem_write(addr, n)?;
+        } else {
+            self.grow_array(machine, h, n)?;
+            machine.mem_write(self.obj(h)?.elems_addr, n)?;
+        }
+        Ok(())
+    }
+
+    /// Indexed read `a[i]`.
+    ///
+    /// The fast path bounds-checks against the in-memory length only,
+    /// trusting the `len <= cap` invariant — which the vulnerable length
+    /// setter can break.
+    pub fn elem_get(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        index: f64,
+    ) -> Result<Value, EngineError> {
+        let data = self.obj(h)?;
+        if data.kind != ObjKind::Array {
+            return Err(EngineError::Type("indexed access on non-array".into()));
+        }
+        let addr = data.elems_addr;
+        if index < 0.0 || index.fract() != 0.0 {
+            return Ok(Value::Undefined);
+        }
+        let i = index as u64;
+        let len = machine.mem_read(addr)?;
+        if i >= len {
+            return Ok(Value::Undefined);
+        }
+        self.elem_reads += 1;
+        let slot_addr = addr.wrapping_add(ARRAY_HEADER).wrapping_add(8u64.wrapping_mul(i));
+        let raw = machine.mem_read(slot_addr)?;
+        self.unbox(NanBox(raw))
+    }
+
+    /// Indexed write `a[i] = v`.
+    pub fn elem_set(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        index: f64,
+        value: &Value,
+    ) -> Result<(), EngineError> {
+        let data = self.obj(h)?;
+        if data.kind != ObjKind::Array {
+            return Err(EngineError::Type("indexed access on non-array".into()));
+        }
+        if index < 0.0 || index.fract() != 0.0 {
+            return Err(EngineError::Range("bad array index".into()));
+        }
+        let i = index as u64;
+        let addr = data.elems_addr;
+        let len = machine.mem_read(addr)?;
+        let boxed = self.box_value(value);
+        if i < len {
+            // Fast path: in bounds per the (corruptible) header.
+            self.elem_writes += 1;
+            let slot_addr = addr.wrapping_add(ARRAY_HEADER).wrapping_add(8u64.wrapping_mul(i));
+            machine.mem_write(slot_addr, boxed.0)?;
+            return Ok(());
+        }
+        // Slow path: genuine append/growth with full validation.
+        if i >= MAX_ARRAY_LEN {
+            return Err(EngineError::Range("array too large".into()));
+        }
+        let cap = machine.mem_read(addr + 8)?;
+        if i >= cap {
+            self.grow_array(machine, h, i + 1)?;
+        }
+        let addr = self.obj(h)?.elems_addr;
+        // Holes created by a sparse write read as `undefined`, not as
+        // whatever stale M_U bytes the buffer previously held.
+        for hole in len..i {
+            machine.mem_write(addr + ARRAY_HEADER + 8 * hole, NanBox::UNDEFINED.0)?;
+        }
+        self.elem_writes += 1;
+        machine.mem_write(addr + ARRAY_HEADER + 8 * i, boxed.0)?;
+        machine.mem_write(addr, i + 1)?; // New length.
+        Ok(())
+    }
+
+    /// Appends a value, returning the new length.
+    pub fn array_push(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        value: &Value,
+    ) -> Result<u64, EngineError> {
+        let len = self.array_len(machine, h)?;
+        self.elem_set(machine, h, len as f64, value)?;
+        Ok(len + 1)
+    }
+
+    /// Removes and returns the last element.
+    pub fn array_pop(&mut self, machine: &mut Machine, h: ObjHandle) -> Result<Value, EngineError> {
+        let len = self.array_len(machine, h)?;
+        if len == 0 {
+            return Ok(Value::Undefined);
+        }
+        let v = self.elem_get(machine, h, (len - 1) as f64)?;
+        let addr = self.obj(h)?.elems_addr;
+        machine.mem_write(addr, len - 1)?;
+        Ok(v)
+    }
+
+    fn grow_array(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        needed: u64,
+    ) -> Result<(), EngineError> {
+        let old_addr = self.obj(h)?.elems_addr;
+        let len = machine.mem_read(old_addr)?;
+        let cap = machine.mem_read(old_addr + 8)?;
+        let new_cap = needed.max(cap.saturating_mul(2)).max(8).min(MAX_ARRAY_LEN);
+        if new_cap < needed {
+            return Err(EngineError::Range("array too large".into()));
+        }
+        let new_addr = machine.alloc.untrusted_alloc(ARRAY_HEADER + 8 * new_cap)?;
+        machine.mem_write(new_addr, len)?;
+        machine.mem_write(new_addr + 8, new_cap)?;
+        // Bulk element copy within M_U (the engine's memcpy of its own
+        // buffers; rights-equivalent to per-slot untrusted accesses).
+        let bytes = (8 * len.min(cap)) as usize;
+        if bytes > 0 {
+            let mut buf = vec![0u8; bytes];
+            let mut space = machine.space.lock();
+            // Both buffers are live M_U allocations.
+            space.read_supervisor(old_addr + ARRAY_HEADER, &mut buf).expect("live buffer");
+            space.write_supervisor(new_addr + ARRAY_HEADER, &buf).expect("live buffer");
+        }
+        machine.alloc.dealloc(old_addr)?;
+        self.obj_mut(h)?.elems_addr = new_addr;
+        Ok(())
+    }
+
+    /// Property read `o.name` (own properties only; no prototype chain).
+    pub fn prop_get(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        name: &str,
+    ) -> Result<Value, EngineError> {
+        let data = self.obj(h)?;
+        let Some(&slot) = data.shape.get(name) else {
+            return Ok(Value::Undefined);
+        };
+        let addr = data.slots_addr + 8 * u64::from(slot);
+        let raw = machine.mem_read(addr)?;
+        self.unbox(NanBox(raw))
+    }
+
+    /// Property write `o.name = v`.
+    pub fn prop_set(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        name: &Rc<str>,
+        value: &Value,
+    ) -> Result<(), EngineError> {
+        let boxed = self.box_value(value);
+        let data = self.obj_mut(h)?;
+        let slot = match data.shape.get(name) {
+            Some(&s) => s,
+            None => {
+                let s = data.shape.len() as u32;
+                if s >= data.slots_cap {
+                    // Grow the slot buffer.
+                    let new_cap = (data.slots_cap * 2).max(8);
+                    let old_addr = data.slots_addr;
+                    let old_cap = data.slots_cap;
+                    let new_addr = machine.alloc.untrusted_alloc(8 * u64::from(new_cap))?;
+                    if old_addr != 0 {
+                        let mut buf = vec![0u8; 8 * old_cap as usize];
+                        {
+                            let mut space = machine.space.lock();
+                            // Both buffers are live M_U allocations.
+                            space.read_supervisor(old_addr, &mut buf).expect("live buffer");
+                            space.write_supervisor(new_addr, &buf).expect("live buffer");
+                        }
+                        machine.alloc.dealloc(old_addr)?;
+                    }
+                    let data = self.obj_mut(h)?;
+                    data.slots_addr = new_addr;
+                    data.slots_cap = new_cap;
+                }
+                let data = self.obj_mut(h)?;
+                data.shape.insert(Rc::clone(name), s);
+                s
+            }
+        };
+        let addr = self.obj(h)?.slots_addr + 8 * u64::from(slot);
+        machine.mem_write(addr, boxed.0)?;
+        Ok(())
+    }
+
+    /// The object's own property names (insertion-unordered).
+    pub fn prop_names(&self, h: ObjHandle) -> Result<Vec<Rc<str>>, EngineError> {
+        let mut names: Vec<(u32, Rc<str>)> =
+            self.obj(h)?.shape.iter().map(|(k, &v)| (v, Rc::clone(k))).collect();
+        names.sort_by_key(|(slot, _)| *slot);
+        Ok(names.into_iter().map(|(_, n)| n).collect())
+    }
+
+    /// Whether the object has an own property `name`.
+    pub fn has_prop(&self, h: ObjHandle, name: &str) -> Result<bool, EngineError> {
+        Ok(self.obj(h)?.shape.contains_key(name))
+    }
+
+    /// The address of an array's first element (debug intrinsic support).
+    pub fn elems_base(&self, h: ObjHandle) -> Result<u64, EngineError> {
+        let data = self.obj(h)?;
+        if data.kind != ObjKind::Array {
+            return Err(EngineError::Type("not an array".into()));
+        }
+        Ok(data.elems_addr + ARRAY_HEADER)
+    }
+
+    /// Interns a string, returning its handle.
+    pub fn intern_string(&mut self, s: &Rc<str>) -> u32 {
+        if let Some(&i) = self.string_index.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u32;
+        self.strings.push(Rc::clone(s));
+        self.string_index.insert(Rc::clone(s), i);
+        i
+    }
+
+    /// Registers a closure, returning its handle.
+    pub fn add_closure(&mut self, closure: Closure) -> u32 {
+        self.closures.push(closure);
+        (self.closures.len() - 1) as u32
+    }
+
+    /// Looks up a closure.
+    pub fn closure(&self, handle: u32) -> Result<&Closure, EngineError> {
+        self.closures
+            .get(handle as usize)
+            .ok_or_else(|| EngineError::Type("stale function handle".into()))
+    }
+
+    /// Registers (or reuses) a host-reference index for `(addr, class)`.
+    pub fn hostref_index(&mut self, addr: u64, class: HostClassId) -> u64 {
+        if let Some(&i) = self.hostref_index.get(&(addr, class.0)) {
+            return i;
+        }
+        let i = self.hostrefs.len() as u64;
+        self.hostrefs.push((addr, class));
+        self.hostref_index.insert((addr, class.0), i);
+        i
+    }
+
+    /// Encodes an interpreter value for storage in simulated memory.
+    pub fn box_value(&mut self, value: &Value) -> NanBox {
+        match value {
+            Value::Str(s) => NanBox::from_str_handle(self.intern_string(s)),
+            other => {
+                NanBox::from_value(other, |addr, class| self.hostref_index(addr, class))
+            }
+        }
+    }
+
+    /// Decodes a stored value; forged handles fail safely.
+    pub fn unbox(&self, raw: NanBox) -> Result<Value, EngineError> {
+        Ok(match raw.decode() {
+            DecodedBox::Num(n) => Value::Num(n),
+            DecodedBox::Bool(b) => Value::Bool(b),
+            DecodedBox::Null => Value::Null,
+            DecodedBox::Undefined => Value::Undefined,
+            DecodedBox::Obj(i) => {
+                if (i as usize) < self.objects.len() {
+                    Value::Obj(ObjHandle(i))
+                } else {
+                    return Err(EngineError::Type("corrupted object reference".into()));
+                }
+            }
+            DecodedBox::Str(i) => match self.strings.get(i as usize) {
+                Some(s) => Value::Str(Rc::clone(s)),
+                None => return Err(EngineError::Type("corrupted string reference".into())),
+            },
+            DecodedBox::Fun(i) => {
+                if (i as usize) < self.closures.len() {
+                    Value::Fun(i)
+                } else {
+                    return Err(EngineError::Type("corrupted function reference".into()));
+                }
+            }
+            DecodedBox::Native(i) => Value::Native(i),
+            DecodedBox::HostRef(i) => match self.hostrefs.get(i as usize) {
+                Some(&(addr, class)) => Value::HostRef { addr, class },
+                None => return Err(EngineError::Type("corrupted host reference".into())),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::{FaultPolicy, Machine};
+
+    fn setup() -> (Machine, Heap) {
+        (Machine::split(FaultPolicy::Crash).unwrap(), Heap::new())
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let (mut m, mut heap) = setup();
+        let a = heap
+            .new_array(&mut m, &[Value::Num(1.5), Value::Str("hi".into()), Value::Bool(true)])
+            .unwrap();
+        assert_eq!(heap.array_len(&mut m, a).unwrap(), 3);
+        assert!(matches!(heap.elem_get(&mut m, a, 0.0).unwrap(), Value::Num(n) if n == 1.5));
+        assert!(matches!(heap.elem_get(&mut m, a, 1.0).unwrap(), Value::Str(ref s) if &**s == "hi"));
+        assert!(matches!(heap.elem_get(&mut m, a, 2.0).unwrap(), Value::Bool(true)));
+        assert!(matches!(heap.elem_get(&mut m, a, 3.0).unwrap(), Value::Undefined));
+        assert!(matches!(heap.elem_get(&mut m, a, -1.0).unwrap(), Value::Undefined));
+    }
+
+    #[test]
+    fn array_growth_preserves_elements() {
+        let (mut m, mut heap) = setup();
+        let a = heap.new_array(&mut m, &[]).unwrap();
+        for i in 0..100 {
+            heap.elem_set(&mut m, a, i as f64, &Value::Num(i as f64 * 2.0)).unwrap();
+        }
+        assert_eq!(heap.array_len(&mut m, a).unwrap(), 100);
+        for i in 0..100 {
+            match heap.elem_get(&mut m, a, i as f64).unwrap() {
+                Value::Num(n) => assert_eq!(n, i as f64 * 2.0),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn push_pop() {
+        let (mut m, mut heap) = setup();
+        let a = heap.new_array(&mut m, &[]).unwrap();
+        assert_eq!(heap.array_push(&mut m, a, &Value::Num(1.0)).unwrap(), 1);
+        assert_eq!(heap.array_push(&mut m, a, &Value::Num(2.0)).unwrap(), 2);
+        assert!(matches!(heap.array_pop(&mut m, a).unwrap(), Value::Num(n) if n == 2.0));
+        assert_eq!(heap.array_len(&mut m, a).unwrap(), 1);
+        heap.array_pop(&mut m, a).unwrap();
+        assert!(matches!(heap.array_pop(&mut m, a).unwrap(), Value::Undefined));
+    }
+
+    #[test]
+    fn properties_roundtrip_and_grow() {
+        let (mut m, mut heap) = setup();
+        let o = heap.new_object();
+        for i in 0..20 {
+            let name: Rc<str> = format!("k{i}").into();
+            heap.prop_set(&mut m, o, &name, &Value::Num(i as f64)).unwrap();
+        }
+        for i in 0..20 {
+            match heap.prop_get(&mut m, o, &format!("k{i}")).unwrap() {
+                Value::Num(n) => assert_eq!(n, i as f64),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(matches!(heap.prop_get(&mut m, o, "missing").unwrap(), Value::Undefined));
+        assert_eq!(heap.prop_names(o).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn vulnerable_length_setter_permits_oob() {
+        let (mut m, mut heap) = setup();
+        let a = heap.new_array(&mut m, &[Value::Num(1.0)]).unwrap();
+        // Corrupt the length far past capacity.
+        heap.array_set_len(&mut m, a, 1000.0).unwrap();
+        assert_eq!(heap.array_len(&mut m, a).unwrap(), 1000);
+        // OOB read within M_U succeeds (adjacent heap memory).
+        assert!(heap.elem_get(&mut m, a, 500.0).is_ok());
+    }
+
+    #[test]
+    fn patched_length_setter_reallocates() {
+        let (mut m, mut heap) = setup();
+        heap.vulnerable = false;
+        let a = heap.new_array(&mut m, &[Value::Num(7.0)]).unwrap();
+        heap.array_set_len(&mut m, a, 1000.0).unwrap();
+        assert_eq!(heap.array_len(&mut m, a).unwrap(), 1000);
+        // Element 999 is within the (reallocated) buffer; and element 0
+        // survived the move.
+        assert!(matches!(heap.elem_get(&mut m, a, 0.0).unwrap(), Value::Num(n) if n == 7.0));
+        assert!(matches!(heap.elem_get(&mut m, a, 999.0).unwrap(), Value::Num(n) if n == 0.0));
+    }
+
+    #[test]
+    fn oob_write_to_trusted_memory_faults_under_untrusted_pkru() {
+        let (mut m, mut heap) = setup();
+        // A trusted secret the engine should never reach.
+        let secret = m.alloc.alloc(64).unwrap();
+        m.mem_write(secret, 42).unwrap();
+        let a = heap.new_array(&mut m, &[Value::Num(1.0)]).unwrap();
+        let base = {
+            // elems_addr + header is element 0.
+            heap.obj(a).unwrap().elems_addr + ARRAY_HEADER
+        };
+        heap.array_set_len(&mut m, a, 1e15).unwrap();
+        let index = ((secret.wrapping_sub(base)) / 8) as f64;
+        // With trusted rights (no gate), the OOB write lands.
+        heap.elem_set(&mut m, a, index, &Value::Num(1337.0)).unwrap();
+        assert_eq!(m.mem_read(secret).unwrap(), 1337.0_f64.to_bits());
+        // Behind the call gate, the same write is an MPK violation.
+        m.gates.enter_untrusted(&mut m.cpu).unwrap();
+        let err = heap.elem_set(&mut m, a, index, &Value::Num(9.0)).unwrap_err();
+        assert!(err.is_pkey_violation(), "{err}");
+    }
+
+    #[test]
+    fn forged_handles_fail_safely() {
+        let heap = Heap::new();
+        let forged = NanBox::from_str_handle(99);
+        assert!(matches!(heap.unbox(forged), Err(EngineError::Type(_))));
+    }
+}

@@ -1,0 +1,154 @@
+//! `minijs` — the untrusted JavaScript engine (the SpiderMonkey stand-in).
+//!
+//! Servo's evaluation compartmentalizes the browser against its JavaScript
+//! engine: SpiderMonkey is ~unsafe C++, processes attacker-controlled
+//! input, and shares the address space with the Rust browser. This crate
+//! is that untrusted compartment, built from scratch:
+//!
+//! - a lexer, parser, and tree-walking evaluator for a JavaScript subset
+//!   large enough to run the benchmark kernels (closures, objects, arrays,
+//!   strings, bitwise/`ToInt32` semantics, `Math`/`JSON`/`String`
+//!   builtins);
+//! - engine heap data (array elements, object property slots) lives in the
+//!   simulated untrusted pool `M_U`, NaN-boxed, and **every** element
+//!   access is rights-checked against the thread's PKRU — so when the
+//!   embedder runs the engine behind a call gate, any touch of trusted
+//!   memory raises a real MPK violation;
+//! - *host classes* let the embedder expose raw structures (DOM nodes) for
+//!   direct field access from script — the cross-compartment data flows
+//!   PKRU-Safe's profiler must discover;
+//! - native host functions (the browser's gated DOM API);
+//! - a deliberately planted vulnerability faithful to the CVE-2019-11707
+//!   exploit structure (§5.4): the `Array.length` setter fails to clamp,
+//!   yielding out-of-bounds indexed access and therefore an arbitrary
+//!   read/write primitive over the simulated address space — which MPK
+//!   confines to `M_U` under enforcement.
+//!
+//! The engine is deterministic: `Math.random()` is a seeded LCG and
+//! `Date.now()` is a virtual clock, so benchmark workloads are exactly
+//! reproducible.
+
+mod ast;
+mod engine;
+mod error;
+mod exec;
+mod heap;
+mod lexer;
+mod nanbox;
+mod parser;
+
+pub use ast::{Expr, FuncDef, Stmt};
+pub use engine::{Engine, HostClass, HostElements, HostField, HostFieldKind, NativeFn};
+pub use error::EngineError;
+pub use exec::Ctx;
+pub use heap::{Heap, HostClassId, ObjHandle, ObjKind};
+pub use nanbox::{DecodedBox, NanBox};
+pub use parser::parse_program;
+
+/// Engine execution result values.
+///
+/// Interpreter-level values are a plain enum; the NaN-boxed `u64` form
+/// ([`NanBox`]) is used only when values are stored into simulated memory.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A double-precision number (every JS number).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined`.
+    Undefined,
+    /// An immutable string.
+    Str(std::rc::Rc<str>),
+    /// A heap object (plain object or array) by handle.
+    Obj(heap::ObjHandle),
+    /// A closure by handle.
+    Fun(u32),
+    /// A native (host) function by handle.
+    Native(u32),
+    /// A raw host structure reference (a DOM node pointer, etc.).
+    HostRef {
+        /// Address of the structure in simulated memory.
+        addr: u64,
+        /// The host class describing its fields.
+        class: heap::HostClassId,
+    },
+}
+
+impl Value {
+    /// JS truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Bool(b) => *b,
+            Value::Null | Value::Undefined => false,
+            Value::Str(s) => !s.is_empty(),
+            Value::Obj(_) | Value::Fun(_) | Value::Native(_) | Value::HostRef { .. } => true,
+        }
+    }
+
+    /// The `typeof` string.
+    pub fn type_of(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::Null => "object",
+            Value::Undefined => "undefined",
+            Value::Str(_) => "string",
+            Value::Obj(_) | Value::HostRef { .. } => "object",
+            Value::Fun(_) | Value::Native(_) => "function",
+        }
+    }
+}
+
+/// JavaScript `ToInt32` (the bitwise-operator coercion).
+pub fn to_int32(n: f64) -> i32 {
+    if !n.is_finite() || n == 0.0 {
+        return 0;
+    }
+    let m = n.trunc() % 4294967296.0;
+    let m = if m < 0.0 { m + 4294967296.0 } else { m };
+    if m >= 2147483648.0 {
+        (m - 4294967296.0) as i32
+    } else {
+        m as i32
+    }
+}
+
+/// JavaScript `ToUint32` (for `>>>`).
+pub fn to_uint32(n: f64) -> u32 {
+    to_int32(n) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_int32_follows_spec() {
+        assert_eq!(to_int32(0.0), 0);
+        assert_eq!(to_int32(-0.0), 0);
+        assert_eq!(to_int32(1.9), 1);
+        assert_eq!(to_int32(-1.9), -1);
+        assert_eq!(to_int32(f64::NAN), 0);
+        assert_eq!(to_int32(f64::INFINITY), 0);
+        assert_eq!(to_int32(4294967296.0), 0);
+        assert_eq!(to_int32(4294967295.0), -1);
+        assert_eq!(to_int32(2147483648.0), i32::MIN);
+        assert_eq!(to_int32(-2147483649.0), i32::MAX);
+        assert_eq!(to_uint32(-1.0), u32::MAX);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Num(f64::NAN).truthy());
+        assert!(Value::Num(-1.0).truthy());
+        assert!(!Value::Str("".into()).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Undefined.truthy());
+        assert!(Value::Bool(true).truthy());
+    }
+}

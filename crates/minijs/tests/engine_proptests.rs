@@ -1,0 +1,110 @@
+//! Property-based tests for the engine: NaN-boxing, parser robustness,
+//! and cross-configuration determinism.
+
+use lir::{FaultPolicy, Machine};
+use minijs::{parse_program, Engine, NanBox, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every f64 bit pattern survives box/unbox (NaNs stay NaN).
+    #[test]
+    fn nanbox_f64_roundtrip(bits in any::<u64>()) {
+        let n = f64::from_bits(bits);
+        let boxed = NanBox::from_value(&Value::Num(n), |_, _| 0);
+        match boxed.decode() {
+            minijs::DecodedBox::Num(m) => {
+                if n.is_nan() {
+                    prop_assert!(m.is_nan());
+                } else {
+                    prop_assert_eq!(m.to_bits(), n.to_bits());
+                }
+            }
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    /// The lexer/parser never panic on arbitrary input.
+    #[test]
+    fn parser_never_panics(source in "\\PC{0,200}") {
+        let _ = parse_program(&source);
+    }
+
+    /// Arbitrary token soup built from valid fragments either parses or
+    /// errors cleanly — and if it parses, evaluation terminates (with the
+    /// fuel guard) without panicking.
+    #[test]
+    fn fragment_soup_is_handled(picks in proptest::collection::vec(0usize..16, 1..24)) {
+        const FRAGMENTS: &[&str] = &[
+            "var x = 1;", "x = x + 1;", "if (x > 2) { x = 0; }",
+            "function f(a) { return a; }", "f(3);", "[1, 2, 3];",
+            "({a: 1});", "'s' + x;", "while (x < 2) { x = x + 1; }",
+            "x ? 1 : 2;", "typeof x;", "x++;", "for (var i = 0; i < 3; i++) {}",
+            "return x;", "{ var y = 2; }", "Math.floor(1.5);",
+        ];
+        let source: String =
+            picks.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join("\n");
+        let mut machine = Machine::split(FaultPolicy::Crash).expect("machine");
+        let mut engine = Engine::new(&mut machine).expect("engine");
+        engine.set_fuel(200_000);
+        let _ = engine.eval(&mut machine, &source);
+    }
+
+    /// Arithmetic expressions evaluate identically on two fresh engines
+    /// (determinism) and match a Rust-side model for integer inputs.
+    #[test]
+    fn arithmetic_matches_model(a in -1000i64..1000, b in -1000i64..1000, op in 0usize..4) {
+        let (symbol, expected) = match op {
+            0 => ("+", Some((a + b) as f64)),
+            1 => ("-", Some((a - b) as f64)),
+            2 => ("*", Some((a * b) as f64)),
+            _ => ("%", (b != 0).then(|| (a % b) as f64)),
+        };
+        let source = format!("return ({a}) {symbol} ({b});");
+        let mut machine = Machine::split(FaultPolicy::Crash).expect("machine");
+        let mut engine = Engine::new(&mut machine).expect("engine");
+        let result = engine.eval(&mut machine, &source).expect("eval");
+        match (result, expected) {
+            (Value::Num(n), Some(e)) => prop_assert_eq!(n, e),
+            (Value::Num(n), None) => prop_assert!(n.is_nan()),
+            (other, _) => prop_assert!(false, "got {:?}", other),
+        }
+    }
+
+    /// Array contents survive arbitrary push/pop/index interleavings,
+    /// matching a Vec model.
+    #[test]
+    fn arrays_match_vec_model(ops in proptest::collection::vec((0u8..3, 0u8..16), 1..40)) {
+        let mut script = String::from("var a = []; var log = 0;\n");
+        let mut model: Vec<f64> = Vec::new();
+        let mut log = 0.0;
+        for (op, val) in ops {
+            match op {
+                0 => {
+                    script.push_str(&format!("a.push({val});\n"));
+                    model.push(f64::from(val));
+                }
+                1 => {
+                    script.push_str("var p = a.pop(); log += (p == undefined) ? -1 : p;\n");
+                    log += model.pop().unwrap_or(-1.0);
+                }
+                _ => {
+                    let idx = usize::from(val);
+                    script.push_str(&format!(
+                        "var g = a[{idx}]; log += (g == undefined) ? -1 : g;\n"
+                    ));
+                    log += model.get(idx).copied().unwrap_or(-1.0);
+                }
+            }
+        }
+        script.push_str("return log * 1000 + a.length;");
+        let expected = log * 1000.0 + model.len() as f64;
+        let mut machine = Machine::split(FaultPolicy::Crash).expect("machine");
+        let mut engine = Engine::new(&mut machine).expect("engine");
+        match engine.eval(&mut machine, &script).expect("eval") {
+            Value::Num(n) => prop_assert_eq!(n, expected),
+            other => prop_assert!(false, "got {:?}", other),
+        }
+    }
+}

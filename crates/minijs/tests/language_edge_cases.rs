@@ -1,0 +1,258 @@
+//! Language-semantics edge cases for the engine.
+
+use lir::{FaultPolicy, Machine};
+use minijs::{Engine, EngineError, Value};
+
+fn setup() -> (Machine, Engine) {
+    let mut machine = Machine::split(FaultPolicy::Crash).unwrap();
+    let engine = Engine::new(&mut machine).unwrap();
+    (machine, engine)
+}
+
+fn eval(src: &str) -> Value {
+    let (mut machine, mut engine) = setup();
+    engine.eval(&mut machine, src).unwrap()
+}
+
+fn eval_num(src: &str) -> f64 {
+    match eval(src) {
+        Value::Num(n) => n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn eval_str(src: &str) -> String {
+    match eval(src) {
+        Value::Str(s) => s.to_string(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+#[test]
+fn nan_and_infinity_semantics() {
+    assert!(eval_num("return 0 / 0;").is_nan());
+    assert_eq!(eval_num("return 1 / 0;"), f64::INFINITY);
+    assert_eq!(eval_num("return -1 / 0;"), f64::NEG_INFINITY);
+    // NaN != NaN.
+    assert!(matches!(eval("var n = 0/0; return n == n;"), Value::Bool(false)));
+    assert!(matches!(eval("return isNaN(0/0);"), Value::Bool(true)));
+}
+
+#[test]
+fn string_number_coercions() {
+    assert_eq!(eval_str("return '' + 1.5;"), "1.5");
+    assert_eq!(eval_str("return '' + 3;"), "3");
+    assert_eq!(eval_num("return +'42';"), 42.0);
+    assert_eq!(eval_num("return +'  7  ';"), 7.0);
+    assert_eq!(eval_num("return +'';"), 0.0);
+    assert!(eval_num("return +'x';").is_nan());
+    assert_eq!(eval_num("return +'0x10';"), 16.0);
+    assert_eq!(eval_num("return '5' - 2;"), 3.0);
+    assert_eq!(eval_str("return '5' + 2;"), "52");
+}
+
+#[test]
+fn comparison_mixes() {
+    assert!(matches!(eval("return 'abc' < 'abd';"), Value::Bool(true)));
+    assert!(matches!(eval("return 'b' > 'a';"), Value::Bool(true)));
+    assert!(matches!(eval("return null == undefined;"), Value::Bool(true)));
+    assert!(matches!(eval("return null == 0;"), Value::Bool(false)));
+    assert!(matches!(eval("return [1] == [1];"), Value::Bool(false)), "reference equality");
+    assert!(matches!(eval("var a = [1]; var b = a; return a == b;"), Value::Bool(true)));
+}
+
+#[test]
+fn increment_decrement_forms() {
+    assert_eq!(eval_num("var x = 5; var a = x++; return a * 100 + x;"), 506.0);
+    assert_eq!(eval_num("var x = 5; var a = ++x; return a * 100 + x;"), 606.0);
+    assert_eq!(eval_num("var x = 5; var a = x--; return a * 100 + x;"), 504.0);
+    assert_eq!(eval_num("var a = [3]; a[0]++; ++a[0]; return a[0];"), 5.0);
+    assert_eq!(eval_num("var o = {n: 1}; o.n++; return o.n;"), 2.0);
+}
+
+#[test]
+fn compound_assignment_on_all_targets() {
+    assert_eq!(eval_num("var x = 8; x <<= 2; x |= 1; x ^= 2; x >>= 1; return x;"), 17.0);
+    assert_eq!(eval_num("var a = [10]; a[0] %= 3; return a[0];"), 1.0);
+    assert_eq!(eval_num("var o = {v: 2}; o.v *= 21; return o.v;"), 42.0);
+}
+
+#[test]
+fn logical_operators_return_operands() {
+    assert_eq!(eval_num("return 0 || 7;"), 7.0);
+    assert_eq!(eval_num("return 3 && 9;"), 9.0);
+    assert!(matches!(eval("return null && crash_if_evaluated;"), Value::Null));
+    assert_eq!(eval_num("return 1 || crash_if_evaluated;"), 1.0);
+}
+
+#[test]
+fn closures_over_loop_variables_share_function_scope() {
+    // `var` has function scope: both closures see the final value.
+    assert_eq!(
+        eval_num(
+            r#"
+var fns = [];
+function make() {
+  for (var i = 0; i < 3; i++) {
+    fns.push(function() { return i; });
+  }
+}
+make();
+return fns[0]() + fns[2]();
+"#
+        ),
+        // The for-init scope is shared across iterations.
+        6.0
+    );
+}
+
+#[test]
+fn shadowing_in_nested_blocks() {
+    assert_eq!(
+        eval_num(
+            r#"
+var x = 1;
+{
+  var x = 2;
+  { var x = 3; }
+}
+function f() { var x = 10; return x; }
+return x * 100 + f();
+"#,
+        ),
+        // Block-scoped declarations shadow within their block.
+        110.0
+    );
+}
+
+#[test]
+fn arguments_default_to_undefined() {
+    assert!(matches!(
+        eval("function f(a, b) { return b; } return f(1);"),
+        Value::Undefined
+    ));
+    // Extra arguments are dropped.
+    assert_eq!(eval_num("function f(a) { return a; } return f(9, 8, 7);"), 9.0);
+}
+
+#[test]
+fn this_binding_in_methods_and_bare_calls() {
+    assert_eq!(
+        eval_num("var o = {v: 5, m: function() { return this.v; }}; return o.m();"),
+        5.0
+    );
+    assert!(matches!(
+        eval("function f() { return this; } return f();"),
+        Value::Undefined
+    ));
+    // Method extracted and called bare loses `this`.
+    let (mut machine, mut engine) = setup();
+    let result = engine.eval(
+        &mut machine,
+        "var o = {v: 5, m: function() { return this.v; }}; var f = o.m; return f();",
+    );
+    assert!(matches!(result, Err(EngineError::Type(_))), "{result:?}");
+}
+
+#[test]
+fn array_holes_read_as_undefined() {
+    // Sparse writes fill the intervening holes with `undefined`, never
+    // with stale heap bytes.
+    assert_eq!(eval_num("var a = []; a[3] = 9; return a.length;"), 4.0);
+    assert!(matches!(eval("var a = []; a[3] = 9; return a[1];"), Value::Undefined));
+    assert_eq!(eval_num("var a = []; a[100] = 1; var n = 0; for (var i = 0; i < 100; i++) if (a[i] == undefined) n++; return n;"), 100.0);
+}
+
+#[test]
+fn negative_and_fractional_indices() {
+    assert!(matches!(eval("var a = [1]; return a[-1];"), Value::Undefined));
+    assert!(matches!(eval("var a = [1, 2]; return a[0.5];"), Value::Undefined));
+    let (mut machine, mut engine) = setup();
+    let result = engine.eval(&mut machine, "var a = [1]; a[-2] = 5;");
+    assert!(matches!(result, Err(EngineError::Range(_))));
+}
+
+#[test]
+fn string_indexing_and_objects_with_numeric_keys() {
+    assert_eq!(eval_str("return 'hello'[0];"), "h");
+    assert!(matches!(eval("return 'hi'[9];"), Value::Undefined));
+    assert_eq!(eval_num("var o = {}; o[12] = 3; return o[12];"), 3.0);
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let mut expr = String::from("1");
+    for _ in 0..60 {
+        expr = format!("({expr} + 1)");
+    }
+    assert_eq!(eval_num(&format!("return {expr};")), 61.0);
+}
+
+#[test]
+fn comments_and_whitespace_everywhere() {
+    assert_eq!(
+        eval_num("// lead\nvar x /* mid */ = /* also */ 4; /* trail */ return x; // end"),
+        4.0
+    );
+}
+
+#[test]
+fn shift_counts_wrap_mod_32() {
+    assert_eq!(eval_num("return 1 << 32;"), 1.0);
+    assert_eq!(eval_num("return 1 << 33;"), 2.0);
+    assert_eq!(eval_num("return 256 >> 40;"), 1.0);
+}
+
+#[test]
+fn json_rejects_garbage() {
+    let (mut machine, mut engine) = setup();
+    for bad in ["JSON.parse('{')", "JSON.parse('[1,')", "JSON.parse('tru')", "JSON.parse('1 2')"] {
+        let result = engine.eval(&mut machine, &format!("return {bad};"));
+        assert!(matches!(result, Err(EngineError::Type(_))), "{bad}: {result:?}");
+    }
+}
+
+#[test]
+fn engine_state_persists_across_evals() {
+    let (mut machine, mut engine) = setup();
+    engine.eval(&mut machine, "var counter = 0; function bump() { counter += 1; }").unwrap();
+    engine.eval(&mut machine, "bump(); bump();").unwrap();
+    let v = engine.eval(&mut machine, "return counter;").unwrap();
+    assert!(matches!(v, Value::Num(n) if n == 2.0));
+}
+
+#[test]
+fn reentrant_natives_via_callbacks() {
+    let (mut machine, mut engine) = setup();
+    engine.register_native(
+        "apply",
+        std::rc::Rc::new(|ctx, _this, args| {
+            let f = args.first().cloned().unwrap_or(Value::Undefined);
+            let x = args.get(1).cloned().unwrap_or(Value::Undefined);
+            ctx.call_value(&f, Value::Undefined, &[x])
+        }),
+    );
+    // The native reenters itself through the script callback.
+    let v = engine
+        .eval(
+            &mut machine,
+            r#"
+function inner(x) { return x * 2; }
+function outer(x) { return apply(inner, x) + 1; }
+return apply(outer, 10);
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Num(n) if n == 21.0));
+}
+
+#[test]
+fn fuel_is_shared_across_nested_calls() {
+    let (mut machine, mut engine) = setup();
+    engine.set_fuel(2_000);
+    let result = engine.eval(
+        &mut machine,
+        "function f(n) { if (n == 0) return 0; return f(n - 1) + f(n - 1); } return f(20);",
+    );
+    assert!(matches!(result, Err(EngineError::Fuel)), "{result:?}");
+}

@@ -1,0 +1,97 @@
+//! Per-thread CPU state relevant to MPK.
+
+use crate::pkru::Pkru;
+
+/// The per-thread processor state the isolation scheme depends on.
+///
+/// Holds the PKRU register and the trap flag (used by the profiling
+/// runtime's single-step fault recovery, §4.3.2 of the paper). PKRU lives
+/// here — in a register, not in simulated memory — which is exactly the
+/// threat-model requirement that adversaries cannot address it directly.
+#[derive(Clone, Debug, Default)]
+pub struct Cpu {
+    pkru: Pkru,
+    trap_flag: bool,
+    /// Count of WRPKRU executions, for the evaluation's transition stats.
+    wrpkru_count: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU with an all-access PKRU (single-compartment start).
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Executes `WRPKRU`: replaces the PKRU register value.
+    pub fn wrpkru(&mut self, value: u32) {
+        self.pkru = Pkru::from_bits(value);
+        self.wrpkru_count += 1;
+    }
+
+    /// Executes `RDPKRU`: reads the raw PKRU register value.
+    pub fn rdpkru(&self) -> u32 {
+        self.pkru.bits()
+    }
+
+    /// The PKRU register as a typed value.
+    pub fn pkru(&self) -> Pkru {
+        self.pkru
+    }
+
+    /// Replaces the PKRU register with a typed value (a WRPKRU).
+    pub fn set_pkru(&mut self, pkru: Pkru) {
+        self.wrpkru(pkru.bits());
+    }
+
+    /// Whether the trap flag (single-step) is set.
+    pub fn trap_flag(&self) -> bool {
+        self.trap_flag
+    }
+
+    /// Sets or clears the trap flag.
+    ///
+    /// With the flag set, the interpreter raises a single-step trap after
+    /// retiring the next instruction, mirroring `EFLAGS.TF`.
+    pub fn set_trap_flag(&mut self, on: bool) {
+        self.trap_flag = on;
+    }
+
+    /// Number of WRPKRU instructions executed so far on this CPU.
+    pub fn wrpkru_count(&self) -> u64 {
+        self.wrpkru_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pkey::{Pkey, PkeyRights};
+
+    #[test]
+    fn wrpkru_counts_transitions() {
+        let mut cpu = Cpu::new();
+        assert_eq!(cpu.wrpkru_count(), 0);
+        cpu.set_pkru(Pkru::deny_only(Pkey::new(1).unwrap()));
+        cpu.set_pkru(Pkru::ALL_ACCESS);
+        assert_eq!(cpu.wrpkru_count(), 2);
+    }
+
+    #[test]
+    fn typed_and_raw_views_agree() {
+        let mut cpu = Cpu::new();
+        let pkru = Pkru::ALL_ACCESS.with_rights(Pkey::new(3).unwrap(), PkeyRights::ReadOnly);
+        cpu.set_pkru(pkru);
+        assert_eq!(cpu.rdpkru(), pkru.bits());
+        assert_eq!(cpu.pkru(), pkru);
+    }
+
+    #[test]
+    fn trap_flag_toggles() {
+        let mut cpu = Cpu::new();
+        assert!(!cpu.trap_flag());
+        cpu.set_trap_flag(true);
+        assert!(cpu.trap_flag());
+        cpu.set_trap_flag(false);
+        assert!(!cpu.trap_flag());
+    }
+}

@@ -1,0 +1,167 @@
+//! Protection keys and per-key rights.
+
+use core::fmt;
+
+/// Number of protection keys the architecture provides.
+///
+/// x86 MPK encodes the key in 4 bits of the page-table entry, so exactly 16
+/// keys exist per address space.
+pub const MAX_PKEYS: u8 = 16;
+
+/// A memory protection key (0..16) as stored in a page-table entry.
+///
+/// Key 0 is the *default* key: every page that has never been tagged with
+/// `pkey_mprotect` carries it, and the OS-visible ABI guarantees it is
+/// allocated at process start.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Pkey(u8);
+
+impl Pkey {
+    /// The default key carried by untagged pages.
+    pub const DEFAULT: Pkey = Pkey(0);
+
+    /// Creates a key from its architectural index.
+    ///
+    /// Returns `None` if `index` is outside the 4-bit key space.
+    pub const fn new(index: u8) -> Option<Pkey> {
+        if index < MAX_PKEYS {
+            Some(Pkey(index))
+        } else {
+            None
+        }
+    }
+
+    /// The architectural index of this key (0..16).
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Bit position of this key's access-disable bit within PKRU.
+    pub(crate) const fn ad_bit(self) -> u32 {
+        (self.0 as u32) * 2
+    }
+
+    /// Bit position of this key's write-disable bit within PKRU.
+    pub(crate) const fn wd_bit(self) -> u32 {
+        (self.0 as u32) * 2 + 1
+    }
+}
+
+impl fmt::Debug for Pkey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkey{}", self.0)
+    }
+}
+
+impl fmt::Display for Pkey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The kind of memory access being checked against PKRU.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// The rights PKRU grants for one key.
+///
+/// Mirrors the two-bit AD/WD encoding: `NoAccess` (AD=1), `ReadOnly` (AD=0,
+/// WD=1), `ReadWrite` (AD=0, WD=0). The fourth encoding (AD=1, WD=1) is
+/// architecturally identical to `NoAccess` and normalized to it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum PkeyRights {
+    /// Neither loads nor stores are permitted.
+    NoAccess,
+    /// Loads are permitted; stores fault.
+    ReadOnly,
+    /// Loads and stores are permitted.
+    ReadWrite,
+}
+
+impl PkeyRights {
+    /// Whether an access of `kind` is permitted under these rights.
+    pub const fn permits(self, kind: AccessKind) -> bool {
+        match (self, kind) {
+            (PkeyRights::NoAccess, _) => false,
+            (PkeyRights::ReadOnly, AccessKind::Read) => true,
+            (PkeyRights::ReadOnly, AccessKind::Write) => false,
+            (PkeyRights::ReadWrite, _) => true,
+        }
+    }
+
+    /// Decodes rights from raw (AD, WD) bits.
+    pub const fn from_bits(ad: bool, wd: bool) -> PkeyRights {
+        match (ad, wd) {
+            (true, _) => PkeyRights::NoAccess,
+            (false, true) => PkeyRights::ReadOnly,
+            (false, false) => PkeyRights::ReadWrite,
+        }
+    }
+
+    /// Encodes rights into raw (AD, WD) bits.
+    pub const fn to_bits(self) -> (bool, bool) {
+        match self {
+            PkeyRights::NoAccess => (true, true),
+            PkeyRights::ReadOnly => (false, true),
+            PkeyRights::ReadWrite => (false, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_space_is_sixteen() {
+        assert!(Pkey::new(0).is_some());
+        assert!(Pkey::new(15).is_some());
+        assert!(Pkey::new(16).is_none());
+        assert!(Pkey::new(255).is_none());
+    }
+
+    #[test]
+    fn rights_bit_roundtrip() {
+        for rights in [PkeyRights::NoAccess, PkeyRights::ReadOnly, PkeyRights::ReadWrite] {
+            let (ad, wd) = rights.to_bits();
+            assert_eq!(PkeyRights::from_bits(ad, wd), rights);
+        }
+    }
+
+    #[test]
+    fn ad_wd_both_set_normalizes_to_no_access() {
+        assert_eq!(PkeyRights::from_bits(true, false), PkeyRights::NoAccess);
+        assert_eq!(PkeyRights::from_bits(true, true), PkeyRights::NoAccess);
+    }
+
+    #[test]
+    fn permits_matrix() {
+        assert!(!PkeyRights::NoAccess.permits(AccessKind::Read));
+        assert!(!PkeyRights::NoAccess.permits(AccessKind::Write));
+        assert!(PkeyRights::ReadOnly.permits(AccessKind::Read));
+        assert!(!PkeyRights::ReadOnly.permits(AccessKind::Write));
+        assert!(PkeyRights::ReadWrite.permits(AccessKind::Read));
+        assert!(PkeyRights::ReadWrite.permits(AccessKind::Write));
+    }
+
+    #[test]
+    fn bit_positions_follow_sdm_layout() {
+        let k3 = Pkey::new(3).unwrap();
+        assert_eq!(k3.ad_bit(), 6);
+        assert_eq!(k3.wd_bit(), 7);
+    }
+}

@@ -1,0 +1,166 @@
+//! The PKRU rights register.
+
+use core::fmt;
+
+use crate::pkey::{AccessKind, Pkey, PkeyRights, MAX_PKEYS};
+
+/// The 32-bit Protection Key Rights register for Userspace.
+///
+/// Bit `2i` is the access-disable (AD) bit and bit `2i + 1` the
+/// write-disable (WD) bit for key `i`. A value of zero grants read/write
+/// access through every key; Linux boots threads with `0x5555_5554`
+/// (everything but key 0 access-disabled).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Pkru(u32);
+
+impl Pkru {
+    /// Mask of the architecturally defined bits (all 32 are defined for 16
+    /// keys; kept for clarity at call sites that sanitize raw values).
+    pub const VALID_MASK: u32 = u32::MAX;
+
+    /// A register value granting read/write access through every key.
+    pub const ALL_ACCESS: Pkru = Pkru(0);
+
+    /// Creates a register from its raw 32-bit value.
+    pub const fn from_bits(bits: u32) -> Pkru {
+        Pkru(bits)
+    }
+
+    /// The raw 32-bit register value.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The value Linux initializes threads with: only key 0 accessible.
+    pub const fn linux_default() -> Pkru {
+        Pkru(0x5555_5554)
+    }
+
+    /// A register granting read/write through every key *except* `denied`,
+    /// which is fully access-disabled.
+    ///
+    /// This is the value PKRU-Safe's call gates load when entering the
+    /// untrusted compartment: everything stays reachable except the pages
+    /// keyed for trusted memory.
+    pub fn deny_only(denied: Pkey) -> Pkru {
+        let mut pkru = Pkru::ALL_ACCESS;
+        pkru.set_rights(denied, PkeyRights::NoAccess);
+        pkru
+    }
+
+    /// The rights currently granted for `key`.
+    pub const fn rights(self, key: Pkey) -> PkeyRights {
+        let ad = (self.0 >> key.ad_bit()) & 1 == 1;
+        let wd = (self.0 >> key.wd_bit()) & 1 == 1;
+        PkeyRights::from_bits(ad, wd)
+    }
+
+    /// Replaces the rights granted for `key`.
+    pub fn set_rights(&mut self, key: Pkey, rights: PkeyRights) {
+        let (ad, wd) = rights.to_bits();
+        let mask = (1u32 << key.ad_bit()) | (1u32 << key.wd_bit());
+        self.0 &= !mask;
+        self.0 |= (ad as u32) << key.ad_bit();
+        self.0 |= (wd as u32) << key.wd_bit();
+    }
+
+    /// Returns a copy with the rights for `key` replaced.
+    #[must_use]
+    pub fn with_rights(mut self, key: Pkey, rights: PkeyRights) -> Pkru {
+        self.set_rights(key, rights);
+        self
+    }
+
+    /// Whether an access of `kind` through `key` is permitted.
+    pub const fn allows(self, key: Pkey, kind: AccessKind) -> bool {
+        self.rights(key).permits(kind)
+    }
+}
+
+impl Default for Pkru {
+    fn default() -> Pkru {
+        Pkru::ALL_ACCESS
+    }
+}
+
+impl fmt::Debug for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pkru({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as a compact rights map, most-restricted keys only.
+        write!(f, "{:#010x} [", self.0)?;
+        let mut first = true;
+        for i in 0..MAX_PKEYS {
+            // All key indices below `MAX_PKEYS` are valid by construction.
+            let key = Pkey::new(i).expect("key index in range");
+            let rights = self.rights(key);
+            if rights != PkeyRights::ReadWrite {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                let tag = match rights {
+                    PkeyRights::NoAccess => "-",
+                    PkeyRights::ReadOnly => "r",
+                    PkeyRights::ReadWrite => unreachable!(),
+                };
+                write!(f, "{key}:{tag}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_access_permits_everything() {
+        let pkru = Pkru::ALL_ACCESS;
+        for i in 0..MAX_PKEYS {
+            let key = Pkey::new(i).unwrap();
+            assert!(pkru.allows(key, AccessKind::Read));
+            assert!(pkru.allows(key, AccessKind::Write));
+        }
+    }
+
+    #[test]
+    fn deny_only_blocks_exactly_one_key() {
+        let trusted = Pkey::new(1).unwrap();
+        let pkru = Pkru::deny_only(trusted);
+        assert!(!pkru.allows(trusted, AccessKind::Read));
+        assert!(!pkru.allows(trusted, AccessKind::Write));
+        for i in 0..MAX_PKEYS {
+            let key = Pkey::new(i).unwrap();
+            if key != trusted {
+                assert!(pkru.allows(key, AccessKind::Read));
+                assert!(pkru.allows(key, AccessKind::Write));
+            }
+        }
+    }
+
+    #[test]
+    fn set_rights_is_idempotent_and_isolated() {
+        let mut pkru = Pkru::ALL_ACCESS;
+        let k2 = Pkey::new(2).unwrap();
+        let k5 = Pkey::new(5).unwrap();
+        pkru.set_rights(k2, PkeyRights::ReadOnly);
+        pkru.set_rights(k5, PkeyRights::NoAccess);
+        pkru.set_rights(k2, PkeyRights::ReadOnly);
+        assert_eq!(pkru.rights(k2), PkeyRights::ReadOnly);
+        assert_eq!(pkru.rights(k5), PkeyRights::NoAccess);
+        assert_eq!(pkru.rights(Pkey::DEFAULT), PkeyRights::ReadWrite);
+    }
+
+    #[test]
+    fn display_lists_restricted_keys() {
+        let pkru = Pkru::ALL_ACCESS.with_rights(Pkey::new(1).unwrap(), PkeyRights::NoAccess);
+        let shown = format!("{pkru}");
+        assert!(shown.contains("1:-"), "{shown}");
+    }
+}

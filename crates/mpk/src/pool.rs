@@ -1,0 +1,122 @@
+//! Kernel-side protection-key allocation (`pkey_alloc` / `pkey_free`).
+
+use core::fmt;
+
+use crate::pkey::{Pkey, MAX_PKEYS};
+
+/// Errors from the key-allocation interface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PkeyPoolError {
+    /// All 15 allocatable keys are in use (`ENOSPC`).
+    Exhausted,
+    /// The key was not allocated, or is key 0 (`EINVAL`).
+    NotAllocated(Pkey),
+}
+
+impl fmt::Display for PkeyPoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkeyPoolError::Exhausted => write!(f, "no protection keys available"),
+            PkeyPoolError::NotAllocated(k) => write!(f, "protection key {k} is not allocated"),
+        }
+    }
+}
+
+impl std::error::Error for PkeyPoolError {}
+
+/// Tracks which protection keys the "kernel" has handed out.
+///
+/// Key 0 is permanently allocated (it tags every untagged page) and can
+/// never be freed, matching the Linux ABI.
+#[derive(Clone, Debug)]
+pub struct PkeyPool {
+    allocated: u16,
+}
+
+impl PkeyPool {
+    /// Creates a pool with only key 0 allocated.
+    pub fn new() -> PkeyPool {
+        PkeyPool { allocated: 1 }
+    }
+
+    /// Allocates the lowest free key (`pkey_alloc`).
+    pub fn alloc(&mut self) -> Result<Pkey, PkeyPoolError> {
+        for i in 1..MAX_PKEYS {
+            if self.allocated & (1 << i) == 0 {
+                self.allocated |= 1 << i;
+                // Indices below `MAX_PKEYS` are always valid keys.
+                return Ok(Pkey::new(i).expect("key index in range"));
+            }
+        }
+        Err(PkeyPoolError::Exhausted)
+    }
+
+    /// Releases a previously allocated key (`pkey_free`).
+    ///
+    /// Freeing key 0 or an unallocated key fails, as in the kernel.
+    pub fn free(&mut self, key: Pkey) -> Result<(), PkeyPoolError> {
+        if key == Pkey::DEFAULT || self.allocated & (1 << key.index()) == 0 {
+            return Err(PkeyPoolError::NotAllocated(key));
+        }
+        self.allocated &= !(1 << key.index());
+        Ok(())
+    }
+
+    /// Whether `key` is currently allocated.
+    pub fn is_allocated(&self, key: Pkey) -> bool {
+        self.allocated & (1 << key.index()) != 0
+    }
+
+    /// Number of keys currently allocated, including key 0.
+    pub fn allocated_count(&self) -> u32 {
+        self.allocated.count_ones()
+    }
+}
+
+impl Default for PkeyPool {
+    fn default() -> PkeyPool {
+        PkeyPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_hands_out_fifteen_keys_then_exhausts() {
+        let mut pool = PkeyPool::new();
+        let mut keys = Vec::new();
+        for _ in 0..15 {
+            keys.push(pool.alloc().unwrap());
+        }
+        assert_eq!(pool.alloc(), Err(PkeyPoolError::Exhausted));
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 15);
+        assert!(!keys.contains(&Pkey::DEFAULT));
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_key() {
+        let mut pool = PkeyPool::new();
+        let k = pool.alloc().unwrap();
+        pool.free(k).unwrap();
+        assert!(!pool.is_allocated(k));
+        assert_eq!(pool.alloc().unwrap(), k);
+    }
+
+    #[test]
+    fn key_zero_cannot_be_freed() {
+        let mut pool = PkeyPool::new();
+        assert_eq!(pool.free(Pkey::DEFAULT), Err(PkeyPoolError::NotAllocated(Pkey::DEFAULT)));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut pool = PkeyPool::new();
+        let k = pool.alloc().unwrap();
+        pool.free(k).unwrap();
+        assert!(pool.free(k).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! The unmodified single-pool allocator used as the `base` configuration.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pkru_mpk::Pkey;
+use pkru_vmem::{AddressSpace, VirtAddr};
+
+use crate::error::AllocError;
+use crate::trusted::TrustedArena;
+use crate::{CompartmentAlloc, Domain};
+
+/// Default heap placement for the baseline allocator.
+const BASELINE_BASE: VirtAddr = 0x1000_0000_0000;
+const BASELINE_SPAN: u64 = 1 << 40;
+
+/// A conventional single-heap allocator: what Servo runs before PKRU-Safe.
+///
+/// All pages carry the default protection key, every compartment can reach
+/// every object, and [`CompartmentAlloc::untrusted_alloc`] is simply an
+/// alias for [`CompartmentAlloc::alloc`] — there is only one pool. The
+/// evaluation's `base` configuration and the micro-benchmarks' trusted
+/// twins run on this.
+pub struct BaselineAlloc {
+    arena: TrustedArena,
+    space: Arc<Mutex<AddressSpace>>,
+}
+
+impl BaselineAlloc {
+    /// Creates the baseline allocator over `space`.
+    pub fn new(space: Arc<Mutex<AddressSpace>>) -> Result<BaselineAlloc, AllocError> {
+        let arena = {
+            let mut guard = space.lock();
+            TrustedArena::new(&mut guard, BASELINE_BASE, BASELINE_SPAN, Pkey::DEFAULT)?
+        };
+        Ok(BaselineAlloc { arena, space })
+    }
+
+    /// The shared address space handle.
+    pub fn space(&self) -> &Arc<Mutex<AddressSpace>> {
+        &self.space
+    }
+}
+
+impl CompartmentAlloc for BaselineAlloc {
+    fn alloc(&mut self, size: u64) -> Result<VirtAddr, AllocError> {
+        self.arena.alloc(size)
+    }
+
+    fn untrusted_alloc(&mut self, size: u64) -> Result<VirtAddr, AllocError> {
+        self.arena.alloc(size)
+    }
+
+    fn realloc(&mut self, ptr: VirtAddr, new_size: u64) -> Result<VirtAddr, AllocError> {
+        let old_size = self.arena.usable_size(ptr).ok_or(AllocError::InvalidPointer(ptr))?;
+        let new_ptr = self.arena.alloc(new_size)?;
+        let n = old_size.min(new_size) as usize;
+        {
+            let mut guard = self.space.lock();
+            let mut buf = vec![0u8; n];
+            // Both ranges are live allocations; mapped by construction.
+            guard.read_supervisor(ptr, &mut buf).expect("live allocation mapped");
+            guard.write_supervisor(new_ptr, &buf).expect("live allocation mapped");
+        }
+        self.arena.dealloc(ptr)?;
+        Ok(new_ptr)
+    }
+
+    fn dealloc(&mut self, ptr: VirtAddr) -> Result<(), AllocError> {
+        self.arena.dealloc(ptr)
+    }
+
+    fn usable_size(&self, ptr: VirtAddr) -> Option<u64> {
+        self.arena.usable_size(ptr)
+    }
+
+    fn domain_of(&self, ptr: VirtAddr) -> Option<Domain> {
+        self.arena.contains(ptr).then_some(Domain::Trusted)
+    }
+
+    fn alloc_counts(&self) -> (u64, u64) {
+        (self.arena.stats().allocs, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkru_mpk::Pkru;
+
+    #[test]
+    fn single_pool_reachable_from_any_pkru() {
+        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let mut a = BaselineAlloc::new(Arc::clone(&space)).unwrap();
+        let t = a.alloc(64).unwrap();
+        let u = a.untrusted_alloc(64).unwrap();
+        let restricted = Pkru::deny_only(Pkey::new(1).unwrap());
+        let mut guard = space.lock();
+        // No key tagging: everything is reachable, as in unmodified Servo.
+        assert!(guard.write_u64(restricted, t, 1).is_ok());
+        assert!(guard.write_u64(restricted, u, 2).is_ok());
+    }
+
+    #[test]
+    fn realloc_copies_contents() {
+        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let mut a = BaselineAlloc::new(Arc::clone(&space)).unwrap();
+        let p = a.alloc(32).unwrap();
+        space.lock().write_u64(Pkru::ALL_ACCESS, p, 0xabcd).unwrap();
+        let q = a.realloc(p, 1024).unwrap();
+        assert_eq!(space.lock().read_u64(Pkru::ALL_ACCESS, q).unwrap(), 0xabcd);
+    }
+}

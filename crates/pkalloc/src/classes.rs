@@ -1,0 +1,53 @@
+//! jemalloc-style size classes for the trusted arena.
+
+/// The small-object size classes, in bytes.
+///
+/// Spacing follows jemalloc's scheme: power-of-two groups subdivided into
+/// four classes each, which bounds internal fragmentation at 25%.
+pub const SIZE_CLASSES: &[u64] = &[
+    16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+    1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096,
+];
+
+/// The smallest size class that fits `size`, or `None` when the request is
+/// a *large* allocation served directly from whole pages.
+pub fn size_class_for(size: u64) -> Option<usize> {
+    if size == 0 {
+        return Some(0);
+    }
+    SIZE_CLASSES.iter().position(|&c| c >= size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_sorted_and_16_aligned() {
+        for w in SIZE_CLASSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &c in SIZE_CLASSES {
+            assert_eq!(c % 16, 0);
+        }
+    }
+
+    #[test]
+    fn class_lookup() {
+        assert_eq!(size_class_for(1), Some(0));
+        assert_eq!(size_class_for(16), Some(0));
+        assert_eq!(size_class_for(17), Some(1));
+        assert_eq!(size_class_for(4096), Some(SIZE_CLASSES.len() - 1));
+        assert_eq!(size_class_for(4097), None);
+    }
+
+    #[test]
+    fn internal_fragmentation_bounded() {
+        // Each class wastes at most 25% relative to the previous class + 1.
+        for i in 1..SIZE_CLASSES.len() {
+            let request = SIZE_CLASSES[i - 1] + 1;
+            let served = SIZE_CLASSES[i];
+            assert!(served as f64 / request as f64 <= 2.0, "class {i} too sparse");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Allocator errors.
+
+use core::fmt;
+
+use pkru_vmem::{MapError, VirtAddr};
+
+/// Errors from the compartment allocators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// The pool's reserved region is exhausted.
+    OutOfMemory,
+    /// The pointer does not refer to a live allocation in any pool.
+    InvalidPointer(VirtAddr),
+    /// Zero-sized allocations are rejected; callers use dangling pointers
+    /// for ZSTs exactly as Rust's `liballoc` does.
+    ZeroSize,
+    /// The underlying mapping operation failed.
+    Map(MapError),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "allocation pool exhausted"),
+            AllocError::InvalidPointer(p) => write!(f, "not a live allocation: {p:#x}"),
+            AllocError::ZeroSize => write!(f, "zero-sized allocation"),
+            AllocError::Map(e) => write!(f, "mapping failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl From<MapError> for AllocError {
+    fn from(e: MapError) -> AllocError {
+        AllocError::Map(e)
+    }
+}

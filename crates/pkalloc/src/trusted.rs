@@ -1,0 +1,270 @@
+//! The trusted-pool arena allocator (the modified-jemalloc stand-in).
+
+use std::collections::{BTreeMap, HashMap};
+
+use pkru_mpk::Pkey;
+use pkru_vmem::{page_align_up, AddressSpace, Prot, VirtAddr, PAGE_SIZE};
+
+use crate::classes::{size_class_for, SIZE_CLASSES};
+use crate::error::AllocError;
+
+/// Pages carved at a time when a size class runs dry.
+const RUN_PAGES: u64 = 4;
+
+#[derive(Clone, Copy, Debug)]
+struct Live {
+    /// Index into [`SIZE_CLASSES`], or `None` for page-granular objects.
+    class: Option<usize>,
+    /// Usable size in bytes.
+    size: u64,
+}
+
+/// Arena statistics for the evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArenaStats {
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// Total successful allocations.
+    pub allocs: u64,
+    /// Total frees.
+    pub frees: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+}
+
+/// A size-class arena confined to one contiguous, pkey-tagged reservation.
+///
+/// The entire region is mapped once at construction — on-demand paging
+/// makes this free until pages are touched (§4.4) — and tagged with the
+/// compartment's protection key, so *every* object this arena returns is
+/// covered by the key with no per-allocation syscalls. Run and free-list
+/// bookkeeping is held outside the untrusted compartment's reach, modeling
+/// the paper's "allocator keeps its internal data for each compartment in
+/// that compartment's memory region".
+pub struct TrustedArena {
+    base: VirtAddr,
+    span: u64,
+    pkey: Pkey,
+    bump: VirtAddr,
+    class_free: Vec<Vec<VirtAddr>>,
+    large_free: BTreeMap<u64, Vec<VirtAddr>>,
+    live: HashMap<VirtAddr, Live>,
+    stats: ArenaStats,
+}
+
+impl TrustedArena {
+    /// Maps `[base, base + span)`, tags it with `pkey`, and returns the
+    /// arena managing it.
+    pub fn new(
+        space: &mut AddressSpace,
+        base: VirtAddr,
+        span: u64,
+        pkey: Pkey,
+    ) -> Result<TrustedArena, AllocError> {
+        space.mmap_at(base, span, Prot::READ_WRITE)?;
+        space.pkey_mprotect(base, span, Prot::READ_WRITE, pkey)?;
+        Ok(TrustedArena {
+            base,
+            span,
+            pkey,
+            bump: base,
+            class_free: vec![Vec::new(); SIZE_CLASSES.len()],
+            large_free: BTreeMap::new(),
+            live: HashMap::new(),
+            stats: ArenaStats::default(),
+        })
+    }
+
+    /// The protection key covering this arena's pages.
+    pub fn pkey(&self) -> Pkey {
+        self.pkey
+    }
+
+    /// Whether `addr` falls inside this arena's reservation.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.base && addr < self.base + self.span
+    }
+
+    /// The reservation's base address.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Allocates `size` bytes (16-byte aligned).
+    pub fn alloc(&mut self, size: u64) -> Result<VirtAddr, AllocError> {
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let (addr, live) = match size_class_for(size) {
+            Some(class) => {
+                if self.class_free[class].is_empty() {
+                    self.refill_class(class)?;
+                }
+                // The refill either errored or pushed at least one slot.
+                let addr = self.class_free[class].pop().expect("refilled class non-empty");
+                (addr, Live { class: Some(class), size: SIZE_CLASSES[class] })
+            }
+            None => {
+                let bytes = page_align_up(size);
+                let pages = bytes / PAGE_SIZE;
+                let addr = match self.large_free.get_mut(&pages) {
+                    Some(list) if !list.is_empty() => {
+                        // Exact-fit reuse keeps large spans from leaking.
+                        list.pop().expect("checked non-empty")
+                    }
+                    _ => self.carve(bytes)?,
+                };
+                (addr, Live { class: None, size: bytes })
+            }
+        };
+        self.live.insert(addr, live);
+        self.stats.allocs += 1;
+        self.stats.live_bytes += live.size;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        Ok(addr)
+    }
+
+    /// Frees a previously allocated object.
+    pub fn dealloc(&mut self, ptr: VirtAddr) -> Result<(), AllocError> {
+        let live = self.live.remove(&ptr).ok_or(AllocError::InvalidPointer(ptr))?;
+        match live.class {
+            Some(class) => self.class_free[class].push(ptr),
+            None => self.large_free.entry(live.size / PAGE_SIZE).or_default().push(ptr),
+        }
+        self.stats.frees += 1;
+        self.stats.live_bytes -= live.size;
+        Ok(())
+    }
+
+    /// Usable size of the live object at `ptr`.
+    pub fn usable_size(&self, ptr: VirtAddr) -> Option<u64> {
+        self.live.get(&ptr).map(|l| l.size)
+    }
+
+    /// Whether `ptr` is the base of a live allocation.
+    pub fn is_live(&self, ptr: VirtAddr) -> bool {
+        self.live.contains_key(&ptr)
+    }
+
+    fn refill_class(&mut self, class: usize) -> Result<(), AllocError> {
+        let slot = SIZE_CLASSES[class];
+        let run = self.carve(RUN_PAGES * PAGE_SIZE)?;
+        let mut cursor = run;
+        while cursor + slot <= run + RUN_PAGES * PAGE_SIZE {
+            self.class_free[class].push(cursor);
+            cursor += slot;
+        }
+        Ok(())
+    }
+
+    fn carve(&mut self, bytes: u64) -> Result<VirtAddr, AllocError> {
+        let addr = self.bump;
+        let end = addr.checked_add(bytes).ok_or(AllocError::OutOfMemory)?;
+        if end > self.base + self.span {
+            return Err(AllocError::OutOfMemory);
+        }
+        self.bump = end;
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkru_mpk::Pkru;
+    use crate::TRUSTED_BASE;
+
+    fn arena() -> (AddressSpace, TrustedArena) {
+        let mut space = AddressSpace::new();
+        let pkey = Pkey::new(1).unwrap();
+        let arena = TrustedArena::new(&mut space, TRUSTED_BASE, 1 << 30, pkey).unwrap();
+        (space, arena)
+    }
+
+    #[test]
+    fn alloc_returns_tagged_memory() {
+        let (mut space, mut arena) = arena();
+        let p = arena.alloc(64).unwrap();
+        assert!(arena.contains(p));
+        assert_eq!(space.page_pkey(p), Some(Pkey::new(1).unwrap()));
+        space.write_u64(Pkru::ALL_ACCESS, p, 99).unwrap();
+        assert_eq!(space.read_u64(Pkru::ALL_ACCESS, p).unwrap(), 99);
+    }
+
+    #[test]
+    fn distinct_live_allocations_never_overlap() {
+        let (_space, mut arena) = arena();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for size in [1u64, 16, 17, 100, 4096, 5000, 100_000] {
+            let p = arena.alloc(size).unwrap();
+            let usable = arena.usable_size(p).unwrap();
+            assert!(usable >= size);
+            for &(s, e) in &spans {
+                assert!(p + usable <= s || p >= e, "overlap at {p:#x}");
+            }
+            spans.push((p, p + usable));
+        }
+    }
+
+    #[test]
+    fn free_slot_is_reused() {
+        let (_space, mut arena) = arena();
+        let p = arena.alloc(64).unwrap();
+        arena.dealloc(p).unwrap();
+        let q = arena.alloc(64).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn large_span_exact_fit_reuse() {
+        let (_space, mut arena) = arena();
+        let p = arena.alloc(3 * PAGE_SIZE).unwrap();
+        arena.dealloc(p).unwrap();
+        let q = arena.alloc(3 * PAGE_SIZE).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let (_space, mut arena) = arena();
+        let p = arena.alloc(64).unwrap();
+        arena.dealloc(p).unwrap();
+        assert_eq!(arena.dealloc(p), Err(AllocError::InvalidPointer(p)));
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let mut space = AddressSpace::new();
+        let pkey = Pkey::new(1).unwrap();
+        let mut arena =
+            TrustedArena::new(&mut space, TRUSTED_BASE, 4 * PAGE_SIZE, pkey).unwrap();
+        let _ = arena.alloc(2 * PAGE_SIZE).unwrap();
+        let _ = arena.alloc(2 * PAGE_SIZE).unwrap();
+        assert_eq!(arena.alloc(2 * PAGE_SIZE), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn stats_track_live_and_peak() {
+        let (_space, mut arena) = arena();
+        let p = arena.alloc(100).unwrap();
+        let q = arena.alloc(100).unwrap();
+        assert_eq!(arena.stats().live_bytes, 224); // Two 112-byte classes.
+        arena.dealloc(p).unwrap();
+        arena.dealloc(q).unwrap();
+        assert_eq!(arena.stats().live_bytes, 0);
+        assert_eq!(arena.stats().peak_bytes, 224);
+        assert_eq!(arena.stats().allocs, 2);
+        assert_eq!(arena.stats().frees, 2);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (_space, mut arena) = arena();
+        assert_eq!(arena.alloc(0), Err(AllocError::ZeroSize));
+    }
+}

@@ -1,0 +1,31 @@
+//! Runtime provenance tracking and dynamic profiling (paper §4.3).
+//!
+//! PKRU-Safe decides which allocation *sites* must serve their objects from
+//! untrusted memory by observing the program: during a profiling run, all
+//! heap data still lives in `M_T`, so the first time untrusted code touches
+//! an object the hardware raises an MPK violation. The profiling runtime
+//! interposes on these faults, maps the faulting address back to the
+//! allocation site that produced the object, records that site's
+//! [`AllocId`] in the [`Profile`], and resumes the program by
+//! single-stepping the faulting instruction with temporarily raised rights.
+//!
+//! The pieces:
+//!
+//! - [`AllocId`] — the (function, basic block, call-site) triple assigned
+//!   by the compiler pass to every allocator call;
+//! - [`MetadataTable`] — the live-object map fed by the `log_alloc` /
+//!   `log_realloc` / `log_dealloc` callbacks the instrumentation inserts;
+//! - [`ProfilingRuntime`] — the chained fault handler plus single-step
+//!   resume logic;
+//! - [`Profile`] — the set of shared sites, serializable to JSON for the
+//!   hand-off between the profiling and enforcement builds.
+
+mod allocid;
+mod metadata;
+mod profile;
+mod runtime;
+
+pub use allocid::AllocId;
+pub use metadata::{AllocRecord, MetadataTable};
+pub use profile::{Profile, ProfileError};
+pub use runtime::{single_step_access, FaultResolution, ProfilingRuntime};

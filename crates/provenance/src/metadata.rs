@@ -1,0 +1,141 @@
+//! The live-object metadata table fed by the instrumentation callbacks.
+
+use std::collections::BTreeMap;
+
+use pkru_vmem::VirtAddr;
+
+use crate::allocid::AllocId;
+
+/// Metadata recorded for one live heap object.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllocRecord {
+    /// Base address of the object.
+    pub addr: VirtAddr,
+    /// Size of the object in bytes.
+    pub size: u64,
+    /// The allocation site that produced the object. Reallocation keeps
+    /// the *original* site's ID (§4.3.1), so provenance survives resizing.
+    pub id: AllocId,
+}
+
+impl AllocRecord {
+    /// Whether `addr` falls inside this object.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.addr && addr < self.addr + self.size
+    }
+}
+
+/// Tracks every live heap object and answers "which object contains this
+/// faulting address?" — the lookup at the heart of the fault handler.
+#[derive(Clone, Debug, Default)]
+pub struct MetadataTable {
+    by_addr: BTreeMap<VirtAddr, AllocRecord>,
+    /// Total `log_alloc` callbacks observed (profiling statistics).
+    allocs_logged: u64,
+}
+
+impl MetadataTable {
+    /// Creates an empty table.
+    pub fn new() -> MetadataTable {
+        MetadataTable::default()
+    }
+
+    /// Records a fresh allocation (the `log_alloc` callback).
+    pub fn log_alloc(&mut self, addr: VirtAddr, size: u64, id: AllocId) {
+        self.allocs_logged += 1;
+        self.by_addr.insert(addr, AllocRecord { addr, size, id });
+    }
+
+    /// Records a reallocation (the `log_realloc` callback): the new object
+    /// inherits the original object's [`AllocId`].
+    ///
+    /// Returns the inherited ID, or `None` if `old` was not tracked (in
+    /// which case nothing is recorded — untracked objects stay untracked).
+    pub fn log_realloc(&mut self, old: VirtAddr, new: VirtAddr, new_size: u64) -> Option<AllocId> {
+        let record = self.by_addr.remove(&old)?;
+        self.by_addr.insert(new, AllocRecord { addr: new, size: new_size, id: record.id });
+        Some(record.id)
+    }
+
+    /// Stops tracking an object (the `log_dealloc` callback).
+    pub fn log_dealloc(&mut self, addr: VirtAddr) -> Option<AllocRecord> {
+        self.by_addr.remove(&addr)
+    }
+
+    /// The live object containing `addr`, if any.
+    pub fn lookup(&self, addr: VirtAddr) -> Option<&AllocRecord> {
+        let (_, record) = self.by_addr.range(..=addr).next_back()?;
+        record.contains(addr).then_some(record)
+    }
+
+    /// Number of objects currently tracked.
+    pub fn live_count(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// Total allocations ever logged.
+    pub fn allocs_logged(&self) -> u64 {
+        self.allocs_logged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ID_A: AllocId = AllocId::new(1, 0, 0);
+    const ID_B: AllocId = AllocId::new(2, 3, 1);
+
+    #[test]
+    fn lookup_finds_interior_addresses() {
+        let mut t = MetadataTable::new();
+        t.log_alloc(0x1000, 64, ID_A);
+        t.log_alloc(0x2000, 16, ID_B);
+        assert_eq!(t.lookup(0x1000).unwrap().id, ID_A);
+        assert_eq!(t.lookup(0x103f).unwrap().id, ID_A);
+        assert!(t.lookup(0x1040).is_none());
+        assert!(t.lookup(0xfff).is_none());
+        assert_eq!(t.lookup(0x200f).unwrap().id, ID_B);
+    }
+
+    #[test]
+    fn realloc_inherits_original_site() {
+        let mut t = MetadataTable::new();
+        t.log_alloc(0x1000, 64, ID_A);
+        let inherited = t.log_realloc(0x1000, 0x5000, 256).unwrap();
+        assert_eq!(inherited, ID_A);
+        assert!(t.lookup(0x1000).is_none());
+        let r = t.lookup(0x50ff).unwrap();
+        assert_eq!(r.id, ID_A);
+        assert_eq!(r.size, 256);
+    }
+
+    #[test]
+    fn realloc_of_untracked_object_is_ignored() {
+        let mut t = MetadataTable::new();
+        assert!(t.log_realloc(0x1000, 0x2000, 64).is_none());
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn dealloc_stops_tracking() {
+        let mut t = MetadataTable::new();
+        t.log_alloc(0x1000, 64, ID_A);
+        assert!(t.log_dealloc(0x1000).is_some());
+        assert!(t.lookup(0x1000).is_none());
+        assert!(t.log_dealloc(0x1000).is_none());
+        assert_eq!(t.allocs_logged(), 1);
+    }
+
+    #[test]
+    fn reuse_of_address_updates_record() {
+        let mut t = MetadataTable::new();
+        t.log_alloc(0x1000, 64, ID_A);
+        t.log_dealloc(0x1000);
+        t.log_alloc(0x1000, 32, ID_B);
+        let r = t.lookup(0x1010).unwrap();
+        assert_eq!(r.id, ID_B);
+        assert_eq!(r.size, 32);
+        assert!(t.lookup(0x1020).is_none());
+    }
+}

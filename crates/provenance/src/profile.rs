@@ -1,0 +1,154 @@
+//! Profiles: the artifact handed from the profiling build to the final one.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+use crate::allocid::AllocId;
+
+/// Errors from profile (de)serialization.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed profile contents.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "profile I/O error: {e}"),
+            ProfileError::Parse(e) => write!(f, "profile parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// A recorded profile: the set of trusted allocation sites whose objects
+/// were observed crossing into the untrusted compartment.
+///
+/// Sites in the profile are rewritten by the enforcement build to allocate
+/// from `M_U`; everything else stays in `M_T`. The set is deduplicated —
+/// the fault handler records each site at most once (§4.3.2) — and profiles
+/// from separate runs merge with plain set union, which is how a profiling
+/// *corpus* accumulates.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Profile {
+    shared_sites: BTreeSet<AllocId>,
+    /// Total pkey faults serviced while profiling (including repeats on
+    /// already-recorded sites); a coverage diagnostic, not policy input.
+    pub faults_observed: u64,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Records a site; returns `true` if it was not already present.
+    pub fn record(&mut self, id: AllocId) -> bool {
+        self.shared_sites.insert(id)
+    }
+
+    /// Whether `id` was observed crossing the boundary.
+    pub fn contains(&self, id: AllocId) -> bool {
+        self.shared_sites.contains(&id)
+    }
+
+    /// Number of distinct shared sites.
+    pub fn len(&self) -> usize {
+        self.shared_sites.len()
+    }
+
+    /// Whether no site was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.shared_sites.is_empty()
+    }
+
+    /// Iterates the recorded sites in sorted order.
+    pub fn sites(&self) -> impl Iterator<Item = AllocId> + '_ {
+        self.shared_sites.iter().copied()
+    }
+
+    /// Unions `other` into `self` (merging a profiling corpus).
+    pub fn merge(&mut self, other: &Profile) {
+        self.shared_sites.extend(other.shared_sites.iter().copied());
+        self.faults_observed += other.faults_observed;
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        // Serialization of a plain set and counter cannot fail.
+        serde_json::to_string_pretty(self).expect("profile serializes")
+    }
+
+    /// Parses a profile from JSON.
+    pub fn from_json(json: &str) -> Result<Profile, ProfileError> {
+        serde_json::from_str(json).map_err(ProfileError::Parse)
+    }
+
+    /// Writes the profile to `path` as JSON.
+    pub fn save(&self, path: &Path) -> Result<(), ProfileError> {
+        std::fs::write(path, self.to_json()).map_err(ProfileError::Io)
+    }
+
+    /// Loads a profile from `path`.
+    pub fn load(path: &Path) -> Result<Profile, ProfileError> {
+        let text = std::fs::read_to_string(path).map_err(ProfileError::Io)?;
+        Profile::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_deduplicates() {
+        let mut p = Profile::new();
+        assert!(p.record(AllocId::new(1, 0, 0)));
+        assert!(!p.record(AllocId::new(1, 0, 0)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut p = Profile::new();
+        p.record(AllocId::new(1, 2, 3));
+        p.record(AllocId::new(4, 5, 6));
+        p.faults_observed = 42;
+        let q = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = Profile::new();
+        a.record(AllocId::new(1, 0, 0));
+        let mut b = Profile::new();
+        b.record(AllocId::new(1, 0, 0));
+        b.record(AllocId::new(2, 0, 0));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Profile::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pkru_safe_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        let mut p = Profile::new();
+        p.record(AllocId::new(9, 9, 9));
+        p.save(&path).unwrap();
+        assert_eq!(Profile::load(&path).unwrap(), p);
+        std::fs::remove_file(&path).ok();
+    }
+}

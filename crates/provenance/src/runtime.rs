@@ -1,0 +1,180 @@
+//! The profiling fault handler and single-step resume (paper §4.3.2).
+
+use pkru_mpk::{Cpu, Pkru};
+use pkru_vmem::Fault;
+
+use crate::metadata::MetadataTable;
+use crate::profile::Profile;
+
+/// What the fault handler decided about a fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultResolution {
+    /// An MPK violation serviced by the profiler: the faulting access must
+    /// be re-executed once under `grant` rights (single-stepped), after
+    /// which the interrupted PKRU value is restored.
+    SingleStep {
+        /// The rights to install for exactly one instruction.
+        grant: Pkru,
+    },
+    /// Not an MPK violation: fall through to the previously registered
+    /// handler (or crash, if none handles it).
+    Chain,
+}
+
+/// The profiling runtime: metadata table, profile, and fault handling.
+///
+/// Registered "as late as possible" in the paper so that application
+/// handlers installed earlier keep working; the [`ProfilingRuntime::fallback`]
+/// hook models that chaining — non-MPK faults are forwarded to it.
+pub struct ProfilingRuntime {
+    /// Live-object metadata fed by the instrumentation callbacks.
+    pub metadata: MetadataTable,
+    /// The profile being recorded.
+    pub profile: Profile,
+    /// The previously registered SIGSEGV handler, if any. Returns `true`
+    /// if it handled the fault.
+    pub fallback: Option<Box<dyn FnMut(&Fault) -> bool>>,
+    /// Pkey faults whose address matched no tracked object (non-heap
+    /// trusted data, e.g. globals); resumed but not recorded.
+    pub unknown_faults: u64,
+}
+
+impl Default for ProfilingRuntime {
+    fn default() -> ProfilingRuntime {
+        ProfilingRuntime::new()
+    }
+}
+
+impl ProfilingRuntime {
+    /// Creates a runtime with no prior handler chained.
+    pub fn new() -> ProfilingRuntime {
+        ProfilingRuntime {
+            metadata: MetadataTable::new(),
+            profile: Profile::new(),
+            fallback: None,
+            unknown_faults: 0,
+        }
+    }
+
+    /// Services a fault.
+    ///
+    /// MPK violations are looked up in the metadata table; if the faulting
+    /// address belongs to a tracked object, its site is recorded in the
+    /// profile (once). Either way the program is resumed by single-stepping
+    /// under full rights. Other faults chain to the prior handler.
+    pub fn handle_fault(&mut self, fault: &Fault) -> FaultResolution {
+        if !fault.is_pkey_violation() {
+            return FaultResolution::Chain;
+        }
+        self.profile.faults_observed += 1;
+        match self.metadata.lookup(fault.addr) {
+            Some(record) => {
+                self.profile.record(record.id);
+            }
+            None => {
+                self.unknown_faults += 1;
+            }
+        }
+        FaultResolution::SingleStep { grant: Pkru::ALL_ACCESS }
+    }
+
+    /// Chains a fault to the previously registered handler, returning
+    /// whether it was handled.
+    pub fn chain(&mut self, fault: &Fault) -> bool {
+        match &mut self.fallback {
+            Some(handler) => handler(fault),
+            None => false,
+        }
+    }
+}
+
+/// Re-executes one faulting access under temporarily raised rights.
+///
+/// Models the paper's trap-flag dance exactly: set `EFLAGS.TF`, install the
+/// granted PKRU, retry the instruction; the subsequent single-step trap
+/// (SIGTRAP) restores the interrupted PKRU and clears the flag. The net
+/// effect is that exactly one access succeeds and the compartment's rights
+/// are unchanged afterward — without decoding or emulating the instruction.
+pub fn single_step_access<R>(
+    cpu: &mut Cpu,
+    grant: Pkru,
+    access: impl FnOnce(&mut Cpu) -> R,
+) -> R {
+    let interrupted = cpu.pkru();
+    cpu.set_trap_flag(true);
+    cpu.set_pkru(grant);
+    let result = access(cpu);
+    // SIGTRAP handler: restore the compartment's rights.
+    cpu.set_pkru(interrupted);
+    cpu.set_trap_flag(false);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocid::AllocId;
+    use pkru_mpk::{AccessKind, Pkey};
+    use pkru_vmem::FaultKind;
+
+    fn pkey_fault(addr: u64) -> Fault {
+        let key = Pkey::new(1).unwrap();
+        Fault {
+            addr,
+            access: AccessKind::Read,
+            kind: FaultKind::PkeyViolation { pkey: key, pkru: Pkru::deny_only(key) },
+        }
+    }
+
+    #[test]
+    fn tracked_fault_records_site_once() {
+        let mut rt = ProfilingRuntime::new();
+        rt.metadata.log_alloc(0x1000, 64, AllocId::new(7, 0, 0));
+        for _ in 0..3 {
+            let r = rt.handle_fault(&pkey_fault(0x1010));
+            assert_eq!(r, FaultResolution::SingleStep { grant: Pkru::ALL_ACCESS });
+        }
+        assert_eq!(rt.profile.len(), 1);
+        assert!(rt.profile.contains(AllocId::new(7, 0, 0)));
+        assert_eq!(rt.profile.faults_observed, 3);
+    }
+
+    #[test]
+    fn untracked_pkey_fault_resumes_without_recording() {
+        let mut rt = ProfilingRuntime::new();
+        let r = rt.handle_fault(&pkey_fault(0x9999));
+        assert!(matches!(r, FaultResolution::SingleStep { .. }));
+        assert!(rt.profile.is_empty());
+        assert_eq!(rt.unknown_faults, 1);
+    }
+
+    #[test]
+    fn non_pkey_faults_chain_to_prior_handler() {
+        let mut rt = ProfilingRuntime::new();
+        let handled = std::rc::Rc::new(std::cell::Cell::new(false));
+        let flag = std::rc::Rc::clone(&handled);
+        rt.fallback = Some(Box::new(move |_| {
+            flag.set(true);
+            true
+        }));
+        let fault = Fault { addr: 0x10, access: AccessKind::Write, kind: FaultKind::Unmapped };
+        assert_eq!(rt.handle_fault(&fault), FaultResolution::Chain);
+        assert!(rt.chain(&fault));
+        assert!(handled.get());
+        assert!(rt.profile.is_empty());
+    }
+
+    #[test]
+    fn single_step_restores_rights_and_flag() {
+        let mut cpu = Cpu::new();
+        let untrusted = Pkru::deny_only(Pkey::new(1).unwrap());
+        cpu.set_pkru(untrusted);
+        let seen = single_step_access(&mut cpu, Pkru::ALL_ACCESS, |cpu| {
+            assert!(cpu.trap_flag());
+            cpu.pkru()
+        });
+        assert_eq!(seen, Pkru::ALL_ACCESS);
+        assert_eq!(cpu.pkru(), untrusted);
+        assert!(!cpu.trap_flag());
+    }
+}

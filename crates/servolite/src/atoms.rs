@@ -1,0 +1,27 @@
+//! String atoms: interned text buffers in simulated memory.
+
+use std::collections::HashMap;
+
+/// Interns strings as `[len: u64][bytes...]` buffers in simulated memory,
+/// so tag names, ids, and text content are real cross-compartment data.
+#[derive(Default)]
+pub struct Atoms {
+    by_text: HashMap<String, u64>,
+}
+
+impl Atoms {
+    /// Creates an empty intern table.
+    pub fn new() -> Atoms {
+        Atoms::default()
+    }
+
+    /// Looks up an existing atom buffer address.
+    pub fn get(&self, text: &str) -> Option<u64> {
+        self.by_text.get(text).copied()
+    }
+
+    /// Records a freshly written atom buffer.
+    pub fn insert(&mut self, text: &str, addr: u64) {
+        self.by_text.insert(text.to_string(), addr);
+    }
+}

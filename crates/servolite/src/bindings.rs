@@ -1,0 +1,369 @@
+//! The bindings layer: gated DOM natives and the Node host class.
+//!
+//! This is the `bindgen` + `rust-mozjs` analog. Every native below is a
+//! *trusted entry point*: under gated configurations it raises rights on
+//! entry and restores the engine's rights on exit (§3.3). Callbacks
+//! dispatched back into script re-enter the untrusted compartment, which
+//! is how the `dom` suite's deeply nested compartment stacks arise
+//! (§5.3).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lir::Trap;
+use minijs::{Ctx, Engine, EngineError, HostClass, HostClassId, HostFieldKind, NativeFn, ObjHandle, Value};
+
+use crate::browser::{build_nodes, BrowserError};
+use crate::dom::{off, Dom};
+use crate::html::parse_html;
+use crate::sites::Site;
+
+/// Converts a browser error into an engine error, preserving MPK faults.
+fn beerr(e: BrowserError) -> EngineError {
+    match e {
+        BrowserError::Engine(e) => e,
+        BrowserError::Machine(Trap::Fault(f)) => EngineError::MemoryFault(f),
+        BrowserError::Machine(Trap::Gate(g)) => EngineError::Gate(g),
+        BrowserError::Alloc(a) => EngineError::Alloc(a),
+        other => EngineError::Host(other.to_string()),
+    }
+}
+
+/// Wraps a native body in a U→T trusted-entry gate when `gated` is set.
+fn trusted_entry(
+    gated: bool,
+    f: impl Fn(&mut Ctx, Value, &[Value]) -> Result<Value, EngineError> + 'static,
+) -> NativeFn {
+    Rc::new(move |ctx, this, args| {
+        if gated {
+            ctx.machine.gates.enter_trusted(&mut ctx.machine.cpu)?;
+        }
+        let result = f(ctx, this, args);
+        if gated {
+            ctx.machine.gates.exit_trusted(&mut ctx.machine.cpu)?;
+        }
+        result
+    })
+}
+
+fn this_node(this: &Value) -> Result<u64, EngineError> {
+    match this {
+        Value::HostRef { addr, .. } => Ok(*addr),
+        other => Err(EngineError::Type(format!("expected a node, got {}", other.type_of()))),
+    }
+}
+
+fn arg_node(args: &[Value], i: usize) -> Result<u64, EngineError> {
+    match args.get(i) {
+        Some(Value::HostRef { addr, .. }) => Ok(*addr),
+        other => Err(EngineError::Type(format!("argument {i} must be a node, got {other:?}"))),
+    }
+}
+
+fn arg_str(ctx: &mut Ctx, args: &[Value], i: usize) -> Result<String, EngineError> {
+    let v = args.get(i).cloned().unwrap_or(Value::Undefined);
+    ctx.to_string_value(&v)
+}
+
+/// Installs the DOM bindings; returns the `document` object handle and the
+/// Node host class.
+pub(crate) fn install(
+    engine: &mut Engine,
+    machine: &mut lir::Machine,
+    dom: Rc<RefCell<Dom>>,
+    listeners: Rc<RefCell<HashMap<(u64, String), Vec<Value>>>>,
+    console: Rc<RefCell<Vec<String>>>,
+    gated: bool,
+) -> Result<(ObjHandle, HostClassId), BrowserError> {
+    // The Node host class: direct field access into browser memory.
+    let node_class = engine.define_host_class(HostClass::new("Node"));
+    {
+        let class = HostClass::new("Node")
+            .field("kind", off::KIND, HostFieldKind::U64, false)
+            .field("childCount", off::CHILDN, HostFieldKind::U64, false)
+            .field("style", off::STYLE, HostFieldKind::U64, true)
+            .field("x", off::X, HostFieldKind::F64, false)
+            .field("y", off::Y, HostFieldKind::F64, false)
+            .field("width", off::W, HostFieldKind::F64, false)
+            .field("height", off::H, HostFieldKind::F64, false)
+            .field("tagName", off::TAG, HostFieldKind::Text, false)
+            .field("text", off::TEXT, HostFieldKind::Text, false)
+            .field("id", off::ID, HostFieldKind::Text, false)
+            .field("className", off::CLASS, HostFieldKind::Text, false)
+            .field("parentNode", off::PARENT, HostFieldKind::Ref(node_class), false)
+            .field("firstChild", off::FIRST, HostFieldKind::Ref(node_class), false)
+            .field("nextSibling", off::NEXT, HostFieldKind::Ref(node_class), false);
+        let slot = engine.host_class_mut(node_class);
+        slot.fields = class.fields;
+        slot.elements = Some(minijs::HostElements {
+            count_offset: off::CHILDN,
+            first_offset: off::FIRST,
+            next_offset: off::NEXT,
+            child_class: node_class,
+        });
+    }
+
+    // ---- node methods ----
+    let mut methods: Vec<(&str, NativeFn)> = Vec::new();
+
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "appendChild",
+            trusted_entry(gated, move |ctx, this, args| {
+                let parent = this_node(&this)?;
+                let child = arg_node(args, 0)?;
+                dom.borrow_mut().append_child(ctx.machine, parent, child).map_err(beerr)?;
+                Ok(args[0].clone())
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "removeChild",
+            trusted_entry(gated, move |ctx, this, args| {
+                let parent = this_node(&this)?;
+                let child = arg_node(args, 0)?;
+                dom.borrow_mut().remove_child(ctx.machine, parent, child).map_err(beerr)?;
+                Ok(args[0].clone())
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "remove",
+            trusted_entry(gated, move |ctx, this, _args| {
+                let node = this_node(&this)?;
+                let mut dom = dom.borrow_mut();
+                let parent = dom.field(ctx.machine, node, off::PARENT).map_err(beerr)?;
+                if parent != 0 {
+                    dom.remove_child(ctx.machine, parent, node).map_err(beerr)?;
+                }
+                Ok(Value::Undefined)
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "setAttribute",
+            trusted_entry(gated, move |ctx, this, args| {
+                let node = this_node(&this)?;
+                let name = arg_str(ctx, args, 0)?;
+                let value = arg_str(ctx, args, 1)?;
+                dom.borrow_mut()
+                    .set_attribute(ctx.machine, node, &name, &value)
+                    .map_err(beerr)?;
+                Ok(Value::Undefined)
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "getAttribute",
+            trusted_entry(gated, move |ctx, this, args| {
+                let node = this_node(&this)?;
+                let name = arg_str(ctx, args, 0)?;
+                match dom.borrow_mut().get_attribute(ctx.machine, node, &name).map_err(beerr)? {
+                    Some(v) => Ok(Value::Str(v.into())),
+                    None => Ok(Value::Null),
+                }
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "setText",
+            trusted_entry(gated, move |ctx, this, args| {
+                let node = this_node(&this)?;
+                let text = arg_str(ctx, args, 0)?;
+                dom.borrow_mut().set_text(ctx.machine, node, &text).map_err(beerr)?;
+                Ok(Value::Undefined)
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "setInnerHTML",
+            trusted_entry(gated, move |ctx, this, args| {
+                let node = this_node(&this)?;
+                let html = arg_str(ctx, args, 0)?;
+                let fragment = parse_html(&html).map_err(beerr)?;
+                let mut dom = dom.borrow_mut();
+                // Detach all existing children.
+                loop {
+                    let first = dom.field(ctx.machine, node, off::FIRST).map_err(beerr)?;
+                    if first == 0 {
+                        break;
+                    }
+                    dom.remove_child(ctx.machine, node, first).map_err(beerr)?;
+                }
+                build_nodes(&mut dom, ctx.machine, node, &fragment).map_err(beerr)?;
+                Ok(Value::Undefined)
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        methods.push((
+            "innerText",
+            trusted_entry(gated, move |ctx, this, _args| {
+                let node = this_node(&this)?;
+                let text = dom.borrow_mut().inner_text(ctx.machine, node).map_err(beerr)?;
+                Ok(Value::Str(text.into()))
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        let listeners = Rc::clone(&listeners);
+        methods.push((
+            "addEventListener",
+            trusted_entry(gated, move |ctx, this, args| {
+                let node = this_node(&this)?;
+                let event = arg_str(ctx, args, 0)?;
+                let callback = args.get(1).cloned().unwrap_or(Value::Undefined);
+                if !matches!(callback, Value::Fun(_) | Value::Native(_)) {
+                    return Err(EngineError::Type("listener must be a function".into()));
+                }
+                // One listener record per registration (a trusted site).
+                let mut dom = dom.borrow_mut();
+                let record = dom.alloc(ctx.machine, Site::ListenerRecord, 64).map_err(beerr)?;
+                ctx.machine.mem_write(record, node)?;
+                let n = dom.field(ctx.machine, node, off::NLISTEN).map_err(beerr)?;
+                dom.set_field(ctx.machine, node, off::NLISTEN, n + 1).map_err(beerr)?;
+                listeners.borrow_mut().entry((node, event)).or_default().push(callback);
+                Ok(Value::Undefined)
+            }),
+        ));
+    }
+    {
+        let listeners = Rc::clone(&listeners);
+        methods.push((
+            "dispatchEvent",
+            trusted_entry(gated, move |ctx, this, args| {
+                let node = this_node(&this)?;
+                let event = arg_str(ctx, args, 0)?;
+                let callbacks =
+                    listeners.borrow().get(&(node, event.clone())).cloned().unwrap_or_default();
+                let mut fired = 0i64;
+                for callback in callbacks {
+                    // Build the event object in engine memory, then call
+                    // back into the untrusted compartment.
+                    let ev = ctx.heap.new_object();
+                    ctx.heap.prop_set(ctx.machine, ev, &"type".into(), &Value::Str(event.clone().into()))?;
+                    ctx.heap.prop_set(ctx.machine, ev, &"target".into(), &this)?;
+                    if gated {
+                        ctx.machine.gates.enter_untrusted(&mut ctx.machine.cpu)?;
+                    }
+                    let result = ctx.call_value(&callback, this.clone(), &[Value::Obj(ev)]);
+                    if gated {
+                        ctx.machine.gates.exit_untrusted(&mut ctx.machine.cpu)?;
+                    }
+                    result?;
+                    fired += 1;
+                }
+                Ok(Value::Num(fired as f64))
+            }),
+        ));
+    }
+
+    for (name, native) in methods {
+        let handle = engine.add_method_native(native);
+        engine.host_class_mut(node_class).methods.insert(name.into(), handle);
+    }
+
+    // ---- the document object ----
+    let document = engine.heap_mut().new_object();
+    let mut doc_methods: Vec<(&str, NativeFn)> = Vec::new();
+
+    {
+        let dom = Rc::clone(&dom);
+        doc_methods.push((
+            "getElementById",
+            trusted_entry(gated, move |ctx, _this, args| {
+                let id = arg_str(ctx, args, 0)?;
+                match dom.borrow_mut().find_by_id(ctx.machine, &id).map_err(beerr)? {
+                    Some(addr) => Ok(Value::HostRef { addr, class: node_class }),
+                    None => Ok(Value::Null),
+                }
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        doc_methods.push((
+            "createElement",
+            trusted_entry(gated, move |ctx, _this, args| {
+                let tag = arg_str(ctx, args, 0)?;
+                let addr = dom.borrow_mut().create_element(ctx.machine, &tag).map_err(beerr)?;
+                Ok(Value::HostRef { addr, class: node_class })
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        doc_methods.push((
+            "createTextNode",
+            trusted_entry(gated, move |ctx, _this, args| {
+                let text = arg_str(ctx, args, 0)?;
+                let addr = dom.borrow_mut().create_text(ctx.machine, &text).map_err(beerr)?;
+                Ok(Value::HostRef { addr, class: node_class })
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        doc_methods.push((
+            "getElementsByTagName",
+            trusted_entry(gated, move |ctx, _this, args| {
+                let tag = arg_str(ctx, args, 0)?;
+                let nodes = dom.borrow_mut().elements_by_tag(ctx.machine, &tag).map_err(beerr)?;
+                let values: Vec<Value> =
+                    nodes.into_iter().map(|addr| Value::HostRef { addr, class: node_class }).collect();
+                Ok(Value::Obj(ctx.heap.new_array(ctx.machine, &values)?))
+            }),
+        ));
+    }
+    {
+        let dom = Rc::clone(&dom);
+        doc_methods.push((
+            "reflow",
+            trusted_entry(gated, move |ctx, _this, _args| {
+                let boxes = dom.borrow_mut().layout(ctx.machine).map_err(beerr)?;
+                Ok(Value::Num(boxes as f64))
+            }),
+        ));
+    }
+
+    for (name, native) in doc_methods {
+        let handle = engine.add_method_native(native);
+        engine.heap_mut().prop_set(machine, document, &name.into(), &Value::Native(handle))?;
+    }
+    engine.set_global("document", Value::Obj(document));
+
+    // ---- console ----
+    let console_obj = engine.heap_mut().new_object();
+    {
+        let console = Rc::clone(&console);
+        let log = trusted_entry(gated, move |ctx, _this, args| {
+            let mut parts = Vec::with_capacity(args.len());
+            for a in args {
+                parts.push(ctx.to_string_value(a)?);
+            }
+            console.borrow_mut().push(parts.join(" "));
+            Ok(Value::Undefined)
+        });
+        let handle = engine.add_method_native(log);
+        engine.heap_mut().prop_set(machine, console_obj, &"log".into(), &Value::Native(handle))?;
+    }
+    engine.set_global("console", Value::Obj(console_obj));
+
+    Ok((document, node_class))
+}

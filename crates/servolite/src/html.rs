@@ -1,0 +1,292 @@
+//! A small HTML parser: tags, attributes, text, comments.
+
+use crate::browser::BrowserError;
+
+/// A parsed HTML node (the parser's output; the browser materializes it
+/// into DOM records).
+#[derive(Clone, Debug, PartialEq)]
+pub enum HtmlNode {
+    /// An element with tag, attributes, and children.
+    Element {
+        /// Lowercased tag name.
+        tag: String,
+        /// Attribute (name, value) pairs.
+        attrs: Vec<(String, String)>,
+        /// Child nodes.
+        children: Vec<HtmlNode>,
+    },
+    /// A text run (whitespace-collapsed).
+    Text(String),
+}
+
+/// Tags that never have children (`<br>`, `<img>`, ...).
+const VOID_TAGS: &[&str] = &["br", "img", "hr", "input", "meta", "link"];
+
+/// Parses an HTML fragment into a node list.
+pub fn parse_html(source: &str) -> Result<Vec<HtmlNode>, BrowserError> {
+    let mut parser = HtmlParser { bytes: source.as_bytes(), pos: 0 };
+    let nodes = parser.nodes(None)?;
+    Ok(nodes)
+}
+
+struct HtmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl HtmlParser<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, BrowserError> {
+        Err(BrowserError::Html(format!("{} (at byte {})", message.into(), self.pos)))
+    }
+
+    fn nodes(&mut self, until: Option<&str>) -> Result<Vec<HtmlNode>, BrowserError> {
+        let mut out = Vec::new();
+        loop {
+            if self.pos >= self.bytes.len() {
+                if let Some(tag) = until {
+                    return self.err(format!("unclosed <{tag}>"));
+                }
+                return Ok(out);
+            }
+            if self.bytes[self.pos] == b'<' {
+                if self.starts_with("<!--") {
+                    // Comment.
+                    match find(self.bytes, self.pos + 4, b"-->") {
+                        Some(end) => self.pos = end + 3,
+                        None => return self.err("unterminated comment"),
+                    }
+                    continue;
+                }
+                if self.starts_with("</") {
+                    let end = match find(self.bytes, self.pos, b">") {
+                        Some(e) => e,
+                        None => return self.err("unterminated close tag"),
+                    };
+                    let name = String::from_utf8_lossy(&self.bytes[self.pos + 2..end])
+                        .trim()
+                        .to_lowercase();
+                    match until {
+                        Some(tag) if tag == name => {
+                            self.pos = end + 1;
+                            return Ok(out);
+                        }
+                        Some(_) | None => {
+                            // Mismatched close tag: tolerate by implicitly
+                            // closing (tag-soup behavior).
+                            if until.is_some() {
+                                return Ok(out);
+                            }
+                            self.pos = end + 1;
+                            continue;
+                        }
+                    }
+                }
+                out.push(self.element()?);
+            } else {
+                let start = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                let collapsed = collapse_ws(&raw);
+                if !collapsed.is_empty() {
+                    out.push(HtmlNode::Text(collapsed));
+                }
+            }
+        }
+    }
+
+    fn element(&mut self) -> Result<HtmlNode, BrowserError> {
+        self.pos += 1; // '<'
+        let name_start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'-')
+        {
+            self.pos += 1;
+        }
+        if self.pos == name_start {
+            return self.err("expected tag name");
+        }
+        let tag = String::from_utf8_lossy(&self.bytes[name_start..self.pos]).to_lowercase();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'>') {
+                        return self.err("expected '>' after '/'");
+                    }
+                    self.pos += 1;
+                    self_closing = true;
+                    break;
+                }
+                Some(_) => attrs.push(self.attribute()?),
+                None => return self.err("unterminated tag"),
+            }
+        }
+        let children = if self_closing || VOID_TAGS.contains(&tag.as_str()) {
+            Vec::new()
+        } else {
+            self.nodes(Some(&tag))?
+        };
+        Ok(HtmlNode::Element { tag, attrs, children })
+    }
+
+    fn attribute(&mut self) -> Result<(String, String), BrowserError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && !matches!(self.bytes[self.pos], b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected attribute name");
+        }
+        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).to_lowercase();
+        self.skip_ws();
+        if self.bytes.get(self.pos) != Some(&b'=') {
+            return Ok((name, String::new()));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let value = match self.bytes.get(self.pos) {
+            Some(&q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != q {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return self.err("unterminated attribute value");
+                }
+                let v = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 1;
+                v
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.bytes.len()
+                    && !matches!(self.bytes[self.pos], b'>' | b' ' | b'\t' | b'\n' | b'\r')
+                {
+                    self.pos += 1;
+                }
+                String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+            }
+        };
+        Ok((name, value))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.bytes[self.pos..].starts_with(prefix.as_bytes())
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn collapse_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = true; // Leading whitespace dropped.
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_elements_with_attrs() {
+        let nodes = parse_html(r#"<div id="main" class='box'><p>Hello <b>world</b></p></div>"#)
+            .unwrap();
+        assert_eq!(nodes.len(), 1);
+        match &nodes[0] {
+            HtmlNode::Element { tag, attrs, children } => {
+                assert_eq!(tag, "div");
+                assert_eq!(attrs[0], ("id".into(), "main".into()));
+                assert_eq!(attrs[1], ("class".into(), "box".into()));
+                assert_eq!(children.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_whitespace_collapses() {
+        let nodes = parse_html("<p>  a\n   b  </p>").unwrap();
+        match &nodes[0] {
+            HtmlNode::Element { children, .. } => {
+                assert_eq!(children[0], HtmlNode::Text("a b".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn void_and_self_closing_tags() {
+        let nodes = parse_html("<div><br><img src=x.png><span/>tail</div>").unwrap();
+        match &nodes[0] {
+            HtmlNode::Element { children, .. } => {
+                assert_eq!(children.len(), 4);
+                assert_eq!(children[3], HtmlNode::Text("tail".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_skipped_and_unquoted_attrs() {
+        let nodes = parse_html("<!-- hi --><a href=/x>link</a>").unwrap();
+        assert_eq!(nodes.len(), 1);
+        match &nodes[0] {
+            HtmlNode::Element { attrs, .. } => {
+                assert_eq!(attrs[0], ("href".into(), "/x".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_close_tags_tolerated() {
+        let nodes = parse_html("<div><p>text</div>").unwrap();
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse_html("<div").unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+    }
+}

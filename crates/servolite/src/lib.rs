@@ -1,0 +1,41 @@
+//! `servolite` — the mini browser (the Servo stand-in).
+//!
+//! The paper's headline application: a browser written in a safe language
+//! embedding an unsafe JavaScript engine. This crate provides the trusted
+//! compartment `T`:
+//!
+//! - an HTML-subset parser building a real DOM whose node records, text
+//!   buffers, and attribute tables live in simulated memory at ~40 named
+//!   *allocation sites* (the [`sites::SiteRegistry`]), each with a stable
+//!   `AllocId` — the unit PKRU-Safe's pipeline reasons about;
+//! - a layout pass, style words, event listeners — enough browser
+//!   machinery that the DOM benchmarks exercise realistic data flows;
+//! - a bindings layer (the `bindgen` + `rust-mozjs` analog) that exposes
+//!   the DOM to the engine two ways: *gated natives* (`document.*`, node
+//!   methods — each a trusted entry point) and *direct host-class field
+//!   access* (the engine dereferencing browser memory, the flows the
+//!   profiler must discover);
+//! - the four build configurations of the evaluation (§5.3): `base`
+//!   (single heap, no gates), `alloc` (split allocator only), `mpk` (full
+//!   enforcement), and the profiling build;
+//! - the §5.4 security harness: a secret at the paper's fixed address
+//!   `0x1680_0000_0000`, logged on "exit".
+//!
+//! Profile application happens at startup via the site registry — the
+//! runtime equivalent of the paper's recompilation step (see DESIGN.md,
+//! "Profile application").
+
+mod atoms;
+mod bindings;
+mod browser;
+mod dom;
+mod html;
+mod sites;
+
+pub use browser::{Browser, BrowserConfig, BrowserError, BrowserStats};
+pub use dom::{NodeKind, NODE_SIZE};
+pub use html::parse_html;
+pub use sites::{Site, SiteRegistry, SITE_COUNT};
+
+/// The fixed address of the planted secret (§5.4 / artifact E3).
+pub const SECRET_ADDR: u64 = 0x1680_0000_0000;

@@ -1,0 +1,180 @@
+//! The browser's allocation sites and their pool bindings.
+//!
+//! Every distinct place the browser allocates heap memory is a *site* with
+//! a stable [`AllocId`]. The enforcement build consults the profile per
+//! site, once, at startup — binding the site to `M_T` or `M_U` before its
+//! first allocation, which is observationally equivalent to the paper's
+//! recompilation of `__rust_alloc` → `__rust_untrusted_alloc` calls.
+
+use pkalloc::Domain;
+use pkru_provenance::{AllocId, Profile};
+
+/// Function-ID namespace for browser sites (distinct from any LIR module).
+const SITE_FUNC_BASE: u32 = 0x5_0000;
+
+macro_rules! sites {
+    ($(($variant:ident, $name:literal)),+ $(,)?) => {
+        /// A named allocation site in the browser.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+        #[repr(u32)]
+        pub enum Site {
+            $(
+                #[doc = $name]
+                $variant,
+            )+
+        }
+
+        /// All sites, in declaration order.
+        pub const ALL_SITES: &[Site] = &[$(Site::$variant),+];
+
+        /// Number of browser allocation sites.
+        pub const SITE_COUNT: usize = ALL_SITES.len();
+
+        impl Site {
+            /// The site's human-readable name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Site::$variant => $name,)+
+                }
+            }
+        }
+    };
+}
+
+// The browser's allocation-site census. A handful of these hold data that
+// flows into the JS engine (nodes, tag/text/id buffers); the rest are the
+// long tail of browser machinery that must *stay* in M_T — the point of
+// data-flow-aware partitioning is that only the observed sites move.
+sites! {
+    (ElementNode, "dom::element_node"),
+    (TextNode, "dom::text_node"),
+    (TagBuffer, "dom::tag_buffer"),
+    (TextBuffer, "dom::text_buffer"),
+    (IdBuffer, "dom::id_buffer"),
+    (ClassBuffer, "dom::class_buffer"),
+    (AttrTable, "dom::attr_table"),
+    (AttrNameBuffer, "dom::attr_name_buffer"),
+    (AttrValueBuffer, "dom::attr_value_buffer"),
+    (ListenerRecord, "dom::listener_record"),
+    (DocumentRecord, "dom::document_record"),
+    (HistoryEntry, "browser::history_entry"),
+    (UrlBuffer, "browser::url_buffer"),
+    (CookieJar, "browser::cookie_jar"),
+    (CacheEntry, "browser::cache_entry"),
+    (FontRecord, "gfx::font_record"),
+    (GlyphCache, "gfx::glyph_cache"),
+    (DisplayList, "gfx::display_list"),
+    (PaintBuffer, "gfx::paint_buffer"),
+    (LayoutBox, "layout::box_record"),
+    (FlowTree, "layout::flow_tree"),
+    (StyleRule, "style::rule"),
+    (StyleSheet, "style::sheet"),
+    (SelectorIndex, "style::selector_index"),
+    (ComputedStyle, "style::computed"),
+    (ScriptSource, "script::source_buffer"),
+    (TimerRecord, "script::timer_record"),
+    (FetchBuffer, "net::fetch_buffer"),
+    (TlsSession, "net::tls_session"),
+    (DnsCache, "net::dns_cache"),
+    (ImageDecode, "media::image_decode"),
+    (AudioBuffer, "media::audio_buffer"),
+    (VideoFrame, "media::video_frame"),
+    (FormRecord, "dom::form_record"),
+    (SelectionRecord, "dom::selection_record"),
+    (RangeRecord, "dom::range_record"),
+    (MutationRecord, "dom::mutation_record"),
+    (ProfileScratch, "devtools::profile_scratch"),
+    (ConsoleBuffer, "devtools::console_buffer"),
+    (SessionStore, "browser::session_store"),
+}
+
+impl Site {
+    /// The site's stable allocation-site identifier.
+    pub fn alloc_id(self) -> AllocId {
+        AllocId::new(SITE_FUNC_BASE + self as u32, 0, 0)
+    }
+}
+
+/// Per-site pool bindings, fixed at browser startup.
+pub struct SiteRegistry {
+    bindings: Vec<Domain>,
+    counts: Vec<u64>,
+}
+
+impl SiteRegistry {
+    /// All sites bound to `M_T` (the unpartitioned and profiling builds).
+    pub fn all_trusted() -> SiteRegistry {
+        SiteRegistry { bindings: vec![Domain::Trusted; SITE_COUNT], counts: vec![0; SITE_COUNT] }
+    }
+
+    /// Binds each profiled site to `M_U` (the enforcement build).
+    pub fn from_profile(profile: &Profile) -> SiteRegistry {
+        let mut registry = SiteRegistry::all_trusted();
+        for (i, site) in ALL_SITES.iter().enumerate() {
+            if profile.contains(site.alloc_id()) {
+                registry.bindings[i] = Domain::Untrusted;
+            }
+        }
+        registry
+    }
+
+    /// The pool a site allocates from.
+    pub fn domain(&self, site: Site) -> Domain {
+        self.bindings[site as usize]
+    }
+
+    /// Records an allocation at `site` (census statistics).
+    pub fn count(&mut self, site: Site) {
+        self.counts[site as usize] += 1;
+    }
+
+    /// Number of sites bound to `M_U`.
+    pub fn shared_sites(&self) -> usize {
+        self.bindings.iter().filter(|d| **d == Domain::Untrusted).count()
+    }
+
+    /// (site, domain, allocation count) rows for reporting.
+    pub fn census(&self) -> Vec<(Site, Domain, u64)> {
+        ALL_SITES
+            .iter()
+            .map(|&s| (s, self.bindings[s as usize], self.counts[s as usize]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_ids_are_distinct_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &s in ALL_SITES {
+            assert!(seen.insert(s.alloc_id()), "duplicate id for {s:?}");
+        }
+        assert_eq!(Site::ElementNode.alloc_id(), AllocId::new(SITE_FUNC_BASE, 0, 0));
+        assert!(SITE_COUNT >= 40);
+    }
+
+    #[test]
+    fn profile_binds_only_recorded_sites() {
+        let mut profile = Profile::new();
+        profile.record(Site::TextBuffer.alloc_id());
+        profile.record(Site::ElementNode.alloc_id());
+        let registry = SiteRegistry::from_profile(&profile);
+        assert_eq!(registry.domain(Site::TextBuffer), Domain::Untrusted);
+        assert_eq!(registry.domain(Site::ElementNode), Domain::Untrusted);
+        assert_eq!(registry.domain(Site::TlsSession), Domain::Trusted);
+        assert_eq!(registry.shared_sites(), 2);
+    }
+
+    #[test]
+    fn census_reports_counts() {
+        let mut registry = SiteRegistry::all_trusted();
+        registry.count(Site::ElementNode);
+        registry.count(Site::ElementNode);
+        let census = registry.census();
+        let row = census.iter().find(|(s, _, _)| *s == Site::ElementNode).unwrap();
+        assert_eq!(row.2, 2);
+    }
+}

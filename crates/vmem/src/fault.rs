@@ -1,0 +1,92 @@
+//! Memory faults reported by the simulated MMU.
+
+use core::fmt;
+
+use pkru_mpk::{AccessKind, Pkey, Pkru};
+
+use crate::VirtAddr;
+
+/// Why an access faulted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The address is not mapped (`SEGV_MAPERR`).
+    Unmapped,
+    /// The page protection bits forbid the access (`SEGV_ACCERR`).
+    ProtViolation,
+    /// The page's protection key is not accessible under the current PKRU
+    /// (`SEGV_PKUERR`). Carries the page's key and the PKRU value in force,
+    /// which the profiling fault handler needs to classify the fault.
+    PkeyViolation {
+        /// The protection key tagged on the faulting page.
+        pkey: Pkey,
+        /// The PKRU value that denied the access.
+        pkru: Pkru,
+    },
+}
+
+/// A synchronous memory fault, the software analog of SIGSEGV.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// The exact faulting byte address (`si_addr`).
+    pub addr: VirtAddr,
+    /// Whether the faulting access was a load or a store.
+    pub access: AccessKind,
+    /// The fault classification.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Whether this fault is an MPK rights violation.
+    ///
+    /// PKRU-Safe's profiling handler services only these and chains every
+    /// other fault to the previously installed handler (§4.3.2).
+    pub fn is_pkey_violation(&self) -> bool {
+        matches!(self.kind, FaultKind::PkeyViolation { .. })
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Unmapped => {
+                write!(f, "segfault: {} of unmapped address {:#x}", self.access, self.addr)
+            }
+            FaultKind::ProtViolation => {
+                write!(f, "segfault: {} violates page protection at {:#x}", self.access, self.addr)
+            }
+            FaultKind::PkeyViolation { pkey, pkru } => write!(
+                f,
+                "pkey violation: {} of {:#x} (page pkey {pkey}, pkru {pkru})",
+                self.access, self.addr
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let f = Fault {
+            addr: 0x1000,
+            access: AccessKind::Read,
+            kind: FaultKind::Unmapped,
+        };
+        assert!(!f.is_pkey_violation());
+        let f = Fault {
+            addr: 0x1000,
+            access: AccessKind::Write,
+            kind: FaultKind::PkeyViolation {
+                pkey: Pkey::new(1).unwrap(),
+                pkru: Pkru::deny_only(Pkey::new(1).unwrap()),
+            },
+        };
+        assert!(f.is_pkey_violation());
+        let shown = format!("{f}");
+        assert!(shown.contains("pkey violation"), "{shown}");
+    }
+}

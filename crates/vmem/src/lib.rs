@@ -1,0 +1,61 @@
+//! Simulated 64-bit virtual address space with MPK-tagged pages.
+//!
+//! PKRU-Safe's enforcement is page-based: the OS tags pages with protection
+//! keys (`pkey_mprotect`) and the hardware checks every load and store
+//! against the current thread's PKRU register. This crate provides that
+//! substrate in software:
+//!
+//! - a 4 KiB-page address space with `mmap`/`munmap`/`mprotect`/
+//!   `pkey_mprotect`,
+//! - *on-demand paging*: mapping a region costs nothing until pages are
+//!   touched, which is what makes PKRU-Safe's 46-bit trusted reservation
+//!   (§4.4) viable,
+//! - typed, rights-checked loads and stores that report synchronous
+//!   [`Fault`]s — the stand-in for SIGSEGV delivery with `si_code ==
+//!   SEGV_PKUERR`.
+//!
+//! All state is explicit (no process-global statics), so tests and the
+//! interpreter can run many isolated address spaces in parallel.
+
+mod fault;
+mod prot;
+mod space;
+
+pub use fault::{Fault, FaultKind};
+pub use prot::Prot;
+pub use space::{AddressSpace, MapError, SpaceStats};
+
+/// A virtual address in the simulated space.
+pub type VirtAddr = u64;
+
+/// Base-2 log of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Size of a page in bytes (4 KiB, as on x86-64).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Rounds `addr` down to its page base.
+pub const fn page_base(addr: VirtAddr) -> VirtAddr {
+    addr & !(PAGE_SIZE - 1)
+}
+
+/// Rounds `len` up to a whole number of pages.
+pub const fn page_align_up(len: u64) -> u64 {
+    (len + PAGE_SIZE - 1) & !(PAGE_SIZE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_base(0), 0);
+        assert_eq!(page_base(4095), 0);
+        assert_eq!(page_base(4096), 4096);
+        assert_eq!(page_align_up(0), 0);
+        assert_eq!(page_align_up(1), 4096);
+        assert_eq!(page_align_up(4096), 4096);
+        assert_eq!(page_align_up(4097), 8192);
+    }
+}

@@ -1,0 +1,95 @@
+//! Page protection bits.
+
+use core::fmt;
+use core::ops::{BitOr, BitOrAssign};
+
+/// Conventional page protection bits (`PROT_READ`/`PROT_WRITE`/`PROT_EXEC`).
+///
+/// These are checked *before* the pkey rights, exactly as on hardware: a
+/// store to a read-only page is a protection violation regardless of PKRU.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prot(u8);
+
+impl Prot {
+    /// No access at all (`PROT_NONE`).
+    pub const NONE: Prot = Prot(0);
+    /// Loads permitted.
+    pub const READ: Prot = Prot(1);
+    /// Stores permitted.
+    pub const WRITE: Prot = Prot(2);
+    /// Instruction fetches permitted.
+    pub const EXEC: Prot = Prot(4);
+    /// Loads and stores permitted.
+    pub const READ_WRITE: Prot = Prot(1 | 2);
+
+    /// Whether all bits of `other` are present in `self`.
+    pub const fn contains(self, other: Prot) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Raw bit representation.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits, masking undefined bits away.
+    pub const fn from_bits(bits: u8) -> Prot {
+        Prot(bits & 0b111)
+    }
+}
+
+impl BitOr for Prot {
+    type Output = Prot;
+
+    fn bitor(self, rhs: Prot) -> Prot {
+        Prot(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Prot {
+    fn bitor_assign(&mut self, rhs: Prot) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = if self.contains(Prot::READ) { 'r' } else { '-' };
+        let w = if self.contains(Prot::WRITE) { 'w' } else { '-' };
+        let x = if self.contains(Prot::EXEC) { 'x' } else { '-' };
+        write!(f, "{r}{w}{x}")
+    }
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_or() {
+        let rw = Prot::READ | Prot::WRITE;
+        assert_eq!(rw, Prot::READ_WRITE);
+        assert!(rw.contains(Prot::READ));
+        assert!(rw.contains(Prot::WRITE));
+        assert!(!rw.contains(Prot::EXEC));
+        assert!(Prot::NONE.contains(Prot::NONE));
+        assert!(!Prot::NONE.contains(Prot::READ));
+    }
+
+    #[test]
+    fn from_bits_masks_garbage() {
+        assert_eq!(Prot::from_bits(0xff), Prot::READ | Prot::WRITE | Prot::EXEC);
+    }
+
+    #[test]
+    fn debug_render() {
+        assert_eq!(format!("{:?}", Prot::READ_WRITE), "rw-");
+        assert_eq!(format!("{:?}", Prot::NONE), "---");
+    }
+}

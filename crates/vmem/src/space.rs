@@ -1,0 +1,648 @@
+//! The address space: region map, demand paging, and rights-checked access.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use pkru_mpk::{AccessKind, Pkey, Pkru};
+
+use crate::fault::{Fault, FaultKind};
+use crate::prot::Prot;
+use crate::{page_align_up, page_base, VirtAddr, PAGE_SIZE};
+
+/// Where `mmap` without an address hint starts placing mappings.
+const AUTO_BASE: VirtAddr = 0x9100_0000_0000;
+
+/// Errors from the mapping interface (the `mmap`/`mprotect` analogs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapError {
+    /// A fixed-address mapping overlaps an existing region (`EEXIST`).
+    AlreadyMapped { addr: VirtAddr },
+    /// Part of the range is not mapped (`ENOMEM` from `mprotect`).
+    NotMapped { addr: VirtAddr },
+    /// The address or length is not page-aligned or overflows (`EINVAL`).
+    Misaligned,
+    /// Zero-length mappings are invalid (`EINVAL`).
+    ZeroLength,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::AlreadyMapped { addr } => write!(f, "range at {addr:#x} already mapped"),
+            MapError::NotMapped { addr } => write!(f, "range at {addr:#x} not mapped"),
+            MapError::Misaligned => write!(f, "address or length not page-aligned"),
+            MapError::ZeroLength => write!(f, "zero-length mapping"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A contiguous run of pages with identical attributes.
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    start: VirtAddr,
+    /// Exclusive end.
+    end: VirtAddr,
+    prot: Prot,
+    pkey: Pkey,
+}
+
+/// Counters describing the space, used throughout the evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpaceStats {
+    /// Pages materialized by demand paging (i.e. actually written).
+    pub demand_pages: u64,
+    /// Rights-checked loads performed.
+    pub reads: u64,
+    /// Rights-checked stores performed.
+    pub writes: u64,
+    /// Faults raised, by class.
+    pub pkey_faults: u64,
+    /// Protection-bit faults raised.
+    pub prot_faults: u64,
+    /// Unmapped-address faults raised.
+    pub unmapped_faults: u64,
+}
+
+/// A simulated 64-bit address space.
+///
+/// Mappings are tracked as page-aligned regions; page *frames* are
+/// materialized only when first written, so reserving an enormous trusted
+/// region up front is effectively free (the paper reserves 46 bits of
+/// address space for `M_T` this way).
+pub struct AddressSpace {
+    regions: BTreeMap<VirtAddr, Region>,
+    frames: HashMap<VirtAddr, Box<[u8]>>,
+    auto_cursor: VirtAddr,
+    stats: SpaceStats,
+}
+
+impl Default for AddressSpace {
+    fn default() -> AddressSpace {
+        AddressSpace::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            regions: BTreeMap::new(),
+            frames: HashMap::new(),
+            auto_cursor: AUTO_BASE,
+            stats: SpaceStats::default(),
+        }
+    }
+
+    /// Access and fault counters.
+    pub fn stats(&self) -> SpaceStats {
+        self.stats
+    }
+
+    /// Number of bytes currently mapped (sum of region sizes).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.values().map(|r| r.end - r.start).sum()
+    }
+
+    /// Number of bytes backed by materialized frames.
+    pub fn resident_bytes(&self) -> u64 {
+        self.frames.len() as u64 * PAGE_SIZE
+    }
+
+    fn region_containing(&self, addr: VirtAddr) -> Option<&Region> {
+        let (_, region) = self.regions.range(..=addr).next_back()?;
+        (addr < region.end).then_some(region)
+    }
+
+    fn range_is_free(&self, start: VirtAddr, end: VirtAddr) -> bool {
+        // A colliding region either starts inside [start, end) or starts
+        // before and extends into it.
+        if self.regions.range(start..end).next().is_some() {
+            return false;
+        }
+        match self.regions.range(..start).next_back() {
+            Some((_, r)) => r.end <= start,
+            None => true,
+        }
+    }
+
+    /// Maps `len` bytes at an automatically chosen address.
+    ///
+    /// Pages carry [`Pkey::DEFAULT`] until retagged with
+    /// [`AddressSpace::pkey_mprotect`].
+    pub fn mmap(&mut self, len: u64, prot: Prot) -> Result<VirtAddr, MapError> {
+        if len == 0 {
+            return Err(MapError::ZeroLength);
+        }
+        let len = page_align_up(len);
+        let mut candidate = self.auto_cursor;
+        loop {
+            let end = candidate.checked_add(len).ok_or(MapError::Misaligned)?;
+            if self.range_is_free(candidate, end) {
+                self.auto_cursor = end;
+                self.insert_region(candidate, end, prot, Pkey::DEFAULT);
+                return Ok(candidate);
+            }
+            // Skip past the colliding region and retry.
+            let next_end = self
+                .regions
+                .range(..end)
+                .next_back()
+                .map(|(_, r)| r.end)
+                .unwrap_or(end);
+            candidate = next_end.max(candidate + PAGE_SIZE);
+        }
+    }
+
+    /// Maps `len` bytes at exactly `addr` (a non-clobbering `MAP_FIXED`).
+    pub fn mmap_at(&mut self, addr: VirtAddr, len: u64, prot: Prot) -> Result<(), MapError> {
+        if len == 0 {
+            return Err(MapError::ZeroLength);
+        }
+        if addr % PAGE_SIZE != 0 {
+            return Err(MapError::Misaligned);
+        }
+        let len = page_align_up(len);
+        let end = addr.checked_add(len).ok_or(MapError::Misaligned)?;
+        if !self.range_is_free(addr, end) {
+            return Err(MapError::AlreadyMapped { addr });
+        }
+        self.insert_region(addr, end, prot, Pkey::DEFAULT);
+        Ok(())
+    }
+
+    fn insert_region(&mut self, start: VirtAddr, end: VirtAddr, prot: Prot, pkey: Pkey) {
+        self.regions.insert(start, Region { start, end, prot, pkey });
+    }
+
+    /// Splits regions so that no region straddles `addr`.
+    fn split_at(&mut self, addr: VirtAddr) {
+        let Some((&start, &region)) = self.regions.range(..addr).next_back() else {
+            return;
+        };
+        if addr > region.start && addr < region.end {
+            self.regions.insert(start, Region { end: addr, ..region });
+            self.regions.insert(addr, Region { start: addr, ..region });
+        }
+    }
+
+    /// Applies `f` to every whole region inside `[start, end)`, splitting
+    /// boundary regions first. Fails if any page in the range is unmapped.
+    fn for_range(
+        &mut self,
+        start: VirtAddr,
+        len: u64,
+        mut f: impl FnMut(&mut Region),
+    ) -> Result<(), MapError> {
+        if len == 0 {
+            return Ok(());
+        }
+        if start % PAGE_SIZE != 0 {
+            return Err(MapError::Misaligned);
+        }
+        let len = page_align_up(len);
+        let end = start.checked_add(len).ok_or(MapError::Misaligned)?;
+        // Verify full coverage before mutating anything.
+        let mut cursor = start;
+        while cursor < end {
+            match self.region_containing(cursor) {
+                Some(r) => cursor = r.end,
+                None => return Err(MapError::NotMapped { addr: cursor }),
+            }
+        }
+        self.split_at(start);
+        self.split_at(end);
+        let keys: Vec<VirtAddr> = self.regions.range(start..end).map(|(k, _)| *k).collect();
+        for k in keys {
+            // The key set was collected from the map above.
+            let region = self.regions.get_mut(&k).expect("region key valid");
+            f(region);
+        }
+        Ok(())
+    }
+
+    /// Unmaps `[addr, addr + len)` and discards its frames.
+    pub fn munmap(&mut self, addr: VirtAddr, len: u64) -> Result<(), MapError> {
+        self.for_range(addr, len, |_| {})?;
+        let end = addr + page_align_up(len);
+        let keys: Vec<VirtAddr> = self.regions.range(addr..end).map(|(k, _)| *k).collect();
+        for k in keys {
+            self.regions.remove(&k);
+        }
+        let mut page = addr;
+        while page < end {
+            self.frames.remove(&page);
+            page += PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    /// Changes the protection bits of `[addr, addr + len)`.
+    pub fn mprotect(&mut self, addr: VirtAddr, len: u64, prot: Prot) -> Result<(), MapError> {
+        self.for_range(addr, len, |r| r.prot = prot)
+    }
+
+    /// Changes protection bits *and* the protection key of a range.
+    ///
+    /// This is the `pkey_mprotect` syscall: it is how PKRU-Safe tags the
+    /// trusted pool's pages with the trusted key at startup.
+    pub fn pkey_mprotect(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        prot: Prot,
+        pkey: Pkey,
+    ) -> Result<(), MapError> {
+        self.for_range(addr, len, |r| {
+            r.prot = prot;
+            r.pkey = pkey;
+        })
+    }
+
+    /// The protection key tagged on the page containing `addr`.
+    pub fn page_pkey(&self, addr: VirtAddr) -> Option<Pkey> {
+        self.region_containing(addr).map(|r| r.pkey)
+    }
+
+    /// The protection bits of the page containing `addr`.
+    pub fn page_prot(&self, addr: VirtAddr) -> Option<Prot> {
+        self.region_containing(addr).map(|r| r.prot)
+    }
+
+    /// Whether `addr` lies in a mapped region.
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        self.region_containing(addr).is_some()
+    }
+
+    /// Checks a `[addr, addr + len)` access against `pkru` without
+    /// performing it. Returns the first fault encountered, if any.
+    pub fn check(
+        &mut self,
+        pkru: Pkru,
+        addr: VirtAddr,
+        len: u64,
+        access: AccessKind,
+    ) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr.checked_add(len).ok_or_else(|| {
+            self.stats.unmapped_faults += 1;
+            Fault { addr, access, kind: FaultKind::Unmapped }
+        })?;
+        let mut cursor = addr;
+        while cursor < end {
+            let region = match self.region_containing(cursor) {
+                Some(r) => *r,
+                None => {
+                    self.stats.unmapped_faults += 1;
+                    return Err(Fault { addr: cursor, access, kind: FaultKind::Unmapped });
+                }
+            };
+            let needed = match access {
+                AccessKind::Read => Prot::READ,
+                AccessKind::Write => Prot::WRITE,
+            };
+            if !region.prot.contains(needed) {
+                self.stats.prot_faults += 1;
+                return Err(Fault { addr: cursor, access, kind: FaultKind::ProtViolation });
+            }
+            if !pkru.allows(region.pkey, access) {
+                self.stats.pkey_faults += 1;
+                return Err(Fault {
+                    addr: cursor,
+                    access,
+                    kind: FaultKind::PkeyViolation { pkey: region.pkey, pkru },
+                });
+            }
+            cursor = region.end.min(end);
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes from `addr` under `pkru`.
+    pub fn read(&mut self, pkru: Pkru, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        self.check(pkru, addr, buf.len() as u64, AccessKind::Read)?;
+        self.stats.reads += 1;
+        self.copy_out(addr, buf);
+        Ok(())
+    }
+
+    /// Writes `bytes` to `addr` under `pkru`.
+    pub fn write(&mut self, pkru: Pkru, addr: VirtAddr, bytes: &[u8]) -> Result<(), Fault> {
+        self.check(pkru, addr, bytes.len() as u64, AccessKind::Write)?;
+        self.stats.writes += 1;
+        self.copy_in(addr, bytes);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` under `pkru`.
+    pub fn read_u64(&mut self, pkru: Pkru, addr: VirtAddr) -> Result<u64, Fault> {
+        self.check(pkru, addr, 8, AccessKind::Read)?;
+        self.stats.reads += 1;
+        Ok(self.peek_u64(addr))
+    }
+
+    /// Writes a little-endian `u64` under `pkru`.
+    pub fn write_u64(&mut self, pkru: Pkru, addr: VirtAddr, value: u64) -> Result<(), Fault> {
+        self.check(pkru, addr, 8, AccessKind::Write)?;
+        self.stats.writes += 1;
+        self.poke_u64(addr, value);
+        Ok(())
+    }
+
+    /// Reads a single byte under `pkru`.
+    pub fn read_u8(&mut self, pkru: Pkru, addr: VirtAddr) -> Result<u8, Fault> {
+        let mut b = [0u8; 1];
+        self.read(pkru, addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Writes a single byte under `pkru`.
+    pub fn write_u8(&mut self, pkru: Pkru, addr: VirtAddr, value: u8) -> Result<(), Fault> {
+        self.write(pkru, addr, &[value])
+    }
+
+    /// Supervisor read: ignores pkeys (the kernel and the trusted runtime's
+    /// fault handler read this way) but still requires the range be mapped.
+    pub fn read_supervisor(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        self.check_mapped(addr, buf.len() as u64, AccessKind::Read)?;
+        self.copy_out(addr, buf);
+        Ok(())
+    }
+
+    /// Supervisor write: ignores pkeys and protection bits except mapping.
+    pub fn write_supervisor(&mut self, addr: VirtAddr, bytes: &[u8]) -> Result<(), Fault> {
+        self.check_mapped(addr, bytes.len() as u64, AccessKind::Write)?;
+        self.copy_in(addr, bytes);
+        Ok(())
+    }
+
+    fn check_mapped(&mut self, addr: VirtAddr, len: u64, access: AccessKind) -> Result<(), Fault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr.checked_add(len).ok_or(Fault { addr, access, kind: FaultKind::Unmapped })?;
+        let mut cursor = addr;
+        while cursor < end {
+            match self.region_containing(cursor) {
+                Some(r) => cursor = r.end.min(end),
+                None => {
+                    return Err(Fault { addr: cursor, access, kind: FaultKind::Unmapped });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // Unchecked data movement; callers have already validated the range.
+
+    fn copy_out(&mut self, addr: VirtAddr, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr + off as u64;
+            let base = page_base(cur);
+            let in_page = (cur - base) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
+            match self.frames.get(&base) {
+                Some(frame) => buf[off..off + n].copy_from_slice(&frame[in_page..in_page + n]),
+                // Untouched pages read as zeros (demand-zero semantics).
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    fn copy_in(&mut self, addr: VirtAddr, bytes: &[u8]) {
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let cur = addr + off as u64;
+            let base = page_base(cur);
+            let in_page = (cur - base) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
+            let frame = self.frame_mut(base);
+            frame[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
+            off += n;
+        }
+    }
+
+    fn frame_mut(&mut self, base: VirtAddr) -> &mut Box<[u8]> {
+        let stats = &mut self.stats;
+        self.frames.entry(base).or_insert_with(|| {
+            stats.demand_pages += 1;
+            vec![0u8; PAGE_SIZE as usize].into_boxed_slice()
+        })
+    }
+
+    fn peek_u64(&self, addr: VirtAddr) -> u64 {
+        let base = page_base(addr);
+        if addr - base <= PAGE_SIZE - 8 {
+            // Fast path: the value lies within one page.
+            match self.frames.get(&base) {
+                Some(frame) => {
+                    let i = (addr - base) as usize;
+                    // The slice is exactly eight bytes long.
+                    u64::from_le_bytes(frame[i..i + 8].try_into().expect("8-byte slice"))
+                }
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 8];
+            let mut tmp = [0u8; 8];
+            // Reuse copy_out for the straddling case.
+            let mut this = SpaceView { frames: &self.frames };
+            this.copy_out(addr, &mut tmp);
+            b.copy_from_slice(&tmp);
+            u64::from_le_bytes(b)
+        }
+    }
+
+    fn poke_u64(&mut self, addr: VirtAddr, value: u64) {
+        let base = page_base(addr);
+        if addr - base <= PAGE_SIZE - 8 {
+            let i = (addr - base) as usize;
+            let frame = self.frame_mut(base);
+            frame[i..i + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.copy_in(addr, &value.to_le_bytes());
+        }
+    }
+}
+
+/// Read-only view used by the straddling `peek_u64` path.
+struct SpaceView<'a> {
+    frames: &'a HashMap<VirtAddr, Box<[u8]>>,
+}
+
+impl SpaceView<'_> {
+    fn copy_out(&mut self, addr: VirtAddr, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr + off as u64;
+            let base = page_base(cur);
+            let in_page = (cur - base) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
+            match self.frames.get(&base) {
+                Some(frame) => buf[off..off + n].copy_from_slice(&frame[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkru_mpk::PkeyRights;
+
+    fn space_with(len: u64) -> (AddressSpace, VirtAddr) {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(len, Prot::READ_WRITE).unwrap();
+        (s, a)
+    }
+
+    #[test]
+    fn mmap_read_write_roundtrip() {
+        let (mut s, a) = space_with(8192);
+        let pkru = Pkru::ALL_ACCESS;
+        s.write(pkru, a + 100, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        s.read(pkru, a + 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn untouched_pages_read_zero_without_frames() {
+        let (mut s, a) = space_with(1 << 30);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.read_u64(Pkru::ALL_ACCESS, a + 12345).unwrap(), 0);
+        assert_eq!(s.resident_bytes(), 0, "reads must not materialize frames");
+        s.write_u64(Pkru::ALL_ACCESS, a + 12345, 7).unwrap();
+        assert_eq!(s.resident_bytes(), PAGE_SIZE, "one write materializes one frame");
+        // A write straddling a page boundary materializes both pages.
+        s.write_u64(Pkru::ALL_ACCESS, a + 2 * PAGE_SIZE - 4, 7).unwrap();
+        assert_eq!(s.resident_bytes(), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn large_reservation_is_cheap() {
+        // The paper reserves 46 bits of address space for the trusted pool.
+        let mut s = AddressSpace::new();
+        let a = s.mmap(1 << 46, Prot::READ_WRITE).unwrap();
+        assert_eq!(s.mapped_bytes(), 1 << 46);
+        assert_eq!(s.resident_bytes(), 0);
+        s.write_u64(Pkru::ALL_ACCESS, a, 1).unwrap();
+        assert_eq!(s.resident_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut s = AddressSpace::new();
+        let err = s.read_u64(Pkru::ALL_ACCESS, 0x5000).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+        assert_eq!(err.addr, 0x5000);
+    }
+
+    #[test]
+    fn prot_violation_before_pkey() {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(4096, Prot::READ).unwrap();
+        let trusted = Pkey::new(1).unwrap();
+        s.pkey_mprotect(a, 4096, Prot::READ, trusted).unwrap();
+        // Even with a PKRU that denies the key, a store first trips the
+        // protection bits? No: hardware checks prot bits first.
+        let err = s.write_u64(Pkru::deny_only(trusted), a, 1).unwrap_err();
+        assert_eq!(err.kind, FaultKind::ProtViolation);
+    }
+
+    #[test]
+    fn pkey_violation_reports_key_and_pkru() {
+        let (mut s, a) = space_with(4096);
+        let trusted = Pkey::new(1).unwrap();
+        s.pkey_mprotect(a, 4096, Prot::READ_WRITE, trusted).unwrap();
+        let pkru = Pkru::deny_only(trusted);
+        let err = s.read_u64(pkru, a).unwrap_err();
+        match err.kind {
+            FaultKind::PkeyViolation { pkey, pkru: seen } => {
+                assert_eq!(pkey, trusted);
+                assert_eq!(seen, pkru);
+            }
+            other => panic!("expected pkey violation, got {other:?}"),
+        }
+        // Read-only rights permit the load but deny the store.
+        let ro = Pkru::ALL_ACCESS.with_rights(trusted, PkeyRights::ReadOnly);
+        assert!(s.read_u64(ro, a).is_ok());
+        assert!(s.write_u64(ro, a, 1).unwrap_err().is_pkey_violation());
+    }
+
+    #[test]
+    fn pkey_mprotect_splits_regions() {
+        let (mut s, a) = space_with(4 * PAGE_SIZE);
+        let k = Pkey::new(2).unwrap();
+        s.pkey_mprotect(a + PAGE_SIZE, PAGE_SIZE, Prot::READ_WRITE, k).unwrap();
+        assert_eq!(s.page_pkey(a), Some(Pkey::DEFAULT));
+        assert_eq!(s.page_pkey(a + PAGE_SIZE), Some(k));
+        assert_eq!(s.page_pkey(a + 2 * PAGE_SIZE), Some(Pkey::DEFAULT));
+    }
+
+    #[test]
+    fn munmap_middle_leaves_ends() {
+        let (mut s, a) = space_with(3 * PAGE_SIZE);
+        s.write_u8(Pkru::ALL_ACCESS, a + PAGE_SIZE, 9).unwrap();
+        s.munmap(a + PAGE_SIZE, PAGE_SIZE).unwrap();
+        assert!(s.is_mapped(a));
+        assert!(!s.is_mapped(a + PAGE_SIZE));
+        assert!(s.is_mapped(a + 2 * PAGE_SIZE));
+        // Remapping the hole must see fresh zeroed contents.
+        s.mmap_at(a + PAGE_SIZE, PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        assert_eq!(s.read_u8(Pkru::ALL_ACCESS, a + PAGE_SIZE).unwrap(), 0);
+    }
+
+    #[test]
+    fn mmap_at_rejects_overlap() {
+        let (mut s, a) = space_with(2 * PAGE_SIZE);
+        assert_eq!(
+            s.mmap_at(a + PAGE_SIZE, PAGE_SIZE, Prot::READ),
+            Err(MapError::AlreadyMapped { addr: a + PAGE_SIZE })
+        );
+    }
+
+    #[test]
+    fn cross_page_access_checks_every_page() {
+        let (mut s, a) = space_with(2 * PAGE_SIZE);
+        let k = Pkey::new(3).unwrap();
+        s.pkey_mprotect(a + PAGE_SIZE, PAGE_SIZE, Prot::READ_WRITE, k).unwrap();
+        let pkru = Pkru::deny_only(k);
+        // A write straddling into the protected page must fault at the
+        // protected page's first byte.
+        let err = s.write(pkru, a + PAGE_SIZE - 4, &[1u8; 8]).unwrap_err();
+        assert!(err.is_pkey_violation());
+        assert_eq!(err.addr, a + PAGE_SIZE);
+    }
+
+    #[test]
+    fn supervisor_access_bypasses_pkeys() {
+        let (mut s, a) = space_with(PAGE_SIZE);
+        let k = Pkey::new(1).unwrap();
+        s.pkey_mprotect(a, PAGE_SIZE, Prot::READ_WRITE, k).unwrap();
+        s.write_supervisor(a, &[42]).unwrap();
+        let mut b = [0u8; 1];
+        s.read_supervisor(a, &mut b).unwrap();
+        assert_eq!(b[0], 42);
+        assert!(s.write_supervisor(0xdead_0000, &[1]).is_err());
+    }
+
+    #[test]
+    fn stats_count_faults() {
+        let (mut s, a) = space_with(PAGE_SIZE);
+        let k = Pkey::new(1).unwrap();
+        s.pkey_mprotect(a, PAGE_SIZE, Prot::READ_WRITE, k).unwrap();
+        let _ = s.read_u64(Pkru::deny_only(k), a);
+        let _ = s.read_u64(Pkru::ALL_ACCESS, 0x10);
+        let st = s.stats();
+        assert_eq!(st.pkey_faults, 1);
+        assert_eq!(st.unmapped_faults, 1);
+    }
+}

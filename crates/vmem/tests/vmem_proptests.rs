@@ -1,0 +1,61 @@
+//! Additional property tests for the address space (crate-local).
+
+use proptest::prelude::*;
+
+use pkru_mpk::{AccessKind, Pkru};
+use pkru_vmem::{AddressSpace, Prot, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// munmap of an arbitrary aligned subrange leaves exactly the
+    /// complement mapped.
+    #[test]
+    fn munmap_complement(start_page in 0u64..8, pages in 1u64..8) {
+        let mut space = AddressSpace::new();
+        let base = space.mmap(8 * PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        let pages = pages.min(8 - start_page);
+        space.munmap(base + start_page * PAGE_SIZE, pages * PAGE_SIZE).unwrap();
+        for p in 0..8u64 {
+            let mapped = space.is_mapped(base + p * PAGE_SIZE);
+            let expected = !(p >= start_page && p < start_page + pages);
+            prop_assert_eq!(mapped, expected, "page {}", p);
+        }
+    }
+
+    /// Cross-page writes read back intact regardless of offset and size.
+    #[test]
+    fn straddling_writes_roundtrip(offset in 0u64..(3 * PAGE_SIZE), len in 1usize..64) {
+        let mut space = AddressSpace::new();
+        let base = space.mmap(4 * PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        space.write(Pkru::ALL_ACCESS, base + offset, &data).unwrap();
+        let mut back = vec![0u8; len];
+        space.read(Pkru::ALL_ACCESS, base + offset, &mut back).unwrap();
+        prop_assert_eq!(data, back);
+    }
+
+    /// The fault address is always the first byte whose page denies the
+    /// access.
+    #[test]
+    fn fault_address_is_first_failing_byte(tag_page in 0u64..4, start in 0u64..(4 * PAGE_SIZE - 64)) {
+        let mut space = AddressSpace::new();
+        let base = space.mmap(4 * PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        let key = pkru_mpk::Pkey::new(2).unwrap();
+        space.pkey_mprotect(base + tag_page * PAGE_SIZE, PAGE_SIZE, Prot::READ_WRITE, key).unwrap();
+        let restricted = Pkru::deny_only(key);
+        let len = 64u64;
+        let lo = base + start;
+        let hi = lo + len;
+        let tag_lo = base + tag_page * PAGE_SIZE;
+        let tag_hi = tag_lo + PAGE_SIZE;
+        let overlaps = lo < tag_hi && hi > tag_lo;
+        match space.check(restricted, lo, len, AccessKind::Write) {
+            Ok(()) => prop_assert!(!overlaps),
+            Err(fault) => {
+                prop_assert!(overlaps);
+                prop_assert_eq!(fault.addr, lo.max(tag_lo));
+            }
+        }
+    }
+}

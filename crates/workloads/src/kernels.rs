@@ -1,0 +1,981 @@
+//! JavaScript kernel generators: the building blocks of the suite analogs.
+//!
+//! Each function returns a program that defines `run()` (and any setup
+//! state). Kernels are real algorithms — an iterative radix-2 FFT, a
+//! SHA-256-style compression, AES-style rounds, A* search, a splay tree —
+//! so the engine executes representative instruction mixes, not busy
+//! loops. DOM kernels drive the browser's gated natives and direct host
+//! field reads in their hot loops.
+
+/// SHA-256-style compression over `blocks` message blocks (the
+/// `crypto-sha*`/`pbkdf2` family).
+pub fn sha_like(blocks: u32) -> String {
+    format!(
+        r#"
+var K = [];
+(function() {{
+  var seed = 0x9e3779b9;
+  for (var i = 0; i < 64; i++) {{
+    seed = (seed * 1664525 + 1013904223) | 0;
+    K.push(seed);
+  }}
+}})();
+function rotr(x, n) {{ return (x >>> n) | (x << (32 - n)); }}
+function compress(state, w) {{
+  var a = state[0], b = state[1], c = state[2], d = state[3];
+  var e = state[4], f = state[5], g = state[6], h = state[7];
+  for (var t = 16; t < 64; t++) {{
+    var s0 = rotr(w[t-15], 7) ^ rotr(w[t-15], 18) ^ (w[t-15] >>> 3);
+    var s1 = rotr(w[t-2], 17) ^ rotr(w[t-2], 19) ^ (w[t-2] >>> 10);
+    w[t] = (w[t-16] + s0 + w[t-7] + s1) | 0;
+  }}
+  for (var t = 0; t < 64; t++) {{
+    var S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    var ch = (e & f) ^ (~e & g);
+    var t1 = (h + S1 + ch + K[t] + w[t]) | 0;
+    var S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    var maj = (a & b) ^ (a & c) ^ (b & c);
+    var t2 = (S0 + maj) | 0;
+    h = g; g = f; f = e; e = (d + t1) | 0;
+    d = c; c = b; b = a; a = (t1 + t2) | 0;
+  }}
+  state[0] = (state[0] + a) | 0; state[1] = (state[1] + b) | 0;
+  state[2] = (state[2] + c) | 0; state[3] = (state[3] + d) | 0;
+  state[4] = (state[4] + e) | 0; state[5] = (state[5] + f) | 0;
+  state[6] = (state[6] + g) | 0; state[7] = (state[7] + h) | 0;
+}}
+function run() {{
+  var state = [0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+               0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19];
+  var w = [];
+  for (var i = 0; i < 64; i++) w.push(0);
+  for (var b = 0; b < {blocks}; b++) {{
+    for (var i = 0; i < 16; i++) w[i] = (b * 16 + i) * 0x01010101;
+    compress(state, w);
+  }}
+  return state[0] ^ state[7];
+}}
+"#
+    )
+}
+
+/// AES-style rounds with table lookups (the `crypto-aes`/`ccm` family).
+pub fn aes_like(blocks: u32, rounds: u32) -> String {
+    format!(
+        r#"
+var SBOX = [];
+(function() {{
+  var x = 1;
+  for (var i = 0; i < 256; i++) {{
+    SBOX.push((x ^ (x << 1) ^ (x >> 3) ^ 99) & 255);
+    x = (x * 29 + 17) & 255;
+  }}
+}})();
+function round(s, key) {{
+  for (var i = 0; i < 16; i++) s[i] = SBOX[s[i]] ^ ((key + i) & 255);
+  var t = s[0];
+  for (var i = 0; i < 15; i++) s[i] = s[i + 1];
+  s[15] = t;
+  for (var c = 0; c < 4; c++) {{
+    var base = c * 4;
+    var m = s[base] ^ s[base + 1] ^ s[base + 2] ^ s[base + 3];
+    for (var r = 0; r < 4; r++) s[base + r] = s[base + r] ^ m;
+  }}
+}}
+function run() {{
+  var acc = 0;
+  for (var b = 0; b < {blocks}; b++) {{
+    var s = [];
+    for (var i = 0; i < 16; i++) s.push((b + i * 7) & 255);
+    for (var r = 0; r < {rounds}; r++) round(s, b + r);
+    acc = (acc + s[0] + s[15]) | 0;
+  }}
+  return acc;
+}}
+"#
+    )
+}
+
+/// Iterative radix-2 FFT over `n` points (`audio-fft`/`beat-detection`).
+pub fn fft(n: u32) -> String {
+    format!(
+        r#"
+var N = {n};
+function fft(re, im) {{
+  var j = 0;
+  for (var i = 0; i < N - 1; i++) {{
+    if (i < j) {{
+      var tr = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }}
+    var k = N >> 1;
+    while (k <= j) {{ j -= k; k >>= 1; }}
+    j += k;
+  }}
+  for (var len = 2; len <= N; len <<= 1) {{
+    var ang = -2 * Math.PI / len;
+    var wr = Math.cos(ang), wi = Math.sin(ang);
+    for (var i = 0; i < N; i += len) {{
+      var cr = 1, ci = 0;
+      for (var k = 0; k < (len >> 1); k++) {{
+        var a = i + k, b = i + k + (len >> 1);
+        var xr = re[b] * cr - im[b] * ci;
+        var xi = re[b] * ci + im[b] * cr;
+        re[b] = re[a] - xr; im[b] = im[a] - xi;
+        re[a] = re[a] + xr; im[a] = im[a] + xi;
+        var ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }}
+    }}
+  }}
+}}
+function run() {{
+  var re = [], im = [];
+  for (var i = 0; i < N; i++) {{
+    re.push(Math.sin(i * 0.3) + 0.5 * Math.sin(i * 1.7));
+    im.push(0);
+  }}
+  fft(re, im);
+  var power = 0;
+  for (var i = 0; i < N; i++) power += re[i] * re[i] + im[i] * im[i];
+  return Math.floor(power);
+}}
+"#
+    )
+}
+
+/// O(n²) DFT (`audio-dft`).
+pub fn dft(n: u32) -> String {
+    format!(
+        r#"
+var N = {n};
+function run() {{
+  var x = [];
+  for (var i = 0; i < N; i++) x.push(Math.cos(i * 0.21));
+  var power = 0;
+  for (var k = 0; k < N; k++) {{
+    var re = 0, im = 0;
+    for (var t = 0; t < N; t++) {{
+      var ang = -2 * Math.PI * k * t / N;
+      re += x[t] * Math.cos(ang);
+      im += x[t] * Math.sin(ang);
+    }}
+    power += re * re + im * im;
+  }}
+  return Math.floor(power);
+}}
+"#
+    )
+}
+
+/// Oscillator bank synthesis (`audio-oscillator`).
+pub fn oscillator(samples: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var out = 0;
+  var p1 = 0, p2 = 0, p3 = 0;
+  for (var i = 0; i < {samples}; i++) {{
+    p1 += 0.01; p2 += 0.023; p3 += 0.007;
+    var v = Math.sin(p1) * 0.5 + Math.sin(p2) * 0.3 + Math.sin(p3) * 0.2;
+    v = v > 0.9 ? 0.9 : (v < -0.9 ? -0.9 : v);
+    out += v * v;
+  }}
+  return Math.floor(out * 1000);
+}}
+"#
+    )
+}
+
+/// A* grid search (`ai-astar`).
+pub fn astar(size: u32) -> String {
+    format!(
+        r#"
+var W = {size}, H = {size};
+function run() {{
+  var cost = [];
+  for (var i = 0; i < W * H; i++) {{
+    cost.push(1 + ((i * 2654435761) >>> 29));
+  }}
+  // Open list as parallel arrays; linear-scan priority extraction.
+  var openIdx = [0], openG = [0], openF = [0];
+  var best = [];
+  for (var i = 0; i < W * H; i++) best.push(1e9);
+  best[0] = 0;
+  var goal = W * H - 1;
+  var expanded = 0;
+  while (openIdx.length > 0) {{
+    var mi = 0;
+    for (var i = 1; i < openIdx.length; i++) {{
+      if (openF[i] < openF[mi]) mi = i;
+    }}
+    var node = openIdx[mi], g = openG[mi];
+    openIdx[mi] = openIdx[openIdx.length - 1]; openIdx.pop();
+    openG[mi] = openG[openG.length - 1]; openG.pop();
+    openF[mi] = openF[openF.length - 1]; openF.pop();
+    if (node == goal) break;
+    if (g > best[node]) continue;
+    expanded++;
+    var x = node % W, y = Math.floor(node / W);
+    var dirs = [1, 0, -1, 0, 0, 1, 0, -1];
+    for (var d = 0; d < 4; d++) {{
+      var nx = x + dirs[d * 2], ny = y + dirs[d * 2 + 1];
+      if (nx < 0 || ny < 0 || nx >= W || ny >= H) continue;
+      var n2 = ny * W + nx;
+      var ng = g + cost[n2];
+      if (ng < best[n2]) {{
+        best[n2] = ng;
+        var h = (W - 1 - nx) + (H - 1 - ny);
+        openIdx.push(n2); openG.push(ng); openF.push(ng + h);
+      }}
+    }}
+  }}
+  return best[goal] + expanded;
+}}
+"#
+    )
+}
+
+/// Separable box blur (`imaging-gaussian-blur`/`gaussian-blur`).
+pub fn blur(width: u32, height: u32) -> String {
+    format!(
+        r#"
+var W = {width}, H = {height};
+function run() {{
+  var img = [];
+  for (var i = 0; i < W * H; i++) img.push((i * 37) % 256);
+  var tmp = [];
+  for (var i = 0; i < W * H; i++) tmp.push(0);
+  for (var y = 0; y < H; y++) {{
+    for (var x = 1; x < W - 1; x++) {{
+      var o = y * W + x;
+      tmp[o] = (img[o - 1] + img[o] + img[o + 1]) / 3;
+    }}
+  }}
+  for (var y = 1; y < H - 1; y++) {{
+    for (var x = 0; x < W; x++) {{
+      var o = y * W + x;
+      img[o] = (tmp[o - W] + tmp[o] + tmp[o + W]) / 3;
+    }}
+  }}
+  var sum = 0;
+  for (var i = 0; i < W * H; i++) sum += img[i];
+  return Math.floor(sum);
+}}
+"#
+    )
+}
+
+/// Per-pixel transforms (`imaging-darkroom`/`desaturate`).
+pub fn pixels(count: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var acc = 0;
+  for (var i = 0; i < {count}; i++) {{
+    var r = (i * 7) & 255, g = (i * 13) & 255, b = (i * 29) & 255;
+    var lum = 0.299 * r + 0.587 * g + 0.114 * b;
+    var exposed = lum * 1.18 + 4;
+    exposed = exposed > 255 ? 255 : exposed;
+    var curved = exposed * exposed / 255;
+    acc += Math.floor(curved);
+  }}
+  return acc;
+}}
+"#
+    )
+}
+
+/// Build + stringify + parse JSON documents (`json-*`).
+pub fn json_kernel(records: u32, stringify: bool) -> String {
+    let work = if stringify {
+        "var text = JSON.stringify(doc); total += text.length;"
+    } else {
+        "var text = JSON.stringify(doc); var back = JSON.parse(text); total += back.rows.length;"
+    };
+    format!(
+        r#"
+function makeDoc(n) {{
+  var rows = [];
+  for (var i = 0; i < n; i++) {{
+    rows.push({{
+      symbol: 'TICK' + (i % 97),
+      open: i * 1.5,
+      close: i * 1.5 + 0.25,
+      volume: i * 1000,
+      flags: [i & 1, i & 3, 'x' + i]
+    }});
+  }}
+  return {{version: 2, count: n, rows: rows}};
+}}
+function run() {{
+  var total = 0;
+  var doc = makeDoc({records});
+  {work}
+  return total;
+}}
+"#
+    )
+}
+
+/// Base64-style string codec (`base64`/`string-unpack-code`).
+pub fn string_codec(length: u32) -> String {
+    format!(
+        r#"
+var ALPHA = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/';
+function encode(s) {{
+  var out = '';
+  for (var i = 0; i < s.length; i += 3) {{
+    var b0 = s.charCodeAt(i), b1 = i + 1 < s.length ? s.charCodeAt(i + 1) : 0;
+    var b2 = i + 2 < s.length ? s.charCodeAt(i + 2) : 0;
+    var n = (b0 << 16) | (b1 << 8) | b2;
+    out += ALPHA.charAt((n >> 18) & 63) + ALPHA.charAt((n >> 12) & 63)
+         + ALPHA.charAt((n >> 6) & 63) + ALPHA.charAt(n & 63);
+  }}
+  return out;
+}}
+function decode(s) {{
+  var sum = 0;
+  for (var i = 0; i < s.length; i++) {{
+    sum = (sum + ALPHA.indexOf(s.charAt(i))) | 0;
+  }}
+  return sum;
+}}
+function run() {{
+  var src = '';
+  for (var i = 0; i < {length}; i++) src += String.fromCharCode(65 + (i % 26));
+  var enc = encode(src);
+  return enc.length + decode(enc.substring(0, 128));
+}}
+"#
+    )
+}
+
+/// Tag-cloud style case/split/join churn (`tagcloud`/`typescript`-flavored
+/// string processing).
+pub fn tagcloud(words: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var text = '';
+  for (var i = 0; i < {words}; i++) {{
+    text += 'word' + (i % 53) + (i % 7 == 0 ? ' THE ' : ' and ');
+  }}
+  var parts = text.split(' ');
+  var counts = {{}};
+  for (var i = 0; i < parts.length; i++) {{
+    var w = parts[i].toLowerCase();
+    if (w == '') continue;
+    counts[w] = (counts[w] == undefined ? 0 : counts[w]) + 1;
+  }}
+  var cloud = '';
+  for (var i = 0; i < parts.length; i += 13) {{
+    cloud += parts[i].toUpperCase() + ',';
+  }}
+  return cloud.length + parts.length;
+}}
+"#
+    )
+}
+
+/// Planetary n-body integration (`n-body`).
+pub fn nbody(bodies: u32, steps: u32) -> String {
+    format!(
+        r#"
+function makeBodies(n) {{
+  var out = [];
+  for (var i = 0; i < n; i++) {{
+    out.push({{
+      x: Math.cos(i) * (i + 1), y: Math.sin(i) * (i + 1), z: i * 0.1,
+      vx: 0.01 * i, vy: -0.005 * i, vz: 0.002,
+      mass: 1 + i * 0.3
+    }});
+  }}
+  return out;
+}}
+function run() {{
+  var bodies = makeBodies({bodies});
+  var dt = 0.01;
+  for (var s = 0; s < {steps}; s++) {{
+    for (var i = 0; i < bodies.length; i++) {{
+      var bi = bodies[i];
+      for (var j = i + 1; j < bodies.length; j++) {{
+        var bj = bodies[j];
+        var dx = bj.x - bi.x, dy = bj.y - bi.y, dz = bj.z - bi.z;
+        var d2 = dx * dx + dy * dy + dz * dz + 0.1;
+        var mag = dt / (d2 * Math.sqrt(d2));
+        bi.vx += dx * bj.mass * mag; bi.vy += dy * bj.mass * mag; bi.vz += dz * bj.mass * mag;
+        bj.vx -= dx * bi.mass * mag; bj.vy -= dy * bi.mass * mag; bj.vz -= dz * bi.mass * mag;
+      }}
+    }}
+    for (var i = 0; i < bodies.length; i++) {{
+      var b = bodies[i];
+      b.x += dt * b.vx; b.y += dt * b.vy; b.z += dt * b.vz;
+    }}
+  }}
+  var e = 0;
+  for (var i = 0; i < bodies.length; i++) {{
+    var b = bodies[i];
+    e += 0.5 * b.mass * (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz);
+  }}
+  return Math.floor(e * 1e6);
+}}
+"#
+    )
+}
+
+/// Splay-tree insert/find/remove churn (`splay`/`earley-boyer`-flavored
+/// pointer chasing).
+pub fn splay(ops: u32) -> String {
+    format!(
+        r#"
+var root = null;
+function node(key) {{ return {{key: key, left: null, right: null}}; }}
+function splayTo(key) {{
+  if (root == null) return;
+  var header = node(0);
+  var l = header, r = header, t = root;
+  while (true) {{
+    if (key < t.key) {{
+      if (t.left == null) break;
+      if (key < t.left.key) {{
+        var y = t.left; t.left = y.right; y.right = t; t = y;
+        if (t.left == null) break;
+      }}
+      r.left = t; r = t; t = t.left;
+    }} else if (key > t.key) {{
+      if (t.right == null) break;
+      if (key > t.right.key) {{
+        var y = t.right; t.right = y.left; y.left = t; t = y;
+        if (t.right == null) break;
+      }}
+      l.right = t; l = t; t = t.right;
+    }} else break;
+  }}
+  l.right = t.left; r.left = t.right;
+  t.left = header.right; t.right = header.left;
+  root = t;
+}}
+function insert(key) {{
+  if (root == null) {{ root = node(key); return; }}
+  splayTo(key);
+  if (root.key == key) return;
+  var n = node(key);
+  if (key > root.key) {{
+    n.left = root; n.right = root.right; root.right = null;
+  }} else {{
+    n.right = root; n.left = root.left; root.left = null;
+  }}
+  root = n;
+}}
+function run() {{
+  root = null;
+  var seed = 42;
+  var found = 0;
+  for (var i = 0; i < {ops}; i++) {{
+    seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+    insert(seed % 1000);
+    splayTo((seed >> 5) % 1000);
+    if (root.key == (seed >> 5) % 1000) found++;
+  }}
+  return found;
+}}
+"#
+    )
+}
+
+/// The Richards task-scheduler simulation (object + closure dispatch).
+pub fn richards(iterations: u32) -> String {
+    format!(
+        r#"
+function makeQueue() {{
+  return {{items: [], take: function() {{
+    if (this.items.length == 0) return null;
+    var head = this.items[0];
+    var rest = this.items.slice(1);
+    this.items = rest;
+    return head;
+  }}, put: function(v) {{ this.items.push(v); }}}};
+}}
+function run() {{
+  var queue = makeQueue();
+  var held = 0, handled = 0;
+  for (var i = 0; i < 6; i++) queue.put({{id: i, prio: i % 3, work: 4 + i}});
+  var steps = 0;
+  while (steps < {iterations}) {{
+    steps++;
+    var task = queue.take();
+    if (task == null) break;
+    task.work--;
+    if (task.prio == 2 && (steps & 3) == 0) {{
+      held++;
+      task.prio = 0;
+    }}
+    if (task.work > 0) {{
+      queue.put(task);
+    }} else {{
+      handled++;
+      queue.put({{id: task.id, prio: (task.prio + 1) % 3, work: 3 + (steps & 7)}});
+    }}
+  }}
+  return handled * 1000 + held;
+}}
+"#
+    )
+}
+
+/// A small sphere ray tracer (`raytrace`/`3d-raytrace`).
+pub fn raytrace(width: u32, height: u32) -> String {
+    format!(
+        r#"
+var spheres = [
+  {{x: 0, y: 0, z: 5, r: 1.5, c: 200}},
+  {{x: 2, y: 1, z: 7, r: 1.0, c: 120}},
+  {{x: -2, y: -1, z: 6, r: 0.8, c: 80}}
+];
+function trace(dx, dy) {{
+  var dz = 1;
+  var len = Math.sqrt(dx * dx + dy * dy + dz * dz);
+  dx /= len; dy /= len; dz /= len;
+  var best = 1e9, hit = -1;
+  for (var i = 0; i < spheres.length; i++) {{
+    var s = spheres[i];
+    var b = dx * s.x + dy * s.y + dz * s.z;
+    var c = s.x * s.x + s.y * s.y + s.z * s.z - s.r * s.r;
+    var disc = b * b - c;
+    if (disc > 0) {{
+      var t = b - Math.sqrt(disc);
+      if (t > 0 && t < best) {{ best = t; hit = i; }}
+    }}
+  }}
+  if (hit < 0) return 10;
+  var s = spheres[hit];
+  var px = dx * best - s.x, py = dy * best - s.y, pz = dz * best - s.z;
+  var nl = Math.sqrt(px * px + py * py + pz * pz);
+  var light = (px * 0.5 + py * 0.7 + pz * -0.2) / nl;
+  return light > 0 ? s.c * light : 5;
+}}
+function run() {{
+  var sum = 0;
+  for (var y = 0; y < {height}; y++) {{
+    for (var x = 0; x < {width}; x++) {{
+      sum += trace((x - {width} / 2) / {width}, (y - {height} / 2) / {height});
+    }}
+  }}
+  return Math.floor(sum);
+}}
+"#
+    )
+}
+
+/// Navier–Stokes-style stencil relaxation (`navier-stokes`/`float-mm`).
+pub fn stencil(size: u32, sweeps: u32) -> String {
+    format!(
+        r#"
+var N = {size};
+function run() {{
+  var grid = [];
+  for (var i = 0; i < N * N; i++) grid.push((i % 17) * 0.25);
+  for (var s = 0; s < {sweeps}; s++) {{
+    for (var y = 1; y < N - 1; y++) {{
+      for (var x = 1; x < N - 1; x++) {{
+        var o = y * N + x;
+        grid[o] = (grid[o] + grid[o - 1] + grid[o + 1] + grid[o - N] + grid[o + N]) * 0.2;
+      }}
+    }}
+  }}
+  var sum = 0;
+  for (var i = 0; i < N * N; i++) sum += grid[i];
+  return Math.floor(sum * 1000);
+}}
+"#
+    )
+}
+
+/// String pattern scanning (`regexp`/`regex-dna` analogs without a regex
+/// engine: a hand-rolled matcher over generated text).
+pub fn regex_scan(length: u32) -> String {
+    format!(
+        r#"
+function countMatches(text, pat) {{
+  var n = 0, from = 0;
+  while (true) {{
+    var i = text.indexOf(pat);
+    var sub = text;
+    // Manual scan: indexOf from offset via substring.
+    sub = text.substring(from);
+    i = sub.indexOf(pat);
+    if (i < 0) break;
+    n++;
+    from += i + pat.length;
+    if (from >= text.length) break;
+  }}
+  return n;
+}}
+function run() {{
+  var bases = 'acgt';
+  var text = '';
+  var seed = 7;
+  for (var i = 0; i < {length}; i++) {{
+    seed = (seed * 69069 + 1) & 0xffff;
+    text += bases.charAt(seed & 3);
+  }}
+  return countMatches(text, 'acg') * 100 + countMatches(text, 'ttt')
+       + countMatches(text, 'gattaca');
+}}
+"#
+    )
+}
+
+/// Bytecode-interpreter loop (`gbemu`/`Mandreel`/`zlib`-flavored dispatch).
+pub fn vm_dispatch(instructions: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var mem = [];
+  for (var i = 0; i < 256; i++) mem.push((i * 73) & 255);
+  var code = [];
+  var seed = 99;
+  for (var i = 0; i < 64; i++) {{
+    seed = (seed * 75 + 74) % 65537;
+    code.push(seed % 7);
+  }}
+  var acc = 0, x = 1, pc = 0;
+  for (var step = 0; step < {instructions}; step++) {{
+    var op = code[pc];
+    pc = (pc + 1) % code.length;
+    if (op == 0) acc = (acc + x) & 0xffff;
+    else if (op == 1) x = (x + 1) & 255;
+    else if (op == 2) acc = (acc ^ mem[x]) & 0xffff;
+    else if (op == 3) mem[x] = acc & 255;
+    else if (op == 4) acc = (acc << 1) & 0xffff;
+    else if (op == 5) {{ if ((acc & 1) == 1) pc = (pc + 3) % code.length; }}
+    else acc = (acc - x) & 0xffff;
+  }}
+  return acc + mem[13];
+}}
+"#
+    )
+}
+
+/// Tokenizer stress: models the parser-heavy benchmarks (`CodeLoad`,
+/// `babylon`, `acorn`, `typescript`, `espree`, ...).
+pub fn parser_stress(tokens: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var src = '';
+  for (var i = 0; i < {tokens}; i++) {{
+    var k = i % 5;
+    if (k == 0) src += 'var v' + i + ' = ';
+    else if (k == 1) src += (i * 17 % 1000) + ' + ';
+    else if (k == 2) src += 'f' + (i % 13) + '(x, y) ';
+    else if (k == 3) src += '"s' + i + '" ';
+    else src += '; ';
+  }}
+  var idents = 0, numbers = 0, strings = 0, punct = 0;
+  var i = 0;
+  while (i < src.length) {{
+    var c = src.charCodeAt(i);
+    if (c == 32) {{ i++; continue; }}
+    if (c >= 97 && c <= 122) {{
+      idents++;
+      while (i < src.length) {{
+        var d = src.charCodeAt(i);
+        if ((d >= 97 && d <= 122) || (d >= 48 && d <= 57)) i++;
+        else break;
+      }}
+    }} else if (c >= 48 && c <= 57) {{
+      numbers++;
+      while (i < src.length && src.charCodeAt(i) >= 48 && src.charCodeAt(i) <= 57) i++;
+    }} else if (c == 34) {{
+      strings++;
+      i++;
+      while (i < src.length && src.charCodeAt(i) != 34) i++;
+      i++;
+    }} else {{
+      punct++;
+      i++;
+    }}
+  }}
+  return idents * 1000000 + numbers * 10000 + strings * 100 + (punct % 100);
+}}
+"#
+    )
+}
+
+/// Hash-map (object property) churn (`hash-map`).
+pub fn hashmap(ops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var map = {{}};
+  var seed = 5;
+  var hits = 0;
+  for (var i = 0; i < {ops}; i++) {{
+    seed = (seed * 1103515245 + 12345) & 0x3fffffff;
+    var key = 'k' + (seed % 512);
+    if (map[key] == undefined) map[key] = 0;
+    map[key] = map[key] + 1;
+    if (map['k' + (i % 512)] != undefined) hits++;
+  }}
+  return hits;
+}}
+"#
+    )
+}
+
+/// Date formatting (`date-format-tofte`/`xparb`).
+pub fn date_format(count: u32) -> String {
+    format!(
+        r#"
+var MONTHS = ['Jan','Feb','Mar','Apr','May','Jun','Jul','Aug','Sep','Oct','Nov','Dec'];
+var DAYS = ['Sun','Mon','Tue','Wed','Thu','Fri','Sat'];
+function pad(n) {{ return n < 10 ? '0' + n : '' + n; }}
+function run() {{
+  var out = 0;
+  for (var i = 0; i < {count}; i++) {{
+    var t = i * 86465;
+    var days = Math.floor(t / 86400);
+    var secs = t % 86400;
+    var h = Math.floor(secs / 3600), m = Math.floor((secs % 3600) / 60), s = secs % 60;
+    var str = DAYS[days % 7] + ', ' + pad(days % 28 + 1) + ' ' + MONTHS[days % 12]
+            + ' ' + (1970 + Math.floor(days / 365)) + ' ' + pad(h) + ':' + pad(m) + ':' + pad(s);
+    out += str.length + str.charCodeAt(0);
+  }}
+  return out;
+}}
+"#
+    )
+}
+
+/// Matrix multiply (`float-mm.c`).
+pub fn matmul(n: u32) -> String {
+    format!(
+        r#"
+var N = {n};
+function run() {{
+  var a = [], b = [], c = [];
+  for (var i = 0; i < N * N; i++) {{
+    a.push((i % 7) * 0.5);
+    b.push((i % 11) * 0.25);
+    c.push(0);
+  }}
+  for (var i = 0; i < N; i++) {{
+    for (var k = 0; k < N; k++) {{
+      var aik = a[i * N + k];
+      for (var j = 0; j < N; j++) {{
+        c[i * N + j] += aik * b[k * N + j];
+      }}
+    }}
+  }}
+  var trace = 0;
+  for (var i = 0; i < N; i++) trace += c[i * N + i];
+  return Math.floor(trace);
+}}
+"#
+    )
+}
+
+// ---- DOM kernels (Dromaeo dom / jslib) ----
+
+/// Attribute get/set churn (`dom-attr`).
+pub fn dom_attr(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var el = document.getElementById('target');
+  var total = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    el.setAttribute('data-x', 'v' + i);
+    var v = el.getAttribute('data-x');
+    total += v.length;
+  }}
+  return total;
+}}
+"#
+    )
+}
+
+/// Element creation/append/remove churn (`dom-modify`).
+pub fn dom_create(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var host = document.getElementById('target');
+  var made = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    var el = document.createElement('div');
+    host.appendChild(el);
+    var t = document.createTextNode('n' + i);
+    el.appendChild(t);
+    made += host.childCount;
+    el.remove();
+  }}
+  return made;
+}}
+"#
+    )
+}
+
+/// Query churn (`dom-query`).
+pub fn dom_query(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var found = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    var el = document.getElementById('item' + (i % 8));
+    if (el != null) found++;
+    var list = document.getElementsByTagName('li');
+    found += list.length;
+  }}
+  return found;
+}}
+"#
+    )
+}
+
+/// Direct-field DOM traversal (`dom-traverse`): the engine dereferencing
+/// browser memory in a hot loop.
+pub fn dom_traverse(loops: u32) -> String {
+    format!(
+        r#"
+function walk(node) {{
+  var n = 1;
+  var child = node.firstChild;
+  while (child != null) {{
+    n += walk(child);
+    child = child.nextSibling;
+  }}
+  return n;
+}}
+function run() {{
+  var total = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    total += walk(document.body);
+    total += document.body.childCount;
+  }}
+  return total;
+}}
+"#
+    )
+}
+
+/// `innerHTML` churn (the Dromaeo `innerHTML` test).
+pub fn dom_inner_html(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var host = document.getElementById('target');
+  var total = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    host.setInnerHTML('<ul><li>a' + i + '</li><li>b</li><li class="x">c</li></ul>');
+    total += host.firstChild.childCount;
+  }}
+  return total;
+}}
+"#
+    )
+}
+
+/// Style-word writes via direct host fields (`dom-style`-ish).
+pub fn dom_style(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var el = document.getElementById('target');
+  var acc = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    el.style = (i * 2654435761) & 0xffff;
+    acc += el.style & 255;
+  }}
+  return acc;
+}}
+"#
+    )
+}
+
+/// Event binding + dispatch churn (`jslib-event`).
+pub fn dom_events(loops: u32) -> String {
+    format!(
+        r#"
+var counter = 0;
+function run() {{
+  var el = document.getElementById('target');
+  el.addEventListener('bench', function(ev) {{ counter++; }});
+  for (var i = 0; i < {loops}; i++) {{
+    el.dispatchEvent('bench');
+  }}
+  return counter;
+}}
+"#
+    )
+}
+
+/// jQuery-style select-and-modify (`jslib-modify`).
+pub fn jslib_modify(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var total = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    var items = document.getElementsByTagName('li');
+    for (var j = 0; j < items.length; j++) {{
+      items[j].setAttribute('class', 'row' + ((i + j) % 2));
+      items[j].style = (i + j) & 1023;
+      total += items[j].tagName.length;
+    }}
+  }}
+  return total;
+}}
+"#
+    )
+}
+
+/// jQuery-style list building + text reads (`jslib-build`).
+pub fn jslib_build(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var host = document.getElementById('target');
+  var total = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    var ul = document.createElement('ul');
+    host.appendChild(ul);
+    for (var j = 0; j < 4; j++) {{
+      var li = document.createElement('li');
+      ul.appendChild(li);
+      li.setText('item' + j);
+      total += li.text.length;
+    }}
+    total += ul.innerText().length;
+    ul.remove();
+  }}
+  return total;
+}}
+"#
+    )
+}
+
+/// Layout-triggering churn (`dom-reflow`-ish; also the `jslib` style ops).
+pub fn dom_reflow(loops: u32) -> String {
+    format!(
+        r#"
+function run() {{
+  var host = document.getElementById('target');
+  var total = 0;
+  for (var i = 0; i < {loops}; i++) {{
+    var el = document.createElement('p');
+    host.appendChild(el);
+    el.setText('reflow me ' + i);
+    total += document.reflow();
+    total += Math.floor(host.height);
+    el.remove();
+  }}
+  return total;
+}}
+"#
+    )
+}

@@ -1,0 +1,194 @@
+//! The four benchmark suites, mapped benchmark-by-benchmark to kernels.
+//!
+//! Every benchmark named in the paper's Figures 4–7 and Tables 1–3 appears
+//! here, built from the kernel that matches its workload family (crypto →
+//! SHA/AES rounds, audio → FFT/DFT, imaging → pixel loops, parser-heavy →
+//! tokenizer stress, DOM suites → gated-native churn). Parameters are
+//! sized so a `run()` takes low milliseconds on the simulated machine.
+
+use crate::kernels as k;
+use crate::Benchmark;
+
+/// The page every benchmark runs against (Dromaeo-style fixture markup).
+pub fn micro_page() -> &'static str {
+    r#"
+<div id="target" class="fixture">
+  <ul id="list">
+    <li id="item0">alpha</li>
+    <li id="item1">beta</li>
+    <li id="item2">gamma</li>
+    <li id="item3">delta</li>
+    <li id="item4">epsilon</li>
+    <li id="item5">zeta</li>
+    <li id="item6">eta</li>
+    <li id="item7">theta</li>
+  </ul>
+  <p id="para">Some <b>bold</b> prose for traversals.</p>
+  <div id="nest"><div><div><span>deep</span></div></div></div>
+</div>
+"#
+}
+
+fn b(suite: &'static str, sub: &'static str, name: &'static str, source: String) -> Benchmark {
+    Benchmark::new(suite, sub, name, source, 3)
+}
+
+/// The Kraken suite analog (Figure 5: 14 benchmarks).
+pub fn kraken() -> Vec<Benchmark> {
+    let s = "kraken";
+    vec![
+        b(s, "", "audio-fft", k::fft(512)),
+        b(s, "", "stanford-crypto-pbkdf2", k::sha_like(40)),
+        b(s, "", "audio-beat-detection", k::fft(256)),
+        b(s, "", "stanford-crypto-ccm", k::aes_like(48, 10)),
+        b(s, "", "imaging-darkroom", k::pixels(12_000)),
+        b(s, "", "json-parse-financial", k::json_kernel(120, false)),
+        b(s, "", "imaging-gaussian-blur", k::blur(96, 64)),
+        b(s, "", "ai-astar", k::astar(24)),
+        b(s, "", "audio-dft", k::dft(96)),
+        b(s, "", "stanford-crypto-sha256-iterative", k::sha_like(32)),
+        b(s, "", "json-stringify-tinderbox", k::json_kernel(160, true)),
+        b(s, "", "audio-oscillator", k::oscillator(15_000)),
+        b(s, "", "stanford-crypto-aes", k::aes_like(64, 10)),
+        b(s, "", "imaging-desaturate", k::pixels(14_000)),
+    ]
+}
+
+/// The Octane suite analog (Figure 6: 17 benchmarks).
+pub fn octane() -> Vec<Benchmark> {
+    let s = "octane";
+    vec![
+        b(s, "", "Mandreel", k::vm_dispatch(60_000)),
+        b(s, "", "MandreelLatency", k::vm_dispatch(12_000)),
+        b(s, "", "DeltaBlue", k::richards(9_000)),
+        b(s, "", "NavierStokes", k::stencil(40, 6)),
+        b(s, "", "EarleyBoyer", k::splay(900)),
+        b(s, "", "SplayLatency", k::splay(400)),
+        b(s, "", "CodeLoad", k::parser_stress(2_500)),
+        b(s, "", "Crypto", k::sha_like(36)),
+        b(s, "", "Splay", k::splay(1_200)),
+        b(s, "", "Gameboy", k::vm_dispatch(70_000)),
+        b(s, "", "Typescript", k::parser_stress(3_000)),
+        b(s, "", "Box2D", k::nbody(12, 40)),
+        b(s, "", "Richards", k::richards(12_000)),
+        b(s, "", "RegExp", k::regex_scan(2_400)),
+        b(s, "", "PdfJS", k::string_codec(2_000)),
+        b(s, "", "zlib", k::vm_dispatch(50_000)),
+        b(s, "", "RayTrace", k::raytrace(48, 36)),
+    ]
+}
+
+/// The JetStream2 suite analog (Figure 7 / Table 3: 59 benchmarks).
+pub fn jetstream2() -> Vec<Benchmark> {
+    let s = "jetstream2";
+    vec![
+        b(s, "", "WSL", k::parser_stress(2_000)),
+        b(s, "", "UniPoker", k::hashmap(9_000)),
+        b(s, "", "uglify-js-wtb", k::parser_stress(2_400)),
+        b(s, "", "typescript", k::parser_stress(2_800)),
+        b(s, "", "tagcloud-SP", k::tagcloud(700)),
+        b(s, "", "string-unpack-code-SP", k::string_codec(1_800)),
+        b(s, "", "stanford-crypto-sha256", k::sha_like(30)),
+        b(s, "", "stanford-crypto-pbkdf2", k::sha_like(40)),
+        b(s, "", "stanford-crypto-aes", k::aes_like(56, 10)),
+        b(s, "", "splay", k::splay(1_000)),
+        b(s, "", "segmentation", k::stencil(36, 5)),
+        b(s, "", "richards", k::richards(11_000)),
+        b(s, "", "regexp", k::regex_scan(2_200)),
+        b(s, "", "regex-dna-SP", k::regex_scan(2_600)),
+        b(s, "", "raytrace", k::raytrace(44, 33)),
+        b(s, "", "prepack-wtb", k::parser_stress(2_200)),
+        b(s, "", "pdfjs", k::string_codec(1_900)),
+        b(s, "", "OfflineAssembler", k::parser_stress(1_900)),
+        b(s, "", "octane-zlib", k::vm_dispatch(48_000)),
+        b(s, "", "octane-code-load", k::parser_stress(2_400)),
+        b(s, "", "navier-stokes", k::stencil(40, 6)),
+        b(s, "", "n-body-SP", k::nbody(11, 40)),
+        b(s, "", "multi-inspector-code-load", k::parser_stress(2_000)),
+        b(s, "", "ML", k::matmul(26)),
+        b(s, "", "mandreel", k::vm_dispatch(55_000)),
+        b(s, "", "lebab-wtb", k::parser_stress(2_100)),
+        b(s, "", "json-stringify-inspector", k::json_kernel(150, true)),
+        b(s, "", "json-parse-inspector", k::json_kernel(110, false)),
+        b(s, "", "jshint-wtb", k::parser_stress(2_300)),
+        b(s, "", "hash-map", k::hashmap(10_000)),
+        b(s, "", "gbemu", k::vm_dispatch(65_000)),
+        b(s, "", "gaussian-blur", k::blur(90, 60)),
+        b(s, "", "float-mm.c", k::matmul(28)),
+        b(s, "", "FlightPlanner", k::astar(22)),
+        b(s, "", "first-inspector-code-load", k::parser_stress(1_800)),
+        b(s, "", "espree-wtb", k::parser_stress(2_200)),
+        b(s, "", "earley-boyer", k::splay(850)),
+        b(s, "", "delta-blue", k::richards(8_500)),
+        b(s, "", "date-format-xparb-SP", k::date_format(1_400)),
+        b(s, "", "date-format-tofte-SP", k::date_format(1_300)),
+        b(s, "", "crypto-sha1-SP", k::sha_like(28)),
+        b(s, "", "crypto-md5-SP", k::sha_like(26)),
+        b(s, "", "crypto-aes-SP", k::aes_like(52, 10)),
+        b(s, "", "crypto", k::sha_like(34)),
+        b(s, "", "coffeescript-wtb", k::parser_stress(2_500)),
+        b(s, "", "chai-wtb", k::hashmap(8_000)),
+        b(s, "", "cdjs", k::nbody(10, 45)),
+        b(s, "", "Box2D", k::nbody(12, 40)),
+        b(s, "", "bomb-workers", k::vm_dispatch(40_000)),
+        b(s, "", "Basic", k::vm_dispatch(45_000)),
+        b(s, "", "base64-SP", k::string_codec(2_000)),
+        b(s, "", "babylon-wtb", k::parser_stress(2_400)),
+        b(s, "", "Babylon", k::parser_stress(2_600)),
+        b(s, "", "async-fs", k::hashmap(7_500)),
+        b(s, "", "Air", k::vm_dispatch(52_000)),
+        b(s, "", "ai-astar", k::astar(23)),
+        b(s, "", "acorn-wtb", k::parser_stress(2_300)),
+        b(s, "", "3d-raytrace-SP", k::raytrace(42, 32)),
+        b(s, "", "3d-cube-SP", k::matmul(24)),
+    ]
+}
+
+/// The Dromaeo suite analog (Figure 4 / Table 2: five sub-suites).
+pub fn dromaeo() -> Vec<Benchmark> {
+    let s = "dromaeo";
+    vec![
+        // dom: DOM API churn — gated natives in the hot loop.
+        b(s, "dom", "dom-attr", k::dom_attr(260)),
+        b(s, "dom", "dom-modify", k::dom_create(110)),
+        b(s, "dom", "dom-query", k::dom_query(120)),
+        b(s, "dom", "dom-traverse", k::dom_traverse(90)),
+        b(s, "dom", "innerHTML", k::dom_inner_html(60)),
+        b(s, "dom", "dom-style", k::dom_style(600)),
+        b(s, "dom", "dom-events", k::dom_events(260)),
+        b(s, "dom", "dom-reflow", k::dom_reflow(40)),
+        // jslib: jQuery-style batched DOM work.
+        b(s, "jslib", "jslib-attr-jquery", k::jslib_modify(26)),
+        b(s, "jslib", "jslib-modify-jquery", k::jslib_build(45)),
+        b(s, "jslib", "jslib-event-jquery", k::dom_events(210)),
+        b(s, "jslib", "jslib-style-jquery", k::jslib_modify(24)),
+        b(s, "jslib", "jslib-traverse-jquery", k::dom_traverse(70)),
+        // v8: the classic V8 suite.
+        b(s, "v8", "v8-richards", k::richards(10_000)),
+        b(s, "v8", "v8-deltablue", k::richards(8_000)),
+        b(s, "v8", "v8-crypto", k::sha_like(30)),
+        b(s, "v8", "v8-raytrace", k::raytrace(44, 32)),
+        b(s, "v8", "v8-earley-boyer", k::splay(800)),
+        b(s, "v8", "v8-regexp", k::regex_scan(2_000)),
+        b(s, "v8", "v8-splay", k::splay(1_000)),
+        // sunspider.
+        b(s, "sunspider", "sunspider-3d-cube", k::matmul(22)),
+        b(s, "sunspider", "sunspider-3d-raytrace", k::raytrace(40, 30)),
+        b(s, "sunspider", "sunspider-access-nbody", k::nbody(10, 40)),
+        b(s, "sunspider", "sunspider-bitops-nsieve", k::vm_dispatch(42_000)),
+        b(s, "sunspider", "sunspider-controlflow-recursive", k::splay(700)),
+        b(s, "sunspider", "sunspider-crypto-aes", k::aes_like(48, 10)),
+        b(s, "sunspider", "sunspider-date-format-tofte", k::date_format(1_200)),
+        b(s, "sunspider", "sunspider-math-cordic", k::oscillator(13_000)),
+        b(s, "sunspider", "sunspider-regexp-dna", k::regex_scan(2_200)),
+        b(s, "sunspider", "sunspider-string-base64", k::string_codec(1_700)),
+        b(s, "sunspider", "sunspider-string-tagcloud", k::tagcloud(600)),
+        // dromaeo: core JS micro-tests.
+        b(s, "dromaeo", "dromaeo-object-array", k::hashmap(8_000)),
+        b(s, "dromaeo", "dromaeo-object-string", k::tagcloud(650)),
+        b(s, "dromaeo", "dromaeo-string-base64", k::string_codec(1_800)),
+        b(s, "dromaeo", "dromaeo-3d-cube", k::matmul(22)),
+        b(s, "dromaeo", "dromaeo-core-eval", k::parser_stress(2_000)),
+        b(s, "dromaeo", "dromaeo-object-regexp", k::regex_scan(1_900)),
+    ]
+}

@@ -1,0 +1,98 @@
+//! Workload validation: every benchmark parses, runs, and is
+//! deterministic across configurations.
+
+use servolite::BrowserConfig;
+use workloads::{
+    dromaeo, jetstream2, kraken, octane, profile_for, run_benchmark, runner::verify_checksums,
+    run_config, Benchmark, SuiteSummary,
+};
+
+fn spot_check(benchmarks: &[Benchmark]) {
+    // Every benchmark must run to completion on the baseline.
+    for b in benchmarks {
+        let r = run_benchmark(BrowserConfig::Base, None, b)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert!(r.checksum.is_finite(), "{} produced {}", b.name, r.checksum);
+        assert!(r.seconds > 0.0);
+    }
+}
+
+#[test]
+fn kraken_all_run_on_base() {
+    spot_check(&kraken());
+}
+
+#[test]
+fn octane_all_run_on_base() {
+    spot_check(&octane());
+}
+
+#[test]
+fn jetstream2_all_run_on_base() {
+    spot_check(&jetstream2());
+}
+
+#[test]
+fn dromaeo_all_run_on_base() {
+    spot_check(&dromaeo());
+}
+
+#[test]
+fn suite_counts_match_paper_figures() {
+    assert_eq!(kraken().len(), 14, "Figure 5 has 14 Kraken benchmarks");
+    assert_eq!(octane().len(), 17, "Figure 6 has 17 Octane benchmarks");
+    assert_eq!(jetstream2().len(), 59, "Figure 7 has 59 JetStream2 benchmarks");
+    let d = dromaeo();
+    for sub in ["dom", "jslib", "v8", "sunspider", "dromaeo"] {
+        assert!(d.iter().any(|b| b.sub == sub), "missing Dromaeo sub-suite {sub}");
+    }
+}
+
+#[test]
+fn full_pipeline_on_a_dom_slice_is_deterministic() {
+    // A small slice with both compute and DOM benchmarks, through all
+    // three configurations, with matching checksums everywhere.
+    let mut slice: Vec<Benchmark> = Vec::new();
+    let d = dromaeo();
+    slice.push(d.iter().find(|b| b.name == "dom-attr").unwrap().clone());
+    slice.push(d.iter().find(|b| b.name == "dom-traverse").unwrap().clone());
+    slice.push(d.iter().find(|b| b.name == "v8-crypto").unwrap().clone());
+
+    let profile = profile_for(&slice).unwrap();
+    assert!(!profile.is_empty(), "DOM benchmarks must discover shared sites");
+
+    let base = run_config(BrowserConfig::Base, None, &slice).unwrap();
+    let alloc = run_config(BrowserConfig::Alloc, Some(&profile), &slice).unwrap();
+    let mpk = run_config(BrowserConfig::Mpk, Some(&profile), &slice).unwrap();
+
+    verify_checksums(&base, &alloc).unwrap();
+    verify_checksums(&base, &mpk).unwrap();
+
+    // Gated configs transition; ungated do not.
+    assert_eq!(base.total_transitions(), 0);
+    assert_eq!(alloc.total_transitions(), 0);
+    assert!(mpk.total_transitions() > 100, "{}", mpk.total_transitions());
+
+    // DOM benchmarks generate vastly more transitions than pure JS.
+    let attr = mpk.rows.iter().find(|r| r.name == "dom-attr").unwrap();
+    let crypto = mpk.rows.iter().find(|r| r.name == "v8-crypto").unwrap();
+    assert!(
+        attr.transitions > 50 * crypto.transitions.max(1),
+        "dom {} vs js {}",
+        attr.transitions,
+        crypto.transitions
+    );
+
+    let summary = SuiteSummary::compare(&base, &mpk);
+    assert_eq!(summary.normalized.len(), 3);
+    assert!(summary.geomean > 0.0);
+}
+
+#[test]
+fn mpk_without_needed_profile_crashes_dom_benchmark() {
+    let d = dromaeo();
+    let traverse = d.iter().find(|b| b.name == "dom-traverse").unwrap();
+    let err = run_benchmark(BrowserConfig::Mpk, None, traverse).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("pkey"), "{text}");
+}

@@ -1,0 +1,53 @@
+//! A short tour of the evaluation: a slice of each suite across the
+//! base / alloc / mpk configurations.
+//!
+//! The full tables take minutes (`cargo bench`); this example runs a
+//! handful of benchmarks and prints the same row format in seconds.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+
+use pkru_safe_repro::servolite::BrowserConfig;
+use pkru_safe_repro::workloads::{
+    dromaeo, kraken, profile_for, run_config, Benchmark, SuiteSummary,
+};
+
+fn main() {
+    let mut slice: Vec<Benchmark> = Vec::new();
+    let d = dromaeo();
+    let k = kraken();
+    for name in ["dom-attr", "dom-traverse", "v8-crypto", "sunspider-string-base64"] {
+        slice.push(d.iter().find(|b| b.name == name).expect("benchmark").clone());
+    }
+    for name in ["audio-fft", "json-parse-financial"] {
+        slice.push(k.iter().find(|b| b.name == name).expect("benchmark").clone());
+    }
+
+    println!("profiling the corpus...");
+    let profile = profile_for(&slice).expect("profile");
+    println!("profile: {} shared sites\n", profile.len());
+
+    let base = run_config(BrowserConfig::Base, None, &slice).expect("base");
+    let alloc = run_config(BrowserConfig::Alloc, Some(&profile), &slice).expect("alloc");
+    let mpk = run_config(BrowserConfig::Mpk, Some(&profile), &slice).expect("mpk");
+
+    println!(
+        "{:<26} {:>10} {:>8} {:>8} {:>14} {:>8}",
+        "benchmark", "base ms", "alloc", "mpk", "transitions", "%M_U"
+    );
+    for b in &base.rows {
+        let a = alloc.rows.iter().find(|r| r.name == b.name).expect("row");
+        let m = mpk.rows.iter().find(|r| r.name == b.name).expect("row");
+        println!(
+            "{:<26} {:>10.2} {:>7.2}x {:>7.2}x {:>14} {:>7.1}%",
+            b.name,
+            b.seconds * 1e3,
+            a.seconds / b.seconds,
+            m.seconds / b.seconds,
+            m.transitions,
+            m.percent_mu
+        );
+    }
+    let summary = SuiteSummary::compare(&base, &mpk);
+    println!("\nmean mpk overhead over this slice: {:+.2}%", summary.mean_overhead_pct);
+    println!("note the DOM rows: orders of magnitude more transitions, hence the overhead (§5.3)");
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the PKRU-Safe reproduction workspace.
+//!
+//! This root package exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. It re-exports every
+//! workspace crate under one roof so examples and tests can write
+//! `pkru_safe_repro::servolite::Browser` style paths.
+
+pub use lir;
+pub use minijs;
+pub use pkalloc;
+pub use pkru_gates as gates;
+pub use pkru_mpk as mpk;
+pub use pkru_provenance as provenance;
+pub use pkru_safe as core_pipeline;
+pub use pkru_vmem as vmem;
+pub use servolite;
+pub use workloads;

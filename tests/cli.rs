@@ -1,0 +1,122 @@
+//! Integration tests for the `pkru-safe-build` CLI.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    // Cargo puts integration-test binaries in target/<profile>/deps; the
+    // CLI lives one level up.
+    let mut path = PathBuf::from(std::env::current_exe().expect("test exe"));
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.push("pkru-safe-build");
+    Command::new(path)
+}
+
+fn demo_program(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("demo.lir");
+    std::fs::write(
+        &path,
+        r#"
+untrusted fn @clib::bump(1) {
+bb0:
+  %1 = load %0, 0
+  %2 = add %1, 1
+  store %0, 0, %2
+  ret %2
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 16
+  store %0, 0, 1336
+  %1 = call @clib::bump(%0)
+  print %1
+  ret %1
+}
+"#,
+    )
+    .expect("write demo");
+    path
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pkru_safe_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn check_accepts_valid_and_rejects_invalid() {
+    let dir = temp_dir("check");
+    let program = demo_program(&dir);
+    let ok = cli().arg("check").arg(&program).output().expect("run");
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+
+    let bad = dir.join("bad.lir");
+    std::fs::write(&bad, "fn @main(0) {\nbb0:\n  br bb9\n}").expect("write");
+    let fail = cli().arg("check").arg(&bad).output().expect("run");
+    assert!(!fail.status.success());
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("bb9"));
+}
+
+#[test]
+fn profile_then_enforce_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let program = demo_program(&dir);
+    let profile_path = dir.join("profile.json");
+
+    let profile = cli()
+        .args(["profile"])
+        .arg(&program)
+        .args(["-o"])
+        .arg(&profile_path)
+        .output()
+        .expect("run");
+    assert!(profile.status.success(), "{}", String::from_utf8_lossy(&profile.stderr));
+    assert!(String::from_utf8_lossy(&profile.stderr).contains("1 shared site"));
+
+    let enforce = cli()
+        .args(["enforce"])
+        .arg(&program)
+        .args(["-p"])
+        .arg(&profile_path)
+        .output()
+        .expect("run");
+    assert!(enforce.status.success(), "{}", String::from_utf8_lossy(&enforce.stderr));
+    let stdout = String::from_utf8_lossy(&enforce.stdout);
+    assert!(stdout.contains("1337"), "{stdout}");
+}
+
+#[test]
+fn enforce_without_profile_crashes_with_pkey_violation() {
+    let dir = temp_dir("noprofile");
+    let program = demo_program(&dir);
+    let out = cli().args(["enforce"]).arg(&program).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pkey violation"), "{stderr}");
+}
+
+#[test]
+fn full_run_reports_census() {
+    let dir = temp_dir("run");
+    let program = demo_program(&dir);
+    let out = cli().args(["run"]).arg(&program).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 of 1 allocation sites"), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1337"));
+}
+
+#[test]
+fn annotate_emits_gated_module() {
+    let dir = temp_dir("annotate");
+    let program = demo_program(&dir);
+    let out = cli().args(["annotate"]).arg(&program).output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gate.enter.untrusted"), "{stdout}");
+    assert!(stdout.contains("__pkru_gate_clib::bump"), "{stdout}");
+}

@@ -1,0 +1,136 @@
+//! Whole-system integration: browser + engine + pipeline + workloads.
+
+use pkru_safe_repro::servolite::{Browser, BrowserConfig, SECRET_ADDR};
+use pkru_safe_repro::workloads::{dromaeo, profile_for, run_benchmark, run_config};
+
+const PAGE: &str = r#"
+<div id="root">
+  <p id="a">first</p>
+  <p id="b">second</p>
+</div>
+"#;
+
+#[test]
+fn browser_survives_repeated_script_sessions_under_mpk() {
+    let profile = {
+        let mut p = Browser::new(BrowserConfig::Profiling).unwrap();
+        p.load_html(PAGE).unwrap();
+        p.eval_script(
+            "var n = document.getElementById('a'); var s = n.tagName + n.innerText(); \
+             var m = document.getElementById('b'); s += m.text;",
+        )
+        .unwrap();
+        p.into_profile()
+    };
+    let mut browser = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).unwrap();
+    browser.load_html(PAGE).unwrap();
+    for i in 0..20 {
+        let v = browser
+            .eval_script(&format!(
+                "var n = document.getElementById('a'); return n.tagName.length + {i};"
+            ))
+            .unwrap();
+        assert!(matches!(v, pkru_safe_repro::minijs::Value::Num(n) if n == 1.0 + f64::from(i)));
+    }
+    // 20 evals = 40 transitions plus the earlier load.
+    assert!(browser.stats().transitions >= 40);
+}
+
+#[test]
+fn engine_cannot_forge_pkru_or_reach_gates() {
+    // The threat model: PKRU values live in registers (the Cpu model),
+    // unreachable from script. The only surface script has is memory — and
+    // trusted memory faults. Scan a swath of the trusted region.
+    let profile = {
+        let mut p = Browser::new(BrowserConfig::Profiling).unwrap();
+        p.load_html(PAGE).unwrap();
+        p.eval_script("document.getElementById('a').tagName;").unwrap();
+        p.into_profile()
+    };
+    let mut browser = Browser::with_profile(BrowserConfig::Mpk, Some(&profile)).unwrap();
+    browser.load_html(PAGE).unwrap();
+    let probe = format!(
+        r#"
+var a = [1.1];
+a.length = 1e15;
+var base = debugAddrOf(a);
+var idx = ({SECRET_ADDR} - base) / 8;
+var x = a[idx];   // read, not just write, must also be blocked
+return x;
+"#
+    );
+    let err = browser.eval_script(&probe).unwrap_err();
+    assert!(err.is_pkey_violation(), "{err}");
+}
+
+#[test]
+fn oob_within_untrusted_pool_is_not_blocked() {
+    // MPK draws the line at the compartment boundary, not within M_U:
+    // corrupting the engine's own heap is out of scope (§5.4 "memory
+    // corruption of this type occurs within the shared region").
+    let mut browser = Browser::new(BrowserConfig::Mpk).unwrap();
+    browser.load_html(PAGE).unwrap();
+    let v = browser
+        .eval_script(
+            r#"
+var a = [1.1];
+var b = [9.9];
+a.length = 64;
+var sum = 0;
+for (var i = 0; i < 64; i++) {
+  var x = a[i];
+  if (typeof x == 'number') sum += 1;
+}
+return sum;
+"#,
+        )
+        .unwrap();
+    // The OOB reads inside M_U succeed (they may see b's data or heap
+    // metadata) — no pkey violation.
+    assert!(matches!(v, pkru_safe_repro::minijs::Value::Num(n) if n > 0.0));
+}
+
+#[test]
+fn dromaeo_dom_slice_overhead_shape() {
+    // The headline shape of Table 2: the dom sub-suite pays measurably
+    // more than a compute benchmark under mpk, driven by transitions.
+    let all = dromaeo();
+    let dom: Vec<_> = all.iter().filter(|b| b.name == "dom-attr").cloned().collect();
+    let js: Vec<_> = all.iter().filter(|b| b.name == "v8-richards").cloned().collect();
+    let profile = profile_for(&dom).unwrap();
+    let dom_mpk = run_config(BrowserConfig::Mpk, Some(&profile), &dom).unwrap();
+    let js_profile = profile_for(&js).unwrap();
+    let js_mpk = run_config(BrowserConfig::Mpk, Some(&js_profile), &js).unwrap();
+    let dom_rate = dom_mpk.rows[0].transitions as f64 / dom_mpk.rows[0].seconds;
+    let js_rate = js_mpk.rows[0].transitions as f64 / js_mpk.rows[0].seconds;
+    assert!(
+        dom_rate > 20.0 * js_rate,
+        "dom transition rate {dom_rate:.0}/s vs js {js_rate:.0}/s"
+    );
+}
+
+#[test]
+fn profiling_and_enforcement_agree_on_results() {
+    // A benchmark computes the same checksum on the profiling build as on
+    // the enforcement build (the instrumentation does not change program
+    // behavior — §4.3.1 "no new allocation sites").
+    let all = dromaeo();
+    let b = all.iter().find(|b| b.name == "dom-query").unwrap();
+    let profile = profile_for(std::slice::from_ref(b)).unwrap();
+    let enforced = run_benchmark(BrowserConfig::Mpk, Some(&profile), b).unwrap();
+    let baseline = run_benchmark(BrowserConfig::Base, None, b).unwrap();
+    assert_eq!(enforced.checksum, baseline.checksum);
+}
+
+#[test]
+fn secret_page_has_trusted_key_only_under_split_configs() {
+    let mut base = Browser::new(BrowserConfig::Base).unwrap();
+    assert_eq!(base.secret_value().unwrap(), 42.0);
+    let mut mpk = Browser::new(BrowserConfig::Mpk).unwrap();
+    assert_eq!(mpk.secret_value().unwrap(), 42.0);
+    let key = {
+        let space = mpk.machine.space.lock();
+        space.page_pkey(SECRET_ADDR).unwrap()
+    };
+    assert_eq!(key, mpk.machine.trusted_pkey());
+}

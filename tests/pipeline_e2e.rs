@@ -1,0 +1,181 @@
+//! Cross-crate integration: the four-stage pipeline end to end on LIR
+//! programs (artifact experiment E1).
+
+use pkru_safe_repro::core_pipeline::{passes, Annotations, Pipeline, ProfileInput};
+use pkru_safe_repro::lir::{parse_module, FaultPolicy, Interp, Machine, Trap};
+use pkru_safe_repro::provenance::Profile;
+
+const PROGRAM: &str = r#"
+untrusted fn @clib::sum(2) {
+bb0:
+  %2 = const 0
+  %3 = const 0
+  br bb1
+bb1:
+  %4 = lt %3, %1
+  brif %4, bb2, bb3
+bb2:
+  %5 = mul %3, 8
+  %6 = add %0, %5
+  %7 = load %6, 0
+  %2 = add %2, %7
+  %3 = add %3, 1
+  br bb1
+bb3:
+  ret %2
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 80
+  %1 = const 0
+  br bb1
+bb1:
+  %2 = lt %1, 10
+  brif %2, bb2, bb3
+bb2:
+  %3 = mul %1, 8
+  %4 = add %0, %3
+  store %4, 0, %1
+  %1 = add %1, 1
+  br bb1
+bb3:
+  %5 = call @clib::sum(%0, 10)
+  print %5
+  ret %5
+}
+"#;
+
+#[test]
+fn pipeline_produces_working_partitioned_program() {
+    let app = Pipeline::new(parse_module(PROGRAM).unwrap(), Annotations::new())
+        .with_input(ProfileInput::new("main", &[]))
+        .build()
+        .unwrap();
+    assert_eq!(app.census.shared_sites, 1);
+    let (result, machine) = app.run("main", &[]);
+    assert_eq!(result.unwrap(), Some(45));
+    assert_eq!(machine.output, vec![45]);
+    assert_eq!(machine.gates.transitions(), 2);
+}
+
+#[test]
+fn unprofiled_enforcement_crashes_at_the_boundary() {
+    let pipeline = Pipeline::new(parse_module(PROGRAM).unwrap(), Annotations::new());
+    let mut module = pipeline.annotated_build().unwrap();
+    passes::apply_profile(&mut module, &Profile::new());
+    let mut machine = Machine::split(FaultPolicy::Crash).unwrap();
+    match Interp::new(&module, &mut machine).run("main", &[]) {
+        Err(Trap::Fault(f)) => assert!(f.is_pkey_violation()),
+        other => panic!("expected pkey fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn profile_transfers_between_programs_with_same_structure() {
+    // The profile recorded on one build applies to a recompiled module
+    // with identical site structure — the stability AllocIds guarantee.
+    let p1 = Pipeline::new(parse_module(PROGRAM).unwrap(), Annotations::new());
+    let profiling = p1.profiling_build().unwrap();
+    let profile = pkru_safe_repro::core_pipeline::run_profiling(
+        &profiling,
+        &[ProfileInput::new("main", &[])],
+    )
+    .unwrap();
+
+    let p2 = Pipeline::new(parse_module(PROGRAM).unwrap(), Annotations::new());
+    let mut module = p2.annotated_build().unwrap();
+    let moved = passes::apply_profile(&mut module, &profile);
+    assert_eq!(moved, 1);
+    let mut machine = Machine::split(FaultPolicy::Crash).unwrap();
+    assert_eq!(Interp::new(&module, &mut machine).run("main", &[]).unwrap(), Some(45));
+}
+
+#[test]
+fn callbacks_from_untrusted_code_reenter_trusted_compartment() {
+    let source = r#"
+untrusted fn @clib::apply(2) {
+bb0:
+  %2 = icall %0(%1)
+  ret %2
+}
+export fn @app::triple(1) {
+bb0:
+  %1 = mul %0, 3
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = addr @app::triple
+  %1 = call @clib::apply(%0, 14)
+  ret %1
+}
+"#;
+    let app = Pipeline::new(parse_module(source).unwrap(), Annotations::new())
+        .with_input(ProfileInput::new("main", &[]))
+        .build()
+        .unwrap();
+    let (result, machine) = app.run("main", &[]);
+    assert_eq!(result.unwrap(), Some(42));
+    // main->clib (2) plus clib->app::triple trusted entry (2).
+    assert_eq!(machine.gates.transitions(), 4);
+    assert_eq!(machine.gates.max_depth(), 2);
+}
+
+#[test]
+fn realloc_keeps_provenance_and_pool() {
+    // An object reallocated before crossing the boundary must still be
+    // discovered (provenance survives realloc) and placed in M_U.
+    let source = r#"
+untrusted fn @clib::peek(1) {
+bb0:
+  %1 = load %0, 0
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 16
+  store %0, 0, 99
+  %1 = realloc %0, 4096
+  %2 = call @clib::peek(%1)
+  ret %2
+}
+"#;
+    let app = Pipeline::new(parse_module(source).unwrap(), Annotations::new())
+        .with_input(ProfileInput::new("main", &[]))
+        .build()
+        .unwrap();
+    assert_eq!(app.census.shared_sites, 1);
+    let (result, _machine) = app.run("main", &[]);
+    assert_eq!(result.unwrap(), Some(99));
+}
+
+#[test]
+fn two_sites_one_shared_one_private() {
+    // Fine-grained partitioning: same size class, different fates.
+    let source = r#"
+untrusted fn @clib::peek(1) {
+bb0:
+  %1 = load %0, 0
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 64
+  %1 = alloc 64
+  store %0, 0, 7
+  store %1, 0, 8
+  %2 = call @clib::peek(%0)
+  %3 = load %1, 0
+  %4 = add %2, %3
+  ret %4
+}
+"#;
+    let app = Pipeline::new(parse_module(source).unwrap(), Annotations::new())
+        .with_input(ProfileInput::new("main", &[]))
+        .build()
+        .unwrap();
+    assert_eq!(app.census.total_sites, 2);
+    assert_eq!(app.census.shared_sites, 1);
+    let (result, _machine) = app.run("main", &[]);
+    assert_eq!(result.unwrap(), Some(15));
+}

@@ -1,0 +1,242 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use pkru_safe_repro::mpk::{AccessKind, Pkey, Pkru};
+use pkru_safe_repro::pkalloc::{
+    BaselineAlloc, CompartmentAlloc, Domain, PkAlloc, UNTRUSTED_BASE,
+};
+use pkru_safe_repro::provenance::{AllocId, MetadataTable, Profile};
+use pkru_safe_repro::vmem::{AddressSpace, Prot, PAGE_SIZE};
+
+fn pkey_strategy() -> impl Strategy<Value = Pkey> {
+    (0u8..16).prop_map(|i| Pkey::new(i).expect("index in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- PKRU ----
+
+    #[test]
+    fn pkru_rights_roundtrip(bits in any::<u32>(), key in pkey_strategy()) {
+        use pkru_safe_repro::mpk::PkeyRights;
+        let pkru = Pkru::from_bits(bits);
+        for rights in [PkeyRights::NoAccess, PkeyRights::ReadOnly, PkeyRights::ReadWrite] {
+            let updated = pkru.with_rights(key, rights);
+            prop_assert_eq!(updated.rights(key), rights);
+            // Other keys are untouched.
+            for other in 0..16u8 {
+                let other = Pkey::new(other).expect("key");
+                if other != key {
+                    prop_assert_eq!(updated.rights(other), pkru.rights(other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pkru_deny_only_blocks_exactly_one(key in pkey_strategy()) {
+        let pkru = Pkru::deny_only(key);
+        for i in 0..16u8 {
+            let k = Pkey::new(i).expect("key");
+            let expected = k != key;
+            prop_assert_eq!(pkru.allows(k, AccessKind::Read), expected);
+            prop_assert_eq!(pkru.allows(k, AccessKind::Write), expected);
+        }
+    }
+
+    // ---- vmem ----
+
+    #[test]
+    fn vmem_write_read_roundtrip(
+        writes in proptest::collection::vec((0u64..(1 << 16), any::<u64>()), 1..40)
+    ) {
+        let mut space = AddressSpace::new();
+        let base = space.mmap(1 << 16, Prot::READ_WRITE).expect("map");
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (off, value) in writes {
+            let addr = base + (off & !7).min((1 << 16) - 8);
+            space.write_u64(Pkru::ALL_ACCESS, addr, value).expect("write");
+            model.insert(addr, value);
+        }
+        for (addr, value) in model {
+            prop_assert_eq!(space.read_u64(Pkru::ALL_ACCESS, addr).expect("read"), value);
+        }
+    }
+
+    #[test]
+    fn vmem_pkey_partition_is_airtight(
+        key_index in 1u8..16,
+        probe in 0u64..(4 * PAGE_SIZE)
+    ) {
+        let mut space = AddressSpace::new();
+        let base = space.mmap(4 * PAGE_SIZE, Prot::READ_WRITE).expect("map");
+        let key = Pkey::new(key_index).expect("key");
+        // Tag the middle two pages.
+        space.pkey_mprotect(base + PAGE_SIZE, 2 * PAGE_SIZE, Prot::READ_WRITE, key)
+            .expect("tag");
+        let restricted = Pkru::deny_only(key);
+        let addr = base + probe;
+        let tagged = probe >= PAGE_SIZE && probe < 3 * PAGE_SIZE;
+        let result = space.check(restricted, addr, 1, AccessKind::Read);
+        prop_assert_eq!(result.is_err(), tagged);
+    }
+
+    #[test]
+    fn vmem_mprotect_split_preserves_other_pages(
+        split_at in 1u64..7,
+        len in 1u64..3
+    ) {
+        let mut space = AddressSpace::new();
+        let base = space.mmap(8 * PAGE_SIZE, Prot::READ_WRITE).expect("map");
+        let len = len.min(8 - split_at);
+        space.mprotect(base + split_at * PAGE_SIZE, len * PAGE_SIZE, Prot::READ).expect("protect");
+        for page in 0..8u64 {
+            let expected = if page >= split_at && page < split_at + len {
+                Prot::READ
+            } else {
+                Prot::READ_WRITE
+            };
+            prop_assert_eq!(space.page_prot(base + page * PAGE_SIZE), Some(expected));
+        }
+    }
+
+    // ---- allocators ----
+
+    #[test]
+    fn pkalloc_live_objects_never_overlap(
+        ops in proptest::collection::vec((any::<bool>(), 1u64..5000, any::<bool>()), 1..60)
+    ) {
+        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let mut alloc = PkAlloc::new(space, Pkey::new(1).expect("key")).expect("alloc");
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (untrusted, size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (ptr, _) = live.swap_remove(0);
+                alloc.dealloc(ptr).expect("free");
+                continue;
+            }
+            let ptr = if untrusted {
+                alloc.untrusted_alloc(size).expect("alloc")
+            } else {
+                alloc.alloc(size).expect("alloc")
+            };
+            let usable = alloc.usable_size(ptr).expect("usable");
+            prop_assert!(usable >= size);
+            for &(p, s) in &live {
+                prop_assert!(ptr + usable <= p || ptr >= p + s,
+                    "overlap: {:#x}+{} vs {:#x}+{}", ptr, usable, p, s);
+            }
+            // Pool placement matches the request.
+            let expected = if untrusted { Domain::Untrusted } else { Domain::Trusted };
+            prop_assert_eq!(alloc.domain_of(ptr), Some(expected));
+            live.push((ptr, usable));
+        }
+    }
+
+    #[test]
+    fn pkalloc_realloc_preserves_data_and_pool(
+        initial in 8u64..2000,
+        grown in 8u64..20000,
+        untrusted in any::<bool>()
+    ) {
+        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let mut alloc = PkAlloc::new(Arc::clone(&space), Pkey::new(1).expect("key")).expect("alloc");
+        let ptr = if untrusted {
+            alloc.untrusted_alloc(initial).expect("alloc")
+        } else {
+            alloc.alloc(initial).expect("alloc")
+        };
+        let n = (initial / 8).max(1);
+        for i in 0..n {
+            space.lock().write_u64(Pkru::ALL_ACCESS, ptr + i * 8, i * 3 + 1).expect("write");
+        }
+        let new_ptr = alloc.realloc(ptr, grown).expect("realloc");
+        let expected = if untrusted { Domain::Untrusted } else { Domain::Trusted };
+        prop_assert_eq!(alloc.domain_of(new_ptr), Some(expected));
+        let kept = n.min(grown / 8);
+        for i in 0..kept {
+            prop_assert_eq!(
+                space.lock().read_u64(Pkru::ALL_ACCESS, new_ptr + i * 8).expect("read"),
+                i * 3 + 1
+            );
+        }
+    }
+
+    #[test]
+    fn untrusted_pool_never_issues_trusted_addresses(
+        sizes in proptest::collection::vec(1u64..10000, 1..40)
+    ) {
+        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let mut alloc = PkAlloc::new(space, Pkey::new(1).expect("key")).expect("alloc");
+        for size in sizes {
+            let p = alloc.untrusted_alloc(size).expect("alloc");
+            prop_assert!(p >= UNTRUSTED_BASE);
+            prop_assert_eq!(alloc.domain_of(p), Some(Domain::Untrusted));
+        }
+    }
+
+    #[test]
+    fn baseline_alloc_free_cycles(
+        sizes in proptest::collection::vec(1u64..4096, 1..50)
+    ) {
+        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let mut alloc = BaselineAlloc::new(space).expect("alloc");
+        let mut ptrs = Vec::new();
+        for &size in &sizes {
+            ptrs.push(alloc.alloc(size).expect("alloc"));
+        }
+        for p in ptrs {
+            alloc.dealloc(p).expect("free");
+        }
+        // The arena is internally consistent afterwards: a fresh round of
+        // allocations still works.
+        for &size in &sizes {
+            prop_assert!(alloc.alloc(size).is_ok());
+        }
+    }
+
+    // ---- provenance ----
+
+    #[test]
+    fn metadata_lookup_matches_linear_scan(
+        objects in proptest::collection::vec((0u64..1000, 1u64..64), 1..30),
+        probe in 0u64..70000
+    ) {
+        let mut table = MetadataTable::new();
+        let mut model: Vec<(u64, u64, AllocId)> = Vec::new();
+        let mut cursor = 0x1000u64;
+        for (i, (gap, size)) in objects.into_iter().enumerate() {
+            cursor += gap;
+            let id = AllocId::new(i as u32, 0, 0);
+            table.log_alloc(cursor, size, id);
+            model.push((cursor, size, id));
+            cursor += size;
+        }
+        let addr = 0x1000 + probe;
+        let expected = model.iter().find(|(base, size, _)| addr >= *base && addr < base + size);
+        match (table.lookup(addr), expected) {
+            (Some(record), Some((base, _, id))) => {
+                prop_assert_eq!(record.addr, *base);
+                prop_assert_eq!(record.id, *id);
+            }
+            (None, None) => {}
+            (got, want) => prop_assert!(false, "lookup {:?} vs model {:?}", got, want),
+        }
+    }
+
+    #[test]
+    fn profile_json_roundtrip(ids in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..50)) {
+        let mut profile = Profile::new();
+        for (f, b, s) in ids {
+            profile.record(AllocId::new(f, b, s));
+        }
+        let back = Profile::from_json(&profile.to_json()).expect("parse");
+        prop_assert_eq!(profile, back);
+    }
+}
