@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! small wall-clock benchmarking harness exposing the slice of criterion's
+//! API the bench targets use: [`Criterion`] with the builder knobs,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. No statistics beyond mean/min/max — results
+//! print one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver: runs registered functions and prints timings.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Criterion {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, time: Duration) -> Criterion {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, time: Duration) -> Criterion {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up: run the body until the budget is spent.
+        let warm_until = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        while Instant::now() < warm_until {
+            f(&mut bencher);
+        }
+
+        // Measure: fixed per-sample iteration count sized so all samples
+        // fit the measurement budget.
+        let per_iter = bencher.elapsed.checked_div(bencher.iters.max(1) as u32);
+        let target_sample = self.measurement_time / self.sample_size as u32;
+        let iters = match per_iter {
+            Some(t) if !t.is_zero() => {
+                (target_sample.as_nanos() / t.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+            }
+            _ => 1000,
+        };
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            let per = bencher.elapsed / iters as u32;
+            best = best.min(per);
+            worst = worst.max(per);
+            total += per;
+        }
+        let mean = total / self.sample_size as u32;
+        println!(
+            "{name:<40} mean {:>10.1?}  min {:>10.1?}  max {:>10.1?}  ({} samples x {} iters)",
+            mean, best, worst, self.sample_size, iters
+        );
+        self
+    }
+}
+
+/// Timing context handed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `body`.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group; both the plain and `name =`/`config =`
+/// forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut counter = 0u64;
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .bench_function("counter", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+}

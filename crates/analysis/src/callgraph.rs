@@ -1,0 +1,131 @@
+//! The module call graph, with indirect calls resolved conservatively.
+
+use std::collections::BTreeSet;
+
+use lir::{address_taken, FuncId, Instr, Module};
+
+/// A call graph over a [`Module`].
+///
+/// Direct edges come from `call @f` instructions. Indirect calls cannot be
+/// resolved exactly, so each `icall` is given an edge to *every*
+/// address-taken function whose parameter count matches the call — the
+/// same conservative assumption PKRU-Safe's trusted-entry pass makes when
+/// it gates all exported and address-taken functions (§3.3).
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// `callees[f]` = everything `f` may call (direct ∪ resolved indirect).
+    callees: Vec<BTreeSet<FuncId>>,
+    /// Functions whose address is taken anywhere in the module.
+    address_taken: BTreeSet<FuncId>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for `module`.
+    ///
+    /// Calls to names not present in the module (a verifier error) are
+    /// ignored rather than panicking.
+    pub fn build(module: &Module) -> CallGraph {
+        let taken = address_taken(module);
+        let mut callees = vec![BTreeSet::new(); module.functions.len()];
+        for (fi, func) in module.functions.iter().enumerate() {
+            for block in &func.blocks {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::Call { callee, .. } => {
+                            if let Some(id) = module.find(callee) {
+                                callees[fi].insert(id);
+                            }
+                        }
+                        Instr::CallIndirect { args, .. } => {
+                            let arity = args.len() as u32;
+                            callees[fi].extend(
+                                taken
+                                    .iter()
+                                    .copied()
+                                    .filter(|t| module.function(*t).params == arity),
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        CallGraph { callees, address_taken: taken }
+    }
+
+    /// Everything `func` may call.
+    pub fn callees(&self, func: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.callees.get(func as usize).into_iter().flatten().copied()
+    }
+
+    /// Functions whose address is taken anywhere in the module.
+    pub fn address_taken(&self) -> &BTreeSet<FuncId> {
+        &self.address_taken
+    }
+
+    /// The set of possible targets of an indirect call with `arity`
+    /// arguments: arity-matched address-taken functions.
+    pub fn indirect_targets<'a>(
+        &'a self,
+        module: &'a Module,
+        arity: u32,
+    ) -> impl Iterator<Item = FuncId> + 'a {
+        self.address_taken.iter().copied().filter(move |t| module.function(*t).params == arity)
+    }
+
+    /// Transitive closure of `callees` starting from `roots`.
+    pub fn reachable_from(&self, roots: impl IntoIterator<Item = FuncId>) -> BTreeSet<FuncId> {
+        let mut seen: BTreeSet<FuncId> = BTreeSet::new();
+        let mut stack: Vec<FuncId> = roots.into_iter().collect();
+        while let Some(f) = stack.pop() {
+            if !seen.insert(f) {
+                continue;
+            }
+            stack.extend(self.callees(f).filter(|c| !seen.contains(c)));
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::parse_module;
+
+    #[test]
+    fn direct_and_indirect_edges() {
+        let m = parse_module(
+            "
+fn @leaf(1) {
+bb0:
+  ret %0
+}
+fn @other(2) {
+bb0:
+  ret
+}
+fn @mid(1) {
+bb0:
+  %1 = icall %0(5)
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = addr @leaf
+  %1 = call @mid(%0)
+  ret %1
+}
+",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&m);
+        let (leaf, mid, main) =
+            (m.find("leaf").unwrap(), m.find("mid").unwrap(), m.find("main").unwrap());
+        // main calls mid directly; mid's icall resolves to the arity-1
+        // address-taken function only (not @other, arity 2, never taken).
+        assert_eq!(cg.callees(main).collect::<Vec<_>>(), vec![mid]);
+        assert_eq!(cg.callees(mid).collect::<Vec<_>>(), vec![leaf]);
+        assert_eq!(cg.address_taken(), &BTreeSet::from([leaf]));
+        assert_eq!(cg.reachable_from([main]), BTreeSet::from([main, mid, leaf]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Structured diagnostics for the gate-integrity lint.
+
+use core::fmt;
+
+use lir::BlockId;
+
+/// What a [`LintError`] is about.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LintErrorKind {
+    /// A gate-exit instruction with no matching enter on this path.
+    UnbalancedGateExit {
+        /// The rendered mnemonic of the offending gate instruction.
+        gate: &'static str,
+    },
+    /// A return while a gate region is still open on this path.
+    UnmatchedGateAtReturn {
+        /// Open `gate.enter.untrusted` nesting depth at the return.
+        untrusted_depth: u32,
+        /// Open `gate.enter.trusted` nesting depth at the return.
+        trusted_depth: u32,
+    },
+    /// A join point reachable with two different gate states — the gate
+    /// discipline must be path-independent.
+    InconsistentGateState,
+    /// A direct call to an untrusted function made with trusted rights
+    /// (not bracketed by a T→U gate).
+    UngatedUntrustedCall {
+        /// The untrusted callee.
+        callee: String,
+    },
+    /// A gate instruction inside an untrusted function. Gates are
+    /// trusted-side infrastructure; untrusted code able to execute them
+    /// could restore its own rights (the WRPKRU-scanning concern, §3.2).
+    GateInUntrustedFunction,
+    /// A provenance-logging hook inside an untrusted function. The
+    /// metadata table lives in `M_T`; only trusted code may feed it.
+    ProvHookInUntrustedFunction,
+    /// A trusted-pool allocation executed while the untrusted compartment
+    /// is active. The pointer would be born inaccessible to the code that
+    /// requested it.
+    TrustedAllocInUntrustedRegion,
+}
+
+/// A gate-integrity defect, located like a [`lir::VerifyError`]:
+/// function, block, and instruction index.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LintError {
+    /// Function name.
+    pub func: String,
+    /// Offending block.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub index: usize,
+    /// What went wrong.
+    pub kind: LintErrorKind,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let LintError { func, block, index, kind } = self;
+        match kind {
+            LintErrorKind::UnbalancedGateExit { gate } => {
+                write!(f, "@{func} bb{block}: {gate} at index {index} has no matching enter")
+            }
+            LintErrorKind::UnmatchedGateAtReturn { untrusted_depth, trusted_depth } => write!(
+                f,
+                "@{func} bb{block}: return at index {index} with open gate region \
+                 (untrusted depth {untrusted_depth}, trusted depth {trusted_depth})"
+            ),
+            LintErrorKind::InconsistentGateState => {
+                write!(f, "@{func} bb{block}: reached with inconsistent gate states")
+            }
+            LintErrorKind::UngatedUntrustedCall { callee } => {
+                write!(f, "@{func} bb{block}: ungated call to untrusted @{callee} at index {index}")
+            }
+            LintErrorKind::GateInUntrustedFunction => write!(
+                f,
+                "@{func} bb{block}: gate instruction at index {index} inside untrusted function"
+            ),
+            LintErrorKind::ProvHookInUntrustedFunction => write!(
+                f,
+                "@{func} bb{block}: provenance hook at index {index} inside untrusted function"
+            ),
+            LintErrorKind::TrustedAllocInUntrustedRegion => write!(
+                f,
+                "@{func} bb{block}: trusted-pool alloc at index {index} while the untrusted \
+                 compartment is active"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_matches_verify_error_style() {
+        let e = LintError {
+            func: "main".into(),
+            block: 2,
+            index: 5,
+            kind: LintErrorKind::UngatedUntrustedCall { callee: "clib::f".into() },
+        };
+        assert_eq!(e.to_string(), "@main bb2: ungated call to untrusted @clib::f at index 5");
+        let e = LintError {
+            func: "w".into(),
+            block: 0,
+            index: 1,
+            kind: LintErrorKind::UnbalancedGateExit { gate: "gate.exit.untrusted" },
+        };
+        assert_eq!(e.to_string(), "@w bb0: gate.exit.untrusted at index 1 has no matching enter");
+    }
+}

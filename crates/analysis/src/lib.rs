@@ -1,0 +1,33 @@
+//! Static analyses over LIR modules (the paper's road-not-taken, §4.3).
+//!
+//! PKRU-Safe chose *dynamic* profiling to discover which trusted
+//! allocation sites leak into the untrusted compartment because
+//! whole-program static pointer analysis over LLVM IR was judged too
+//! imprecise. The repo's LIR is small enough to analyze soundly, so this
+//! crate builds the static counterpart and lets each side check the other:
+//!
+//! - [`escape::analyze`] — an interprocedural, flow-insensitive,
+//!   Andersen-style points-to/taint analysis computing the *may-escape*
+//!   set: every labeled allocation site whose objects may be dereferenced
+//!   while the untrusted compartment's rights are in force. The result is
+//!   a [`StaticProfile`] in the same JSON schema as the dynamic
+//!   [`pkru_provenance::Profile`], so the enforcement build can consume
+//!   either.
+//! - [`check_profile_soundness`] — the two-sided check: every
+//!   dynamically-observed site must appear in the static may-escape set;
+//!   a violation is a soundness bug in one of the two analyses.
+//! - [`gatelint::lint_module`] — a path-sensitive gate-integrity lint in
+//!   the spirit of ERIM/Garmr: gates balanced on every path, untrusted
+//!   calls bracketed, no gate or provenance hooks reachable inside the
+//!   untrusted compartment, and no trusted-pool allocation while the
+//!   untrusted compartment is active.
+
+mod callgraph;
+mod diag;
+mod escape;
+mod gatelint;
+
+pub use callgraph::CallGraph;
+pub use diag::{LintError, LintErrorKind};
+pub use escape::{analyze, check_profile_soundness, EscapeAnalysis, StaticProfile};
+pub use gatelint::lint_module;

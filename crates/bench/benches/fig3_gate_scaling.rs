@@ -12,8 +12,7 @@ fn main() {
     );
     let iters = 60_000i64;
     for loop_count in [0u32, 5, 10, 20, 40, 60, 80, 100, 125, 150, 175, 200] {
-        let kind =
-            if loop_count == 0 { MicroKind::Empty } else { MicroKind::Work(loop_count) };
+        let kind = if loop_count == 0 { MicroKind::Empty } else { MicroKind::Work(loop_count) };
         let (gated, plain) = measure_micro(kind, iters);
         println!("{loop_count}\t{:.3}", gated / plain);
     }

@@ -29,10 +29,7 @@ fn main() {
     .expect("matrix");
     let [base, alloc, mpk]: [ConfigReport; 3] = reports.try_into().expect("three reports");
 
-    header(
-        "Figure 7: JetStream2 normalized runtime per benchmark",
-        &["benchmark", "alloc", "mpk"],
-    );
+    header("Figure 7: JetStream2 normalized runtime per benchmark", &["benchmark", "alloc", "mpk"]);
     for b in &base.rows {
         let a = alloc.rows.iter().find(|r| r.name == b.name).expect("alloc row");
         let m = mpk.rows.iter().find(|r| r.name == b.name).expect("mpk row");

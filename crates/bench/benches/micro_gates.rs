@@ -11,15 +11,13 @@ fn main() {
         "Micro-benchmarks: per-call gate overhead (paper: Empty 8.55x, Read-One 7.61x, Callback 6.17x)",
         &["workload", "gated ns/call", "plain ns/call", "overhead"],
     );
-    let cases =
-        [("Empty", MicroKind::Empty), ("Read-One", MicroKind::ReadOne), ("Callback", MicroKind::Callback)];
+    let cases = [
+        ("Empty", MicroKind::Empty),
+        ("Read-One", MicroKind::ReadOne),
+        ("Callback", MicroKind::Callback),
+    ];
     for (name, kind) in cases {
         let (gated, plain) = measure_micro(kind, iters);
-        println!(
-            "{name}\t{:.1}\t{:.1}\t{:.2}x",
-            gated * 1e9,
-            plain * 1e9,
-            gated / plain
-        );
+        println!("{name}\t{:.1}\t{:.1}\t{:.2}x", gated * 1e9, plain * 1e9, gated / plain);
     }
 }

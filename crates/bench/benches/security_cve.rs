@@ -23,7 +23,10 @@ return a[idx];
 }
 
 fn main() {
-    header("Security experiment E3 (paper §5.4)", &["configuration", "secret before", "outcome", "secret after"]);
+    header(
+        "Security experiment E3 (paper §5.4)",
+        &["configuration", "secret before", "outcome", "secret after"],
+    );
 
     // Vulnerable browser (no PKRU-Safe).
     let mut vulnerable = Browser::new(BrowserConfig::Base).expect("browser");

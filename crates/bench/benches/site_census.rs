@@ -16,10 +16,7 @@ fn main() {
 
     let registry = SiteRegistry::from_profile(&profile);
     let shared = registry.shared_sites();
-    header(
-        "Site census (paper: 274 of 12088 sites moved, 2.26%)",
-        &["metric", "value"],
-    );
+    header("Site census (paper: 274 of 12088 sites moved, 2.26%)", &["metric", "value"]);
     println!("total browser allocation sites\t{SITE_COUNT}");
     println!("sites moved to M_U\t{shared}");
     println!("percent moved\t{:.2}%", 100.0 * shared as f64 / SITE_COUNT as f64);

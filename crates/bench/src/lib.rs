@@ -53,14 +53,10 @@ pub fn micro_module(kind: MicroKind, iters: i64, gated: bool) -> Module {
     let mut text = String::new();
     match kind {
         MicroKind::Empty => {
-            text.push_str(
-                "fn @clib::work(1) {\nbb0:\n  ret 0\n}\n",
-            );
+            text.push_str("fn @clib::work(1) {\nbb0:\n  ret 0\n}\n");
         }
         MicroKind::ReadOne => {
-            text.push_str(
-                "fn @clib::work(1) {\nbb0:\n  %1 = load %0, 0\n  ret %1\n}\n",
-            );
+            text.push_str("fn @clib::work(1) {\nbb0:\n  %1 = load %0, 0\n  ret %1\n}\n");
         }
         MicroKind::Callback => {
             // The callback target is an exported trusted function; the
@@ -76,9 +72,7 @@ pub fn micro_module(kind: MicroKind, iters: i64, gated: bool) -> Module {
             } else {
                 text.push_str(&format!("fn @app::cb(0) {{\n{body}}}\n"));
             }
-            text.push_str(
-                "fn @clib::work(1) {\nbb0:\n  %1 = icall %0()\n  ret %1\n}\n",
-            );
+            text.push_str("fn @clib::work(1) {\nbb0:\n  %1 = icall %0()\n  ret %1\n}\n");
         }
         MicroKind::Work(n) => {
             text.push_str(&format!(

@@ -189,11 +189,8 @@ pub fn insert_provenance_instrumentation(module: &mut Module) -> usize {
             for instr in block.instrs.drain(..) {
                 match &instr {
                     Instr::Alloc { dst, size, id: Some(id), .. } => {
-                        let log = Instr::ProvLogAlloc {
-                            ptr: Operand::Reg(*dst),
-                            size: *size,
-                            id: *id,
-                        };
+                        let log =
+                            Instr::ProvLogAlloc { ptr: Operand::Reg(*dst), size: *size, id: *id };
                         out.push(instr.clone());
                         out.push(log);
                         inserted += 1;
@@ -344,11 +341,9 @@ bb0:
         for f in &m.functions {
             for b in &f.blocks {
                 for i in &b.instrs {
-                    if let Instr::Alloc { id, .. } = i {
-                        if let Some(id) = id {
-                            assert!(!f.attrs.untrusted);
-                            assert!(seen.insert(*id), "duplicate {id}");
-                        }
+                    if let Instr::Alloc { id: Some(id), .. } = i {
+                        assert!(!f.attrs.untrusted);
+                        assert!(seen.insert(*id), "duplicate {id}");
                     }
                 }
             }
@@ -363,10 +358,7 @@ bb0:
         assert_eq!(inserted, 2);
         let main = m.function(m.find("main").unwrap());
         let instrs = &main.blocks[0].instrs;
-        let alloc_pos = instrs
-            .iter()
-            .position(|i| matches!(i, Instr::Alloc { .. }))
-            .unwrap();
+        let alloc_pos = instrs.iter().position(|i| matches!(i, Instr::Alloc { .. })).unwrap();
         assert!(matches!(instrs[alloc_pos + 1], Instr::ProvLogAlloc { .. }));
         // Stripping removes them all.
         assert_eq!(strip_provenance_instrumentation(&mut m), 2);
@@ -410,8 +402,8 @@ bb0:
         let mut m = annotated();
         let a = Annotations::distrusting(["mozjs"]);
         assert_eq!(expand_annotations(&mut m, &a), 1); // Counts, creates nothing new.
-        // The address-taken name now fronts a synthetic gate, so nothing
-        // further is instrumented.
+                                                       // The address-taken name now fronts a synthetic gate, so nothing
+                                                       // further is instrumented.
         assert_eq!(instrument_trusted_entries(&mut m), 0);
         verify_module(&m).unwrap();
     }

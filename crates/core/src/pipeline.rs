@@ -3,7 +3,8 @@
 use core::fmt;
 
 use lir::{verify_module, FaultPolicy, Interp, Machine, Module, Trap, VerifyError};
-use pkru_provenance::Profile;
+use pkru_analysis::{EscapeAnalysis, LintError};
+use pkru_provenance::{AllocId, Profile};
 
 use crate::annotations::Annotations;
 use crate::census::SiteCensus;
@@ -44,6 +45,16 @@ pub enum PipelineError {
     },
     /// Machine construction failed.
     Machine(Trap),
+    /// The gate-integrity lint rejected the annotated build (a compiler
+    /// pass emitted unbalanced or misplaced gates).
+    Lint(Vec<LintError>),
+    /// The dynamic profile observed sites the static escape analysis did
+    /// not predict — one of the two analyses is unsound.
+    UnsoundProfile {
+        /// Dynamically-recorded sites missing from the static
+        /// may-escape set.
+        missing: Vec<AllocId>,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -60,6 +71,20 @@ impl fmt::Display for PipelineError {
                 write!(f, "profiling run @{entry} crashed: {trap}")
             }
             PipelineError::Machine(t) => write!(f, "machine setup failed: {t}"),
+            PipelineError::Lint(errs) => {
+                write!(f, "gate-integrity lint failed: ")?;
+                for e in errs {
+                    write!(f, "[{e}] ")?;
+                }
+                Ok(())
+            }
+            PipelineError::UnsoundProfile { missing } => {
+                write!(f, "dynamic profile is not covered by the static may-escape set; missing:")?;
+                for site in missing {
+                    write!(f, " {site}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -94,10 +119,7 @@ impl PkruApp {
 /// Each input runs on a fresh machine in [`FaultPolicy::Profile`] mode: all
 /// trusted heap data still lives in `M_T`, so every cross-compartment
 /// access faults, is recorded, and is resumed by single-stepping.
-pub fn run_profiling(
-    module: &Module,
-    inputs: &[ProfileInput],
-) -> Result<Profile, PipelineError> {
+pub fn run_profiling(module: &Module, inputs: &[ProfileInput]) -> Result<Profile, PipelineError> {
     let mut merged = Profile::new();
     for input in inputs {
         let mut machine = Machine::split(FaultPolicy::Profile).map_err(PipelineError::Machine)?;
@@ -146,18 +168,40 @@ pub struct Pipeline {
     source: Module,
     annotations: Annotations,
     inputs: Vec<ProfileInput>,
+    static_checks: bool,
 }
 
 impl Pipeline {
     /// Creates a pipeline over `source` with the developer's annotations.
     pub fn new(source: Module, annotations: Annotations) -> Pipeline {
-        Pipeline { source, annotations, inputs: Vec::new() }
+        Pipeline { source, annotations, inputs: Vec::new(), static_checks: false }
     }
 
     /// Adds a profiling input (stage 3 corpus).
     pub fn with_input(mut self, input: ProfileInput) -> Pipeline {
         self.inputs.push(input);
         self
+    }
+
+    /// Enables the optional static-analysis stage: [`Pipeline::build`]
+    /// additionally lints the annotated build's gate integrity and
+    /// cross-checks the dynamic profile against the static may-escape set
+    /// (every observed site must have been statically predicted).
+    pub fn with_static_checks(mut self) -> Pipeline {
+        self.static_checks = true;
+        self
+    }
+
+    /// Runs the gate-integrity lint over the annotated build.
+    pub fn lint(&self) -> Result<(), PipelineError> {
+        let module = self.annotated_build()?;
+        pkru_analysis::lint_module(&module).map_err(PipelineError::Lint)
+    }
+
+    /// Runs the static escape analysis over the annotated build.
+    pub fn static_analysis(&self) -> Result<EscapeAnalysis, PipelineError> {
+        let module = self.annotated_build()?;
+        Ok(pkru_analysis::analyze(&module))
     }
 
     /// Stage 1: annotation expansion, gate insertion, site labeling.
@@ -183,18 +227,28 @@ impl Pipeline {
     }
 
     /// Stages 1–4: produce the enforcement-ready application.
+    ///
+    /// With [`Pipeline::with_static_checks`], the annotated build is also
+    /// gate-linted and the recorded profile is checked for static
+    /// coverage before the enforcement rewrite.
     pub fn build(self) -> Result<PkruApp, PipelineError> {
+        let static_profile = if self.static_checks {
+            self.lint()?;
+            Some(self.static_analysis()?.static_profile())
+        } else {
+            None
+        };
         let profiling = self.profiling_build()?;
         let profile = run_profiling(&profiling, &self.inputs)?;
+        if let Some(static_profile) = &static_profile {
+            pkru_analysis::check_profile_soundness(static_profile, &profile)
+                .map_err(|missing| PipelineError::UnsoundProfile { missing })?;
+        }
         let mut module = self.annotated_build()?;
         let total_sites = count_sites(&module);
         let shared_sites = passes::apply_profile(&mut module, &profile);
         verify_module(&module).map_err(PipelineError::Verify)?;
-        Ok(PkruApp {
-            module,
-            profile,
-            census: SiteCensus { total_sites, shared_sites },
-        })
+        Ok(PkruApp { module, profile, census: SiteCensus { total_sites, shared_sites } })
     }
 }
 
@@ -276,6 +330,48 @@ bb0:
         assert_eq!(machine.output, vec![1337, 41]);
         // The gated FFI call produced compartment transitions.
         assert!(machine.gates.transitions() >= 2, "{}", machine.gates.transitions());
+    }
+
+    #[test]
+    fn static_checks_pass_on_e1() {
+        // The static may-escape set must cover everything profiling
+        // observes, and the pass-emitted gates must lint clean.
+        let source = parse_module(E1).unwrap();
+        let app = Pipeline::new(source, Annotations::new())
+            .with_input(ProfileInput::new("main", &[]))
+            .with_static_checks()
+            .build()
+            .unwrap();
+        assert_eq!(app.census.shared_sites, 1);
+    }
+
+    #[test]
+    fn static_analysis_covers_dynamic_profile() {
+        let p = pipeline();
+        let analysis = p.static_analysis().unwrap();
+        let static_profile = analysis.static_profile();
+        let profiling = p.profiling_build().unwrap();
+        let dynamic = run_profiling(&profiling, &[ProfileInput::new("main", &[])]).unwrap();
+        pkru_analysis::check_profile_soundness(&static_profile, &dynamic).unwrap();
+        // And on E1 the static answer is exact: one site escapes.
+        assert_eq!(static_profile.len(), 1);
+    }
+
+    #[test]
+    fn lint_rejects_hand_broken_gates() {
+        // Un-exit-ed gate smuggled into otherwise valid source.
+        let source = parse_module(
+            "
+fn @main(0) {
+bb0:
+  gate.enter.untrusted
+  ret
+}
+",
+        )
+        .unwrap();
+        let err = Pipeline::new(source, Annotations::new()).lint().unwrap_err();
+        assert!(matches!(err, PipelineError::Lint(_)), "{err}");
     }
 
     #[test]

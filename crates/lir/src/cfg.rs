@@ -1,0 +1,142 @@
+//! Control-flow-graph helpers shared by the verifier, the compiler passes,
+//! and the static analyses in `pkru-analysis`.
+
+use std::collections::BTreeSet;
+
+use crate::ir::{Block, BlockId, FuncId, Function, Instr, Module};
+
+impl Block {
+    /// The block's terminator, if its last instruction is one.
+    pub fn terminator(&self) -> Option<&Instr> {
+        self.instrs.last().filter(|i| i.is_terminator())
+    }
+
+    /// Successor block IDs read off the terminator. Empty for `ret` and for
+    /// structurally broken blocks with no terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self.terminator() {
+            Some(Instr::Br { target }) => vec![*target],
+            Some(Instr::BrIf { then_bb, else_bb, .. }) => {
+                if then_bb == else_bb {
+                    vec![*then_bb]
+                } else {
+                    vec![*then_bb, *else_bb]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Function {
+    /// Successors of `block` (empty if the ID is out of range).
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        self.blocks.get(block as usize).map(Block::successors).unwrap_or_default()
+    }
+
+    /// Predecessor lists for every block, indexed by [`BlockId`].
+    ///
+    /// Dangling branch targets (caught separately by the verifier) are
+    /// ignored rather than panicking so analyses can run on broken input.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for succ in block.successors() {
+                if let Some(list) = preds.get_mut(succ as usize) {
+                    list.push(bi as BlockId);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from the entry block, in ascending order.
+    pub fn reachable_blocks(&self) -> BTreeSet<BlockId> {
+        let mut seen = BTreeSet::new();
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0];
+        while let Some(b) = stack.pop() {
+            if !seen.insert(b) {
+                continue;
+            }
+            for succ in self.successors(b) {
+                if (succ as usize) < self.blocks.len() && !seen.contains(&succ) {
+                    stack.push(succ);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Every function whose address is taken somewhere in the module.
+///
+/// These are the possible targets of *any* indirect call — in PKRU-Safe
+/// terms, the functions the untrusted compartment could call back into even
+/// without naming them.
+pub fn address_taken(module: &Module) -> BTreeSet<FuncId> {
+    let mut taken = BTreeSet::new();
+    for func in &module.functions {
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                if let Instr::FuncAddr { callee, .. } = instr {
+                    if let Some(id) = module.find(callee) {
+                        taken.insert(id);
+                    }
+                }
+            }
+        }
+    }
+    taken
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Operand;
+    use crate::parse::parse_module;
+
+    fn diamond() -> Function {
+        parse_module(
+            "fn @f(1) {\nbb0:\n  brif %0, bb1, bb2\nbb1:\n  br bb3\nbb2:\n  br bb3\nbb3:\n  ret\n}",
+        )
+        .unwrap()
+        .functions
+        .remove(0)
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = diamond();
+        assert_eq!(f.successors(0), vec![1, 2]);
+        assert_eq!(f.successors(1), vec![3]);
+        assert_eq!(f.successors(3), Vec::<BlockId>::new());
+        assert_eq!(f.predecessors(), vec![vec![], vec![0], vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn brif_same_target_deduplicated() {
+        let b =
+            Block { instrs: vec![Instr::BrIf { cond: Operand::Imm(1), then_bb: 2, else_bb: 2 }] };
+        assert_eq!(b.successors(), vec![2]);
+    }
+
+    #[test]
+    fn reachability_skips_orphans() {
+        let mut f = diamond();
+        // Add an orphan block nothing branches to.
+        f.blocks.push(Block { instrs: vec![Instr::Ret { value: None }] });
+        assert_eq!(f.reachable_blocks(), BTreeSet::from([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn address_taken_functions_found() {
+        let m = parse_module(
+            "fn @cb(0) {\nbb0:\n  ret\n}\nfn @main(0) {\nbb0:\n  %0 = addr @cb\n  ret\n}",
+        )
+        .unwrap();
+        assert_eq!(address_taken(&m), BTreeSet::from([m.find("cb").unwrap()]));
+    }
+}

@@ -22,10 +22,8 @@ impl<'a> Interp<'a> {
 
     /// Runs the named entry function with `args`, returning its result.
     pub fn run(&mut self, entry: &str, args: &[i64]) -> Result<Option<i64>, Trap> {
-        let id = self
-            .module
-            .find(entry)
-            .ok_or_else(|| Trap::UndefinedFunction(entry.to_string()))?;
+        let id =
+            self.module.find(entry).ok_or_else(|| Trap::UndefinedFunction(entry.to_string()))?;
         self.call(id, args, 0)
     }
 
@@ -75,7 +73,9 @@ impl<'a> Interp<'a> {
                         }
                         let ptr = match domain {
                             SiteDomain::Trusted => self.machine.alloc.alloc(n as u64)?,
-                            SiteDomain::Untrusted => self.machine.alloc.untrusted_alloc(n as u64)?,
+                            SiteDomain::Untrusted => {
+                                self.machine.alloc.untrusted_alloc(n as u64)?
+                            }
                         };
                         regs[*dst as usize] = ptr as i64;
                     }

@@ -21,6 +21,7 @@
 //! The `pkru-safe` crate implements the four compiler passes over this IR.
 
 mod builder;
+mod cfg;
 mod interp;
 mod ir;
 mod machine;
@@ -29,6 +30,7 @@ mod trap;
 mod verify;
 
 pub use builder::{BlockCursor, FunctionBuilder, ModuleBuilder};
+pub use cfg::address_taken;
 pub use interp::Interp;
 pub use ir::{
     BinOp, Block, BlockId, FnAttrs, FuncId, Function, Instr, Module, Operand, Reg, SiteDomain,
@@ -36,4 +38,4 @@ pub use ir::{
 pub use machine::{FaultPolicy, Machine, MachineConfig};
 pub use parse::{parse_module, ParseError};
 pub use trap::Trap;
-pub use verify::{verify_module, VerifyError};
+pub use verify::{verify_def_use, verify_module, VerifyError};

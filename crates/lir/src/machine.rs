@@ -82,7 +82,8 @@ impl Machine {
         // Key allocation cannot fail on a fresh pool.
         let trusted_pkey = pool.alloc().expect("fresh key pool");
         let alloc: Box<dyn CompartmentAlloc> = if config.split_allocator {
-            let pk_config = PkAllocConfig { unified_pools: config.unified_pools, ..PkAllocConfig::default() };
+            let pk_config =
+                PkAllocConfig { unified_pools: config.unified_pools, ..PkAllocConfig::default() };
             Box::new(PkAlloc::with_config(Arc::clone(&space), trusted_pkey, pk_config)?)
         } else {
             Box::new(BaselineAlloc::new(Arc::clone(&space))?)
@@ -199,9 +200,8 @@ impl Machine {
         match self.profiler.handle_fault(&fault) {
             FaultResolution::SingleStep { grant } => {
                 let space = Arc::clone(&self.space);
-                let outcome = single_step_access(&mut self.cpu, grant, |cpu| {
-                    retry(cpu, &mut space.lock())
-                });
+                let outcome =
+                    single_step_access(&mut self.cpu, grant, |cpu| retry(cpu, &mut space.lock()));
                 match outcome {
                     Ok(v) => Ok(v.unwrap_or(0)),
                     // The retry itself faulted (e.g. unmapped): crash.

@@ -20,7 +20,11 @@
 
 use core::fmt;
 
-use crate::ir::{BinOp, Block, BlockId, FnAttrs, Function, Instr, Module, Operand, Reg, SiteDomain};
+use pkru_provenance::AllocId;
+
+use crate::ir::{
+    BinOp, Block, BlockId, FnAttrs, Function, Instr, Module, Operand, Reg, SiteDomain,
+};
 
 /// A parse failure with its 1-based source line.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -173,6 +177,24 @@ fn parse_int(tok: &str, line: usize) -> Result<i64, ParseError> {
     tok.parse().map_err(|_| ParseError { line, message: format!("bad integer {tok:?}") })
 }
 
+/// Parses a site identifier in its display form, `f<func>.b<block>.s<site>`.
+fn parse_alloc_id(tok: &str, line: usize) -> Result<AllocId, ParseError> {
+    let bad = || ParseError { line, message: format!("bad site id {tok:?}") };
+    let mut parts = tok.split('.');
+    let mut field = |prefix: &str| {
+        parts
+            .next()
+            .and_then(|p| p.strip_prefix(prefix))
+            .and_then(|n| n.parse::<u32>().ok())
+            .ok_or_else(bad)
+    };
+    let id = AllocId::new(field("f")?, field("b")?, field("s")?);
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(id)
+}
+
 /// Splits `"a, b, c"` into trimmed tokens; empty input yields no tokens.
 fn split_args(s: &str) -> Vec<&str> {
     s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
@@ -317,6 +339,35 @@ fn parse_instr(line: &str, line_no: usize, nregs: &mut Reg) -> Result<Instr, Par
         }
         "free" => Ok(Instr::Dealloc { ptr: parse_operand(rest, line_no, nregs)? }),
         "call" | "icall" => parse_call(None, rest, line_no, nregs),
+        "gate.enter.untrusted" => Ok(Instr::GateEnterUntrusted),
+        "gate.exit.untrusted" => Ok(Instr::GateExitUntrusted),
+        "gate.enter.trusted" => Ok(Instr::GateEnterTrusted),
+        "gate.exit.trusted" => Ok(Instr::GateExitTrusted),
+        "prov.log_alloc" => {
+            let toks = split_args(rest);
+            if toks.len() != 3 {
+                return err(line_no, "prov.log_alloc needs ptr, size, site");
+            }
+            Ok(Instr::ProvLogAlloc {
+                ptr: parse_operand(toks[0], line_no, nregs)?,
+                size: parse_operand(toks[1], line_no, nregs)?,
+                id: parse_alloc_id(toks[2], line_no)?,
+            })
+        }
+        "prov.log_realloc" => {
+            let toks = split_args(rest);
+            if toks.len() != 3 {
+                return err(line_no, "prov.log_realloc needs old, new, size");
+            }
+            Ok(Instr::ProvLogRealloc {
+                old: parse_operand(toks[0], line_no, nregs)?,
+                new: parse_operand(toks[1], line_no, nregs)?,
+                size: parse_operand(toks[2], line_no, nregs)?,
+            })
+        }
+        "prov.log_dealloc" => {
+            Ok(Instr::ProvLogDealloc { ptr: parse_operand(rest, line_no, nregs)? })
+        }
         "print" => Ok(Instr::Print { value: parse_operand(rest, line_no, nregs)? }),
         "br" => Ok(Instr::Br { target: parse_block_label(rest, line_no)? }),
         "brif" => {
@@ -422,6 +473,43 @@ bb2:
     #[test]
     fn unterminated_function_rejected() {
         assert!(parse_module("fn @f(0) {\nbb0:\n  ret").is_err());
+    }
+
+    #[test]
+    fn gate_and_provenance_instrs_parse() {
+        let text = r#"
+fn @wrapper(1) {
+bb0:
+  gate.enter.untrusted
+  %1 = alloc 8
+  prov.log_alloc %1, 8, f0.b0.s0
+  prov.log_realloc %1, %1, 16
+  prov.log_dealloc %1
+  gate.exit.untrusted
+  gate.enter.trusted
+  gate.exit.trusted
+  ret
+}
+"#;
+        let module = parse_module(text).unwrap();
+        let instrs = &module.function(0).blocks[0].instrs;
+        assert_eq!(instrs[0], Instr::GateEnterUntrusted);
+        assert!(matches!(
+            instrs[2],
+            Instr::ProvLogAlloc { id, .. } if id == pkru_provenance::AllocId::new(0, 0, 0)
+        ));
+        assert_eq!(instrs[5], Instr::GateExitUntrusted);
+        assert_eq!(instrs[6], Instr::GateEnterTrusted);
+        assert_eq!(instrs[7], Instr::GateExitTrusted);
+        // Gate/prov instructions survive a dump→parse round trip.
+        assert_eq!(parse_module(&module.dump()).unwrap().dump(), module.dump());
+    }
+
+    #[test]
+    fn bad_site_id_rejected() {
+        let e = parse_module("fn @f(0) {\nbb0:\n  prov.log_alloc 0, 8, x1.b2.s3\n  ret\n}")
+            .unwrap_err();
+        assert!(e.message.contains("bad site id"), "{e}");
     }
 
     #[test]

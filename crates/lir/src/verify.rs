@@ -63,6 +63,20 @@ pub enum VerifyError {
         /// Function name.
         func: String,
     },
+    /// A register is read on some path before any assignment reaches it.
+    /// Reported by [`verify_def_use`], not [`verify_module`]: generated
+    /// code may rely on the interpreter's zero-initialized frames, so this
+    /// stricter check is opt-in.
+    UseBeforeDef {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: u32,
+        /// Instruction index within the block.
+        index: usize,
+        /// The register read before definition.
+        reg: u32,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -87,6 +101,9 @@ impl fmt::Display for VerifyError {
                 write!(f, "@{func}: @{callee} expects {expected} args, got {got}")
             }
             VerifyError::NoBlocks { func } => write!(f, "@{func}: no basic blocks"),
+            VerifyError::UseBeforeDef { func, block, index, reg } => {
+                write!(f, "@{func} bb{block}: %{reg} read at index {index} before definition")
+            }
         }
     }
 }
@@ -250,6 +267,158 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
     }
 }
 
+/// The register an instruction writes, if any.
+fn instr_def(instr: &Instr) -> Option<u32> {
+    match instr {
+        Instr::Const { dst, .. }
+        | Instr::Bin { dst, .. }
+        | Instr::Load { dst, .. }
+        | Instr::Alloc { dst, .. }
+        | Instr::Realloc { dst, .. }
+        | Instr::FuncAddr { dst, .. } => Some(*dst),
+        Instr::Call { dst, .. } | Instr::CallIndirect { dst, .. } => *dst,
+        _ => None,
+    }
+}
+
+/// Calls `use_reg` for every register an instruction reads.
+fn for_each_use(instr: &Instr, mut use_reg: impl FnMut(u32)) {
+    let mut op = |o: &Operand| {
+        if let Operand::Reg(r) = o {
+            use_reg(*r);
+        }
+    };
+    match instr {
+        Instr::Const { .. }
+        | Instr::FuncAddr { .. }
+        | Instr::Br { .. }
+        | Instr::GateEnterUntrusted
+        | Instr::GateExitUntrusted
+        | Instr::GateEnterTrusted
+        | Instr::GateExitTrusted => {}
+        Instr::Bin { lhs, rhs, .. } => {
+            op(lhs);
+            op(rhs);
+        }
+        Instr::Load { addr, .. } => op(addr),
+        Instr::Store { addr, value, .. } => {
+            op(addr);
+            op(value);
+        }
+        Instr::Alloc { size, .. } => op(size),
+        Instr::Realloc { ptr, new_size, .. } => {
+            op(ptr);
+            op(new_size);
+        }
+        Instr::Dealloc { ptr } | Instr::ProvLogDealloc { ptr } => op(ptr),
+        Instr::Call { args, .. } => args.iter().for_each(op),
+        Instr::CallIndirect { target, args, .. } => {
+            op(target);
+            args.iter().for_each(op);
+        }
+        Instr::Print { value } => op(value),
+        Instr::ProvLogAlloc { ptr, size, .. } => {
+            op(ptr);
+            op(size);
+        }
+        Instr::ProvLogRealloc { old, new, size } => {
+            op(old);
+            op(new);
+            op(size);
+        }
+        Instr::BrIf { cond, .. } => op(cond),
+        Instr::Ret { value } => {
+            if let Some(v) = value {
+                op(v);
+            }
+        }
+    }
+}
+
+/// Checks that every register read is preceded by a write on *all* paths
+/// from the entry block (parameters count as written on entry).
+///
+/// This is stricter than [`verify_module`]: the interpreter zero-fills
+/// frames, so a use-before-def executes fine but almost always indicates a
+/// bug in hand-written or pass-generated code. Runs as a separate opt-in
+/// pass for that reason. Assumes registers are in range (run
+/// [`verify_module`] first); unreachable blocks are not checked.
+pub fn verify_def_use(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    for func in &module.functions {
+        if func.blocks.is_empty() {
+            continue;
+        }
+        let nregs = func.num_regs.max(func.params) as usize;
+        let entry_defined: Vec<bool> = (0..nregs).map(|r| (r as u32) < func.params).collect();
+
+        // Forward must-defined dataflow: defined-at-entry(b) is the
+        // intersection of defined-at-exit over b's predecessors. `None` is
+        // the ⊤ ("all defined") starting value for not-yet-visited blocks.
+        let mut at_entry: Vec<Option<Vec<bool>>> = vec![None; func.blocks.len()];
+        at_entry[0] = Some(entry_defined);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in 0..func.blocks.len() {
+                let Some(mut defined) = at_entry[bi].clone() else {
+                    continue;
+                };
+                for instr in &func.blocks[bi].instrs {
+                    if let Some(d) = instr_def(instr) {
+                        if let Some(slot) = defined.get_mut(d as usize) {
+                            *slot = true;
+                        }
+                    }
+                }
+                for succ in func.successors(bi as u32) {
+                    let succ = succ as usize;
+                    if succ >= func.blocks.len() {
+                        continue;
+                    }
+                    let merged = match &at_entry[succ] {
+                        None => defined.clone(),
+                        Some(old) => old.iter().zip(&defined).map(|(a, b)| *a && *b).collect(),
+                    };
+                    if at_entry[succ].as_ref() != Some(&merged) {
+                        at_entry[succ] = Some(merged);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Report: walk each reached block with its entry state.
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let Some(mut defined) = at_entry[bi].clone() else {
+                continue;
+            };
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                for_each_use(instr, |r| {
+                    if !defined.get(r as usize).copied().unwrap_or(true) {
+                        errors.push(VerifyError::UseBeforeDef {
+                            func: func.name.clone(),
+                            block: bi as u32,
+                            index: ii,
+                            reg: r,
+                        });
+                    }
+                });
+                if let Some(d) = instr_def(instr) {
+                    if let Some(slot) = defined.get_mut(d as usize) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,9 +464,11 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("main", 0);
         f.blocks[0].instrs.push(Instr::Call { dst: None, callee: "ghost".into(), args: vec![] });
-        f.blocks[0]
-            .instrs
-            .push(Instr::Call { dst: None, callee: "main".into(), args: vec![Operand::Imm(1)] });
+        f.blocks[0].instrs.push(Instr::Call {
+            dst: None,
+            callee: "main".into(),
+            args: vec![Operand::Imm(1)],
+        });
         f.blocks[0].instrs.push(Instr::Ret { value: None });
         m.add_function(f);
         let errs = verify_module(&m).unwrap_err();
@@ -315,6 +486,51 @@ mod tests {
         m.add_function(f);
         let errs = verify_module(&m).unwrap_err();
         assert!(errs.iter().any(|e| matches!(e, VerifyError::EarlyTerminator { .. })));
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let text = "fn @f(0) {\nbb0:\n  print %0\n  ret\n}";
+        let m = crate::parse_module(text).unwrap();
+        // Register is in range (num_regs inferred as 1) but never written.
+        let errs = verify_def_use(&m).unwrap_err();
+        assert!(
+            matches!(&errs[0], VerifyError::UseBeforeDef { block: 0, index: 0, reg: 0, .. }),
+            "{errs:?}"
+        );
+        assert_eq!(errs[0].to_string(), "@f bb0: %0 read at index 0 before definition");
+    }
+
+    #[test]
+    fn def_on_one_path_only_is_flagged() {
+        // %1 is written only on the then-path; the join reads it.
+        let text = "fn @f(1) {\nbb0:\n  brif %0, bb1, bb2\nbb1:\n  %1 = const 7\n  br bb2\nbb2:\n  ret %1\n}";
+        let m = crate::parse_module(text).unwrap();
+        let errs = verify_def_use(&m).unwrap_err();
+        assert!(matches!(&errs[0], VerifyError::UseBeforeDef { block: 2, reg: 1, .. }), "{errs:?}");
+    }
+
+    #[test]
+    fn def_on_all_paths_passes() {
+        let text = "fn @f(1) {\nbb0:\n  brif %0, bb1, bb2\nbb1:\n  %1 = const 7\n  br bb3\nbb2:\n  %1 = const 9\n  br bb3\nbb3:\n  ret %1\n}";
+        let m = crate::parse_module(text).unwrap();
+        verify_def_use(&m).unwrap();
+    }
+
+    #[test]
+    fn params_count_as_defined_and_loops_converge() {
+        let text = "fn @loop(1) {\nbb0:\n  %1 = const 0\n  br bb1\nbb1:\n  %1 = add %1, 1\n  %2 = lt %1, %0\n  brif %2, bb1, bb2\nbb2:\n  ret %1\n}";
+        let m = crate::parse_module(text).unwrap();
+        verify_def_use(&m).unwrap();
+    }
+
+    #[test]
+    fn unreachable_blocks_not_checked() {
+        // bb1 is unreachable and reads an undefined register; the check
+        // only covers paths from the entry.
+        let text = "fn @f(0) {\nbb0:\n  ret\nbb1:\n  print %0\n  ret\n}";
+        let m = crate::parse_module(text).unwrap();
+        verify_def_use(&m).unwrap();
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Interpreter edge cases and gate semantics at the IR level.
 
-use lir::{
-    parse_module, verify_module, FaultPolicy, Instr, Interp, Machine, MachineConfig, Trap,
-};
+use lir::{parse_module, verify_module, FaultPolicy, Instr, Interp, Machine, MachineConfig, Trap};
 
 fn run(src: &str, entry: &str, args: &[i64]) -> Result<Option<i64>, Trap> {
     let module = parse_module(src).unwrap();
@@ -15,7 +13,10 @@ fn run(src: &str, entry: &str, args: &[i64]) -> Result<Option<i64>, Trap> {
 fn wrapping_arithmetic() {
     assert_eq!(
         run(
-            &format!("fn @f(0) {{\nbb0:\n  %0 = const {}\n  %1 = add %0, 1\n  ret %1\n}}", i64::MAX),
+            &format!(
+                "fn @f(0) {{\nbb0:\n  %0 = const {}\n  %1 = add %0, 1\n  ret %1\n}}",
+                i64::MAX
+            ),
             "f",
             &[]
         )
@@ -53,11 +54,7 @@ fn rem_and_div_trap_on_zero() {
 #[test]
 fn icall_rejects_garbage_addresses() {
     for target in [0i64, -1, 99999] {
-        let result = run(
-            "fn @f(1) {\nbb0:\n  %1 = icall %0()\n  ret %1\n}",
-            "f",
-            &[target],
-        );
+        let result = run("fn @f(1) {\nbb0:\n  %1 = icall %0()\n  ret %1\n}", "f", &[target]);
         assert!(matches!(result, Err(Trap::BadFunctionAddress(_))), "{target}: {result:?}");
     }
 }
@@ -92,10 +89,7 @@ fn alloc_size_validation() {
 
 #[test]
 fn fuel_limits_ir_loops() {
-    let module = parse_module(
-        "fn @f(0) {\nbb0:\n  br bb1\nbb1:\n  br bb1\n}",
-    )
-    .unwrap();
+    let module = parse_module("fn @f(0) {\nbb0:\n  br bb1\nbb1:\n  br bb1\n}").unwrap();
     let mut machine =
         Machine::new(MachineConfig { fuel: 10_000, ..MachineConfig::default() }).unwrap();
     let result = Interp::new(&module, &mut machine).run("f", &[]);
@@ -158,12 +152,9 @@ bb0:
   ret %1
 }
 ";
-    let app = pkru_safe::Pipeline::new(
-        parse_module(src).unwrap(),
-        pkru_safe::Annotations::new(),
-    )
-    .profiling_build()
-    .unwrap();
+    let app = pkru_safe::Pipeline::new(parse_module(src).unwrap(), pkru_safe::Annotations::new())
+        .profiling_build()
+        .unwrap();
     let mut machine = Machine::split(FaultPolicy::Profile).unwrap();
     assert_eq!(Interp::new(&app, &mut machine).run("main", &[]).unwrap(), Some(42));
     assert_eq!(machine.profiler.profile.len(), 1);
@@ -186,9 +177,8 @@ bb0:
 }
 ";
     let module = parse_module(src).unwrap();
-    let app = pkru_safe::Pipeline::new(module, pkru_safe::Annotations::new())
-        .annotated_build()
-        .unwrap();
+    let app =
+        pkru_safe::Pipeline::new(module, pkru_safe::Annotations::new()).annotated_build().unwrap();
     // Gate instructions render in the dump; the dump itself is for humans
     // (gates are pass-inserted, not re-parseable) — but every non-gate
     // function of the dump still reparses.

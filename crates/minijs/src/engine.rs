@@ -219,10 +219,7 @@ impl Engine {
         name: &str,
         args: &[Value],
     ) -> Result<Value, EngineError> {
-        let f = self
-            .global
-            .get(name)
-            .ok_or_else(|| EngineError::Reference(name.to_string()))?;
+        let f = self.global.get(name).ok_or_else(|| EngineError::Reference(name.to_string()))?;
         let mut ctx = Ctx::new(
             machine,
             &mut self.heap,
@@ -242,9 +239,9 @@ impl Engine {
         // Math.
         let math = self.heap.new_object();
         let def_math = |engine: &mut Engine,
-                            machine: &mut Machine,
-                            name: &str,
-                            f: NativeFn|
+                        machine: &mut Machine,
+                        name: &str,
+                        f: NativeFn|
          -> Result<(), EngineError> {
             let handle = engine.add_method_native(f);
             engine.heap.prop_set(machine, math, &name.into(), &Value::Native(handle))
@@ -402,9 +399,8 @@ impl Engine {
                     Some(rest) => (true, rest),
                     None => (false, t.strip_prefix('+').unwrap_or(t)),
                 };
-                let end = digits
-                    .find(|c: char| !c.is_digit(radix.clamp(2, 36)))
-                    .unwrap_or(digits.len());
+                let end =
+                    digits.find(|c: char| !c.is_digit(radix.clamp(2, 36))).unwrap_or(digits.len());
                 if end == 0 {
                     return Ok(Value::Num(f64::NAN));
                 }
@@ -630,10 +626,8 @@ impl JsonParser<'_> {
                                 b'\\' => s.push('\\'),
                                 b'/' => s.push('/'),
                                 b'u' => {
-                                    let hex = self
-                                        .bytes
-                                        .get(self.pos..self.pos + 4)
-                                        .ok_or_else(err)?;
+                                    let hex =
+                                        self.bytes.get(self.pos..self.pos + 4).ok_or_else(err)?;
                                     self.pos += 4;
                                     let code = u32::from_str_radix(
                                         std::str::from_utf8(hex).map_err(|_| err())?,
@@ -664,12 +658,14 @@ impl JsonParser<'_> {
             _ => {
                 let start = self.pos;
                 while self.pos < self.bytes.len()
-                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                    && matches!(
+                        self.bytes[self.pos],
+                        b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+                    )
                 {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| err())?;
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| err())?;
                 text.parse::<f64>().map(Value::Num).map_err(|_| err())
             }
         }

@@ -38,7 +38,9 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Parse { line, message } => write!(f, "SyntaxError (line {line}): {message}"),
+            EngineError::Parse { line, message } => {
+                write!(f, "SyntaxError (line {line}): {message}")
+            }
             EngineError::Type(m) => write!(f, "TypeError: {m}"),
             EngineError::Reference(m) => write!(f, "ReferenceError: {m} is not defined"),
             EngineError::Range(m) => write!(f, "RangeError: {m}"),

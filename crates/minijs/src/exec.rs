@@ -381,7 +381,10 @@ impl<'a> Ctx<'a> {
                 let closure = self.heap.closure(*handle)?.clone();
                 let scope = Env::child(&closure.env);
                 for (i, param) in closure.def.params.iter().enumerate() {
-                    scope.declare(Rc::clone(param), args.get(i).cloned().unwrap_or(Value::Undefined));
+                    scope.declare(
+                        Rc::clone(param),
+                        args.get(i).cloned().unwrap_or(Value::Undefined),
+                    );
                 }
                 scope.declare("this".into(), this);
                 self.depth += 1;
@@ -463,9 +466,7 @@ impl<'a> Ctx<'a> {
                 self.heap.elem_get(self.machine, *h, *i)
             }
             (Value::Obj(h), Value::Str(name)) => self.heap.prop_get(self.machine, *h, name),
-            (Value::Obj(h), Value::Num(i)) => {
-                self.heap.prop_get(self.machine, *h, &fmt_f64(*i))
-            }
+            (Value::Obj(h), Value::Num(i)) => self.heap.prop_get(self.machine, *h, &fmt_f64(*i)),
             (Value::Str(s), Value::Num(i)) => {
                 let i = *i;
                 if i < 0.0 || i.fract() != 0.0 {
@@ -565,10 +566,7 @@ impl<'a> Ctx<'a> {
             return Ok(Value::Native(method));
         }
         let Some(field) = spec.fields.get(name).copied() else {
-            return Err(EngineError::Type(format!(
-                "host class {} has no field {name}",
-                spec.name
-            )));
+            return Err(EngineError::Type(format!("host class {} has no field {name}", spec.name)));
         };
         let field_addr = addr + field.offset;
         match field.kind {
@@ -614,10 +612,7 @@ impl<'a> Ctx<'a> {
     ) -> Result<(), EngineError> {
         let spec = self.host_class(class)?;
         let Some(field) = spec.fields.get(name).copied() else {
-            return Err(EngineError::Type(format!(
-                "host class {} has no field {name}",
-                spec.name
-            )));
+            return Err(EngineError::Type(format!("host class {} has no field {name}", spec.name)));
         };
         if !field.writable {
             return Err(EngineError::Type(format!("host field {name} is read-only")));
@@ -724,26 +719,24 @@ impl<'a> Ctx<'a> {
             BinaryOp::Rem => Value::Num(self.to_number(a)? % self.to_number(b)?),
             BinaryOp::Eq => Value::Bool(self.strict_eq(a, b)),
             BinaryOp::Ne => Value::Bool(!self.strict_eq(a, b)),
-            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
-                match (a, b) {
-                    (Value::Str(x), Value::Str(y)) => Value::Bool(match op {
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => match (a, b) {
+                (Value::Str(x), Value::Str(y)) => Value::Bool(match op {
+                    BinaryOp::Lt => x < y,
+                    BinaryOp::Le => x <= y,
+                    BinaryOp::Gt => x > y,
+                    _ => x >= y,
+                }),
+                _ => {
+                    let x = self.to_number(a)?;
+                    let y = self.to_number(b)?;
+                    Value::Bool(match op {
                         BinaryOp::Lt => x < y,
                         BinaryOp::Le => x <= y,
                         BinaryOp::Gt => x > y,
                         _ => x >= y,
-                    }),
-                    _ => {
-                        let x = self.to_number(a)?;
-                        let y = self.to_number(b)?;
-                        Value::Bool(match op {
-                            BinaryOp::Lt => x < y,
-                            BinaryOp::Le => x <= y,
-                            BinaryOp::Gt => x > y,
-                            _ => x >= y,
-                        })
-                    }
+                    })
                 }
-            }
+            },
             BinaryOp::BitAnd => {
                 Value::Num(f64::from(to_int32(self.to_number(a)?) & to_int32(self.to_number(b)?)))
             }
@@ -915,7 +908,13 @@ impl<'a> Ctx<'a> {
             }
             "slice" => {
                 let len = self.heap.array_len(self.machine, h)? as f64;
-                let norm = |v: f64| if v < 0.0 { (len + v).max(0.0) } else { v.min(len) };
+                let norm = |v: f64| {
+                    if v < 0.0 {
+                        (len + v).max(0.0)
+                    } else {
+                        v.min(len)
+                    }
+                };
                 let a = match args.first() {
                     Some(v) => norm(self.to_number(v)?),
                     None => 0.0,

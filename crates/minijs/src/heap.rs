@@ -320,7 +320,7 @@ impl Heap {
         let old_addr = self.obj(h)?.elems_addr;
         let len = machine.mem_read(old_addr)?;
         let cap = machine.mem_read(old_addr + 8)?;
-        let new_cap = needed.max(cap.saturating_mul(2)).max(8).min(MAX_ARRAY_LEN);
+        let new_cap = needed.max(cap.saturating_mul(2)).clamp(8, MAX_ARRAY_LEN);
         if new_cap < needed {
             return Err(EngineError::Range("array too large".into()));
         }
@@ -463,9 +463,7 @@ impl Heap {
     pub fn box_value(&mut self, value: &Value) -> NanBox {
         match value {
             Value::Str(s) => NanBox::from_str_handle(self.intern_string(s)),
-            other => {
-                NanBox::from_value(other, |addr, class| self.hostref_index(addr, class))
-            }
+            other => NanBox::from_value(other, |addr, class| self.hostref_index(addr, class)),
         }
     }
 
@@ -520,7 +518,9 @@ mod tests {
             .unwrap();
         assert_eq!(heap.array_len(&mut m, a).unwrap(), 3);
         assert!(matches!(heap.elem_get(&mut m, a, 0.0).unwrap(), Value::Num(n) if n == 1.5));
-        assert!(matches!(heap.elem_get(&mut m, a, 1.0).unwrap(), Value::Str(ref s) if &**s == "hi"));
+        assert!(
+            matches!(heap.elem_get(&mut m, a, 1.0).unwrap(), Value::Str(ref s) if &**s == "hi")
+        );
         assert!(matches!(heap.elem_get(&mut m, a, 2.0).unwrap(), Value::Bool(true)));
         assert!(matches!(heap.elem_get(&mut m, a, 3.0).unwrap(), Value::Undefined));
         assert!(matches!(heap.elem_get(&mut m, a, -1.0).unwrap(), Value::Undefined));

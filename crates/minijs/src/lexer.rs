@@ -31,8 +31,24 @@ pub struct SpannedTok {
 }
 
 const KEYWORDS: &[&str] = &[
-    "var", "let", "function", "return", "if", "else", "while", "for", "do", "break", "continue",
-    "true", "false", "null", "undefined", "typeof", "this", "new",
+    "var",
+    "let",
+    "function",
+    "return",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "break",
+    "continue",
+    "true",
+    "false",
+    "null",
+    "undefined",
+    "typeof",
+    "this",
+    "new",
 ];
 
 /// Multi-character operators, longest first.

@@ -41,7 +41,10 @@ impl NanBox {
     /// instead: see [`NanBox::from_value`] callers. Plain doubles that
     /// happen to collide with the tag space (only possible for hand-crafted
     /// NaNs) are canonicalized first.
-    pub fn from_value(value: &Value, hostref_index: impl FnOnce(u64, HostClassId) -> u64) -> NanBox {
+    pub fn from_value(
+        value: &Value,
+        hostref_index: impl FnOnce(u64, HostClassId) -> u64,
+    ) -> NanBox {
         match value {
             Value::Num(n) => {
                 let bits = n.to_bits();

@@ -142,11 +142,8 @@ impl Parser {
                     self.expect_punct(";")?;
                     Some(Box::new(Stmt::Expr(e)))
                 };
-                let cond = if matches!(self.peek(), Tok::Punct(";")) {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let cond =
+                    if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
                 self.expect_punct(";")?;
                 let update =
                     if matches!(self.peek(), Tok::Punct(")")) { None } else { Some(self.expr()?) };
@@ -318,11 +315,7 @@ impl Parser {
                 (">>", Some(BinaryOp::Shr)),
             ],
             &[("+", Some(BinaryOp::Add)), ("-", Some(BinaryOp::Sub))],
-            &[
-                ("*", Some(BinaryOp::Mul)),
-                ("/", Some(BinaryOp::Div)),
-                ("%", Some(BinaryOp::Rem)),
-            ],
+            &[("*", Some(BinaryOp::Mul)), ("/", Some(BinaryOp::Div)), ("%", Some(BinaryOp::Rem))],
         ];
         if min_level >= LEVELS.len() {
             return self.unary();
@@ -539,7 +532,9 @@ for (var i = 0; i < 10; i++) { if (i == 5) break; else continue; }
     #[test]
     fn function_expressions_and_ternary() {
         let prog = parse_program("var f = function(x) { return x ? 1 : 2; };").unwrap();
-        assert!(matches!(&prog[0], Stmt::Var(decls) if matches!(decls[0].1, Some(Expr::Function(_)))));
+        assert!(
+            matches!(&prog[0], Stmt::Var(decls) if matches!(decls[0].1, Some(Expr::Function(_))))
+        );
     }
 
     #[test]
@@ -558,7 +553,9 @@ for (var i = 0; i < 10; i++) { if (i == 5) break; else continue; }
     #[test]
     fn new_is_factory_sugar() {
         let prog = parse_program("var a = new Thing(1, 2);").unwrap();
-        assert!(matches!(&prog[0], Stmt::Var(decls) if matches!(decls[0].1, Some(Expr::Call { .. }))));
+        assert!(
+            matches!(&prog[0], Stmt::Var(decls) if matches!(decls[0].1, Some(Expr::Call { .. })))
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ return c1() * 10 + c2();
 #[test]
 fn recursion_fib_and_mutual() {
     assert_eq!(
-        eval_num("function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } return fib(15);"),
+        eval_num(
+            "function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } return fib(15);"
+        ),
         610.0
     );
     assert_eq!(
@@ -122,7 +124,10 @@ fn arrays_grow_and_methods() {
     );
     assert_eq!(eval_str("return [1, 2, 3].join('-');"), "1-2-3");
     assert_eq!(eval_num("return [5, 6, 7].indexOf(6);"), 1.0);
-    assert_eq!(eval_num("var b = [1,2,3,4,5].slice(1, 4); return b.length * 100 + b[0] * 10 + b[2];"), 324.0);
+    assert_eq!(
+        eval_num("var b = [1,2,3,4,5].slice(1, 4); return b.length * 100 + b[0] * 10 + b[2];"),
+        324.0
+    );
     assert_eq!(eval_num("return [1,2].concat([3,4], 5).length;"), 5.0);
 }
 
@@ -190,7 +195,9 @@ fn json_roundtrip() {
         r#"{"a":1,"b":[true,null,"x"],"c":{"d":2.5}}"#
     );
     assert_eq!(
-        eval_num(r#"var v = JSON.parse('{"a": [1, 2, {"b": 3}] }'); return v.a[2].b + v.a.length;"#),
+        eval_num(
+            r#"var v = JSON.parse('{"a": [1, 2, {"b": 3}] }'); return v.a[2].b + v.a.length;"#
+        ),
         6.0
     );
     assert_eq!(
@@ -202,7 +209,10 @@ fn json_roundtrip() {
 #[test]
 fn ternary_logical_typeof() {
     assert_eq!(eval_num("return (5 > 3 ? 1 : 2) + (false || 10) + (0 && 99);"), 11.0);
-    assert_eq!(eval_str("return typeof 1 + typeof 'x' + typeof {} + typeof undefined;"), "numberstringobjectundefined");
+    assert_eq!(
+        eval_str("return typeof 1 + typeof 'x' + typeof {} + typeof undefined;"),
+        "numberstringobjectundefined"
+    );
 }
 
 #[test]
@@ -224,28 +234,16 @@ fn print_collects_output() {
 #[test]
 fn reference_errors_and_type_errors() {
     let (mut machine, mut engine) = setup();
-    assert!(matches!(
-        engine.eval(&mut machine, "return nope;"),
-        Err(EngineError::Reference(_))
-    ));
-    assert!(matches!(
-        engine.eval(&mut machine, "var x = 1; x();"),
-        Err(EngineError::Type(_))
-    ));
-    assert!(matches!(
-        engine.eval(&mut machine, "null.a;"),
-        Err(EngineError::Type(_))
-    ));
+    assert!(matches!(engine.eval(&mut machine, "return nope;"), Err(EngineError::Reference(_))));
+    assert!(matches!(engine.eval(&mut machine, "var x = 1; x();"), Err(EngineError::Type(_))));
+    assert!(matches!(engine.eval(&mut machine, "null.a;"), Err(EngineError::Type(_))));
 }
 
 #[test]
 fn fuel_limits_runaway_scripts() {
     let (mut machine, mut engine) = setup();
     engine.set_fuel(10_000);
-    assert!(matches!(
-        engine.eval(&mut machine, "while (true) {}"),
-        Err(EngineError::Fuel)
-    ));
+    assert!(matches!(engine.eval(&mut machine, "while (true) {}"), Err(EngineError::Fuel)));
 }
 
 #[test]
@@ -259,9 +257,10 @@ fn natives_and_callbacks() {
             let f = args.first().cloned().unwrap_or(Value::Undefined);
             let mut total = 0.0;
             for i in 0..3 {
-                match ctx.call_value(&f, Value::Undefined, &[Value::Num(f64::from(i))])? {
-                    Value::Num(n) => total += n,
-                    _ => {}
+                if let Value::Num(n) =
+                    ctx.call_value(&f, Value::Undefined, &[Value::Num(f64::from(i))])?
+                {
+                    total += n;
                 }
             }
             Ok(Value::Num(total))
@@ -351,9 +350,7 @@ return a[idx];
 fn patched_engine_defeats_exploit_differently() {
     let (mut machine, mut engine) = setup();
     engine.set_vulnerable(false);
-    let v = engine
-        .eval(&mut machine, "var a = [1.1]; a.length = 1000; return a.length;")
-        .unwrap();
+    let v = engine.eval(&mut machine, "var a = [1.1]; a.length = 1000; return a.length;").unwrap();
     assert!(matches!(v, Value::Num(n) if n == 1000.0));
     // The buffer was genuinely grown, so index 999 is in-bounds memory.
     let v = engine.eval(&mut machine, "return a[999];").unwrap();
@@ -379,9 +376,8 @@ fn engine_memory_is_in_untrusted_pool() {
 #[test]
 fn deep_js_recursion_is_bounded() {
     let (mut machine, mut engine) = setup();
-    let err = engine
-        .eval(&mut machine, "function f(n) { return f(n + 1); } return f(0);")
-        .unwrap_err();
+    let err =
+        engine.eval(&mut machine, "function f(n) { return f(n + 1); } return f(0);").unwrap_err();
     assert!(matches!(err, EngineError::Range(_)), "{err}");
 }
 

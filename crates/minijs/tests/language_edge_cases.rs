@@ -127,24 +127,15 @@ return x * 100 + f();
 
 #[test]
 fn arguments_default_to_undefined() {
-    assert!(matches!(
-        eval("function f(a, b) { return b; } return f(1);"),
-        Value::Undefined
-    ));
+    assert!(matches!(eval("function f(a, b) { return b; } return f(1);"), Value::Undefined));
     // Extra arguments are dropped.
     assert_eq!(eval_num("function f(a) { return a; } return f(9, 8, 7);"), 9.0);
 }
 
 #[test]
 fn this_binding_in_methods_and_bare_calls() {
-    assert_eq!(
-        eval_num("var o = {v: 5, m: function() { return this.v; }}; return o.m();"),
-        5.0
-    );
-    assert!(matches!(
-        eval("function f() { return this; } return f();"),
-        Value::Undefined
-    ));
+    assert_eq!(eval_num("var o = {v: 5, m: function() { return this.v; }}; return o.m();"), 5.0);
+    assert!(matches!(eval("function f() { return this; } return f();"), Value::Undefined));
     // Method extracted and called bare loses `this`.
     let (mut machine, mut engine) = setup();
     let result = engine.eval(

@@ -13,7 +13,7 @@ pub const MAX_PKEYS: u8 = 16;
 /// Key 0 is the *default* key: every page that has never been tagged with
 /// `pkey_mprotect` carries it, and the OS-visible ABI guarantees it is
 /// allocated at process start.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pkey(u8);
 
 impl Pkey {
@@ -60,7 +60,7 @@ impl fmt::Display for Pkey {
 }
 
 /// The kind of memory access being checked against PKRU.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
     /// A data load.
     Read,
@@ -82,7 +82,7 @@ impl fmt::Display for AccessKind {
 /// Mirrors the two-bit AD/WD encoding: `NoAccess` (AD=1), `ReadOnly` (AD=0,
 /// WD=1), `ReadWrite` (AD=0, WD=0). The fourth encoding (AD=1, WD=1) is
 /// architecturally identical to `NoAccess` and normalized to it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PkeyRights {
     /// Neither loads nor stores are permitted.
     NoAccess,

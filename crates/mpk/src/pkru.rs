@@ -10,7 +10,7 @@ use crate::pkey::{AccessKind, Pkey, PkeyRights, MAX_PKEYS};
 /// write-disable (WD) bit for key `i`. A value of zero grants read/write
 /// access through every key; Linux boots threads with `0x5555_5554`
 /// (everything but key 0 access-disabled).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pkru(u32);
 
 impl Pkru {

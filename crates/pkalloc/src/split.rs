@@ -110,8 +110,12 @@ impl PkAlloc {
     ) -> Result<PkAlloc, AllocError> {
         let (trusted, untrusted) = {
             let mut guard = space.lock();
-            let trusted =
-                TrustedArena::new(&mut guard, config.trusted_base, config.trusted_span, trusted_pkey)?;
+            let trusted = TrustedArena::new(
+                &mut guard,
+                config.trusted_base,
+                config.trusted_span,
+                trusted_pkey,
+            )?;
             let untrusted =
                 UntrustedHeap::new(&mut guard, config.untrusted_base, config.untrusted_span)?;
             (trusted, untrusted)

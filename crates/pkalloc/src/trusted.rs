@@ -176,8 +176,8 @@ impl TrustedArena {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pkru_mpk::Pkru;
     use crate::TRUSTED_BASE;
+    use pkru_mpk::Pkru;
 
     fn arena() -> (AddressSpace, TrustedArena) {
         let mut space = AddressSpace::new();
@@ -241,8 +241,7 @@ mod tests {
     fn exhaustion_reports_oom() {
         let mut space = AddressSpace::new();
         let pkey = Pkey::new(1).unwrap();
-        let mut arena =
-            TrustedArena::new(&mut space, TRUSTED_BASE, 4 * PAGE_SIZE, pkey).unwrap();
+        let mut arena = TrustedArena::new(&mut space, TRUSTED_BASE, 4 * PAGE_SIZE, pkey).unwrap();
         let _ = arena.alloc(2 * PAGE_SIZE).unwrap();
         let _ = arena.alloc(2 * PAGE_SIZE).unwrap();
         assert_eq!(arena.alloc(2 * PAGE_SIZE), Err(AllocError::OutOfMemory));

@@ -45,7 +45,11 @@ pub struct UntrustedHeap {
 impl UntrustedHeap {
     /// Maps `[base, base + span)` with the default protection key and
     /// returns the heap managing it.
-    pub fn new(space: &mut AddressSpace, base: VirtAddr, span: u64) -> Result<UntrustedHeap, AllocError> {
+    pub fn new(
+        space: &mut AddressSpace,
+        base: VirtAddr,
+        span: u64,
+    ) -> Result<UntrustedHeap, AllocError> {
         space.mmap_at(base, span, Prot::READ_WRITE)?;
         Ok(UntrustedHeap {
             base,

@@ -9,18 +9,7 @@ use core::fmt;
 /// fault back to an exact location in the IR (§4.3.1). The identifier is
 /// stable across the profiling and enforcement builds — that stability is
 /// what makes the profile → rewrite hand-off sound.
-#[derive(
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    Debug,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct AllocId {
     /// The containing function's ID.
     pub func: u32,

@@ -21,6 +21,7 @@
 //!   hand-off between the profiling and enforcement builds.
 
 mod allocid;
+pub mod json;
 mod metadata;
 mod profile;
 mod runtime;

@@ -5,6 +5,7 @@ use std::fmt;
 use std::path::Path;
 
 use crate::allocid::AllocId;
+use crate::json::{self, JsonValue};
 
 /// Errors from profile (de)serialization.
 #[derive(Debug)]
@@ -12,7 +13,7 @@ pub enum ProfileError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// Malformed profile contents.
-    Parse(serde_json::Error),
+    Parse(String),
 }
 
 impl fmt::Display for ProfileError {
@@ -34,7 +35,7 @@ impl std::error::Error for ProfileError {}
 /// the fault handler records each site at most once (§4.3.2) — and profiles
 /// from separate runs merge with plain set union, which is how a profiling
 /// *corpus* accumulates.
-#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Profile {
     shared_sites: BTreeSet<AllocId>,
     /// Total pkey faults serviced while profiling (including repeats on
@@ -80,14 +81,51 @@ impl Profile {
     }
 
     /// Serializes to pretty JSON.
+    ///
+    /// The schema is shared by dynamic and static profiles:
+    /// `{"shared_sites": [{"func": F, "block": B, "site": S}, ...],
+    /// "faults_observed": N}`.
     pub fn to_json(&self) -> String {
-        // Serialization of a plain set and counter cannot fail.
-        serde_json::to_string_pretty(self).expect("profile serializes")
+        let mut out = String::from("{\n  \"shared_sites\": [");
+        for (i, id) in self.shared_sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"func\": {}, \"block\": {}, \"site\": {} }}",
+                id.func, id.block, id.site
+            ));
+        }
+        if !self.shared_sites.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!("],\n  \"faults_observed\": {}\n}}", self.faults_observed));
+        out
     }
 
     /// Parses a profile from JSON.
-    pub fn from_json(json: &str) -> Result<Profile, ProfileError> {
-        serde_json::from_str(json).map_err(ProfileError::Parse)
+    pub fn from_json(text: &str) -> Result<Profile, ProfileError> {
+        let parse_error = |m: &str| ProfileError::Parse(m.to_string());
+        let doc = json::parse(text).map_err(|e| ProfileError::Parse(e.to_string()))?;
+        let sites = doc
+            .get("shared_sites")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| parse_error("missing \"shared_sites\" array"))?;
+        let mut profile = Profile::new();
+        for site in sites {
+            let field = |key: &str| {
+                site.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| ProfileError::Parse(format!("bad site field {key:?}")))
+            };
+            profile.record(AllocId::new(field("func")?, field("block")?, field("site")?));
+        }
+        profile.faults_observed = doc
+            .get("faults_observed")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| parse_error("missing \"faults_observed\""))?;
+        Ok(profile)
     }
 
     /// Writes the profile to `path` as JSON.

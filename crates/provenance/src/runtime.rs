@@ -21,6 +21,10 @@ pub enum FaultResolution {
     Chain,
 }
 
+/// A chained pre-existing fault handler; returns `true` if it handled the
+/// fault.
+pub type FaultFallback = Box<dyn FnMut(&Fault) -> bool>;
+
 /// The profiling runtime: metadata table, profile, and fault handling.
 ///
 /// Registered "as late as possible" in the paper so that application
@@ -33,7 +37,7 @@ pub struct ProfilingRuntime {
     pub profile: Profile,
     /// The previously registered SIGSEGV handler, if any. Returns `true`
     /// if it handled the fault.
-    pub fallback: Option<Box<dyn FnMut(&Fault) -> bool>>,
+    pub fallback: Option<FaultFallback>,
     /// Pkey faults whose address matched no tracked object (non-heap
     /// trusted data, e.g. globals); resumed but not recorded.
     pub unknown_faults: u64,
@@ -95,11 +99,7 @@ impl ProfilingRuntime {
 /// (SIGTRAP) restores the interrupted PKRU and clears the flag. The net
 /// effect is that exactly one access succeeds and the compartment's rights
 /// are unchanged afterward — without decoding or emulating the instruction.
-pub fn single_step_access<R>(
-    cpu: &mut Cpu,
-    grant: Pkru,
-    access: impl FnOnce(&mut Cpu) -> R,
-) -> R {
+pub fn single_step_access<R>(cpu: &mut Cpu, grant: Pkru, access: impl FnOnce(&mut Cpu) -> R) -> R {
     let interrupted = cpu.pkru();
     cpu.set_trap_flag(true);
     cpu.set_pkru(grant);

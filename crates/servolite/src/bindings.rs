@@ -8,13 +8,14 @@
 //! (§5.3).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use lir::Trap;
-use minijs::{Ctx, Engine, EngineError, HostClass, HostClassId, HostFieldKind, NativeFn, ObjHandle, Value};
+use minijs::{
+    Ctx, Engine, EngineError, HostClass, HostClassId, HostFieldKind, NativeFn, ObjHandle, Value,
+};
 
-use crate::browser::{build_nodes, BrowserError};
+use crate::browser::{build_nodes, BrowserError, Listeners};
 use crate::dom::{off, Dom};
 use crate::html::parse_html;
 use crate::sites::Site;
@@ -72,7 +73,7 @@ pub(crate) fn install(
     engine: &mut Engine,
     machine: &mut lir::Machine,
     dom: Rc<RefCell<Dom>>,
-    listeners: Rc<RefCell<HashMap<(u64, String), Vec<Value>>>>,
+    listeners: Listeners,
     console: Rc<RefCell<Vec<String>>>,
     gated: bool,
 ) -> Result<(ObjHandle, HostClassId), BrowserError> {
@@ -154,9 +155,7 @@ pub(crate) fn install(
                 let node = this_node(&this)?;
                 let name = arg_str(ctx, args, 0)?;
                 let value = arg_str(ctx, args, 1)?;
-                dom.borrow_mut()
-                    .set_attribute(ctx.machine, node, &name, &value)
-                    .map_err(beerr)?;
+                dom.borrow_mut().set_attribute(ctx.machine, node, &name, &value).map_err(beerr)?;
                 Ok(Value::Undefined)
             }),
         ));
@@ -257,7 +256,12 @@ pub(crate) fn install(
                     // Build the event object in engine memory, then call
                     // back into the untrusted compartment.
                     let ev = ctx.heap.new_object();
-                    ctx.heap.prop_set(ctx.machine, ev, &"type".into(), &Value::Str(event.clone().into()))?;
+                    ctx.heap.prop_set(
+                        ctx.machine,
+                        ev,
+                        &"type".into(),
+                        &Value::Str(event.clone().into()),
+                    )?;
                     ctx.heap.prop_set(ctx.machine, ev, &"target".into(), &this)?;
                     if gated {
                         ctx.machine.gates.enter_untrusted(&mut ctx.machine.cpu)?;
@@ -325,8 +329,10 @@ pub(crate) fn install(
             trusted_entry(gated, move |ctx, _this, args| {
                 let tag = arg_str(ctx, args, 0)?;
                 let nodes = dom.borrow_mut().elements_by_tag(ctx.machine, &tag).map_err(beerr)?;
-                let values: Vec<Value> =
-                    nodes.into_iter().map(|addr| Value::HostRef { addr, class: node_class }).collect();
+                let values: Vec<Value> = nodes
+                    .into_iter()
+                    .map(|addr| Value::HostRef { addr, class: node_class })
+                    .collect();
                 Ok(Value::Obj(ctx.heap.new_array(ctx.machine, &values)?))
             }),
         ));

@@ -146,6 +146,9 @@ impl BrowserStats {
     }
 }
 
+/// Shared event-listener table: (node, event) → callbacks.
+pub type Listeners = Rc<RefCell<HashMap<(u64, String), Vec<Value>>>>;
+
 /// The browser: a trusted shell around the untrusted JS engine.
 pub struct Browser {
     /// The simulated machine (shared with the engine).
@@ -155,7 +158,7 @@ pub struct Browser {
     /// The DOM (trusted state).
     pub dom: Rc<RefCell<Dom>>,
     /// Event listeners: (node, event) → callbacks.
-    pub listeners: Rc<RefCell<HashMap<(u64, String), Vec<Value>>>>,
+    pub listeners: Listeners,
     /// `console.log` output.
     pub console: Rc<RefCell<Vec<String>>>,
     config: BrowserConfig,
@@ -224,16 +227,7 @@ impl Browser {
             config.gated(),
         )?;
 
-        Ok(Browser {
-            machine,
-            engine,
-            dom,
-            listeners,
-            console,
-            config,
-            document_obj,
-            node_class,
-        })
+        Ok(Browser { machine, engine, dom, listeners, console, config, document_obj, node_class })
     }
 
     /// The active configuration.
@@ -252,7 +246,12 @@ impl Browser {
         // Expose document.body (the root) to script.
         let body = Value::HostRef { addr: root, class: self.node_class };
         drop(dom);
-        self.engine.heap_mut().prop_set(&mut self.machine, self.document_obj, &"body".into(), &body)?;
+        self.engine.heap_mut().prop_set(
+            &mut self.machine,
+            self.document_obj,
+            &"body".into(),
+            &body,
+        )?;
         Ok(())
     }
 

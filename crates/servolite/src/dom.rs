@@ -112,11 +112,7 @@ impl Dom {
     }
 
     /// Interns a tag/attribute-name atom as a text buffer.
-    pub fn intern_atom(
-        &mut self,
-        machine: &mut Machine,
-        text: &str,
-    ) -> Result<u64, BrowserError> {
+    pub fn intern_atom(&mut self, machine: &mut Machine, text: &str) -> Result<u64, BrowserError> {
         if let Some(addr) = self.atoms.get(text) {
             return Ok(addr);
         }
@@ -196,7 +192,12 @@ impl Dom {
     }
 
     /// A node field read.
-    pub fn field(&self, machine: &mut Machine, node: u64, offset: u64) -> Result<u64, BrowserError> {
+    pub fn field(
+        &self,
+        machine: &mut Machine,
+        node: u64,
+        offset: u64,
+    ) -> Result<u64, BrowserError> {
         Ok(machine.mem_read(node + offset)?)
     }
 
@@ -483,7 +484,8 @@ impl Dom {
             let mut child = self.field(machine, node, off::FIRST)?;
             let mut content = 0.0;
             while child != 0 {
-                boxes += self.layout_node(machine, child, x + 4.0, cursor_y + content, width - 8.0)?;
+                boxes +=
+                    self.layout_node(machine, child, x + 4.0, cursor_y + content, width - 8.0)?;
                 let child_h = f64::from_bits(machine.mem_read(child + off::H)?);
                 content += child_h;
                 child = self.field(machine, child, off::NEXT)?;

@@ -197,10 +197,7 @@ impl HtmlParser<'_> {
 }
 
 fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 fn collapse_ws(s: &str) -> String {
@@ -229,8 +226,8 @@ mod tests {
 
     #[test]
     fn nested_elements_with_attrs() {
-        let nodes = parse_html(r#"<div id="main" class='box'><p>Hello <b>world</b></p></div>"#)
-            .unwrap();
+        let nodes =
+            parse_html(r#"<div id="main" class='box'><p>Hello <b>world</b></p></div>"#).unwrap();
         assert_eq!(nodes.len(), 1);
         match &nodes[0] {
             HtmlNode::Element { tag, attrs, children } => {

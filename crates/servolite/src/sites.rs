@@ -135,10 +135,7 @@ impl SiteRegistry {
 
     /// (site, domain, allocation count) rows for reporting.
     pub fn census(&self) -> Vec<(Site, Domain, u64)> {
-        ALL_SITES
-            .iter()
-            .map(|&s| (s, self.bindings[s as usize], self.counts[s as usize]))
-            .collect()
+        ALL_SITES.iter().map(|&s| (s, self.bindings[s as usize], self.counts[s as usize])).collect()
     }
 }
 
@@ -153,7 +150,7 @@ mod tests {
             assert!(seen.insert(s.alloc_id()), "duplicate id for {s:?}");
         }
         assert_eq!(Site::ElementNode.alloc_id(), AllocId::new(SITE_FUNC_BASE, 0, 0));
-        assert!(SITE_COUNT >= 40);
+        assert!(seen.len() >= 40);
     }
 
     #[test]

@@ -71,11 +71,7 @@ mod tests {
 
     #[test]
     fn classification() {
-        let f = Fault {
-            addr: 0x1000,
-            access: AccessKind::Read,
-            kind: FaultKind::Unmapped,
-        };
+        let f = Fault { addr: 0x1000, access: AccessKind::Read, kind: FaultKind::Unmapped };
         assert!(!f.is_pkey_violation());
         let f = Fault {
             addr: 0x1000,

@@ -145,12 +145,7 @@ impl AddressSpace {
                 return Ok(candidate);
             }
             // Skip past the colliding region and retry.
-            let next_end = self
-                .regions
-                .range(..end)
-                .next_back()
-                .map(|(_, r)| r.end)
-                .unwrap_or(end);
+            let next_end = self.regions.range(..end).next_back().map(|(_, r)| r.end).unwrap_or(end);
             candidate = next_end.max(candidate + PAGE_SIZE);
         }
     }
@@ -160,7 +155,7 @@ impl AddressSpace {
         if len == 0 {
             return Err(MapError::ZeroLength);
         }
-        if addr % PAGE_SIZE != 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) {
             return Err(MapError::Misaligned);
         }
         let len = page_align_up(len);
@@ -198,7 +193,7 @@ impl AddressSpace {
         if len == 0 {
             return Ok(());
         }
-        if start % PAGE_SIZE != 0 {
+        if !start.is_multiple_of(PAGE_SIZE) {
             return Err(MapError::Misaligned);
         }
         let len = page_align_up(len);

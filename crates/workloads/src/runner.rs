@@ -115,8 +115,7 @@ impl SuiteSummary {
         }
         let n = normalized.len().max(1) as f64;
         let mean = normalized.iter().map(|(_, _, r)| r - 1.0).sum::<f64>() / n * 100.0;
-        let geomean =
-            (normalized.iter().map(|(_, _, r)| r.ln()).sum::<f64>() / n).exp();
+        let geomean = (normalized.iter().map(|(_, _, r)| r.ln()).sum::<f64>() / n).exp();
         SuiteSummary { normalized, mean_overhead_pct: mean, geomean }
     }
 }
@@ -178,8 +177,8 @@ pub fn run_benchmark(
 pub fn profile_for(benchmarks: &[Benchmark]) -> Result<Profile, WorkloadError> {
     let mut merged = Profile::new();
     for benchmark in benchmarks {
-        let mut browser = Browser::new(BrowserConfig::Profiling)
-            .map_err(|e| browser_err(benchmark, e))?;
+        let mut browser =
+            Browser::new(BrowserConfig::Profiling).map_err(|e| browser_err(benchmark, e))?;
         browser.load_html(micro_page()).map_err(|e| browser_err(benchmark, e))?;
         browser.eval_script(&benchmark.source).map_err(|e| browser_err(benchmark, e))?;
         browser.call_script("run", &[]).map_err(|e| browser_err(benchmark, e))?;

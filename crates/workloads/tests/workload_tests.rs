@@ -3,8 +3,8 @@
 
 use servolite::BrowserConfig;
 use workloads::{
-    dromaeo, jetstream2, kraken, octane, profile_for, run_benchmark, runner::verify_checksums,
-    run_config, Benchmark, SuiteSummary,
+    dromaeo, jetstream2, kraken, octane, profile_for, run_benchmark, run_config,
+    runner::verify_checksums, Benchmark, SuiteSummary,
 };
 
 fn spot_check(benchmarks: &[Benchmark]) {

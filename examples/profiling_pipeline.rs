@@ -6,9 +6,18 @@
 //! enforcement build — which works on profiled flows and kills everything
 //! else.
 //!
+//! The second half replays the same profile-vs-enforce story at the LIR
+//! level and adds the static counterpart: the escape analysis predicts
+//! every site that *may* reach the untrusted compartment, the profiler
+//! records the ones that *did*, and the soundness comparator checks that
+//! the first set covers the second.
+//!
 //! Run with: `cargo run --example profiling_pipeline`
 
+use pkru_safe_repro::core_pipeline::{run_profiling, Annotations, Pipeline, ProfileInput};
+use pkru_safe_repro::lir::{parse_module, FaultPolicy, Interp, Machine};
 use pkru_safe_repro::servolite::{Browser, BrowserConfig};
+use pkru_safe_repro::{analysis, core_pipeline};
 
 const PAGE: &str = r#"
 <div id="app">
@@ -61,11 +70,7 @@ fn main() {
         .expect("profiled flow");
     println!("\nprofiled flow result: {v:?}");
     let stats = browser.stats();
-    println!(
-        "transitions = {}, %M_U = {:.1}%",
-        stats.transitions,
-        stats.percent_untrusted()
-    );
+    println!("transitions = {}, %M_U = {:.1}%", stats.transitions, stats.percent_untrusted());
 
     // ...and a flow the corpus never exercised is contained. Attribute
     // tables were never read by the corpus, so they are still trusted.
@@ -75,5 +80,52 @@ fn main() {
     ) {
         Ok(v) => println!("unprofiled flow (gated native path) returned: {v:?}"),
         Err(e) => println!("unprofiled direct flow was contained: {e}"),
+    }
+
+    static_vs_dynamic();
+}
+
+/// Static escape analysis vs dynamic profiling on the LIR pipeline.
+fn static_vs_dynamic() {
+    let source = parse_module(include_str!("profiling_pipeline.lir")).expect("parse");
+    let pipeline =
+        Pipeline::new(source, Annotations::new()).with_input(ProfileInput::new("main", &[0])); // corpus: hot path only
+
+    // The static side: every site that MAY reach U, on any path.
+    let analysis_result = pipeline.static_analysis().expect("static analysis");
+    let static_profile = analysis_result.static_profile();
+
+    // The dynamic side: every site that DID reach U under the corpus.
+    let profiling = pipeline.profiling_build().expect("profiling build");
+    let dynamic = run_profiling(&profiling, &[ProfileInput::new("main", &[0])]).expect("profiling");
+
+    println!("\n=== static vs dynamic (LIR pipeline) ===");
+    println!(
+        "static may-escape: {} of {} site(s); dynamic observed: {} site(s)",
+        static_profile.len(),
+        analysis_result.total_sites,
+        dynamic.len()
+    );
+    for site in analysis_result.may_escape.iter() {
+        let observed = if dynamic.contains(*site) { "also observed" } else { "cold path" };
+        println!("  {site}  statically shared ({observed})");
+    }
+    match analysis::check_profile_soundness(&static_profile, &dynamic) {
+        Ok(()) => println!("soundness: dynamic profile covered by the static analysis"),
+        Err(missing) => println!("soundness VIOLATION, missing sites: {missing:?}"),
+    }
+
+    // Enforcing with the dynamic profile contains the unprofiled cold
+    // path; enforcing with the (less precise) static profile covers it.
+    for (label, profile) in
+        [("dynamic", dynamic.clone()), ("static", static_profile.profile.clone())]
+    {
+        let mut enforced = pipeline.annotated_build().expect("annotated build");
+        core_pipeline::passes::apply_profile(&mut enforced, &profile);
+        let mut machine = Machine::split(FaultPolicy::Crash).expect("machine");
+        match Interp::new(&enforced, &mut machine).run("main", &[1]) {
+            Ok(v) => println!("cold path under {label} profile: returned {v:?}"),
+            Err(trap) => println!("cold path under {label} profile: contained ({trap})"),
+        }
     }
 }

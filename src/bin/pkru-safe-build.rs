@@ -11,6 +11,8 @@
 //! pkru-safe-build annotate  app.lir --distrust clib            # dump the gated build
 //! pkru-safe-build profile   app.lir --distrust clib -o p.json  # stages 2–3
 //! pkru-safe-build enforce   app.lir --distrust clib -p p.json  # stage 4 + run
+//! pkru-safe-build analyze   app.lir --distrust clib -o s.json  # static escape analysis
+//! pkru-safe-build lint      app.lir --stage1                   # gate-integrity lint
 //! pkru-safe-build check     app.lir                            # parse + verify only
 //! ```
 
@@ -29,6 +31,7 @@ struct Options {
     output: Option<PathBuf>,
     entry: String,
     args: Vec<i64>,
+    stage1: bool,
 }
 
 const USAGE: &str = "\
@@ -39,14 +42,21 @@ commands:
   annotate   run stage 1 (gates + site IDs) and print the module
   profile    run stages 2-3 and write the profile (-o profile.json)
   enforce    run stage 4 with a profile (-p profile.json) and execute
+  analyze    run stage 1, then the static escape analysis; emits a
+             profile-schema JSON of every site that may reach U
+             (-o file), and cross-checks a dynamic profile (-p file)
+  lint       gate-integrity lint (balanced gates, bracketed calls,
+             no gates/hooks in U, no trusted allocs under U rights);
+             lints the module as-given, or stage-1 output with --stage1
   run        run the full pipeline (profile with --entry) and execute
 
 options:
   --distrust <crate>     mark a crate untrusted (repeatable)
   --entry <name>         entry function (default: main)
   --arg <n>              entry argument (repeatable)
-  -p, --profile <file>   profile to apply (enforce)
-  -o, --output <file>    where to write the profile (profile)
+  --stage1               lint the annotated build instead of the input
+  -p, --profile <file>   profile to apply (enforce) or compare (analyze)
+  -o, --output <file>    where to write the profile (profile, analyze)
 ";
 
 fn parse_args() -> Result<Options, String> {
@@ -61,9 +71,11 @@ fn parse_args() -> Result<Options, String> {
         output: None,
         entry: "main".to_string(),
         args: Vec::new(),
+        stage1: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
+            "--stage1" => options.stage1 = true,
             "--distrust" => {
                 options.distrust.push(argv.next().ok_or("--distrust needs a crate name")?);
             }
@@ -91,31 +103,34 @@ fn load_module(options: &Options) -> Result<Module, String> {
 }
 
 fn main() -> ExitCode {
-    match real_main() {
-        Ok(()) => ExitCode::SUCCESS,
+    // Usage is only helpful when the command line itself was wrong;
+    // build/lint/run diagnostics stand alone.
+    let options = match parse_args() {
+        Ok(options) => options,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match real_main(options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn real_main() -> Result<(), String> {
-    let options = parse_args()?;
+fn real_main(options: Options) -> Result<(), String> {
     let module = load_module(&options)?;
     let annotations = Annotations::distrusting(&options.distrust);
     let input = ProfileInput::new(&options.entry, &options.args);
 
     match options.command.as_str() {
         "check" => {
-            verify_module(&module).map_err(|errs| {
-                errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
-            })?;
-            println!(
-                "ok: {} function(s), verified",
-                module.functions.len()
-            );
+            verify(&module)?;
+            println!("ok: {} function(s), verified", module.functions.len());
             Ok(())
         }
         "annotate" => {
@@ -127,8 +142,7 @@ fn real_main() -> Result<(), String> {
         "profile" => {
             let pipeline = Pipeline::new(module, annotations);
             let profiling = pipeline.profiling_build().map_err(|e| e.to_string())?;
-            let profile =
-                run_profiling(&profiling, &[input]).map_err(|e| e.to_string())?;
+            let profile = run_profiling(&profiling, &[input]).map_err(|e| e.to_string())?;
             eprintln!(
                 "profiled: {} shared site(s), {} fault(s) observed",
                 profile.len(),
@@ -151,21 +165,77 @@ fn real_main() -> Result<(), String> {
             eprintln!("applied profile: {moved} site(s) moved to M_U");
             execute(&enforced, &options)
         }
+        "analyze" => {
+            let pipeline = Pipeline::new(module, annotations);
+            let analysis = pipeline.static_analysis().map_err(|e| e.to_string())?;
+            let static_profile = analysis.static_profile();
+            eprintln!(
+                "static: {} of {} site(s) may escape to U; {} function(s) may run untrusted",
+                static_profile.len(),
+                analysis.total_sites,
+                analysis.may_run_untrusted.len()
+            );
+            match &options.output {
+                Some(path) => static_profile.save(path).map_err(|e| e.to_string())?,
+                None => println!("{}", static_profile.to_json()),
+            }
+            if let Some(path) = &options.profile_path {
+                let dynamic = Profile::load(path).map_err(|e| e.to_string())?;
+                pkru_analysis::check_profile_soundness(&static_profile, &dynamic).map_err(
+                    |missing| {
+                        let sites: Vec<String> = missing.iter().map(|s| s.to_string()).collect();
+                        format!(
+                            "soundness violation: dynamically-observed site(s) missing from \
+                             the static may-escape set: {}",
+                            sites.join(", ")
+                        )
+                    },
+                )?;
+                eprintln!("soundness: dynamic profile is covered by the static analysis");
+            }
+            Ok(())
+        }
+        "lint" => {
+            let linted = if options.stage1 {
+                Pipeline::new(module, annotations).annotated_build().map_err(|e| e.to_string())?
+            } else {
+                verify(&module)?;
+                module
+            };
+            pkru_analysis::lint_module(&linted).map_err(|errs| {
+                errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("; ")
+            })?;
+            println!("ok: gate integrity verified ({} function(s))", linted.functions.len());
+            Ok(())
+        }
         "run" => {
             let app = Pipeline::new(module, annotations)
                 .with_input(input)
+                .with_static_checks()
                 .build()
                 .map_err(|e| e.to_string())?;
             eprintln!("census: {}", app.census);
             execute(&app.module, &options)
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Structural verification plus the def-before-use dataflow check.
+fn verify(module: &Module) -> Result<(), String> {
+    let render =
+        |errs: Vec<lir::VerifyError>| errs.iter().map(|e| e.to_string()).collect::<Vec<_>>();
+    let mut errors = verify_module(module).err().map(render).unwrap_or_default();
+    errors.extend(lir::verify_def_use(module).err().map(render).unwrap_or_default());
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("; "))
     }
 }
 
 fn execute(module: &Module, options: &Options) -> Result<(), String> {
-    let mut machine =
-        lir::Machine::split(lir::FaultPolicy::Crash).map_err(|e| e.to_string())?;
+    let mut machine = lir::Machine::split(lir::FaultPolicy::Crash).map_err(|e| e.to_string())?;
     let result = lir::Interp::new(module, &mut machine).run(&options.entry, &options.args);
     for line in &machine.output {
         println!("{line}");

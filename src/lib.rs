@@ -8,6 +8,7 @@
 pub use lir;
 pub use minijs;
 pub use pkalloc;
+pub use pkru_analysis as analysis;
 pub use pkru_gates as gates;
 pub use pkru_mpk as mpk;
 pub use pkru_provenance as provenance;

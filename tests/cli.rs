@@ -6,7 +6,7 @@ use std::process::Command;
 fn cli() -> Command {
     // Cargo puts integration-test binaries in target/<profile>/deps; the
     // CLI lives one level up.
-    let mut path = PathBuf::from(std::env::current_exe().expect("test exe"));
+    let mut path = std::env::current_exe().expect("test exe");
     path.pop();
     if path.ends_with("deps") {
         path.pop();
@@ -108,6 +108,91 @@ fn full_run_reports_census() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("1 of 1 allocation sites"), "{stderr}");
     assert!(String::from_utf8_lossy(&out.stdout).contains("1337"));
+}
+
+#[test]
+fn analyze_covers_dynamic_profile_on_example() {
+    // The checked-in example program has a hot path (exercised by the
+    // corpus, arg 0) and a cold path; the static analysis must report a
+    // superset of the dynamic profile and the cross-check must pass.
+    let dir = temp_dir("analyze");
+    let program = PathBuf::from("examples/profiling_pipeline.lir");
+    let dynamic = dir.join("dynamic.json");
+    let static_out = dir.join("static.json");
+
+    let profile = cli()
+        .args(["profile"])
+        .arg(&program)
+        .args(["--arg", "0", "-o"])
+        .arg(&dynamic)
+        .output()
+        .expect("run");
+    assert!(profile.status.success(), "{}", String::from_utf8_lossy(&profile.stderr));
+    assert!(String::from_utf8_lossy(&profile.stderr).contains("1 shared site"));
+
+    let analyze = cli()
+        .args(["analyze"])
+        .arg(&program)
+        .args(["-o"])
+        .arg(&static_out)
+        .args(["-p"])
+        .arg(&dynamic)
+        .output()
+        .expect("run");
+    let stderr = String::from_utf8_lossy(&analyze.stderr);
+    assert!(analyze.status.success(), "{stderr}");
+    assert!(stderr.contains("static: 2 of 2 site(s) may escape"), "{stderr}");
+    assert!(stderr.contains("soundness: dynamic profile is covered"), "{stderr}");
+
+    // The emitted file is in the profile schema: enforce accepts it.
+    let enforce = cli()
+        .args(["enforce"])
+        .arg(&program)
+        .args(["--arg", "1", "-p"])
+        .arg(&static_out)
+        .output()
+        .expect("run");
+    assert!(enforce.status.success(), "{}", String::from_utf8_lossy(&enforce.stderr));
+}
+
+#[test]
+fn lint_flags_unbalanced_gate() {
+    let dir = temp_dir("lint_unbalanced");
+    let bad = dir.join("unbalanced.lir");
+    std::fs::write(&bad, "fn @main(0) {\nbb0:\n  gate.enter.untrusted\n  ret\n}").expect("write");
+    let out = cli().args(["lint"]).arg(&bad).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("return at index 1 with open gate region"), "{stderr}");
+}
+
+#[test]
+fn lint_flags_trusted_alloc_in_untrusted_region() {
+    let dir = temp_dir("lint_talloc");
+    let bad = dir.join("talloc.lir");
+    std::fs::write(
+        &bad,
+        "untrusted fn @u::f(0) {\nbb0:\n  ret\n}\n\
+         fn @main(0) {\nbb0:\n  gate.enter.untrusted\n  %0 = call @u::f()\n  \
+         %1 = alloc 8\n  gate.exit.untrusted\n  ret %1\n}",
+    )
+    .expect("write");
+    let out = cli().args(["lint"]).arg(&bad).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("trusted-pool alloc") && stderr.contains("untrusted compartment"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn lint_accepts_stage1_output() {
+    let dir = temp_dir("lint_stage1");
+    let program = demo_program(&dir);
+    let out = cli().args(["lint"]).arg(&program).arg("--stage1").output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("gate integrity verified"));
 }
 
 #[test]

@@ -103,10 +103,7 @@ fn dromaeo_dom_slice_overhead_shape() {
     let js_mpk = run_config(BrowserConfig::Mpk, Some(&js_profile), &js).unwrap();
     let dom_rate = dom_mpk.rows[0].transitions as f64 / dom_mpk.rows[0].seconds;
     let js_rate = js_mpk.rows[0].transitions as f64 / js_mpk.rows[0].seconds;
-    assert!(
-        dom_rate > 20.0 * js_rate,
-        "dom transition rate {dom_rate:.0}/s vs js {js_rate:.0}/s"
-    );
+    assert!(dom_rate > 20.0 * js_rate, "dom transition rate {dom_rate:.0}/s vs js {js_rate:.0}/s");
 }
 
 #[test]

@@ -7,9 +7,7 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 
 use pkru_safe_repro::mpk::{AccessKind, Pkey, Pkru};
-use pkru_safe_repro::pkalloc::{
-    BaselineAlloc, CompartmentAlloc, Domain, PkAlloc, UNTRUSTED_BASE,
-};
+use pkru_safe_repro::pkalloc::{BaselineAlloc, CompartmentAlloc, Domain, PkAlloc, UNTRUSTED_BASE};
 use pkru_safe_repro::provenance::{AllocId, MetadataTable, Profile};
 use pkru_safe_repro::vmem::{AddressSpace, Prot, PAGE_SIZE};
 
@@ -82,7 +80,7 @@ proptest! {
             .expect("tag");
         let restricted = Pkru::deny_only(key);
         let addr = base + probe;
-        let tagged = probe >= PAGE_SIZE && probe < 3 * PAGE_SIZE;
+        let tagged = (PAGE_SIZE..3 * PAGE_SIZE).contains(&probe);
         let result = space.check(restricted, addr, 1, AccessKind::Read);
         prop_assert_eq!(result.is_err(), tagged);
     }
@@ -238,5 +236,133 @@ proptest! {
         }
         let back = Profile::from_json(&profile.to_json()).expect("parse");
         prop_assert_eq!(profile, back);
+    }
+}
+
+// ---- static analysis vs the pipeline ----
+
+/// Renders a random but well-formed source module: some untrusted
+/// functions (readers or writers), optionally a trusted helper returning a
+/// fresh allocation, and a `@main` that allocates, stores, and hands a
+/// drawn subset of its pointers to the untrusted side — optionally with
+/// one call behind a branch so a profiling run can miss it.
+fn gen_lir_program(
+    writers: &[bool],
+    allocs: &[(u64, bool, usize)],
+    use_helper: bool,
+    branch: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let n_u = writers.len();
+    let mut text = String::new();
+    for (i, writer) in writers.iter().enumerate() {
+        if *writer {
+            writeln!(
+                text,
+                "untrusted fn @u::f{i}(1) {{\nbb0:\n  %1 = load %0, 0\n  %2 = add %1, 1\n  \
+                 store %0, 0, %2\n  ret %2\n}}"
+            )
+            .unwrap();
+        } else {
+            writeln!(text, "untrusted fn @u::f{i}(1) {{\nbb0:\n  %1 = load %0, 0\n  ret %1\n}}")
+                .unwrap();
+        }
+    }
+    if use_helper {
+        writeln!(text, "fn @dom::mk(0) {{\nbb0:\n  %0 = alloc 24\n  ret %0\n}}").unwrap();
+    }
+    writeln!(text, "fn @main(1) {{\nbb0:").unwrap();
+    let mut reg = 1u32;
+    writeln!(text, "  %{reg} = const 7").unwrap();
+    let val = reg;
+    let mut ptrs: Vec<(u32, bool, usize)> = Vec::new();
+    for (size, escapes, target) in allocs {
+        reg += 1;
+        writeln!(text, "  %{reg} = alloc {}", size * 8).unwrap();
+        writeln!(text, "  store %{reg}, 0, %{val}").unwrap();
+        ptrs.push((reg, *escapes, target % n_u));
+    }
+    if use_helper {
+        reg += 1;
+        writeln!(text, "  %{reg} = call @dom::mk()").unwrap();
+        writeln!(text, "  store %{reg}, 0, %{val}").unwrap();
+        ptrs.push((reg, true, 0));
+    }
+    let escaping: Vec<(u32, usize)> = ptrs.iter().filter(|p| p.1).map(|p| (p.0, p.2)).collect();
+    let (hot, cold) = if branch && !escaping.is_empty() {
+        (&escaping[..escaping.len() - 1], escaping.last().copied())
+    } else {
+        (&escaping[..], None)
+    };
+    for (ptr, f) in hot {
+        reg += 1;
+        writeln!(text, "  %{reg} = call @u::f{f}(%{ptr})").unwrap();
+    }
+    match cold {
+        Some((ptr, f)) => {
+            writeln!(text, "  brif %0, bb1, bb2").unwrap();
+            reg += 1;
+            writeln!(text, "bb1:\n  %{reg} = call @u::f{f}(%{ptr})\n  br bb2").unwrap();
+            writeln!(text, "bb2:\n  ret %{val}\n}}").unwrap();
+        }
+        None => writeln!(text, "  ret %{val}\n}}").unwrap(),
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Stage 1 is gate-correct by construction: the lint must accept every
+    // module `expand_annotations` emits, with or without profiling hooks.
+    #[test]
+    fn lint_accepts_expand_annotations_output(
+        writers in proptest::collection::vec(any::<bool>(), 1..3),
+        allocs in proptest::collection::vec((1u64..8, any::<bool>(), 0usize..4), 1..4),
+        use_helper in any::<bool>(),
+        branch in any::<bool>(),
+    ) {
+        use pkru_safe_repro::core_pipeline::{Annotations, Pipeline};
+
+        let text = gen_lir_program(&writers, &allocs, use_helper, branch);
+        let module = pkru_safe_repro::lir::parse_module(&text).expect("generated module parses");
+        let pipeline = Pipeline::new(module, Annotations::new());
+
+        let annotated = pipeline.annotated_build().expect("annotate");
+        let lint = pkru_safe_repro::analysis::lint_module(&annotated);
+        prop_assert!(lint.is_ok(), "lint rejected stage 1: {:?}\n{}", lint, annotated.dump());
+
+        let profiling = pipeline.profiling_build().expect("profiling build");
+        let lint = pkru_safe_repro::analysis::lint_module(&profiling);
+        prop_assert!(lint.is_ok(), "lint rejected profiling build: {:?}\n{}", lint, profiling.dump());
+    }
+
+    // Soundness: whatever the interpreter observes crossing the boundary,
+    // the static escape analysis must have predicted.
+    #[test]
+    fn dynamic_profile_within_static_may_escape(
+        writers in proptest::collection::vec(any::<bool>(), 1..3),
+        allocs in proptest::collection::vec((1u64..8, any::<bool>(), 0usize..4), 1..4),
+        use_helper in any::<bool>(),
+        branch in any::<bool>(),
+        arg in 0i64..2,
+    ) {
+        use pkru_safe_repro::core_pipeline::{run_profiling, Annotations, Pipeline, ProfileInput};
+
+        let text = gen_lir_program(&writers, &allocs, use_helper, branch);
+        let module = pkru_safe_repro::lir::parse_module(&text).expect("generated module parses");
+        let pipeline = Pipeline::new(module, Annotations::new());
+
+        let static_profile = pipeline.static_analysis().expect("analysis").static_profile();
+        let profiling = pipeline.profiling_build().expect("profiling build");
+        let dynamic = run_profiling(&profiling, &[ProfileInput::new("main", &[arg])])
+            .expect("profiling run");
+        let sound = pkru_safe_repro::analysis::check_profile_soundness(&static_profile, &dynamic);
+        prop_assert!(
+            sound.is_ok(),
+            "dynamic sites missing from static may-escape: {:?}\nprogram:\n{}",
+            sound,
+            text
+        );
     }
 }
