@@ -4,15 +4,12 @@
 //! gate round trip, rights-checked loads/stores, allocator operations in
 //! each pool, and the provenance fault path.
 
-use std::sync::Arc;
-
 use criterion::{criterion_group, criterion_main, Criterion};
-use parking_lot::Mutex;
 use pkalloc::{BaselineAlloc, CompartmentAlloc, PkAlloc};
 use pkru_gates::Gates;
 use pkru_mpk::{Cpu, Pkey, Pkru};
 use pkru_provenance::{AllocId, ProfilingRuntime};
-use pkru_vmem::{AddressSpace, Prot};
+use pkru_vmem::{AddressSpace, Prot, SharedSpace};
 
 fn bench_pkru(c: &mut Criterion) {
     let mut cpu = Cpu::new();
@@ -57,8 +54,8 @@ fn bench_vmem(c: &mut Criterion) {
 }
 
 fn bench_allocators(c: &mut Criterion) {
-    let space = Arc::new(Mutex::new(AddressSpace::new()));
-    let mut pk = PkAlloc::new(Arc::clone(&space), Pkey::new(1).expect("key")).expect("alloc");
+    let space = SharedSpace::new();
+    let mut pk = PkAlloc::new(space.clone(), Pkey::new(1).expect("key")).expect("alloc");
     c.bench_function("pkalloc_trusted_alloc_free_64", |b| {
         b.iter(|| {
             let p = pk.alloc(64).expect("alloc");
@@ -71,7 +68,7 @@ fn bench_allocators(c: &mut Criterion) {
             pk.dealloc(p).expect("free");
         })
     });
-    let space2 = Arc::new(Mutex::new(AddressSpace::new()));
+    let space2 = SharedSpace::new();
     let mut baseline = BaselineAlloc::new(space2).expect("alloc");
     c.bench_function("baseline_alloc_free_64", |b| {
         b.iter(|| {

@@ -1,0 +1,59 @@
+//! Worker-pool throughput: requests/second against worker count.
+//!
+//! The serving runtime's scaling claim is simple — with PKRU per thread
+//! and the address space shared, adding workers must add throughput until
+//! the shared page-table lock saturates. This target sweeps the pool size
+//! over the same deterministic traffic and reports requests/second plus
+//! speedup over one worker. (`--test` shrinks the sweep to a CI smoke
+//! run.)
+//!
+//! The scaling assertion is hardware-aware: on a multi-core machine the
+//! 4-worker sweep must beat the 1-worker sweep, while on a single core no
+//! speedup is physically possible and the invariant that matters is the
+//! absence of collapse — lock contention from 8 workers must not destroy
+//! the throughput one worker achieves.
+
+use std::thread::available_parallelism;
+
+use bench::{header, smoke_mode};
+use pkru_server::{serve, ServeConfig};
+
+fn main() {
+    let smoke = smoke_mode();
+    let (sweep, requests): (&[usize], u64) =
+        if smoke { (&[1, 2], 16) } else { (&[1, 2, 4, 8], 400) };
+    let cores = available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    header("Serve throughput: worker-pool scaling", &["workers", "rps", "speedup", "clean"]);
+    println!("# {cores} hardware thread(s) available");
+    let mut rps = Vec::new();
+    for &workers in sweep {
+        let report = serve(ServeConfig { workers, requests, queue_capacity: 32, seed: 0x5eed })
+            .expect("serve");
+        assert!(report.clean(), "workers={workers}: unclean run: {report:?}");
+        rps.push(report.throughput_rps);
+        println!(
+            "{workers}\t{:.1}\t{:.2}x\tok",
+            report.throughput_rps,
+            report.throughput_rps / rps[0]
+        );
+    }
+
+    let base = rps[0];
+    let best = rps.iter().cloned().fold(0.0, f64::max);
+    if cores >= 2 && !smoke {
+        assert!(
+            best > base,
+            "aggregate rps must increase beyond 1 worker on {cores} cores: {rps:?}"
+        );
+    } else {
+        // Single core (or smoke sweep): scaling is impossible, but the
+        // shared-space locks must not make the pool slower than one worker
+        // by more than scheduling noise.
+        let worst = rps.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            worst > 0.5 * base,
+            "contention collapse: worst sweep point {worst:.1} rps vs base {base:.1}"
+        );
+    }
+}

@@ -7,13 +7,19 @@
 
 use bench::header;
 use servolite::BrowserConfig;
-use workloads::{dromaeo, jetstream2, kraken, octane, profile_for, run_matrix, SuiteSummary};
+use workloads::{
+    dromaeo, jetstream2, kraken, octane, profile_for, report_json, run_matrix, SuiteSummary,
+};
 
 fn main() {
-    header(
-        "Table 1: Servo mean benchmark overhead and statistics",
-        &["suite", "alloc", "mpk", "transitions(mpk)", "%M_U"],
-    );
+    let json = std::env::args().any(|a| a == "--json");
+    let mut json_reports: Vec<String> = Vec::new();
+    if !json {
+        header(
+            "Table 1: Servo mean benchmark overhead and statistics",
+            &["suite", "alloc", "mpk", "transitions(mpk)", "%M_U"],
+        );
+    }
     let suites: Vec<(&str, Vec<workloads::Benchmark>)> = vec![
         ("Dromaeo", dromaeo()),
         ("JetStream2", jetstream2()),
@@ -35,6 +41,12 @@ fn main() {
             reports.try_into().expect("three reports");
         workloads::runner::verify_checksums(&base, &alloc).expect("alloc determinism");
         workloads::runner::verify_checksums(&base, &mpk).expect("mpk determinism");
+        if json {
+            for (label, report) in [("base", &base), ("alloc", &alloc), ("mpk", &mpk)] {
+                json_reports.push(report_json(&format!("{name}/{label}"), report));
+            }
+            continue;
+        }
         let alloc_summary = SuiteSummary::compare(&base, &alloc);
         let mpk_summary = SuiteSummary::compare(&base, &mpk);
         println!(
@@ -44,5 +56,8 @@ fn main() {
             mpk.total_transitions(),
             mpk.mean_percent_mu(),
         );
+    }
+    if json {
+        println!("[{}]", json_reports.join(","));
     }
 }

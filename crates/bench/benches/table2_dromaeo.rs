@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use bench::header;
 use servolite::BrowserConfig;
-use workloads::{dromaeo, profile_for, run_matrix, ConfigReport};
+use workloads::{dromaeo, profile_for, report_json, run_matrix, ConfigReport};
 
 fn sub_rows<'a>(report: &'a ConfigReport, sub: &str) -> Vec<&'a workloads::RunResult> {
     report.rows.iter().filter(|r| r.sub == sub).collect()
@@ -28,6 +28,13 @@ fn main() {
     )
     .expect("matrix");
     let [base, alloc, mpk]: [ConfigReport; 3] = reports.try_into().expect("three reports");
+
+    if std::env::args().any(|a| a == "--json") {
+        let reports = [("base", &base), ("alloc", &alloc), ("mpk", &mpk)]
+            .map(|(label, report)| report_json(&format!("dromaeo/{label}"), report));
+        println!("[{}]", reports.join(","));
+        return;
+    }
 
     header(
         "Table 2: Dromaeo sub-suite overhead and statistics",

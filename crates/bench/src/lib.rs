@@ -16,6 +16,14 @@ pub fn header(title: &str, columns: &[&str]) {
     println!("{}", columns.join("\t"));
 }
 
+/// Whether the bench was invoked as a smoke test (`cargo bench -- --test`,
+/// the flag libtest harnesses use for a compile-and-run-once check).
+/// Custom `harness = false` targets consult this to shrink their sweep to
+/// seconds so CI can keep the bench crate from bit-rotting.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Formats a ratio as `+x.xx%` overhead.
 pub fn pct(ratio: f64) -> String {
     format!("{:+.2}%", (ratio - 1.0) * 100.0)

@@ -35,7 +35,7 @@ pub use interp::Interp;
 pub use ir::{
     BinOp, Block, BlockId, FnAttrs, FuncId, Function, Instr, Module, Operand, Reg, SiteDomain,
 };
-pub use machine::{FaultPolicy, Machine, MachineConfig};
+pub use machine::{FaultPolicy, Machine, MachineConfig, SharedHost};
 pub use parse::{parse_module, ParseError};
 pub use trap::Trap;
 pub use verify::{verify_def_use, verify_module, VerifyError};

@@ -1,13 +1,13 @@
 //! The simulated machine a LIR program executes on.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pkalloc::{BaselineAlloc, CompartmentAlloc, PkAlloc, PkAllocConfig};
 use pkru_gates::Gates;
-use pkru_mpk::{Cpu, Pkey, PkeyPool};
+use pkru_mpk::{Cpu, Pkey, PkeyPool, SharedPkeyPool};
 use pkru_provenance::{single_step_access, FaultResolution, ProfilingRuntime};
-use pkru_vmem::{AddressSpace, Fault, VirtAddr};
+use pkru_vmem::{AddressSpace, Fault, SharedSpace, VirtAddr};
 
 use crate::trap::Trap;
 
@@ -48,11 +48,75 @@ impl Default for MachineConfig {
     }
 }
 
+/// Process-wide state shared by every worker thread's [`Machine`].
+///
+/// The paper's enforcement is per-thread only where the hardware is:
+/// PKRU lives in each thread's register file. Everything else — the page
+/// tables, the protection-key allocator, the single trusted key guarding
+/// `M_T` — is process state. `SharedHost` bundles exactly that process
+/// state so a multi-threaded host (one `Machine` per worker) shares one
+/// address space and one key allocator while every worker keeps its own
+/// [`Cpu`] and [`Gates`].
+#[derive(Clone, Debug)]
+pub struct SharedHost {
+    space: SharedSpace,
+    pool: SharedPkeyPool,
+    trusted_pkey: Pkey,
+    next_worker: Arc<AtomicUsize>,
+}
+
+impl SharedHost {
+    /// Creates a fresh shared host: empty space, fresh key pool, and one
+    /// trusted key allocated for `M_T`.
+    pub fn new() -> SharedHost {
+        let pool = SharedPkeyPool::new();
+        // Key allocation cannot fail on a fresh pool.
+        let trusted_pkey = pool.alloc().expect("fresh key pool");
+        SharedHost {
+            space: SharedSpace::new(),
+            pool,
+            trusted_pkey,
+            next_worker: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The shared address space.
+    pub fn space(&self) -> &SharedSpace {
+        &self.space
+    }
+
+    /// The shared protection-key allocator.
+    pub fn pkey_pool(&self) -> &SharedPkeyPool {
+        &self.pool
+    }
+
+    /// The key protecting `M_T` for every worker on this host.
+    pub fn trusted_pkey(&self) -> Pkey {
+        self.trusted_pkey
+    }
+
+    /// Claims the next free worker slot (allocator carve-out index).
+    pub fn take_worker_slot(&self) -> usize {
+        self.next_worker.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Worker slots handed out so far.
+    pub fn workers_started(&self) -> usize {
+        self.next_worker.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for SharedHost {
+    fn default() -> SharedHost {
+        SharedHost::new()
+    }
+}
+
 /// The per-program execution environment: address space, allocator, CPU,
 /// call gates, and the profiling runtime.
 pub struct Machine {
     /// The simulated address space.
-    pub space: Arc<Mutex<AddressSpace>>,
+    pub space: SharedSpace,
     /// The heap allocator behind the `alloc`/`ualloc` instructions.
     pub alloc: Box<dyn CompartmentAlloc>,
     /// The executing thread's CPU state (PKRU lives here).
@@ -77,16 +141,16 @@ pub struct Machine {
 impl Machine {
     /// Builds a machine per `config`, with a fresh address space.
     pub fn new(config: MachineConfig) -> Result<Machine, Trap> {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let space = SharedSpace::new();
         let mut pool = PkeyPool::new();
         // Key allocation cannot fail on a fresh pool.
         let trusted_pkey = pool.alloc().expect("fresh key pool");
         let alloc: Box<dyn CompartmentAlloc> = if config.split_allocator {
             let pk_config =
                 PkAllocConfig { unified_pools: config.unified_pools, ..PkAllocConfig::default() };
-            Box::new(PkAlloc::with_config(Arc::clone(&space), trusted_pkey, pk_config)?)
+            Box::new(PkAlloc::with_config(space.clone(), trusted_pkey, pk_config)?)
         } else {
-            Box::new(BaselineAlloc::new(Arc::clone(&space))?)
+            Box::new(BaselineAlloc::new(space.clone())?)
         };
         Ok(Machine {
             space,
@@ -99,6 +163,38 @@ impl Machine {
             instret: 0,
             fuel: config.fuel,
             trusted_pkey,
+        })
+    }
+
+    /// Builds a worker machine on a [`SharedHost`]: the address space, key
+    /// pool, and trusted key come from the host, while the CPU (and with
+    /// it the PKRU register) and the call-gate runtime are fresh,
+    /// per-thread state.
+    ///
+    /// The worker always uses the split allocator over its own disjoint
+    /// carve-out of the shared `M_T`/`M_U` reservations
+    /// ([`PkAllocConfig::for_worker`]); `config.split_allocator` and
+    /// `config.unified_pools` are ignored — a shared baseline heap would
+    /// put every worker's objects on the same untagged pages and has no
+    /// compartment story to preserve.
+    pub fn on_host(config: MachineConfig, host: &SharedHost) -> Result<Machine, Trap> {
+        let worker = host.take_worker_slot();
+        let alloc = PkAlloc::with_config(
+            host.space().clone(),
+            host.trusted_pkey(),
+            PkAllocConfig::for_worker(worker),
+        )?;
+        Ok(Machine {
+            space: host.space().clone(),
+            alloc: Box::new(alloc),
+            cpu: Cpu::new(),
+            gates: Gates::new(host.trusted_pkey()),
+            profiler: ProfilingRuntime::new(),
+            fault_policy: config.fault_policy,
+            output: Vec::new(),
+            instret: 0,
+            fuel: config.fuel,
+            trusted_pkey: host.trusted_pkey(),
         })
     }
 
@@ -132,7 +228,7 @@ impl Machine {
     /// A rights-checked 8-byte load with fault-policy handling.
     pub fn mem_read(&mut self, addr: VirtAddr) -> Result<u64, Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.lock().read_u64(pkru, addr);
+        let result = self.space.read_u64(pkru, addr);
         match result {
             Ok(v) => Ok(v),
             Err(fault) => self.resolve_fault(fault, |cpu, space| {
@@ -145,7 +241,7 @@ impl Machine {
     /// A rights-checked 8-byte store with fault-policy handling.
     pub fn mem_write(&mut self, addr: VirtAddr, value: u64) -> Result<(), Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.lock().write_u64(pkru, addr, value);
+        let result = self.space.write_u64(pkru, addr, value);
         match result {
             Ok(()) => Ok(()),
             Err(fault) => self
@@ -160,7 +256,7 @@ impl Machine {
     /// A rights-checked single-byte load with fault-policy handling.
     pub fn mem_read_u8(&mut self, addr: VirtAddr) -> Result<u8, Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.lock().read_u8(pkru, addr);
+        let result = self.space.read_u8(pkru, addr);
         match result {
             Ok(v) => Ok(v),
             Err(fault) => self
@@ -175,7 +271,7 @@ impl Machine {
     /// A rights-checked single-byte store with fault-policy handling.
     pub fn mem_write_u8(&mut self, addr: VirtAddr, value: u8) -> Result<(), Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.lock().write_u8(pkru, addr, value);
+        let result = self.space.write_u8(pkru, addr, value);
         match result {
             Ok(()) => Ok(()),
             Err(fault) => self
@@ -199,7 +295,7 @@ impl Machine {
         }
         match self.profiler.handle_fault(&fault) {
             FaultResolution::SingleStep { grant } => {
-                let space = Arc::clone(&self.space);
+                let space = self.space.clone();
                 let outcome =
                     single_step_access(&mut self.cpu, grant, |cpu| retry(cpu, &mut space.lock()));
                 match outcome {

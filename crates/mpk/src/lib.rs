@@ -18,11 +18,13 @@ mod cpu;
 mod pkey;
 mod pkru;
 mod pool;
+mod shared;
 
 pub use cpu::Cpu;
 pub use pkey::{AccessKind, Pkey, PkeyRights, MAX_PKEYS};
 pub use pkru::Pkru;
 pub use pool::{PkeyPool, PkeyPoolError};
+pub use shared::SharedPkeyPool;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,91 @@
+//! Property tests for the shared, lock-free key pool.
+//!
+//! The property mirrors the kernel contract of `pkey_alloc`: across any
+//! interleaving of allocations and frees from any number of threads, the
+//! pool never hands the same live key to two owners and never exceeds the
+//! hardware's 16-key budget (key 0 is the fixed default, leaving 15
+//! allocatable).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use pkru_mpk::{Pkey, SharedPkeyPool, MAX_PKEYS};
+use proptest::prelude::*;
+
+/// One thread's deterministic op sequence against the shared pool.
+/// Returns an error message on the first violated invariant.
+fn hammer(
+    pool: &SharedPkeyPool,
+    live: &Arc<Mutex<HashSet<Pkey>>>,
+    seed: u64,
+    ops: u32,
+) -> Result<(), String> {
+    let mut state = seed | 1;
+    let mut owned: Vec<Pkey> = Vec::new();
+    for _ in 0..ops {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Bias towards allocation so the pool sees real contention.
+        if state >> 63 == 0 || owned.is_empty() {
+            // Exhaustion (`Err`) is a legal outcome under contention.
+            if let Ok(key) = pool.alloc() {
+                if key == Pkey::DEFAULT {
+                    return Err("allocated the default key".into());
+                }
+                if !live.lock().unwrap().insert(key) {
+                    return Err(format!("key {key:?} handed out while still live"));
+                }
+                owned.push(key);
+            }
+        } else {
+            let key = owned.swap_remove((state as usize >> 32) % owned.len());
+            if !live.lock().unwrap().remove(&key) {
+                return Err(format!("freed key {key:?} was not live"));
+            }
+            pool.free(key).map_err(|e| format!("free({key:?}): {e:?}"))?;
+        }
+        // The count includes the permanent key 0, so the hardware budget
+        // is exactly MAX_PKEYS live keys at any instant.
+        let count = pool.allocated_count();
+        if count > u32::from(MAX_PKEYS) {
+            return Err(format!("{count} keys allocated, budget is {MAX_PKEYS}"));
+        }
+    }
+    // Drain: return everything so the pool ends balanced.
+    for key in owned {
+        live.lock().unwrap().remove(&key);
+        pool.free(key).map_err(|e| format!("drain free({key:?}): {e:?}"))?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_alloc_free_never_double_allocates(
+        seed in 0u64..u64::MAX,
+        threads in 2usize..7,
+        ops in 16u32..80,
+    ) {
+        let pool = SharedPkeyPool::new();
+        let live = Arc::new(Mutex::new(HashSet::new()));
+        let results: Vec<Result<(), String>> = thread::scope(|scope| {
+            (0..threads)
+                .map(|t| {
+                    let (pool, live) = (&pool, &live);
+                    scope.spawn(move || hammer(pool, live, seed ^ (t as u64).wrapping_mul(0x9e37), ops))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for result in results {
+            prop_assert!(result.is_ok(), "invariant violated: {:?}", result);
+        }
+        // Every thread drained its keys: only the permanent key 0 remains.
+        prop_assert!(live.lock().unwrap().is_empty());
+        prop_assert_eq!(pool.allocated_count(), 1);
+    }
+}

@@ -1,10 +1,7 @@
 //! The unmodified single-pool allocator used as the `base` configuration.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use pkru_mpk::Pkey;
-use pkru_vmem::{AddressSpace, VirtAddr};
+use pkru_vmem::{SharedSpace, VirtAddr};
 
 use crate::error::AllocError;
 use crate::trusted::TrustedArena;
@@ -23,12 +20,12 @@ const BASELINE_SPAN: u64 = 1 << 40;
 /// twins run on this.
 pub struct BaselineAlloc {
     arena: TrustedArena,
-    space: Arc<Mutex<AddressSpace>>,
+    space: SharedSpace,
 }
 
 impl BaselineAlloc {
     /// Creates the baseline allocator over `space`.
-    pub fn new(space: Arc<Mutex<AddressSpace>>) -> Result<BaselineAlloc, AllocError> {
+    pub fn new(space: SharedSpace) -> Result<BaselineAlloc, AllocError> {
         let arena = {
             let mut guard = space.lock();
             TrustedArena::new(&mut guard, BASELINE_BASE, BASELINE_SPAN, Pkey::DEFAULT)?
@@ -37,7 +34,7 @@ impl BaselineAlloc {
     }
 
     /// The shared address space handle.
-    pub fn space(&self) -> &Arc<Mutex<AddressSpace>> {
+    pub fn space(&self) -> &SharedSpace {
         &self.space
     }
 }
@@ -90,8 +87,8 @@ mod tests {
 
     #[test]
     fn single_pool_reachable_from_any_pkru() {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
-        let mut a = BaselineAlloc::new(Arc::clone(&space)).unwrap();
+        let space = SharedSpace::new();
+        let mut a = BaselineAlloc::new(space.clone()).unwrap();
         let t = a.alloc(64).unwrap();
         let u = a.untrusted_alloc(64).unwrap();
         let restricted = Pkru::deny_only(Pkey::new(1).unwrap());
@@ -103,8 +100,8 @@ mod tests {
 
     #[test]
     fn realloc_copies_contents() {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
-        let mut a = BaselineAlloc::new(Arc::clone(&space)).unwrap();
+        let space = SharedSpace::new();
+        let mut a = BaselineAlloc::new(space.clone()).unwrap();
         let p = a.alloc(32).unwrap();
         space.lock().write_u64(Pkru::ALL_ACCESS, p, 0xabcd).unwrap();
         let q = a.realloc(p, 1024).unwrap();

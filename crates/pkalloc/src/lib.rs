@@ -56,6 +56,22 @@ pub const UNTRUSTED_BASE: VirtAddr = 0x0800_0000_0000;
 /// Span of the untrusted reservation.
 pub const UNTRUSTED_SPAN: u64 = 1 << 40;
 
+/// Per-worker trusted carve-out inside the shared trusted region.
+///
+/// When many worker threads share one address space, each worker's
+/// allocator manages its own disjoint slice of `M_T`/`M_U` (the classic
+/// per-thread-arena design) so allocation needs no cross-worker
+/// coordination beyond the page tables themselves. Every trusted slice is
+/// still tagged with the *same* trusted key: rights are per-thread (PKRU),
+/// placement is per-worker.
+pub const WORKER_TRUSTED_SPAN: u64 = 1 << 40;
+
+/// Per-worker untrusted carve-out inside the shared untrusted region.
+pub const WORKER_UNTRUSTED_SPAN: u64 = 1 << 34;
+
+/// Maximum workers the carve-out geometry supports in one address space.
+pub const MAX_WORKERS: usize = (UNTRUSTED_SPAN / WORKER_UNTRUSTED_SPAN) as usize;
+
 /// The uniform allocation interface (the extended `GlobalAlloc` trait).
 ///
 /// The paper extends Rust's `liballoc` with untrusted variants of each

@@ -1,10 +1,7 @@
 //! The split allocator facade tying both pools together.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use pkru_mpk::Pkey;
-use pkru_vmem::{AddressSpace, VirtAddr};
+use pkru_vmem::{SharedSpace, VirtAddr};
 
 use crate::error::AllocError;
 use crate::trusted::TrustedArena;
@@ -50,6 +47,36 @@ impl Default for PkAllocConfig {
     }
 }
 
+impl PkAllocConfig {
+    /// Pool geometry for worker `worker` of a multi-threaded host sharing
+    /// one address space.
+    ///
+    /// Each worker's allocator manages a disjoint slice of the `M_T` and
+    /// `M_U` reservations (per-thread arenas), so workers allocate without
+    /// contending on allocator state; the slices still carry the usual
+    /// keys, so the compartment rights story is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= MAX_WORKERS` (the carve-out geometry supports
+    /// [`MAX_WORKERS`](crate::MAX_WORKERS) workers per address space).
+    pub fn for_worker(worker: usize) -> PkAllocConfig {
+        assert!(
+            worker < crate::MAX_WORKERS,
+            "worker index {worker} exceeds the {}-worker geometry",
+            crate::MAX_WORKERS
+        );
+        let worker = worker as u64;
+        PkAllocConfig {
+            trusted_base: TRUSTED_BASE + worker * crate::WORKER_TRUSTED_SPAN,
+            trusted_span: crate::WORKER_TRUSTED_SPAN,
+            untrusted_base: UNTRUSTED_BASE + worker * crate::WORKER_UNTRUSTED_SPAN,
+            untrusted_span: crate::WORKER_UNTRUSTED_SPAN,
+            unified_pools: false,
+        }
+    }
+}
+
 /// Aggregate statistics across both pools.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PkAllocStats {
@@ -85,7 +112,7 @@ impl PkAllocStats {
 /// [`CompartmentAlloc::realloc`] transparently keeps objects in their
 /// original pool.
 pub struct PkAlloc {
-    space: Arc<Mutex<AddressSpace>>,
+    space: SharedSpace,
     trusted: TrustedArena,
     untrusted: UntrustedHeap,
     trusted_pkey: Pkey,
@@ -98,13 +125,13 @@ impl PkAlloc {
     ///
     /// Maps and tags both reservations inside `space`; `trusted_pkey` is
     /// the key protecting `M_T`.
-    pub fn new(space: Arc<Mutex<AddressSpace>>, trusted_pkey: Pkey) -> Result<PkAlloc, AllocError> {
+    pub fn new(space: SharedSpace, trusted_pkey: Pkey) -> Result<PkAlloc, AllocError> {
         PkAlloc::with_config(space, trusted_pkey, PkAllocConfig::default())
     }
 
     /// Creates a split allocator with explicit pool geometry.
     pub fn with_config(
-        space: Arc<Mutex<AddressSpace>>,
+        space: SharedSpace,
         trusted_pkey: Pkey,
         config: PkAllocConfig,
     ) -> Result<PkAlloc, AllocError> {
@@ -136,7 +163,7 @@ impl PkAlloc {
     }
 
     /// The shared address space handle.
-    pub fn space(&self) -> &Arc<Mutex<AddressSpace>> {
+    pub fn space(&self) -> &SharedSpace {
         &self.space
     }
 
@@ -246,7 +273,7 @@ mod tests {
     use pkru_mpk::Pkru;
 
     fn alloc() -> PkAlloc {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let space = SharedSpace::new();
         PkAlloc::new(space, Pkey::new(1).unwrap()).unwrap()
     }
 
@@ -257,7 +284,7 @@ mod tests {
         let u = a.untrusted_alloc(64).unwrap();
         assert_eq!(a.domain_of(t), Some(Domain::Trusted));
         assert_eq!(a.domain_of(u), Some(Domain::Untrusted));
-        let mut space = a.space().lock();
+        let space = a.space().lock();
         assert_eq!(space.page_pkey(t), Some(Pkey::new(1).unwrap()));
         assert_eq!(space.page_pkey(u), Some(Pkey::DEFAULT));
         // The untrusted PKRU can reach M_U but not M_T.
@@ -280,7 +307,7 @@ mod tests {
         let u2 = a.realloc(u, 100_000).unwrap();
         assert_eq!(a.domain_of(t2), Some(Domain::Trusted));
         assert_eq!(a.domain_of(u2), Some(Domain::Untrusted));
-        let mut space = a.space().lock();
+        let space = a.space().lock();
         assert_eq!(space.read_u64(Pkru::ALL_ACCESS, t2).unwrap(), 0x1111);
         assert_eq!(space.read_u64(Pkru::ALL_ACCESS, u2).unwrap(), 0x2222);
     }
@@ -296,7 +323,7 @@ mod tests {
             }
         }
         let q = a.realloc(p, 64).unwrap();
-        let mut space = a.space().lock();
+        let space = a.space().lock();
         for i in 0..8 {
             assert_eq!(space.read_u64(Pkru::ALL_ACCESS, q + i * 8).unwrap(), i);
         }
@@ -326,8 +353,36 @@ mod tests {
     }
 
     #[test]
+    fn worker_geometries_coexist_in_one_space() {
+        let space = SharedSpace::new();
+        let key = Pkey::new(1).unwrap();
+        let mut a0 =
+            PkAlloc::with_config(space.clone(), key, PkAllocConfig::for_worker(0)).unwrap();
+        let mut a1 =
+            PkAlloc::with_config(space.clone(), key, PkAllocConfig::for_worker(1)).unwrap();
+        let t0 = a0.alloc(64).unwrap();
+        let t1 = a1.alloc(64).unwrap();
+        let u0 = a0.untrusted_alloc(64).unwrap();
+        let u1 = a1.untrusted_alloc(64).unwrap();
+        // Disjoint slices, one shared trusted key.
+        assert_ne!(t0, t1);
+        assert_ne!(u0, u1);
+        assert_eq!(a0.domain_of(t1), None, "worker 0 does not own worker 1's slice");
+        assert_eq!(space.page_pkey(t0), Some(key));
+        assert_eq!(space.page_pkey(t1), Some(key));
+        assert_eq!(space.page_pkey(u0), Some(Pkey::DEFAULT));
+        assert_eq!(space.page_pkey(u1), Some(Pkey::DEFAULT));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker index")]
+    fn worker_geometry_rejects_out_of_range_index() {
+        let _ = PkAllocConfig::for_worker(crate::MAX_WORKERS);
+    }
+
+    #[test]
     fn unified_pools_ablation_serves_mu_from_mt() {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let space = SharedSpace::new();
         let config = PkAllocConfig { unified_pools: true, ..PkAllocConfig::default() };
         let mut a = PkAlloc::with_config(space, Pkey::new(1).unwrap(), config).unwrap();
         let u = a.untrusted_alloc(64).unwrap();

@@ -1,0 +1,31 @@
+//! `pkru-server`: a multi-threaded, compartment-aware serving runtime.
+//!
+//! The paper's threat model is per-thread: PKRU is a *register*, so each
+//! thread carries its own compartment rights, while protection-key
+//! assignments live in the page tables and are process-wide. This crate
+//! exercises exactly that split. A pool of worker threads serves
+//! page-load and script requests from a bounded queue; every worker owns
+//! a full `servolite` browser — its own CPU/PKRU, its own call-gate
+//! stack, its own allocator carve-out — built on one [`lir::SharedHost`]:
+//! one shared address space, one shared key pool, one process-wide
+//! trusted key.
+//!
+//! The serving pipeline is the paper's pipeline: the catalog is profiled
+//! on the profiling build first, the enforcement build then runs with the
+//! recorded allocation-site profile, and any MPK fault at serve time is
+//! by construction *unexpected* and counted as a defect. Determinism is
+//! checked end to end: every pooled response's checksum must equal, bit
+//! for bit, the checksum of the same request on a single-threaded
+//! reference browser.
+
+mod queue;
+mod request;
+mod server;
+mod traffic;
+mod worker;
+
+pub use queue::{BoundedQueue, QueueStats};
+pub use request::{catalog, Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
+pub use server::{serve, ServeConfig, ServeError, ServeReport};
+pub use traffic::TrafficGen;
+pub use worker::{run_worker, WorkerStats};

@@ -1,0 +1,163 @@
+//! A bounded MPSC work queue with blocking backpressure.
+//!
+//! The producer blocks when the queue is full (backpressure, counted),
+//! workers block when it is empty, and [`BoundedQueue::close`] drains
+//! gracefully: workers keep popping until the queue is both closed *and*
+//! empty, so no accepted request is ever dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Counters the queue accumulates over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests accepted.
+    pub enqueued: u64,
+    /// High-water mark of queued requests.
+    pub max_depth: usize,
+    /// Times the producer had to block on a full queue.
+    pub backpressure_waits: u64,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// A bounded multi-producer/multi-consumer queue (used single-producer,
+/// many-worker here).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the item
+    /// back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        while state.items.len() >= self.capacity && !state.closed {
+            state.stats.backpressure_waits += 1;
+            state = self.not_full.wait(state).unwrap();
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        state.stats.enqueued += 1;
+        state.stats.max_depth = state.stats.max_depth.max(state.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` only once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue: no new items are accepted, queued items remain
+    /// poppable, and every blocked thread wakes.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> QueueStats {
+        self.state.lock().unwrap().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.stats().enqueued, 2);
+        assert_eq!(q.stats().max_depth, 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        let q = BoundedQueue::new(1);
+        q.push(0).unwrap();
+        thread::scope(|s| {
+            let producer = s.spawn(|| q.push(1));
+            // The producer must block until a consumer makes room.
+            assert_eq!(q.pop(), Some(0));
+            assert_eq!(producer.join().unwrap(), Ok(()));
+        });
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.stats().backpressure_waits >= 1);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        thread::scope(|s| {
+            let consumers: Vec<_> = (0..3).map(|_| s.spawn(|| q.pop())).collect();
+            q.close();
+            for c in consumers {
+                assert_eq!(c.join().unwrap(), None);
+            }
+        });
+    }
+}

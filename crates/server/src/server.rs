@@ -1,0 +1,303 @@
+//! The serving pipeline: profile → reference → worker pool → verdict.
+//!
+//! `serve` runs the paper's full pipeline before any thread starts: the
+//! catalog is profiled on the profiling build (so the enforcement build
+//! has a complete allocation-site profile and zero *expected* faults),
+//! then executed once on a single-threaded enforcement browser to record
+//! reference checksums. Only then does the pool spin up; every pooled
+//! response is compared bit-for-bit against the single-threaded reference.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::thread;
+use std::time::Instant;
+
+use lir::SharedHost;
+use minijs::Value;
+use pkalloc::MAX_WORKERS;
+use pkru_provenance::Profile;
+use servolite::{Browser, BrowserConfig};
+use workloads::suites::micro_page;
+
+use crate::queue::{BoundedQueue, QueueStats};
+use crate::request::{catalog, Request, Response, ScriptSpec, PAGE_LOAD};
+use crate::traffic::TrafficGen;
+use crate::worker::{run_worker, WorkerStats};
+
+/// Serving errors (worker-request failures are counters, not errors).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid configuration.
+    Config(String),
+    /// The profiling or reference pass failed.
+    Setup(String),
+    /// A worker failed to start or panicked.
+    Worker {
+        /// The failing worker's slot.
+        worker: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(m) => write!(f, "bad serve config: {m}"),
+            ServeError::Setup(m) => write!(f, "serve setup: {m}"),
+            ServeError::Worker { worker, message } => write!(f, "worker {worker}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Pool shape and traffic volume.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Total requests to generate.
+    pub requests: u64,
+    /// Queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Traffic seed.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig { workers: 4, requests: 200, queue_capacity: 32, seed: 0x5eed }
+    }
+}
+
+/// Everything a serve run produced.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// The configuration served.
+    pub config: ServeConfig,
+    /// Per-worker counters, ordered by slot.
+    pub workers: Vec<WorkerStats>,
+    /// Wall seconds of the serving phase only (profiling and the
+    /// single-threaded reference pass excluded).
+    pub elapsed_seconds: f64,
+    /// Requests per second over the serving phase.
+    pub throughput_rps: f64,
+    /// Queue lifetime counters.
+    pub queue: QueueStats,
+    /// Requests served across all workers.
+    pub requests_served: u64,
+    /// Total compartment transitions across all workers.
+    pub transitions: u64,
+    /// Responses whose checksum differed from the single-threaded
+    /// reference (must be 0).
+    pub checksum_mismatches: u64,
+    /// MPK violations across all workers (must be 0 under a complete
+    /// profile).
+    pub unexpected_faults: u64,
+    /// Non-MPK request failures across all workers.
+    pub errors: u64,
+}
+
+impl ServeReport {
+    /// Whether the run met the paper-pipeline expectations: every request
+    /// served, checksums identical to the single-threaded reference, and
+    /// no MPK faults.
+    pub fn clean(&self) -> bool {
+        self.requests_served == self.config.requests
+            && self.checksum_mismatches == 0
+            && self.unexpected_faults == 0
+            && self.errors == 0
+    }
+
+    /// Machine-readable form (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    concat!(
+                        "{{\"worker\":{},\"requests\":{},\"page_loads\":{},",
+                        "\"scripts\":{},\"transitions\":{},\"pkey_faults\":{},\"errors\":{}}}"
+                    ),
+                    w.worker,
+                    w.requests,
+                    w.page_loads,
+                    w.scripts,
+                    w.transitions,
+                    w.pkey_faults,
+                    w.errors
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"workers\":{},\"requests\":{},\"queue_capacity\":{},\"seed\":{},",
+                "\"elapsed_seconds\":{:.6},\"throughput_rps\":{:.2},",
+                "\"queue\":{{\"enqueued\":{},\"max_depth\":{},\"backpressure_waits\":{}}},",
+                "\"requests_served\":{},\"transitions\":{},\"checksum_mismatches\":{},",
+                "\"unexpected_faults\":{},\"errors\":{},\"per_worker\":[{}]}}"
+            ),
+            self.config.workers,
+            self.config.requests,
+            self.config.queue_capacity,
+            self.config.seed,
+            self.elapsed_seconds,
+            self.throughput_rps,
+            self.queue.enqueued,
+            self.queue.max_depth,
+            self.queue.backpressure_waits,
+            self.requests_served,
+            self.transitions,
+            self.checksum_mismatches,
+            self.unexpected_faults,
+            self.errors,
+            workers.join(",")
+        )
+    }
+}
+
+/// Profiles the catalog on the profiling build (single-threaded), merging
+/// per-script profiles by set union — the pipeline's first stage.
+fn profile_catalog(catalog: &[ScriptSpec]) -> Result<Profile, ServeError> {
+    let mut merged = Profile::new();
+    for spec in catalog {
+        let mut browser = Browser::new(BrowserConfig::Profiling)
+            .map_err(|e| ServeError::Setup(format!("profiling browser: {e}")))?;
+        browser
+            .load_html(micro_page())
+            .map_err(|e| ServeError::Setup(format!("profiling page: {e}")))?;
+        browser
+            .eval_script(&spec.source)
+            .and_then(|_| browser.call_script("run", &[]))
+            .map_err(|e| ServeError::Setup(format!("profiling {}: {e}", spec.name)))?;
+        merged.merge(&browser.into_profile());
+    }
+    Ok(merged)
+}
+
+/// Records the single-threaded reference checksum for every catalog entry
+/// (and the page load), on a fresh enforcement browser with its own
+/// private address space.
+fn reference_checksums(
+    catalog: &[ScriptSpec],
+    profile: &Profile,
+) -> Result<HashMap<&'static str, f64>, ServeError> {
+    let mut browser = Browser::with_profile(BrowserConfig::Mpk, Some(profile))
+        .map_err(|e| ServeError::Setup(format!("reference browser: {e}")))?;
+    browser
+        .load_html(micro_page())
+        .map_err(|e| ServeError::Setup(format!("reference page: {e}")))?;
+
+    let mut reference = HashMap::new();
+    let before = browser.stats().nodes;
+    browser
+        .load_html(micro_page())
+        .map_err(|e| ServeError::Setup(format!("reference reload: {e}")))?;
+    reference.insert(PAGE_LOAD, (browser.stats().nodes - before) as f64);
+
+    for spec in catalog {
+        let value = browser
+            .eval_script(&spec.source)
+            .and_then(|_| browser.call_script("run", &[]))
+            .map_err(|e| ServeError::Setup(format!("reference {}: {e}", spec.name)))?;
+        match value {
+            Value::Num(checksum) => {
+                reference.insert(spec.name, checksum);
+            }
+            _ => {
+                return Err(ServeError::Setup(format!(
+                    "reference {}: non-numeric checksum",
+                    spec.name
+                )))
+            }
+        }
+    }
+    Ok(reference)
+}
+
+/// Runs the full pipeline and the pool, returning the aggregated report.
+pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
+    if config.workers == 0 {
+        return Err(ServeError::Config("at least one worker".into()));
+    }
+    if config.workers > MAX_WORKERS {
+        return Err(ServeError::Config(format!(
+            "at most {MAX_WORKERS} workers fit the carve-out geometry"
+        )));
+    }
+
+    let catalog = catalog();
+    let profile = profile_catalog(&catalog)?;
+    let reference = reference_checksums(&catalog, &profile)?;
+
+    let host = SharedHost::new();
+    let queue: BoundedQueue<Request> = BoundedQueue::new(config.queue_capacity);
+
+    let start = Instant::now();
+    let mut results: Vec<Result<(WorkerStats, Vec<Response>), ServeError>> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let (queue, host, profile, catalog) = (&queue, &host, &profile, &catalog);
+                scope.spawn(move || run_worker(w, queue, host, profile, catalog))
+            })
+            .collect();
+
+        for request in TrafficGen::new(config.seed, config.requests, catalog.len()) {
+            if queue.push(request).is_err() {
+                break;
+            }
+        }
+        queue.close();
+
+        for (w, handle) in handles.into_iter().enumerate() {
+            results.push(handle.join().unwrap_or_else(|_| {
+                Err(ServeError::Worker { worker: w, message: "worker panicked".into() })
+            }));
+        }
+    });
+    let elapsed_seconds = start.elapsed().as_secs_f64();
+
+    let mut workers = Vec::new();
+    let mut checksum_mismatches = 0u64;
+    let mut requests_served = 0u64;
+    let mut transitions = 0u64;
+    let mut unexpected_faults = 0u64;
+    let mut errors = 0u64;
+    for result in results {
+        let (stats, responses) = result?;
+        requests_served += stats.requests;
+        transitions += stats.transitions;
+        unexpected_faults += stats.pkey_faults;
+        errors += stats.errors;
+        for response in &responses {
+            // Exact bit-for-bit equality: the engine is deterministic, so
+            // a pooled worker must reproduce the reference float exactly.
+            if reference.get(response.name).map(|c| c.to_bits())
+                != Some(response.checksum.to_bits())
+            {
+                checksum_mismatches += 1;
+            }
+        }
+        workers.push(stats);
+    }
+    workers.sort_by_key(|w| w.worker);
+
+    let throughput_rps =
+        if elapsed_seconds > 0.0 { requests_served as f64 / elapsed_seconds } else { 0.0 };
+
+    Ok(ServeReport {
+        config,
+        workers,
+        elapsed_seconds,
+        throughput_rps,
+        queue: queue.stats(),
+        requests_served,
+        transitions,
+        checksum_mismatches,
+        unexpected_faults,
+        errors,
+    })
+}

@@ -1,0 +1,104 @@
+//! The worker: one thread, one browser, one PKRU.
+//!
+//! Each worker owns a full `servolite` browser built on the shared host —
+//! its own CPU (and therefore its own PKRU rights), its own call-gate
+//! stack, and its own allocator carve-out — while page tables, key
+//! assignments, and the trusted key itself are process-wide shared state.
+
+use servolite::{Browser, BrowserConfig};
+use workloads::suites::micro_page;
+
+use lir::SharedHost;
+use minijs::Value;
+use pkru_provenance::Profile;
+
+use crate::queue::BoundedQueue;
+use crate::request::{Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
+use crate::server::ServeError;
+
+/// Per-worker counters, reported after drain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// The worker's slot index.
+    pub worker: usize,
+    /// Requests served (page loads + scripts, including failed ones).
+    pub requests: u64,
+    /// Page-load requests served.
+    pub page_loads: u64,
+    /// Script requests served.
+    pub scripts: u64,
+    /// Compartment transitions this worker's gates executed.
+    pub transitions: u64,
+    /// MPK violations observed — always unexpected under a complete
+    /// profile.
+    pub pkey_faults: u64,
+    /// Non-MPK request failures.
+    pub errors: u64,
+}
+
+/// Runs one worker to queue exhaustion, returning its counters and every
+/// response it produced.
+///
+/// The browser is constructed *inside* the worker thread (it is `!Send`):
+/// only the [`SharedHost`] crosses the thread boundary.
+pub fn run_worker(
+    worker: usize,
+    queue: &BoundedQueue<Request>,
+    host: &SharedHost,
+    profile: &Profile,
+    catalog: &[ScriptSpec],
+) -> Result<(WorkerStats, Vec<Response>), ServeError> {
+    let mut browser = Browser::with_profile_on(BrowserConfig::Mpk, Some(profile), host)
+        .map_err(|e| ServeError::Worker { worker, message: format!("browser setup: {e}") })?;
+    browser
+        .load_html(micro_page())
+        .map_err(|e| ServeError::Worker { worker, message: format!("initial page: {e}") })?;
+
+    let mut stats = WorkerStats { worker, ..WorkerStats::default() };
+    let mut responses = Vec::new();
+
+    while let Some(request) = queue.pop() {
+        stats.requests += 1;
+        match request.kind {
+            RequestKind::PageLoad => {
+                stats.page_loads += 1;
+                let before = browser.stats().nodes;
+                match browser.load_html(micro_page()) {
+                    Ok(()) => {
+                        let delta = browser.stats().nodes - before;
+                        responses.push(Response {
+                            id: request.id,
+                            worker,
+                            name: PAGE_LOAD,
+                            checksum: delta as f64,
+                        });
+                    }
+                    Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
+                    Err(_) => stats.errors += 1,
+                }
+            }
+            RequestKind::Script(i) => {
+                stats.scripts += 1;
+                let spec = &catalog[i];
+                let outcome =
+                    browser.eval_script(&spec.source).and_then(|_| browser.call_script("run", &[]));
+                match outcome {
+                    Ok(Value::Num(checksum)) => {
+                        responses.push(Response {
+                            id: request.id,
+                            worker,
+                            name: spec.name,
+                            checksum,
+                        });
+                    }
+                    Ok(_) => stats.errors += 1,
+                    Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
+                    Err(_) => stats.errors += 1,
+                }
+            }
+        }
+    }
+
+    stats.transitions = browser.stats().transitions;
+    Ok((stats, responses))
+}

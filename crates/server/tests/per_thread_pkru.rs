@@ -1,0 +1,89 @@
+//! The satellite concurrency property: PKRU is per-thread state.
+//!
+//! Thread A enters the untrusted compartment while thread B stays
+//! trusted, on machines sharing one address space and one trusted key.
+//! A's switch must change *only A's* rights: B keeps reading trusted
+//! memory, B's PKRU value never moves, and A faults on the very same
+//! address until it exits the compartment.
+
+use std::sync::mpsc;
+use std::thread;
+
+use lir::{Machine, MachineConfig, SharedHost, Trap};
+
+#[test]
+fn compartment_entry_is_thread_local() {
+    let host = SharedHost::new();
+    // A → B: the trusted address, then "A is now untrusted".
+    let (a2b, from_a) = mpsc::channel::<u64>();
+    // B → A: "B verified its rights while you were untrusted".
+    let (b2a, from_b) = mpsc::channel::<()>();
+
+    thread::scope(|scope| {
+        let host_a = &host;
+        let host_b = &host;
+
+        let a = scope.spawn(move || {
+            let mut m = Machine::on_host(MachineConfig::default(), host_a).unwrap();
+            let addr = m.alloc.alloc(64).unwrap();
+            m.mem_write(addr, 0x2a).unwrap();
+            a2b.send(addr).unwrap();
+
+            let trusted_pkru = m.cpu.pkru();
+            m.gates.enter_untrusted(&mut m.cpu).unwrap();
+            assert_ne!(m.cpu.pkru(), trusted_pkru, "entering must drop rights");
+            a2b.send(u64::MAX).unwrap();
+
+            // Inside the untrusted compartment this thread cannot touch
+            // its own trusted allocation...
+            match m.mem_read(addr) {
+                Err(Trap::Fault(f)) => assert!(f.is_pkey_violation()),
+                other => panic!("untrusted read of trusted page: {other:?}"),
+            }
+
+            from_b.recv().unwrap();
+            m.gates.exit_untrusted(&mut m.cpu).unwrap();
+            assert_eq!(m.cpu.pkru(), trusted_pkru, "exit must restore rights");
+            // ...and regains access the instant it exits.
+            assert_eq!(m.mem_read(addr).unwrap(), 0x2a);
+        });
+
+        let b = scope.spawn(move || {
+            let mut m = Machine::on_host(MachineConfig::default(), host_b).unwrap();
+            let pkru_at_start = m.cpu.pkru();
+
+            let addr = from_a.recv().unwrap();
+            // B is trusted and the space is shared: A's allocation is
+            // readable from B.
+            assert_eq!(m.mem_read(addr).unwrap(), 0x2a);
+
+            // A announces it has entered the untrusted compartment.
+            assert_eq!(from_a.recv().unwrap(), u64::MAX);
+            assert_eq!(m.cpu.pkru(), pkru_at_start, "A's switch must not move B's PKRU");
+            assert_eq!(m.mem_read(addr).unwrap(), 0x2a, "B's rights must be unaffected");
+            b2a.send(()).unwrap();
+        });
+
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+}
+
+#[test]
+fn workers_share_one_trusted_key() {
+    let host = SharedHost::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let host = &host;
+                scope.spawn(move || {
+                    let m = Machine::on_host(MachineConfig::default(), host).unwrap();
+                    m.trusted_pkey()
+                })
+            })
+            .collect();
+        let keys: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] == w[1]), "one process-wide trusted key: {keys:?}");
+        assert_eq!(keys[0], host.trusted_pkey());
+    });
+}

@@ -1,0 +1,59 @@
+//! End-to-end serve tests: happy path, graceful drain, determinism
+//! against the single-threaded reference, and config validation.
+
+use pkru_server::{serve, ServeConfig, ServeError};
+
+#[test]
+fn serve_happy_path_is_clean() {
+    let config = ServeConfig { workers: 2, requests: 48, queue_capacity: 8, seed: 7 };
+    let report = serve(config).expect("serve");
+    assert!(report.clean(), "unclean report: {report:?}");
+    assert_eq!(report.requests_served, 48);
+    assert_eq!(report.queue.enqueued, 48);
+    assert_eq!(report.workers.len(), 2);
+    assert_eq!(report.checksum_mismatches, 0);
+    assert_eq!(report.unexpected_faults, 0);
+    assert!(report.throughput_rps > 0.0);
+    // Graceful drain: every generated request was served by someone.
+    assert_eq!(report.workers.iter().map(|w| w.requests).sum::<u64>(), 48);
+    // The enforcement build actually crossed the boundary.
+    assert!(report.transitions > 0);
+}
+
+#[test]
+fn single_worker_matches_reference() {
+    let config = ServeConfig { workers: 1, requests: 20, queue_capacity: 4, seed: 3 };
+    let report = serve(config).expect("serve");
+    assert!(report.clean(), "unclean report: {report:?}");
+    assert_eq!(report.workers[0].requests, 20);
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let config = ServeConfig { workers: 1, requests: 8, queue_capacity: 4, seed: 1 };
+    let report = serve(config).expect("serve");
+    let json = report.to_json();
+    for key in [
+        "\"workers\":1",
+        "\"requests_served\":8",
+        "\"throughput_rps\":",
+        "\"backpressure_waits\":",
+        "\"per_worker\":[",
+        "\"checksum_mismatches\":0",
+        "\"unexpected_faults\":0",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn rejects_degenerate_configs() {
+    assert!(matches!(
+        serve(ServeConfig { workers: 0, ..ServeConfig::default() }),
+        Err(ServeError::Config(_))
+    ));
+    assert!(matches!(
+        serve(ServeConfig { workers: 10_000, ..ServeConfig::default() }),
+        Err(ServeError::Config(_))
+    ));
+}

@@ -6,12 +6,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use lir::{FaultPolicy, Machine, MachineConfig, Trap};
+use lir::{FaultPolicy, Machine, MachineConfig, SharedHost, Trap};
 use minijs::{Engine, EngineError, Value};
 use pkalloc::AllocError;
 use pkru_gates::GateError;
 use pkru_provenance::Profile;
-use pkru_vmem::{Prot, PAGE_SIZE};
+use pkru_vmem::{MapError, Prot, PAGE_SIZE};
 
 use crate::dom::Dom;
 use crate::html::{parse_html, HtmlNode};
@@ -179,6 +179,30 @@ impl Browser {
         config: BrowserConfig,
         profile: Option<&Profile>,
     ) -> Result<Browser, BrowserError> {
+        Browser::build(config, profile, None)
+    }
+
+    /// Creates a worker browser on a [`SharedHost`]: the address space and
+    /// trusted key are shared process state, while the CPU (and its PKRU)
+    /// and call-gate stack are this worker's own.
+    ///
+    /// Only gated, split-allocator configurations make sense here (a
+    /// multi-threaded host exists to exercise per-thread rights); the
+    /// machine is always built with the worker's split-allocator
+    /// carve-out.
+    pub fn with_profile_on(
+        config: BrowserConfig,
+        profile: Option<&Profile>,
+        host: &SharedHost,
+    ) -> Result<Browser, BrowserError> {
+        Browser::build(config, profile, Some(host))
+    }
+
+    fn build(
+        config: BrowserConfig,
+        profile: Option<&Profile>,
+        host: Option<&SharedHost>,
+    ) -> Result<Browser, BrowserError> {
         let machine_config = MachineConfig {
             split_allocator: config.split_allocator(),
             unified_pools: config.unified_pools(),
@@ -189,7 +213,10 @@ impl Browser {
             },
             fuel: u64::MAX,
         };
-        let mut machine = Machine::new(machine_config)?;
+        let mut machine = match host {
+            Some(host) => Machine::on_host(machine_config, host)?,
+            None => Machine::new(machine_config)?,
+        };
 
         let registry = match profile {
             Some(p) => SiteRegistry::from_profile(p),
@@ -199,9 +226,14 @@ impl Browser {
 
         // Plant the §5.4 secret at its fixed address, inside trusted
         // memory (its page carries the trusted key under MPK configs).
+        // The page is a process singleton: on a shared host the first
+        // worker maps and tags it, later workers find it in place.
         {
             let mut space = machine.space.lock();
-            space.mmap_at(SECRET_ADDR, PAGE_SIZE, Prot::READ_WRITE).map_err(AllocError::Map)?;
+            match space.mmap_at(SECRET_ADDR, PAGE_SIZE, Prot::READ_WRITE) {
+                Ok(()) | Err(MapError::AlreadyMapped { .. }) => {}
+                Err(e) => return Err(AllocError::Map(e).into()),
+            }
             if config.split_allocator() {
                 space
                     .pkey_mprotect(SECRET_ADDR, PAGE_SIZE, Prot::READ_WRITE, machine.trusted_pkey())

@@ -15,14 +15,19 @@
 //!   SEGV_PKUERR`.
 //!
 //! All state is explicit (no process-global statics), so tests and the
-//! interpreter can run many isolated address spaces in parallel.
+//! interpreter can run many isolated address spaces in parallel. For
+//! multi-threaded hosts, [`SharedSpace`] is the process view: one set of
+//! page tables behind interior mutability, with every access checked
+//! against the calling thread's PKRU.
 
 mod fault;
 mod prot;
+mod shared;
 mod space;
 
 pub use fault::{Fault, FaultKind};
 pub use prot::Prot;
+pub use shared::SharedSpace;
 pub use space::{AddressSpace, MapError, SpaceStats};
 
 /// A virtual address in the simulated space.

@@ -1,0 +1,256 @@
+//! A thread-safe handle to one address space shared by many threads.
+//!
+//! A process has one set of page tables no matter how many threads run in
+//! it; what differs per thread is the PKRU register each access is checked
+//! against. [`SharedSpace`] models exactly that split: a cloneable,
+//! `Send + Sync` handle over one [`AddressSpace`], while every checked
+//! access takes the *calling thread's* [`Pkru`] as an argument.
+//!
+//! Locking mirrors the hardware/kernel division. Rights checks, loads,
+//! and stores to already-materialized frames take the internal lock in
+//! *shared* mode — threads touching different pages proceed in parallel,
+//! as real memory accesses do, serialized only by the per-frame locks
+//! when they actually collide on a page. Mapping calls (`mmap`,
+//! `mprotect`, `munmap`) and demand paging take it *exclusively* — the
+//! analog of the kernel's `mmap_lock`.
+
+use std::sync::{Arc, RwLock, RwLockWriteGuard};
+
+use pkru_mpk::{AccessKind, Pkey, Pkru};
+
+use crate::fault::Fault;
+use crate::prot::Prot;
+use crate::space::{AddressSpace, MapError, SpaceStats};
+use crate::VirtAddr;
+
+/// A cloneable, thread-safe view of one [`AddressSpace`].
+///
+/// Clones share the same underlying space (regions, frames, statistics).
+/// The convenience methods below each take the lock for a single
+/// operation; compound sequences that must be atomic (map *and* tag, say)
+/// should use [`SharedSpace::lock`] and hold the guard across both calls.
+#[derive(Clone, Default)]
+pub struct SharedSpace {
+    inner: Arc<RwLock<AddressSpace>>,
+}
+
+impl SharedSpace {
+    /// Creates a handle over a fresh, empty address space.
+    pub fn new() -> SharedSpace {
+        SharedSpace { inner: Arc::new(RwLock::new(AddressSpace::new())) }
+    }
+
+    /// Locks the space exclusively for a compound operation.
+    pub fn lock(&self) -> RwLockWriteGuard<'_, AddressSpace> {
+        self.inner.write().expect("space lock")
+    }
+
+    /// Whether two handles view the same underlying space.
+    pub fn same_space(&self, other: &SharedSpace) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Access and fault counters (aggregated across all threads).
+    pub fn stats(&self) -> SpaceStats {
+        self.inner.read().expect("space lock").stats()
+    }
+
+    /// Maps `len` bytes at an automatically chosen address.
+    pub fn mmap(&self, len: u64, prot: Prot) -> Result<VirtAddr, MapError> {
+        self.lock().mmap(len, prot)
+    }
+
+    /// Maps `len` bytes at exactly `addr`.
+    pub fn mmap_at(&self, addr: VirtAddr, len: u64, prot: Prot) -> Result<(), MapError> {
+        self.lock().mmap_at(addr, len, prot)
+    }
+
+    /// Maps `[addr, addr + len)` if it is not already mapped.
+    ///
+    /// Returns `true` when this call created the mapping, `false` when a
+    /// mapping was already in place — the idempotent fixed-address mapping
+    /// shared process singletons (one page, many threads racing to set it
+    /// up) need.
+    pub fn ensure_mapped_at(&self, addr: VirtAddr, len: u64, prot: Prot) -> Result<bool, MapError> {
+        match self.lock().mmap_at(addr, len, prot) {
+            Ok(()) => Ok(true),
+            Err(MapError::AlreadyMapped { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Unmaps `[addr, addr + len)`.
+    pub fn munmap(&self, addr: VirtAddr, len: u64) -> Result<(), MapError> {
+        self.lock().munmap(addr, len)
+    }
+
+    /// Changes the protection bits of a range.
+    pub fn mprotect(&self, addr: VirtAddr, len: u64, prot: Prot) -> Result<(), MapError> {
+        self.lock().mprotect(addr, len, prot)
+    }
+
+    /// Changes protection bits and the protection key of a range.
+    pub fn pkey_mprotect(
+        &self,
+        addr: VirtAddr,
+        len: u64,
+        prot: Prot,
+        pkey: Pkey,
+    ) -> Result<(), MapError> {
+        self.lock().pkey_mprotect(addr, len, prot, pkey)
+    }
+
+    /// The protection key tagged on the page containing `addr`.
+    pub fn page_pkey(&self, addr: VirtAddr) -> Option<Pkey> {
+        self.inner.read().expect("space lock").page_pkey(addr)
+    }
+
+    /// Whether `addr` lies in a mapped region.
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        self.inner.read().expect("space lock").is_mapped(addr)
+    }
+
+    /// Checks an access against the calling thread's `pkru`.
+    pub fn check(
+        &self,
+        pkru: Pkru,
+        addr: VirtAddr,
+        len: u64,
+        access: AccessKind,
+    ) -> Result<(), Fault> {
+        self.inner.read().expect("space lock").check(pkru, addr, len, access)
+    }
+
+    /// Reads `buf.len()` bytes from `addr` under the calling thread's
+    /// `pkru`.
+    pub fn read(&self, pkru: Pkru, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        self.inner.read().expect("space lock").read(pkru, addr, buf)
+    }
+
+    /// Writes `bytes` to `addr` under the calling thread's `pkru`.
+    ///
+    /// Fast path: shared lock, per-frame locking. Slow path (first touch
+    /// of a page): exclusive lock so demand paging can materialize it.
+    pub fn write(&self, pkru: Pkru, addr: VirtAddr, bytes: &[u8]) -> Result<(), Fault> {
+        if let Some(result) =
+            self.inner.read().expect("space lock").write_resident(pkru, addr, bytes)
+        {
+            return result;
+        }
+        self.lock().write(pkru, addr, bytes)
+    }
+
+    /// Reads a little-endian `u64` under the calling thread's `pkru`.
+    pub fn read_u64(&self, pkru: Pkru, addr: VirtAddr) -> Result<u64, Fault> {
+        self.inner.read().expect("space lock").read_u64(pkru, addr)
+    }
+
+    /// Writes a little-endian `u64` under the calling thread's `pkru`.
+    pub fn write_u64(&self, pkru: Pkru, addr: VirtAddr, value: u64) -> Result<(), Fault> {
+        if let Some(result) =
+            self.inner.read().expect("space lock").write_u64_resident(pkru, addr, value)
+        {
+            return result;
+        }
+        self.lock().write_u64(pkru, addr, value)
+    }
+
+    /// Reads a single byte under the calling thread's `pkru`.
+    pub fn read_u8(&self, pkru: Pkru, addr: VirtAddr) -> Result<u8, Fault> {
+        self.inner.read().expect("space lock").read_u8(pkru, addr)
+    }
+
+    /// Writes a single byte under the calling thread's `pkru`.
+    pub fn write_u8(&self, pkru: Pkru, addr: VirtAddr, value: u8) -> Result<(), Fault> {
+        self.write(pkru, addr, &[value])
+    }
+}
+
+impl std::fmt::Debug for SharedSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSpace").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn clones_view_the_same_space() {
+        let space = SharedSpace::new();
+        let view = space.clone();
+        let a = space.mmap(PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        view.write_u64(Pkru::ALL_ACCESS, a, 99).unwrap();
+        assert_eq!(space.read_u64(Pkru::ALL_ACCESS, a).unwrap(), 99);
+        assert!(space.same_space(&view));
+        assert!(!space.same_space(&SharedSpace::new()));
+    }
+
+    #[test]
+    fn ensure_mapped_at_is_idempotent() {
+        let space = SharedSpace::new();
+        assert!(space.ensure_mapped_at(0x7000_0000, PAGE_SIZE, Prot::READ_WRITE).unwrap());
+        assert!(!space.ensure_mapped_at(0x7000_0000, PAGE_SIZE, Prot::READ_WRITE).unwrap());
+        assert_eq!(
+            space.ensure_mapped_at(0x7000_0001, PAGE_SIZE, Prot::READ_WRITE),
+            Err(MapError::Misaligned)
+        );
+    }
+
+    #[test]
+    fn checks_use_the_callers_pkru() {
+        // Two "threads": same space, different rights.
+        let space = SharedSpace::new();
+        let a = space.mmap(PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        let key = Pkey::new(1).unwrap();
+        space.pkey_mprotect(a, PAGE_SIZE, Prot::READ_WRITE, key).unwrap();
+        let trusted = Pkru::ALL_ACCESS;
+        let untrusted = Pkru::deny_only(key);
+        assert!(space.read_u64(trusted, a).is_ok());
+        assert!(space.read_u64(untrusted, a).unwrap_err().is_pkey_violation());
+    }
+
+    #[test]
+    fn resident_write_fast_path_matches_slow_path() {
+        let space = SharedSpace::new();
+        let a = space.mmap(2 * PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        // First write demand-pages (exclusive path); second is resident
+        // (shared path). Both must be visible identically.
+        space.write_u64(Pkru::ALL_ACCESS, a, 1).unwrap();
+        space.write_u64(Pkru::ALL_ACCESS, a, 2).unwrap();
+        assert_eq!(space.read_u64(Pkru::ALL_ACCESS, a).unwrap(), 2);
+        // A straddling write exercises the multi-frame resident check.
+        let boundary = a + PAGE_SIZE - 4;
+        space.write_u64(Pkru::ALL_ACCESS, boundary, 0x1122_3344_5566_7788).unwrap();
+        space.write_u64(Pkru::ALL_ACCESS, boundary, 0x8877_6655_4433_2211).unwrap();
+        assert_eq!(space.read_u64(Pkru::ALL_ACCESS, boundary).unwrap(), 0x8877_6655_4433_2211);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt_frames() {
+        let space = SharedSpace::new();
+        let a = space.mmap(8 * PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let space = space.clone();
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        let addr = a + t * PAGE_SIZE + i * 8;
+                        space.write_u64(Pkru::ALL_ACCESS, addr, t << 32 | i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in 0..256u64 {
+                let addr = a + t * PAGE_SIZE + i * 8;
+                assert_eq!(space.read_u64(Pkru::ALL_ACCESS, addr).unwrap(), t << 32 | i);
+            }
+        }
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use pkru_mpk::{AccessKind, Pkey, Pkru};
 
@@ -65,17 +67,49 @@ pub struct SpaceStats {
     pub unmapped_faults: u64,
 }
 
+/// Internal counters, atomic so rights-checked *accesses* can run under a
+/// shared borrow (many reader threads) while mapping calls stay exclusive.
+#[derive(Default)]
+struct AtomicStats {
+    demand_pages: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    pkey_faults: AtomicU64,
+    prot_faults: AtomicU64,
+    unmapped_faults: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> SpaceStats {
+        SpaceStats {
+            demand_pages: self.demand_pages.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            pkey_faults: self.pkey_faults.load(Ordering::Relaxed),
+            prot_faults: self.prot_faults.load(Ordering::Relaxed),
+            unmapped_faults: self.unmapped_faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A simulated 64-bit address space.
 ///
 /// Mappings are tracked as page-aligned regions; page *frames* are
 /// materialized only when first written, so reserving an enormous trusted
 /// region up front is effectively free (the paper reserves 46 bits of
 /// address space for `M_T` this way).
+///
+/// Like hardware, the page tables distinguish walking from changing:
+/// rights checks, loads, and stores into materialized frames take `&self`
+/// (each frame carries its own lock, so threads touching different pages
+/// proceed in parallel), while anything that edits the region map or
+/// materializes frames — `mmap`, `mprotect`, demand paging — takes
+/// `&mut self`.
 pub struct AddressSpace {
     regions: BTreeMap<VirtAddr, Region>,
-    frames: HashMap<VirtAddr, Box<[u8]>>,
+    frames: HashMap<VirtAddr, Mutex<Box<[u8]>>>,
     auto_cursor: VirtAddr,
-    stats: SpaceStats,
+    stats: AtomicStats,
 }
 
 impl Default for AddressSpace {
@@ -91,13 +125,13 @@ impl AddressSpace {
             regions: BTreeMap::new(),
             frames: HashMap::new(),
             auto_cursor: AUTO_BASE,
-            stats: SpaceStats::default(),
+            stats: AtomicStats::default(),
         }
     }
 
     /// Access and fault counters.
     pub fn stats(&self) -> SpaceStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Number of bytes currently mapped (sum of region sizes).
@@ -273,7 +307,7 @@ impl AddressSpace {
     /// Checks a `[addr, addr + len)` access against `pkru` without
     /// performing it. Returns the first fault encountered, if any.
     pub fn check(
-        &mut self,
+        &self,
         pkru: Pkru,
         addr: VirtAddr,
         len: u64,
@@ -283,7 +317,7 @@ impl AddressSpace {
             return Ok(());
         }
         let end = addr.checked_add(len).ok_or_else(|| {
-            self.stats.unmapped_faults += 1;
+            self.stats.unmapped_faults.fetch_add(1, Ordering::Relaxed);
             Fault { addr, access, kind: FaultKind::Unmapped }
         })?;
         let mut cursor = addr;
@@ -291,7 +325,7 @@ impl AddressSpace {
             let region = match self.region_containing(cursor) {
                 Some(r) => *r,
                 None => {
-                    self.stats.unmapped_faults += 1;
+                    self.stats.unmapped_faults.fetch_add(1, Ordering::Relaxed);
                     return Err(Fault { addr: cursor, access, kind: FaultKind::Unmapped });
                 }
             };
@@ -300,11 +334,11 @@ impl AddressSpace {
                 AccessKind::Write => Prot::WRITE,
             };
             if !region.prot.contains(needed) {
-                self.stats.prot_faults += 1;
+                self.stats.prot_faults.fetch_add(1, Ordering::Relaxed);
                 return Err(Fault { addr: cursor, access, kind: FaultKind::ProtViolation });
             }
             if !pkru.allows(region.pkey, access) {
-                self.stats.pkey_faults += 1;
+                self.stats.pkey_faults.fetch_add(1, Ordering::Relaxed);
                 return Err(Fault {
                     addr: cursor,
                     access,
@@ -317,9 +351,9 @@ impl AddressSpace {
     }
 
     /// Reads `buf.len()` bytes from `addr` under `pkru`.
-    pub fn read(&mut self, pkru: Pkru, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
+    pub fn read(&self, pkru: Pkru, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
         self.check(pkru, addr, buf.len() as u64, AccessKind::Read)?;
-        self.stats.reads += 1;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
         self.copy_out(addr, buf);
         Ok(())
     }
@@ -327,28 +361,61 @@ impl AddressSpace {
     /// Writes `bytes` to `addr` under `pkru`.
     pub fn write(&mut self, pkru: Pkru, addr: VirtAddr, bytes: &[u8]) -> Result<(), Fault> {
         self.check(pkru, addr, bytes.len() as u64, AccessKind::Write)?;
-        self.stats.writes += 1;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.copy_in(addr, bytes);
         Ok(())
     }
 
+    /// Checked store that succeeds only when every touched frame is
+    /// already materialized, so it needs no page-table mutation.
+    ///
+    /// `None` means a frame is missing: the caller must retry via
+    /// [`AddressSpace::write`] under exclusive access so demand paging can
+    /// run. `Some(Err(_))` reports the access fault either way.
+    pub fn write_resident(
+        &self,
+        pkru: Pkru,
+        addr: VirtAddr,
+        bytes: &[u8],
+    ) -> Option<Result<(), Fault>> {
+        if let Err(fault) = self.check(pkru, addr, bytes.len() as u64, AccessKind::Write) {
+            return Some(Err(fault));
+        }
+        if !self.frames_resident(addr, bytes.len() as u64) {
+            return None;
+        }
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.copy_in_resident(addr, bytes);
+        Some(Ok(()))
+    }
+
     /// Reads a little-endian `u64` under `pkru`.
-    pub fn read_u64(&mut self, pkru: Pkru, addr: VirtAddr) -> Result<u64, Fault> {
+    pub fn read_u64(&self, pkru: Pkru, addr: VirtAddr) -> Result<u64, Fault> {
         self.check(pkru, addr, 8, AccessKind::Read)?;
-        self.stats.reads += 1;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
         Ok(self.peek_u64(addr))
     }
 
     /// Writes a little-endian `u64` under `pkru`.
     pub fn write_u64(&mut self, pkru: Pkru, addr: VirtAddr, value: u64) -> Result<(), Fault> {
         self.check(pkru, addr, 8, AccessKind::Write)?;
-        self.stats.writes += 1;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.poke_u64(addr, value);
         Ok(())
     }
 
+    /// The `u64` variant of [`AddressSpace::write_resident`].
+    pub fn write_u64_resident(
+        &self,
+        pkru: Pkru,
+        addr: VirtAddr,
+        value: u64,
+    ) -> Option<Result<(), Fault>> {
+        self.write_resident(pkru, addr, &value.to_le_bytes())
+    }
+
     /// Reads a single byte under `pkru`.
-    pub fn read_u8(&mut self, pkru: Pkru, addr: VirtAddr) -> Result<u8, Fault> {
+    pub fn read_u8(&self, pkru: Pkru, addr: VirtAddr) -> Result<u8, Fault> {
         let mut b = [0u8; 1];
         self.read(pkru, addr, &mut b)?;
         Ok(b[0])
@@ -361,7 +428,7 @@ impl AddressSpace {
 
     /// Supervisor read: ignores pkeys (the kernel and the trusted runtime's
     /// fault handler read this way) but still requires the range be mapped.
-    pub fn read_supervisor(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
+    pub fn read_supervisor(&self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
         self.check_mapped(addr, buf.len() as u64, AccessKind::Read)?;
         self.copy_out(addr, buf);
         Ok(())
@@ -374,7 +441,24 @@ impl AddressSpace {
         Ok(())
     }
 
-    fn check_mapped(&mut self, addr: VirtAddr, len: u64, access: AccessKind) -> Result<(), Fault> {
+    /// Supervisor store that succeeds only when every touched frame is
+    /// already materialized (see [`AddressSpace::write_resident`]).
+    pub fn write_supervisor_resident(
+        &self,
+        addr: VirtAddr,
+        bytes: &[u8],
+    ) -> Option<Result<(), Fault>> {
+        if let Err(fault) = self.check_mapped(addr, bytes.len() as u64, AccessKind::Write) {
+            return Some(Err(fault));
+        }
+        if !self.frames_resident(addr, bytes.len() as u64) {
+            return None;
+        }
+        self.copy_in_resident(addr, bytes);
+        Some(Ok(()))
+    }
+
+    fn check_mapped(&self, addr: VirtAddr, len: u64, access: AccessKind) -> Result<(), Fault> {
         if len == 0 {
             return Ok(());
         }
@@ -392,8 +476,11 @@ impl AddressSpace {
     }
 
     // Unchecked data movement; callers have already validated the range.
+    // Shared-borrow movers lock one frame at a time (never two, so there
+    // is no lock-ordering hazard); frames cannot appear or vanish while a
+    // shared borrow is live, because that requires `&mut self`.
 
-    fn copy_out(&mut self, addr: VirtAddr, buf: &mut [u8]) {
+    fn copy_out(&self, addr: VirtAddr, buf: &mut [u8]) {
         let mut off = 0usize;
         while off < buf.len() {
             let cur = addr + off as u64;
@@ -401,7 +488,10 @@ impl AddressSpace {
             let in_page = (cur - base) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
             match self.frames.get(&base) {
-                Some(frame) => buf[off..off + n].copy_from_slice(&frame[in_page..in_page + n]),
+                Some(frame) => {
+                    let frame = frame.lock().expect("frame lock");
+                    buf[off..off + n].copy_from_slice(&frame[in_page..in_page + n]);
+                }
                 // Untouched pages read as zeros (demand-zero semantics).
                 None => buf[off..off + n].fill(0),
             }
@@ -422,12 +512,47 @@ impl AddressSpace {
         }
     }
 
+    /// Whether every page of `[addr, addr + len)` has a materialized frame.
+    fn frames_resident(&self, addr: VirtAddr, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let mut base = page_base(addr);
+        let end = addr + len;
+        while base < end {
+            if !self.frames.contains_key(&base) {
+                return false;
+            }
+            base += PAGE_SIZE;
+        }
+        true
+    }
+
+    /// `copy_in` over frames known to be resident (shared borrow).
+    fn copy_in_resident(&self, addr: VirtAddr, bytes: &[u8]) {
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let cur = addr + off as u64;
+            let base = page_base(cur);
+            let in_page = (cur - base) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
+            let mut frame =
+                self.frames.get(&base).expect("resident frame").lock().expect("frame lock");
+            frame[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
+            off += n;
+        }
+    }
+
     fn frame_mut(&mut self, base: VirtAddr) -> &mut Box<[u8]> {
-        let stats = &mut self.stats;
-        self.frames.entry(base).or_insert_with(|| {
-            stats.demand_pages += 1;
-            vec![0u8; PAGE_SIZE as usize].into_boxed_slice()
-        })
+        let stats = &self.stats;
+        self.frames
+            .entry(base)
+            .or_insert_with(|| {
+                stats.demand_pages.fetch_add(1, Ordering::Relaxed);
+                Mutex::new(vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+            })
+            .get_mut()
+            .expect("frame lock")
     }
 
     fn peek_u64(&self, addr: VirtAddr) -> u64 {
@@ -436,6 +561,7 @@ impl AddressSpace {
             // Fast path: the value lies within one page.
             match self.frames.get(&base) {
                 Some(frame) => {
+                    let frame = frame.lock().expect("frame lock");
                     let i = (addr - base) as usize;
                     // The slice is exactly eight bytes long.
                     u64::from_le_bytes(frame[i..i + 8].try_into().expect("8-byte slice"))
@@ -444,11 +570,7 @@ impl AddressSpace {
             }
         } else {
             let mut b = [0u8; 8];
-            let mut tmp = [0u8; 8];
-            // Reuse copy_out for the straddling case.
-            let mut this = SpaceView { frames: &self.frames };
-            this.copy_out(addr, &mut tmp);
-            b.copy_from_slice(&tmp);
+            self.copy_out(addr, &mut b);
             u64::from_le_bytes(b)
         }
     }
@@ -461,28 +583,6 @@ impl AddressSpace {
             frame[i..i + 8].copy_from_slice(&value.to_le_bytes());
         } else {
             self.copy_in(addr, &value.to_le_bytes());
-        }
-    }
-}
-
-/// Read-only view used by the straddling `peek_u64` path.
-struct SpaceView<'a> {
-    frames: &'a HashMap<VirtAddr, Box<[u8]>>,
-}
-
-impl SpaceView<'_> {
-    fn copy_out(&mut self, addr: VirtAddr, buf: &mut [u8]) {
-        let mut off = 0usize;
-        while off < buf.len() {
-            let cur = addr + off as u64;
-            let base = page_base(cur);
-            let in_page = (cur - base) as usize;
-            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
-            match self.frames.get(&base) {
-                Some(frame) => buf[off..off + n].copy_from_slice(&frame[in_page..in_page + n]),
-                None => buf[off..off + n].fill(0),
-            }
-            off += n;
         }
     }
 }
@@ -534,7 +634,7 @@ mod tests {
 
     #[test]
     fn unmapped_access_faults() {
-        let mut s = AddressSpace::new();
+        let s = AddressSpace::new();
         let err = s.read_u64(Pkru::ALL_ACCESS, 0x5000).unwrap_err();
         assert_eq!(err.kind, FaultKind::Unmapped);
         assert_eq!(err.addr, 0x5000);

@@ -61,6 +61,8 @@ pub struct RunResult {
     pub sub: &'static str,
     /// Measured wall seconds for all iterations.
     pub seconds: f64,
+    /// Calls to `run()` in the measured block.
+    pub iterations: u32,
     /// Compartment transitions during the measurement.
     pub transitions: u64,
     /// `%M_U` over the whole browser session.
@@ -166,6 +168,7 @@ pub fn run_benchmark(
         suite: benchmark.suite,
         sub: benchmark.sub,
         seconds,
+        iterations: benchmark.iterations,
         transitions: stats.transitions,
         percent_mu: stats.percent_untrusted(),
         checksum,

@@ -14,6 +14,7 @@
 //! pkru-safe-build analyze   app.lir --distrust clib -o s.json  # static escape analysis
 //! pkru-safe-build lint      app.lir --stage1                   # gate-integrity lint
 //! pkru-safe-build check     app.lir                            # parse + verify only
+//! pkru-safe-build serve     --workers 4 --requests 200         # worker-pool runtime
 //! ```
 
 use std::path::PathBuf;
@@ -22,6 +23,7 @@ use std::process::ExitCode;
 use lir::{parse_module, verify_module, Module};
 use pkru_provenance::Profile;
 use pkru_safe::{run_profiling, Annotations, Pipeline, ProfileInput};
+use pkru_server::{serve, ServeConfig};
 
 struct Options {
     command: String,
@@ -49,6 +51,16 @@ commands:
              no gates/hooks in U, no trusted allocs under U rights);
              lints the module as-given, or stage-1 output with --stage1
   run        run the full pipeline (profile with --entry) and execute
+  serve      run the multi-threaded serving runtime (no input file):
+             profile the catalog, then serve it from a worker pool with
+             per-thread PKRU; fails unless the run is clean
+
+serve options:
+  --workers <n>          worker threads (default 4)
+  --requests <n>         requests to generate (default 200)
+  --queue <n>            queue capacity / backpressure bound (default 32)
+  --seed <n>             traffic seed (default 0x5eed)
+  --json                 emit the report as JSON on stdout
 
 options:
   --distrust <crate>     mark a crate untrusted (repeatable)
@@ -102,7 +114,81 @@ fn load_module(options: &Options) -> Result<Module, String> {
     parse_module(&text).map_err(|e| format!("parse error: {e}"))
 }
 
+/// Parses the `serve` flags and runs the worker-pool runtime. Unlike the
+/// pipeline commands, `serve` takes no input file: the served catalog is
+/// built in.
+fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    let mut json = false;
+    let parse_num = |flag: &str, raw: Option<String>| -> Result<u64, String> {
+        let raw = raw.ok_or(format!("{flag} needs a number"))?;
+        raw.parse().map_err(|_| format!("bad {flag} {raw:?}"))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--workers" => config.workers = parse_num("--workers", argv.next())? as usize,
+            "--requests" => config.requests = parse_num("--requests", argv.next())?,
+            "--queue" => config.queue_capacity = parse_num("--queue", argv.next())? as usize,
+            "--seed" => config.seed = parse_num("--seed", argv.next())?,
+            "--json" => json = true,
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+    }
+
+    let report = serve(config).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "served {} request(s) on {} worker(s): {:.1} req/s, {} transition(s), \
+             queue depth ≤ {} ({} backpressure wait(s))",
+            report.requests_served,
+            report.config.workers,
+            report.throughput_rps,
+            report.transitions,
+            report.queue.max_depth,
+            report.queue.backpressure_waits,
+        );
+        for w in &report.workers {
+            println!(
+                "  worker {}: {} request(s) ({} page-load, {} script), {} transition(s)",
+                w.worker, w.requests, w.page_loads, w.scripts, w.transitions
+            );
+        }
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "unclean serve run: {} checksum mismatch(es), {} unexpected fault(s), {} error(s)",
+            report.checksum_mismatches, report.unexpected_faults, report.errors
+        ))
+    }
+}
+
 fn main() -> ExitCode {
+    // `serve` is the one command with no input file; dispatch it before
+    // the pipeline-style argument parse. An unknown command is rejected
+    // here too, so the user gets usage instead of "missing input file".
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("serve") => {
+            return match serve_main(argv) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("check" | "annotate" | "profile" | "enforce" | "analyze" | "lint" | "run") | None => {}
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}");
+            eprintln!("\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     // Usage is only helpful when the command line itself was wrong;
     // build/lint/run diagnostics stand alone.
     let options = match parse_args() {

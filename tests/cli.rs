@@ -196,6 +196,77 @@ fn lint_accepts_stage1_output() {
 }
 
 #[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command \"frobnicate\""), "{stderr}");
+    assert!(stderr.contains("commands:"), "usage missing: {stderr}");
+    assert!(stderr.contains("serve"), "usage must list serve: {stderr}");
+
+    // Same rejection even when an input file follows the bogus command.
+    let dir = temp_dir("unknown");
+    let program = demo_program(&dir);
+    let out = cli().arg("frobnicate").arg(&program).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"), "{out:?}");
+}
+
+#[test]
+fn missing_command_fails_with_usage() {
+    let out = cli().output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing command"), "{stderr}");
+    assert!(stderr.contains("commands:"), "{stderr}");
+}
+
+#[test]
+fn serve_happy_path_reports_clean_run() {
+    let out = cli().args(["serve", "--workers", "2", "--requests", "24"]).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("served 24 request(s) on 2 worker(s)"), "{stdout}");
+    assert!(stdout.contains("worker 0:"), "{stdout}");
+    assert!(stdout.contains("worker 1:"), "{stdout}");
+}
+
+#[test]
+fn serve_json_emits_machine_readable_report() {
+    let out = cli()
+        .args(["serve", "--workers", "1", "--requests", "8", "--seed", "9", "--json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"workers\":1",
+        "\"requests_served\":8",
+        "\"seed\":9",
+        "\"checksum_mismatches\":0",
+        "\"unexpected_faults\":0",
+        "\"per_worker\":[",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = cli().args(["serve", "--workers"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers needs a number"), "{out:?}");
+
+    let out = cli().args(["serve", "--bogus"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown serve option"), "{out:?}");
+
+    let out = cli().args(["serve", "--workers", "0"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one worker"), "{out:?}");
+}
+
+#[test]
 fn annotate_emits_gated_module() {
     let dir = temp_dir("annotate");
     let program = demo_program(&dir);

@@ -1,15 +1,13 @@
 //! Property-based tests over the core data structures and invariants.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
 
 use pkru_safe_repro::mpk::{AccessKind, Pkey, Pkru};
 use pkru_safe_repro::pkalloc::{BaselineAlloc, CompartmentAlloc, Domain, PkAlloc, UNTRUSTED_BASE};
 use pkru_safe_repro::provenance::{AllocId, MetadataTable, Profile};
-use pkru_safe_repro::vmem::{AddressSpace, Prot, PAGE_SIZE};
+use pkru_safe_repro::vmem::{AddressSpace, Prot, SharedSpace, PAGE_SIZE};
 
 fn pkey_strategy() -> impl Strategy<Value = Pkey> {
     (0u8..16).prop_map(|i| Pkey::new(i).expect("index in range"))
@@ -110,7 +108,7 @@ proptest! {
     fn pkalloc_live_objects_never_overlap(
         ops in proptest::collection::vec((any::<bool>(), 1u64..5000, any::<bool>()), 1..60)
     ) {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let space = SharedSpace::new();
         let mut alloc = PkAlloc::new(space, Pkey::new(1).expect("key")).expect("alloc");
         let mut live: Vec<(u64, u64)> = Vec::new();
         for (untrusted, size, free_one) in ops {
@@ -143,8 +141,8 @@ proptest! {
         grown in 8u64..20000,
         untrusted in any::<bool>()
     ) {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
-        let mut alloc = PkAlloc::new(Arc::clone(&space), Pkey::new(1).expect("key")).expect("alloc");
+        let space = SharedSpace::new();
+        let mut alloc = PkAlloc::new(space.clone(), Pkey::new(1).expect("key")).expect("alloc");
         let ptr = if untrusted {
             alloc.untrusted_alloc(initial).expect("alloc")
         } else {
@@ -170,7 +168,7 @@ proptest! {
     fn untrusted_pool_never_issues_trusted_addresses(
         sizes in proptest::collection::vec(1u64..10000, 1..40)
     ) {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let space = SharedSpace::new();
         let mut alloc = PkAlloc::new(space, Pkey::new(1).expect("key")).expect("alloc");
         for size in sizes {
             let p = alloc.untrusted_alloc(size).expect("alloc");
@@ -183,7 +181,7 @@ proptest! {
     fn baseline_alloc_free_cycles(
         sizes in proptest::collection::vec(1u64..4096, 1..50)
     ) {
-        let space = Arc::new(Mutex::new(AddressSpace::new()));
+        let space = SharedSpace::new();
         let mut alloc = BaselineAlloc::new(space).expect("alloc");
         let mut ptrs = Vec::new();
         for &size in &sizes {
