@@ -12,11 +12,16 @@
 //! speedup is physically possible and the invariant that matters is the
 //! absence of collapse — lock contention from 8 workers must not destroy
 //! the throughput one worker achieves.
+//!
+//! A final degraded-pool phase kills one of four workers via fault
+//! injection and asserts throughput degrades proportionally (the
+//! survivors' share) rather than collapsing — the supervision layer's
+//! performance contract.
 
 use std::thread::available_parallelism;
 
 use bench::{header, smoke_mode};
-use pkru_server::{serve, ServeConfig};
+use pkru_server::{serve, Fault, FaultKind, FaultPlan, ServeConfig};
 
 fn main() {
     let smoke = smoke_mode();
@@ -27,11 +32,21 @@ fn main() {
     header("Serve throughput: worker-pool scaling", &["workers", "rps", "speedup", "clean"]);
     println!("# {cores} hardware thread(s) available");
     let mut rps = Vec::new();
+    let mut four_worker_rps = None;
     for &workers in sweep {
-        let report = serve(ServeConfig { workers, requests, queue_capacity: 32, seed: 0x5eed })
-            .expect("serve");
+        let report = serve(ServeConfig {
+            workers,
+            requests,
+            queue_capacity: 32,
+            seed: 0x5eed,
+            faults: FaultPlan::none(),
+        })
+        .expect("serve");
         assert!(report.clean(), "workers={workers}: unclean run: {report:?}");
         rps.push(report.throughput_rps);
+        if workers == 4 {
+            four_worker_rps = Some(report.throughput_rps);
+        }
         println!(
             "{workers}\t{:.1}\t{:.2}x\tok",
             report.throughput_rps,
@@ -56,4 +71,44 @@ fn main() {
             "contention collapse: worst sweep point {worst:.1} rps vs base {base:.1}"
         );
     }
+
+    // Degraded pool: kill one of four workers permanently (its slot burns
+    // the whole respawn budget on injected setup failures) and re-run the
+    // same traffic. Throughput must degrade roughly proportionally — a
+    // three-worker pool's share of the work — not collapse: worker death
+    // must cost its capacity, never the pool's liveness.
+    let degraded_requests = if smoke { 16 } else { requests };
+    let healthy = four_worker_rps.unwrap_or_else(|| {
+        serve(ServeConfig {
+            workers: 4,
+            requests: degraded_requests,
+            queue_capacity: 32,
+            seed: 0x5eed,
+            faults: FaultPlan::none(),
+        })
+        .expect("healthy 4-worker serve")
+        .throughput_rps
+    });
+    let report = serve(ServeConfig {
+        workers: 4,
+        requests: degraded_requests,
+        queue_capacity: 32,
+        seed: 0x5eed,
+        faults: FaultPlan::none().with(Fault { worker: 3, kind: FaultKind::SetupFailure, at: 1 }),
+    })
+    .expect("a 3/4-alive pool must still serve");
+    assert!(report.clean(), "survivors must serve everything: {report:?}");
+    assert_eq!(report.workers[3].requests, 0, "the dead worker served requests?");
+    assert!(report.injected_faults > 0 && report.workers_restarted > 0, "{report:?}");
+    println!(
+        "# degraded pool (1 of 4 workers dead): {:.1} rps vs {healthy:.1} rps healthy \
+         ({:.0}% retained)",
+        report.throughput_rps,
+        100.0 * report.throughput_rps / healthy
+    );
+    assert!(
+        report.throughput_rps > 0.35 * healthy,
+        "throughput collapsed instead of degrading: {:.1} rps vs {healthy:.1} rps healthy",
+        report.throughput_rps
+    );
 }

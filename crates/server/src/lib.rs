@@ -17,15 +17,26 @@
 //! checked end to end: every pooled response's checksum must equal, bit
 //! for bit, the checksum of the same request on a single-threaded
 //! reference browser.
+//!
+//! Worker death is a *designed-for* event, not a hang: a supervisor
+//! respawns dead workers within a per-slot budget, requeues their
+//! in-flight request at most once, and — if the whole pool dies — closes
+//! the queue and returns the error carrying a partial report. The same
+//! failure modes are injectable on demand through a deterministic
+//! [`FaultPlan`] (setup failure, mid-request panic, MPK violation,
+//! allocator-carve-out exhaustion), so the supervision semantics are
+//! testable property by property.
 
+mod fault;
 mod queue;
 mod request;
 mod server;
 mod traffic;
 mod worker;
 
+pub use fault::{Fault, FaultKind, FaultPlan, FaultState};
 pub use queue::{BoundedQueue, QueueStats};
 pub use request::{catalog, Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
-pub use server::{serve, ServeConfig, ServeError, ServeReport};
+pub use server::{serve, ServeConfig, ServeError, ServeReport, RESTART_BUDGET};
 pub use traffic::TrafficGen;
-pub use worker::{run_worker, WorkerStats};
+pub use worker::{run_worker, WorkerCell, WorkerStats};

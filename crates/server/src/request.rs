@@ -18,6 +18,11 @@ pub struct Request {
     pub id: u64,
     /// The work.
     pub kind: RequestKind,
+    /// Whether this request was already requeued once after its worker
+    /// died mid-flight. A request is retried at most once: if its second
+    /// worker dies too, it is abandoned (and counted), never requeued
+    /// again.
+    pub retried: bool,
 }
 
 /// A completed request, carrying its determinism witness.

@@ -1,4 +1,4 @@
-//! The serving pipeline: profile → reference → worker pool → verdict.
+//! The serving pipeline: profile → reference → supervised pool → verdict.
 //!
 //! `serve` runs the paper's full pipeline before any thread starts: the
 //! catalog is profiled on the profiling build (so the enforcement build
@@ -6,9 +6,20 @@
 //! then executed once on a single-threaded enforcement browser to record
 //! reference checksums. Only then does the pool spin up; every pooled
 //! response is compared bit-for-bit against the single-threaded reference.
+//!
+//! The pool is *supervised*: worker death — panic, setup failure, a dead
+//! allocator carve-out, whether organic or injected by a
+//! [`FaultPlan`](crate::FaultPlan) — is an event, not a hang. A dead
+//! worker's in-flight request is requeued at most once, the slot is
+//! respawned with a fresh browser up to [`RESTART_BUDGET`] times, and if
+//! the whole pool dies the queue is closed (unblocking the producer) and
+//! `serve` returns the error *carrying the partial report*, so no failure
+//! mode leaves the caller blocked or blind.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Instant;
 
@@ -19,10 +30,16 @@ use pkru_provenance::Profile;
 use servolite::{Browser, BrowserConfig};
 use workloads::suites::micro_page;
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::queue::{BoundedQueue, QueueStats};
-use crate::request::{catalog, Request, Response, ScriptSpec, PAGE_LOAD};
+use crate::request::{catalog, Request, ScriptSpec, PAGE_LOAD};
 use crate::traffic::TrafficGen;
-use crate::worker::{run_worker, WorkerStats};
+use crate::worker::{run_worker, WorkerCell, WorkerStats};
+
+/// How many times one worker slot may be respawned after dying before the
+/// slot is declared permanently dead. The budget is per slot: a pool only
+/// fails as a whole once *every* slot has died and burned its budget.
+pub const RESTART_BUDGET: usize = 2;
 
 /// Serving errors (worker-request failures are counters, not errors).
 #[derive(Debug)]
@@ -31,12 +48,17 @@ pub enum ServeError {
     Config(String),
     /// The profiling or reference pass failed.
     Setup(String),
-    /// A worker failed to start or panicked.
+    /// A worker failed to start or panicked. When the *whole pool* died
+    /// this way, `report` carries the partial [`ServeReport`] — every
+    /// surviving worker's counters, the queue stats, and the abandoned
+    /// request count — instead of discarding them.
     Worker {
         /// The failing worker's slot.
         worker: usize,
         /// What went wrong.
         message: String,
+        /// The partial report, when the pool died as a whole.
+        report: Option<Box<ServeReport>>,
     },
 }
 
@@ -45,15 +67,15 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Config(m) => write!(f, "bad serve config: {m}"),
             ServeError::Setup(m) => write!(f, "serve setup: {m}"),
-            ServeError::Worker { worker, message } => write!(f, "worker {worker}: {message}"),
+            ServeError::Worker { worker, message, .. } => write!(f, "worker {worker}: {message}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// Pool shape and traffic volume.
-#[derive(Clone, Copy, Debug)]
+/// Pool shape, traffic volume, and the faults to inject (if any).
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads.
     pub workers: usize,
@@ -63,11 +85,21 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Traffic seed.
     pub seed: u64,
+    /// Deterministic fault injections ([`FaultPlan::none`] for a clean
+    /// run — the default, and byte-identical in output to the plan-less
+    /// behaviour before fault injection existed).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { workers: 4, requests: 200, queue_capacity: 32, seed: 0x5eed }
+        ServeConfig {
+            workers: 4,
+            requests: 200,
+            queue_capacity: 32,
+            seed: 0x5eed,
+            faults: FaultPlan::none(),
+        }
     }
 }
 
@@ -93,10 +125,20 @@ pub struct ServeReport {
     /// reference (must be 0).
     pub checksum_mismatches: u64,
     /// MPK violations across all workers (must be 0 under a complete
-    /// profile).
+    /// profile and a fault-free plan).
     pub unexpected_faults: u64,
     /// Non-MPK request failures across all workers.
     pub errors: u64,
+    /// Worker respawns the supervisor performed after a death.
+    pub workers_restarted: u64,
+    /// In-flight requests of dead workers that were requeued (each at
+    /// most once).
+    pub requests_retried: u64,
+    /// Generated requests never completed by any worker (their worker
+    /// died past the retry budget, or the pool died before they ran).
+    pub requests_abandoned: u64,
+    /// Fault-plan injections that actually fired.
+    pub injected_faults: u64,
 }
 
 impl ServeReport {
@@ -137,7 +179,9 @@ impl ServeReport {
                 "\"elapsed_seconds\":{:.6},\"throughput_rps\":{:.2},",
                 "\"queue\":{{\"enqueued\":{},\"max_depth\":{},\"backpressure_waits\":{}}},",
                 "\"requests_served\":{},\"transitions\":{},\"checksum_mismatches\":{},",
-                "\"unexpected_faults\":{},\"errors\":{},\"per_worker\":[{}]}}"
+                "\"unexpected_faults\":{},\"errors\":{},",
+                "\"workers_restarted\":{},\"requests_retried\":{},",
+                "\"requests_abandoned\":{},\"injected_faults\":{},\"per_worker\":[{}]}}"
             ),
             self.config.workers,
             self.config.requests,
@@ -153,6 +197,10 @@ impl ServeReport {
             self.checksum_mismatches,
             self.unexpected_faults,
             self.errors,
+            self.workers_restarted,
+            self.requests_retried,
+            self.requests_abandoned,
+            self.injected_faults,
             workers.join(",")
         )
     }
@@ -195,7 +243,12 @@ fn reference_checksums(
     browser
         .load_html(micro_page())
         .map_err(|e| ServeError::Setup(format!("reference reload: {e}")))?;
-    reference.insert(PAGE_LOAD, (browser.stats().nodes - before) as f64);
+    let delta = browser
+        .stats()
+        .nodes
+        .checked_sub(before)
+        .ok_or_else(|| ServeError::Setup("reference reload shrank the DOM".into()))?;
+    reference.insert(PAGE_LOAD, delta as f64);
 
     for spec in catalog {
         let value = browser
@@ -217,7 +270,11 @@ fn reference_checksums(
     Ok(reference)
 }
 
-/// Runs the full pipeline and the pool, returning the aggregated report.
+/// Runs the full pipeline and the supervised pool, returning the
+/// aggregated report — or, if every worker slot died past its respawn
+/// budget, the fatal error with the partial report attached. Either way
+/// `serve` *returns*: the supervisor closes the queue on pool death, so
+/// the producer can never block forever against a dead pool.
 pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     if config.workers == 0 {
         return Err(ServeError::Config("at least one worker".into()));
@@ -227,6 +284,14 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
             "at most {MAX_WORKERS} workers fit the carve-out geometry"
         )));
     }
+    for fault in config.faults.faults() {
+        if fault.worker >= config.workers {
+            return Err(ServeError::Config(format!(
+                "fault targets worker {} of a {}-worker pool",
+                fault.worker, config.workers
+            )));
+        }
+    }
 
     let catalog = catalog();
     let profile = profile_catalog(&catalog)?;
@@ -234,28 +299,101 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
 
     let host = SharedHost::new();
     let queue: BoundedQueue<Request> = BoundedQueue::new(config.queue_capacity);
+    let faults = FaultState::new(&config.faults, config.workers);
+    let cells: Vec<Arc<WorkerCell>> =
+        (0..config.workers).map(|w| Arc::new(WorkerCell::new(w))).collect();
+
+    let mut workers_restarted = 0u64;
+    let mut requests_retried = 0u64;
+    // Set iff the whole pool died; `(slot, message)` of the last death.
+    let mut pool_failure: Option<(usize, String)> = None;
 
     let start = Instant::now();
-    let mut results: Vec<Result<(WorkerStats, Vec<Response>), ServeError>> = Vec::new();
     thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.workers)
-            .map(|w| {
-                let (queue, host, profile, catalog) = (&queue, &host, &profile, &catalog);
-                scope.spawn(move || run_worker(w, queue, host, profile, catalog))
-            })
-            .collect();
-
-        for request in TrafficGen::new(config.seed, config.requests, catalog.len()) {
-            if queue.push(request).is_err() {
-                break;
-            }
+        // Worker exits flow to the supervisor as (slot, death cause).
+        let (events, exits) = mpsc::channel::<(usize, Option<ServeError>)>();
+        let spawn_worker = |slot: usize| {
+            let events = events.clone();
+            let cell = Arc::clone(&cells[slot]);
+            let (queue, host, profile, catalog, faults) =
+                (&queue, &host, &profile, &catalog, &faults);
+            scope.spawn(move || {
+                // A panicking worker must not panic its *thread*: an
+                // unjoined panicked scoped thread would re-panic the whole
+                // scope. Catch it and report it as a death event instead.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_worker(slot, queue, host, profile, catalog, faults, &cell)
+                }));
+                let death = match outcome {
+                    Ok(Ok(())) => None,
+                    Ok(Err(error)) => Some(error),
+                    Err(_) => Some(ServeError::Worker {
+                        worker: slot,
+                        message: "worker panicked".into(),
+                        report: None,
+                    }),
+                };
+                let _ = events.send((slot, death));
+            });
+        };
+        for slot in 0..config.workers {
+            spawn_worker(slot);
         }
-        queue.close();
 
-        for (w, handle) in handles.into_iter().enumerate() {
-            results.push(handle.join().unwrap_or_else(|_| {
-                Err(ServeError::Worker { worker: w, message: "worker panicked".into() })
-            }));
+        // The producer gets its own thread so the supervisor below can
+        // react to worker deaths *while* the producer is blocked on a
+        // full queue — the exact state the pre-supervision runtime hung
+        // in when the pool died early.
+        let producer_config = &config;
+        let producer_catalog_len = catalog.len();
+        let producer_queue = &queue;
+        scope.spawn(move || {
+            let traffic = TrafficGen::new(
+                producer_config.seed,
+                producer_config.requests,
+                producer_catalog_len,
+            );
+            for request in traffic {
+                if producer_queue.push(request).is_err() {
+                    break; // queue closed under us: the pool is gone
+                }
+            }
+            producer_queue.close();
+        });
+
+        // The supervisor: the scope's own thread.
+        let mut alive = config.workers;
+        let mut budget = vec![RESTART_BUDGET; config.workers];
+        while alive > 0 {
+            let (slot, death) = exits.recv().expect("worker event channel");
+            alive -= 1;
+            let Some(death) = death else { continue };
+            let respawn = budget[slot] > 0 && host.workers_started() < MAX_WORKERS;
+            // Retry-once: the dead incarnation's in-flight request goes
+            // back to the front of the queue — unless it already rode a
+            // retry, in which case it is abandoned and only counted.
+            if let Some(request) = cells[slot].take_in_flight() {
+                if !request.retried && (respawn || alive > 0) {
+                    queue.requeue(Request { retried: true, ..request });
+                    requests_retried += 1;
+                }
+            }
+            if respawn {
+                budget[slot] -= 1;
+                workers_restarted += 1;
+                spawn_worker(slot);
+                alive += 1;
+            } else if alive == 0 {
+                // The whole pool is dead: nobody will ever pop again.
+                // Close the queue so the producer unblocks and exits.
+                let message = match death {
+                    ServeError::Worker { message, .. } => message,
+                    other => other.to_string(),
+                };
+                pool_failure = Some((slot, message));
+                queue.close();
+            }
+            // else: this slot is permanently dead, survivors drain on.
         }
     });
     let elapsed_seconds = start.elapsed().as_secs_f64();
@@ -266,8 +404,8 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     let mut transitions = 0u64;
     let mut unexpected_faults = 0u64;
     let mut errors = 0u64;
-    for result in results {
-        let (stats, responses) = result?;
+    for cell in &cells {
+        let (stats, responses) = cell.snapshot();
         requests_served += stats.requests;
         transitions += stats.transitions;
         unexpected_faults += stats.pkey_faults;
@@ -288,8 +426,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     let throughput_rps =
         if elapsed_seconds > 0.0 { requests_served as f64 / elapsed_seconds } else { 0.0 };
 
-    Ok(ServeReport {
-        config,
+    let report = ServeReport {
         workers,
         elapsed_seconds,
         throughput_rps,
@@ -299,5 +436,20 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         checksum_mismatches,
         unexpected_faults,
         errors,
-    })
+        workers_restarted,
+        requests_retried,
+        // Every generated request is either completed by exactly one
+        // worker or abandoned (a request is requeued at most once, and
+        // only when its first worker died *without* completing it).
+        requests_abandoned: config.requests.saturating_sub(requests_served),
+        injected_faults: faults.injected(),
+        config,
+    };
+
+    match pool_failure {
+        Some((worker, message)) => {
+            Err(ServeError::Worker { worker, message, report: Some(Box::new(report)) })
+        }
+        None => Ok(report),
+    }
 }

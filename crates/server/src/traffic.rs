@@ -46,7 +46,7 @@ impl Iterator for TrafficGen {
         } else {
             RequestKind::Script((self.next_u64() % self.catalog_len as u64) as usize)
         };
-        Some(Request { id, kind })
+        Some(Request { id, kind, retried: false })
     }
 }
 

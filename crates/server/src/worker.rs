@@ -1,9 +1,18 @@
-//! The worker: one thread, one browser, one PKRU.
+//! The worker: one thread, one browser, one PKRU — under supervision.
 //!
 //! Each worker owns a full `servolite` browser built on the shared host —
 //! its own CPU (and therefore its own PKRU rights), its own call-gate
 //! stack, and its own allocator carve-out — while page tables, key
 //! assignments, and the trusted key itself are process-wide shared state.
+//!
+//! Workers are *mortal*: setup can fail, a request can panic, the
+//! carve-out can run dry (all of which [`FaultState`] can provoke on
+//! demand). So a worker records everything it does — counters, responses,
+//! and the request currently in flight — in a [`WorkerCell`] the
+//! supervisor also holds: whatever kills the incarnation, the work it
+//! completed survives, and the one request it was holding can be requeued.
+
+use std::sync::Mutex;
 
 use servolite::{Browser, BrowserConfig};
 use workloads::suites::micro_page;
@@ -12,6 +21,7 @@ use lir::SharedHost;
 use minijs::Value;
 use pkru_provenance::Profile;
 
+use crate::fault::{FaultKind, FaultState};
 use crate::queue::BoundedQueue;
 use crate::request::{Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
 use crate::server::ServeError;
@@ -21,11 +31,13 @@ use crate::server::ServeError;
 pub struct WorkerStats {
     /// The worker's slot index.
     pub worker: usize,
-    /// Requests served (page loads + scripts, including failed ones).
+    /// Requests completed (page loads + scripts, including ones that
+    /// completed with an error or fault — but not a request whose worker
+    /// died mid-flight, which is requeued or abandoned instead).
     pub requests: u64,
-    /// Page-load requests served.
+    /// Page-load requests completed.
     pub page_loads: u64,
-    /// Script requests served.
+    /// Script requests completed.
     pub scripts: u64,
     /// Compartment transitions this worker's gates executed.
     pub transitions: u64,
@@ -36,69 +48,197 @@ pub struct WorkerStats {
     pub errors: u64,
 }
 
-/// Runs one worker to queue exhaustion, returning its counters and every
-/// response it produced.
+struct CellInner {
+    stats: WorkerStats,
+    responses: Vec<Response>,
+    in_flight: Option<Request>,
+}
+
+/// One worker slot's state, shared between every incarnation of the slot
+/// and the supervisor. All transitions are atomic under one lock, so a
+/// request is always in exactly one place: in flight, completed, or back
+/// on the queue.
+pub struct WorkerCell {
+    inner: Mutex<CellInner>,
+}
+
+impl WorkerCell {
+    /// A fresh cell for worker slot `worker`.
+    pub fn new(worker: usize) -> WorkerCell {
+        WorkerCell {
+            inner: Mutex::new(CellInner {
+                stats: WorkerStats { worker, ..WorkerStats::default() },
+                responses: Vec::new(),
+                in_flight: None,
+            }),
+        }
+    }
+
+    /// Marks `request` in flight (called right after the pop).
+    fn begin(&self, request: Request) {
+        self.inner.lock().unwrap().in_flight = Some(request);
+    }
+
+    /// Completes the in-flight request: clears it and applies `update` to
+    /// the counters/responses in one critical section, so a crash can
+    /// never double-account a request.
+    fn complete(&self, update: impl FnOnce(&mut WorkerStats, &mut Vec<Response>)) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.in_flight = None;
+        let inner = &mut *inner;
+        update(&mut inner.stats, &mut inner.responses);
+    }
+
+    /// Folds one incarnation's gate transitions into the slot total.
+    fn add_transitions(&self, transitions: u64) {
+        self.inner.lock().unwrap().stats.transitions += transitions;
+    }
+
+    /// Takes the request the (dead) incarnation was holding, if any.
+    pub fn take_in_flight(&self) -> Option<Request> {
+        self.inner.lock().unwrap().in_flight.take()
+    }
+
+    /// A snapshot of everything the slot has produced so far.
+    pub fn snapshot(&self) -> (WorkerStats, Vec<Response>) {
+        let inner = self.inner.lock().unwrap();
+        (inner.stats, inner.responses.clone())
+    }
+}
+
+/// Drains the worker's own untrusted carve-out until the allocator
+/// refuses — the injected version of a leak or a hostile guest chewing
+/// through its compartment budget. Bounded: the carve-out span is finite
+/// and each grab halves on failure, so this terminates fast.
+fn exhaust_carveout(browser: &mut Browser) -> String {
+    let mut grab = 1u64 << 30;
+    let mut grabbed = 0u64;
+    loop {
+        match browser.machine.alloc.untrusted_alloc(grab) {
+            Ok(_) => grabbed += grab,
+            Err(_) if grab > 64 => grab /= 2,
+            Err(e) => {
+                return format!("allocator carve-out exhausted after {grabbed} injected bytes: {e}")
+            }
+        }
+    }
+}
+
+/// Runs one worker incarnation to queue exhaustion, recording counters,
+/// responses, and the in-flight request in `cell` as it goes.
 ///
 /// The browser is constructed *inside* the worker thread (it is `!Send`):
-/// only the [`SharedHost`] crosses the thread boundary.
+/// only the [`SharedHost`] crosses the thread boundary. A respawned
+/// incarnation claims a fresh carve-out slot from the host, so it starts
+/// with a clean allocator even if its predecessor died by exhaustion.
 pub fn run_worker(
     worker: usize,
     queue: &BoundedQueue<Request>,
     host: &SharedHost,
     profile: &Profile,
     catalog: &[ScriptSpec],
-) -> Result<(WorkerStats, Vec<Response>), ServeError> {
-    let mut browser = Browser::with_profile_on(BrowserConfig::Mpk, Some(profile), host)
-        .map_err(|e| ServeError::Worker { worker, message: format!("browser setup: {e}") })?;
-    browser
-        .load_html(micro_page())
-        .map_err(|e| ServeError::Worker { worker, message: format!("initial page: {e}") })?;
-
-    let mut stats = WorkerStats { worker, ..WorkerStats::default() };
-    let mut responses = Vec::new();
+    faults: &FaultState,
+    cell: &WorkerCell,
+) -> Result<(), ServeError> {
+    if faults.setup_should_fail(worker) {
+        return Err(ServeError::Worker {
+            worker,
+            message: "browser setup: injected setup failure".into(),
+            report: None,
+        });
+    }
+    let mut browser =
+        Browser::with_profile_on(BrowserConfig::Mpk, Some(profile), host).map_err(|e| {
+            ServeError::Worker { worker, message: format!("browser setup: {e}"), report: None }
+        })?;
+    browser.load_html(micro_page()).map_err(|e| ServeError::Worker {
+        worker,
+        message: format!("initial page: {e}"),
+        report: None,
+    })?;
 
     while let Some(request) = queue.pop() {
-        stats.requests += 1;
+        cell.begin(request);
+        match faults.next_request(worker) {
+            None => {}
+            Some(FaultKind::Panic) => {
+                // The in-flight request stays in the cell: the supervisor
+                // recovers and requeues it.
+                panic!("injected panic: worker {worker} dying on request {}", request.id);
+            }
+            Some(FaultKind::PkeyViolation) => {
+                // An injected violation looks exactly like a real one:
+                // the request completes, the defect lands in the report.
+                cell.complete(|stats, _| {
+                    stats.requests += 1;
+                    match request.kind {
+                        RequestKind::PageLoad => stats.page_loads += 1,
+                        RequestKind::Script(_) => stats.scripts += 1,
+                    }
+                    stats.pkey_faults += 1;
+                });
+                continue;
+            }
+            Some(FaultKind::AllocExhaustion) => {
+                let message = exhaust_carveout(&mut browser);
+                cell.add_transitions(browser.stats().transitions);
+                return Err(ServeError::Worker { worker, message, report: None });
+            }
+            // Setup faults are filtered out by `next_request`.
+            Some(FaultKind::SetupFailure) => unreachable!("setup fault on a live worker"),
+        }
         match request.kind {
             RequestKind::PageLoad => {
-                stats.page_loads += 1;
                 let before = browser.stats().nodes;
-                match browser.load_html(micro_page()) {
-                    Ok(()) => {
-                        let delta = browser.stats().nodes - before;
-                        responses.push(Response {
-                            id: request.id,
-                            worker,
-                            name: PAGE_LOAD,
-                            checksum: delta as f64,
-                        });
+                let outcome = browser.load_html(micro_page());
+                let after = browser.stats().nodes;
+                cell.complete(|stats, responses| {
+                    stats.requests += 1;
+                    stats.page_loads += 1;
+                    match outcome {
+                        // A reload can only ever add nodes, but a
+                        // failed-then-retried load must not be able to
+                        // panic the worker on an impossible negative
+                        // delta — count it as an error instead.
+                        Ok(()) => match after.checked_sub(before) {
+                            Some(delta) => responses.push(Response {
+                                id: request.id,
+                                worker,
+                                name: PAGE_LOAD,
+                                checksum: delta as f64,
+                            }),
+                            None => stats.errors += 1,
+                        },
+                        Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
+                        Err(_) => stats.errors += 1,
                     }
-                    Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
-                    Err(_) => stats.errors += 1,
-                }
+                });
             }
             RequestKind::Script(i) => {
-                stats.scripts += 1;
                 let spec = &catalog[i];
                 let outcome =
                     browser.eval_script(&spec.source).and_then(|_| browser.call_script("run", &[]));
-                match outcome {
-                    Ok(Value::Num(checksum)) => {
-                        responses.push(Response {
-                            id: request.id,
-                            worker,
-                            name: spec.name,
-                            checksum,
-                        });
+                cell.complete(|stats, responses| {
+                    stats.requests += 1;
+                    stats.scripts += 1;
+                    match outcome {
+                        Ok(Value::Num(checksum)) => {
+                            responses.push(Response {
+                                id: request.id,
+                                worker,
+                                name: spec.name,
+                                checksum,
+                            });
+                        }
+                        Ok(_) => stats.errors += 1,
+                        Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
+                        Err(_) => stats.errors += 1,
                     }
-                    Ok(_) => stats.errors += 1,
-                    Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
-                    Err(_) => stats.errors += 1,
-                }
+                });
             }
         }
     }
 
-    stats.transitions = browser.stats().transitions;
-    Ok((stats, responses))
+    cell.add_transitions(browser.stats().transitions);
+    Ok(())
 }

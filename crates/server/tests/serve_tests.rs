@@ -1,11 +1,15 @@
 //! End-to-end serve tests: happy path, graceful drain, determinism
 //! against the single-threaded reference, and config validation.
 
-use pkru_server::{serve, ServeConfig, ServeError};
+use pkru_server::{
+    serve, Fault, FaultKind, FaultPlan, QueueStats, ServeConfig, ServeError, ServeReport,
+    WorkerStats,
+};
 
 #[test]
 fn serve_happy_path_is_clean() {
-    let config = ServeConfig { workers: 2, requests: 48, queue_capacity: 8, seed: 7 };
+    let config =
+        ServeConfig { workers: 2, requests: 48, queue_capacity: 8, seed: 7, ..Default::default() };
     let report = serve(config).expect("serve");
     assert!(report.clean(), "unclean report: {report:?}");
     assert_eq!(report.requests_served, 48);
@@ -18,11 +22,17 @@ fn serve_happy_path_is_clean() {
     assert_eq!(report.workers.iter().map(|w| w.requests).sum::<u64>(), 48);
     // The enforcement build actually crossed the boundary.
     assert!(report.transitions > 0);
+    // A fault-free run must report an entirely quiet supervision layer.
+    assert_eq!(report.workers_restarted, 0);
+    assert_eq!(report.requests_retried, 0);
+    assert_eq!(report.requests_abandoned, 0);
+    assert_eq!(report.injected_faults, 0);
 }
 
 #[test]
 fn single_worker_matches_reference() {
-    let config = ServeConfig { workers: 1, requests: 20, queue_capacity: 4, seed: 3 };
+    let config =
+        ServeConfig { workers: 1, requests: 20, queue_capacity: 4, seed: 3, ..Default::default() };
     let report = serve(config).expect("serve");
     assert!(report.clean(), "unclean report: {report:?}");
     assert_eq!(report.workers[0].requests, 20);
@@ -30,7 +40,8 @@ fn single_worker_matches_reference() {
 
 #[test]
 fn report_serializes_to_json() {
-    let config = ServeConfig { workers: 1, requests: 8, queue_capacity: 4, seed: 1 };
+    let config =
+        ServeConfig { workers: 1, requests: 8, queue_capacity: 4, seed: 1, ..Default::default() };
     let report = serve(config).expect("serve");
     let json = report.to_json();
     for key in [
@@ -41,9 +52,65 @@ fn report_serializes_to_json() {
         "\"per_worker\":[",
         "\"checksum_mismatches\":0",
         "\"unexpected_faults\":0",
+        "\"workers_restarted\":0",
+        "\"requests_retried\":0",
+        "\"requests_abandoned\":0",
+        "\"injected_faults\":0",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
+}
+
+/// Pins the report schema byte for byte: a fault-free report must render
+/// exactly as it did before fault injection existed, except for the four
+/// new supervision fields (all zero). Built by hand so wall-clock noise
+/// (elapsed seconds, throughput) cannot perturb the comparison.
+#[test]
+fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
+    let report = ServeReport {
+        config: ServeConfig {
+            workers: 1,
+            requests: 2,
+            queue_capacity: 4,
+            seed: 9,
+            faults: FaultPlan::none(),
+        },
+        workers: vec![WorkerStats {
+            worker: 0,
+            requests: 2,
+            page_loads: 1,
+            scripts: 1,
+            transitions: 10,
+            pkey_faults: 0,
+            errors: 0,
+        }],
+        elapsed_seconds: 0.5,
+        throughput_rps: 4.0,
+        queue: QueueStats { enqueued: 2, max_depth: 2, backpressure_waits: 0 },
+        requests_served: 2,
+        transitions: 10,
+        checksum_mismatches: 0,
+        unexpected_faults: 0,
+        errors: 0,
+        workers_restarted: 0,
+        requests_retried: 0,
+        requests_abandoned: 0,
+        injected_faults: 0,
+    };
+    assert_eq!(
+        report.to_json(),
+        concat!(
+            "{\"workers\":1,\"requests\":2,\"queue_capacity\":4,\"seed\":9,",
+            "\"elapsed_seconds\":0.500000,\"throughput_rps\":4.00,",
+            "\"queue\":{\"enqueued\":2,\"max_depth\":2,\"backpressure_waits\":0},",
+            "\"requests_served\":2,\"transitions\":10,\"checksum_mismatches\":0,",
+            "\"unexpected_faults\":0,\"errors\":0,",
+            "\"workers_restarted\":0,\"requests_retried\":0,",
+            "\"requests_abandoned\":0,\"injected_faults\":0,",
+            "\"per_worker\":[{\"worker\":0,\"requests\":2,\"page_loads\":1,",
+            "\"scripts\":1,\"transitions\":10,\"pkey_faults\":0,\"errors\":0}]}"
+        )
+    );
 }
 
 #[test]
@@ -54,6 +121,16 @@ fn rejects_degenerate_configs() {
     ));
     assert!(matches!(
         serve(ServeConfig { workers: 10_000, ..ServeConfig::default() }),
+        Err(ServeError::Config(_))
+    ));
+    // A fault aimed at a worker slot the pool doesn't have is a config
+    // error, not a silently-dead injection.
+    assert!(matches!(
+        serve(ServeConfig {
+            workers: 2,
+            faults: FaultPlan::none().with(Fault { worker: 2, kind: FaultKind::Panic, at: 1 }),
+            ..ServeConfig::default()
+        }),
         Err(ServeError::Config(_))
     ));
 }

@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use lir::{parse_module, verify_module, Module};
 use pkru_provenance::Profile;
 use pkru_safe::{run_profiling, Annotations, Pipeline, ProfileInput};
-use pkru_server::{serve, ServeConfig};
+use pkru_server::{serve, Fault, ServeConfig, ServeError};
 
 struct Options {
     command: String,
@@ -60,6 +60,10 @@ serve options:
   --requests <n>         requests to generate (default 200)
   --queue <n>            queue capacity / backpressure bound (default 32)
   --seed <n>             traffic seed (default 0x5eed)
+  --fault <spec>         inject a fault (repeatable):
+                         worker=K,kind=setup|panic|mpk|alloc[,at=N]
+                         (kind=setup breaks every (re)start of worker K;
+                         the others strike K's N-th request, once)
   --json                 emit the report as JSON on stdout
 
 options:
@@ -130,12 +134,30 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
             "--requests" => config.requests = parse_num("--requests", argv.next())?,
             "--queue" => config.queue_capacity = parse_num("--queue", argv.next())? as usize,
             "--seed" => config.seed = parse_num("--seed", argv.next())?,
+            "--fault" => {
+                let spec = argv.next().ok_or("--fault needs worker=K,kind=...[,at=N]")?;
+                config.faults.push(Fault::parse(&spec)?);
+            }
             "--json" => json = true,
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
 
-    let report = serve(config).map_err(|e| e.to_string())?;
+    // Pool death carries the partial report: surface it the same way a
+    // successful run's report is surfaced, then fail.
+    let report = match serve(config) {
+        Ok(report) => report,
+        Err(ServeError::Worker { worker, message, report: Some(report) }) => {
+            if json {
+                println!("{}", report.to_json());
+            }
+            return Err(format!(
+                "pool died: worker {worker}: {message} ({} request(s) abandoned)",
+                report.requests_abandoned
+            ));
+        }
+        Err(error) => return Err(error.to_string()),
+    };
     if json {
         println!("{}", report.to_json());
     } else {
@@ -155,13 +177,26 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 w.worker, w.requests, w.page_loads, w.scripts, w.transitions
             );
         }
+        if report.workers_restarted + report.requests_retried + report.injected_faults > 0 {
+            println!(
+                "  supervision: {} restart(s), {} retried, {} abandoned, {} injected fault(s)",
+                report.workers_restarted,
+                report.requests_retried,
+                report.requests_abandoned,
+                report.injected_faults
+            );
+        }
     }
     if report.clean() {
         Ok(())
     } else {
         Err(format!(
-            "unclean serve run: {} checksum mismatch(es), {} unexpected fault(s), {} error(s)",
-            report.checksum_mismatches, report.unexpected_faults, report.errors
+            "unclean serve run: {} checksum mismatch(es), {} unexpected fault(s), {} error(s), \
+             {} abandoned",
+            report.checksum_mismatches,
+            report.unexpected_faults,
+            report.errors,
+            report.requests_abandoned
         ))
     }
 }

@@ -252,6 +252,61 @@ fn serve_json_emits_machine_readable_report() {
 }
 
 #[test]
+fn serve_fault_injection_is_reported_and_dirties_the_run() {
+    // An injected MPK violation completes the run (every request served)
+    // but must exit dirty, with the injection visible in the JSON.
+    let out = cli()
+        .args([
+            "serve",
+            "--workers",
+            "2",
+            "--requests",
+            "16",
+            "--json",
+            "--fault",
+            "worker=1,kind=mpk,at=3",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "an injected MPK fault must exit dirty");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"requests_served\":16", "\"unexpected_faults\":1", "\"injected_faults\":1"] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unclean serve run"), "{out:?}");
+}
+
+#[test]
+fn serve_pool_death_emits_partial_report_instead_of_hanging() {
+    // Permanently broken single worker: the old runtime hung here; now
+    // the CLI must exit with the pool-death diagnostic AND the partial
+    // JSON report.
+    let out = cli()
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--requests",
+            "48",
+            "--queue",
+            "4",
+            "--json",
+            "--fault",
+            "worker=0,kind=setup",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"requests_served\":0", "\"requests_abandoned\":48", "\"injected_faults\":"] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pool died"), "{stderr}");
+    assert!(stderr.contains("48 request(s) abandoned"), "{stderr}");
+}
+
+#[test]
 fn serve_rejects_bad_flags() {
     let out = cli().args(["serve", "--workers"]).output().expect("run");
     assert!(!out.status.success());
@@ -264,6 +319,18 @@ fn serve_rejects_bad_flags() {
     let out = cli().args(["serve", "--workers", "0"]).output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("at least one worker"), "{out:?}");
+
+    let out = cli().args(["serve", "--fault", "worker=0,kind=frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fault kind"), "{out:?}");
+
+    // A fault aimed past the pool is a config error, caught before serving.
+    let out = cli()
+        .args(["serve", "--workers", "2", "--fault", "worker=5,kind=panic,at=1"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fault targets worker 5"), "{out:?}");
 }
 
 #[test]
