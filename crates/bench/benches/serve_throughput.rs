@@ -13,15 +13,21 @@
 //! absence of collapse — lock contention from 8 workers must not destroy
 //! the throughput one worker achieves.
 //!
-//! A final degraded-pool phase kills one of four workers via fault
-//! injection and asserts throughput degrades proportionally (the
-//! survivors' share) rather than collapsing — the supervision layer's
-//! performance contract.
+//! A degraded-pool phase kills one of four workers via fault injection
+//! and asserts throughput degrades proportionally (the survivors' share)
+//! rather than collapsing — the supervision layer's performance contract.
+//!
+//! A final audit-mode phase re-runs the same traffic under
+//! `--mpk-policy audit` with an injected MPK violation per worker and
+//! measures the handler's overhead: violations are single-stepped and
+//! logged, every request is still served, and throughput must stay within
+//! noise of the enforce baseline (the handler is a slow path taken once
+//! per violation, not a per-request tax).
 
 use std::thread::available_parallelism;
 
 use bench::{header, smoke_mode};
-use pkru_server::{serve, Fault, FaultKind, FaultPlan, ServeConfig};
+use pkru_server::{serve, Fault, FaultKind, FaultPlan, MpkPolicy, ServeConfig};
 
 fn main() {
     let smoke = smoke_mode();
@@ -39,7 +45,7 @@ fn main() {
             requests,
             queue_capacity: 32,
             seed: 0x5eed,
-            faults: FaultPlan::none(),
+            ..ServeConfig::default()
         })
         .expect("serve");
         assert!(report.clean(), "workers={workers}: unclean run: {report:?}");
@@ -84,7 +90,7 @@ fn main() {
             requests: degraded_requests,
             queue_capacity: 32,
             seed: 0x5eed,
-            faults: FaultPlan::none(),
+            ..ServeConfig::default()
         })
         .expect("healthy 4-worker serve")
         .throughput_rps
@@ -95,6 +101,7 @@ fn main() {
         queue_capacity: 32,
         seed: 0x5eed,
         faults: FaultPlan::none().with(Fault { worker: 3, kind: FaultKind::SetupFailure, at: 1 }),
+        ..ServeConfig::default()
     })
     .expect("a 3/4-alive pool must still serve");
     assert!(report.clean(), "survivors must serve everything: {report:?}");
@@ -110,5 +117,41 @@ fn main() {
         report.throughput_rps > 0.35 * healthy,
         "throughput collapsed instead of degrading: {:.1} rps vs {healthy:.1} rps healthy",
         report.throughput_rps
+    );
+
+    // Audit-mode overhead: one injected MPK violation per worker, every
+    // violation single-stepped and logged, every request still served.
+    let audit_workers = if smoke { 2 } else { 4 };
+    let audit_requests = if smoke { 16 } else { requests };
+    let mut plan = FaultPlan::none();
+    for worker in 0..audit_workers {
+        plan = plan.with(Fault { worker, kind: FaultKind::PkeyViolation, at: 2 });
+    }
+    let audited = serve(ServeConfig {
+        workers: audit_workers,
+        requests: audit_requests,
+        queue_capacity: 32,
+        seed: 0x5eed,
+        faults: plan,
+        mpk_policy: MpkPolicy::Audit,
+        extra_profile: None,
+    })
+    .expect("audit mode must survive its violations");
+    assert!(audited.clean(), "audited violations must not dirty the run: {audited:?}");
+    assert_eq!(audited.requests_abandoned, 0, "{audited:?}");
+    assert_eq!(audited.violations_audited, audit_workers as u64, "{audited:?}");
+    assert_eq!(audited.audit_log.len(), audit_workers, "{audited:?}");
+    let enforce_baseline = if audit_workers == 4 { healthy } else { base };
+    println!(
+        "# audit mode ({} violation(s) single-stepped): {:.1} rps vs {enforce_baseline:.1} rps \
+         enforce ({:.0}% retained)",
+        audited.violations_audited,
+        audited.throughput_rps,
+        100.0 * audited.throughput_rps / enforce_baseline
+    );
+    assert!(
+        audited.throughput_rps > 0.5 * enforce_baseline,
+        "audit handler overhead collapsed throughput: {:.1} rps vs {enforce_baseline:.1} rps",
+        audited.throughput_rps
     );
 }

@@ -18,8 +18,10 @@
 //! exit.
 
 use core::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pkru_handler::ViolationHandler;
 use pkru_mpk::{Cpu, Pkey, Pkru};
 
 /// Calibrated wall-clock cost of one gate crossing.
@@ -33,6 +35,13 @@ use pkru_mpk::{Cpu, Pkey, Pkru};
 /// (§5.2). Set to zero via [`Gates::set_crossing_cost`] to measure the
 /// raw software model.
 pub const DEFAULT_CROSSING_COST: Duration = Duration::from_nanos(200);
+
+/// Default bound on compartment-stack nesting.
+///
+/// The `dom` suite's nested callbacks reach depth ~10; anything near this
+/// limit is hostile T↔U recursion trying to grow the stack `Vec` without
+/// bound, and the gate refuses instead of allocating.
+pub const DEFAULT_DEPTH_LIMIT: usize = 128;
 
 /// Errors raised by the call gates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -48,6 +57,15 @@ pub enum GateError {
     /// An exit gate ran without a matching enter (corrupted or empty
     /// compartment stack).
     StackUnderflow,
+    /// An enter gate would nest the compartment stack past its limit
+    /// (hostile T↔U recursion).
+    DepthExceeded {
+        /// The configured nesting limit that would have been exceeded.
+        limit: usize,
+    },
+    /// The worker's quarantine breaker has tripped: no further compartment
+    /// transitions are admitted until the worker is torn down and respawned.
+    Quarantined,
 }
 
 impl fmt::Display for GateError {
@@ -57,6 +75,12 @@ impl fmt::Display for GateError {
                 write!(f, "call gate PKRU mismatch: wrote {expected:#010x}, found {actual:#010x}")
             }
             GateError::StackUnderflow => write!(f, "compartment stack underflow"),
+            GateError::DepthExceeded { limit } => {
+                write!(f, "compartment stack depth limit ({limit}) exceeded")
+            }
+            GateError::Quarantined => {
+                write!(f, "compartment transitions quarantined (violation breaker tripped)")
+            }
         }
     }
 }
@@ -75,8 +99,10 @@ pub struct Gates {
     stack: Vec<Pkru>,
     transitions: u64,
     max_depth: usize,
+    depth_limit: usize,
     verify: bool,
     crossing_cost: Duration,
+    handler: Option<Arc<ViolationHandler>>,
 }
 
 impl Gates {
@@ -89,9 +115,29 @@ impl Gates {
             stack: Vec::new(),
             transitions: 0,
             max_depth: 0,
+            depth_limit: DEFAULT_DEPTH_LIMIT,
             verify: true,
             crossing_cost: DEFAULT_CROSSING_COST,
+            handler: None,
         }
+    }
+
+    /// Overrides the compartment-stack nesting limit.
+    pub fn set_depth_limit(&mut self, limit: usize) {
+        self.depth_limit = limit;
+    }
+
+    /// The configured compartment-stack nesting limit.
+    pub fn depth_limit(&self) -> usize {
+        self.depth_limit
+    }
+
+    /// Attaches the worker's violation handler: once its quarantine
+    /// breaker trips, every subsequent enter gate is refused with
+    /// [`GateError::Quarantined`] so an untrusted compartment cannot keep
+    /// crossing after being condemned.
+    pub fn set_violation_handler(&mut self, handler: Arc<ViolationHandler>) {
+        self.handler = Some(handler);
     }
 
     /// Disables the post-`WRPKRU` verification (ablation measurement only).
@@ -147,6 +193,14 @@ impl Gates {
     }
 
     fn switch(&mut self, cpu: &mut Cpu, target: Pkru) -> Result<(), GateError> {
+        // Refuse before mutating anything: a denied enter leaves the stack
+        // balanced, so error paths can still unwind with exit gates.
+        if self.stack.len() >= self.depth_limit {
+            return Err(GateError::DepthExceeded { limit: self.depth_limit });
+        }
+        if self.handler.as_ref().is_some_and(|h| h.tripped()) {
+            return Err(GateError::Quarantined);
+        }
         self.burn();
         self.stack.push(cpu.pkru());
         self.max_depth = self.max_depth.max(self.stack.len());
@@ -297,6 +351,66 @@ mod tests {
         assert_eq!(gates.transitions(), 2);
         gates.reset_transitions();
         assert_eq!(gates.transitions(), 0);
+    }
+
+    #[test]
+    fn depth_limit_stops_hostile_recursion() {
+        let (mut gates, mut cpu, _) = setup();
+        gates.set_crossing_cost(Duration::ZERO);
+        gates.set_depth_limit(8);
+        // Alternating T↔U recursion grows the stack one frame per enter.
+        for _ in 0..4 {
+            gates.enter_untrusted(&mut cpu).unwrap();
+            gates.enter_trusted(&mut cpu).unwrap();
+        }
+        assert_eq!(gates.depth(), 8);
+        assert_eq!(gates.enter_untrusted(&mut cpu), Err(GateError::DepthExceeded { limit: 8 }));
+        // The denied enter left the stack balanced: the whole nest still
+        // unwinds cleanly.
+        for _ in 0..4 {
+            gates.exit_trusted(&mut cpu).unwrap();
+            gates.exit_untrusted(&mut cpu).unwrap();
+        }
+        assert_eq!(gates.depth(), 0);
+    }
+
+    #[test]
+    fn default_depth_limit_is_generous_but_finite() {
+        let (mut gates, mut cpu, _) = setup();
+        gates.set_crossing_cost(Duration::ZERO);
+        for _ in 0..DEFAULT_DEPTH_LIMIT {
+            gates.enter_untrusted(&mut cpu).unwrap();
+        }
+        assert_eq!(
+            gates.enter_untrusted(&mut cpu),
+            Err(GateError::DepthExceeded { limit: DEFAULT_DEPTH_LIMIT })
+        );
+    }
+
+    #[test]
+    fn tripped_breaker_refuses_compartment_entry() {
+        use pkru_handler::{MpkPolicy, ViolationHandler};
+        use pkru_vmem::{Fault, FaultKind};
+
+        let (mut gates, mut cpu, key) = setup();
+        gates.set_crossing_cost(Duration::ZERO);
+        let handler = Arc::new(ViolationHandler::new(MpkPolicy::Quarantine { threshold: 1 }, 0));
+        gates.set_violation_handler(Arc::clone(&handler));
+        gates.with_untrusted::<_, GateError>(&mut cpu, |_, _| Ok(())).unwrap();
+        // One violation trips the threshold-1 breaker...
+        handler.on_violation(
+            &Fault {
+                addr: 0x1000,
+                access: AccessKind::Read,
+                kind: FaultKind::PkeyViolation { pkey: key, pkru: Pkru::deny_only(key) },
+            },
+            None,
+        );
+        assert_eq!(gates.enter_untrusted(&mut cpu), Err(GateError::Quarantined));
+        assert_eq!(gates.enter_trusted(&mut cpu), Err(GateError::Quarantined));
+        // ...and a respawned incarnation is admitted again.
+        handler.begin_incarnation();
+        gates.with_untrusted::<_, GateError>(&mut cpu, |_, _| Ok(())).unwrap();
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use pkalloc::{BaselineAlloc, CompartmentAlloc, PkAlloc, PkAllocConfig};
 use pkru_gates::Gates;
+use pkru_handler::{Verdict, ViolationHandler};
 use pkru_mpk::{Cpu, Pkey, PkeyPool, SharedPkeyPool};
 use pkru_provenance::{single_step_access, FaultResolution, ProfilingRuntime};
 use pkru_vmem::{AddressSpace, Fault, SharedSpace, VirtAddr};
@@ -136,6 +137,9 @@ pub struct Machine {
     pub fuel: u64,
     /// The key protecting the trusted pool.
     trusted_pkey: Pkey,
+    /// The serve-time MPK violation handler, consulted for pkey faults
+    /// under [`FaultPolicy::Crash`] when installed.
+    handler: Option<Arc<ViolationHandler>>,
 }
 
 impl Machine {
@@ -163,6 +167,7 @@ impl Machine {
             instret: 0,
             fuel: config.fuel,
             trusted_pkey,
+            handler: None,
         })
     }
 
@@ -195,6 +200,7 @@ impl Machine {
             instret: 0,
             fuel: config.fuel,
             trusted_pkey: host.trusted_pkey(),
+            handler: None,
         })
     }
 
@@ -211,6 +217,23 @@ impl Machine {
     /// The key protecting `M_T`.
     pub fn trusted_pkey(&self) -> Pkey {
         self.trusted_pkey
+    }
+
+    /// Installs a serve-time violation handler.
+    ///
+    /// Pkey faults raised under [`FaultPolicy::Crash`] are routed to the
+    /// handler (with the faulting address resolved to its allocation site)
+    /// instead of trapping unconditionally; the call gates consult the same
+    /// handler so a tripped quarantine breaker also refuses compartment
+    /// transitions.
+    pub fn set_violation_handler(&mut self, handler: Arc<ViolationHandler>) {
+        self.gates.set_violation_handler(Arc::clone(&handler));
+        self.handler = Some(handler);
+    }
+
+    /// The installed serve-time violation handler, if any.
+    pub fn violation_handler(&self) -> Option<&Arc<ViolationHandler>> {
+        self.handler.as_ref()
     }
 
     /// Burns one unit of instruction budget.
@@ -291,7 +314,26 @@ impl Machine {
         retry: impl FnOnce(&mut Cpu, &mut AddressSpace) -> Result<Option<u64>, Fault>,
     ) -> Result<u64, Trap> {
         if self.fault_policy == FaultPolicy::Crash {
-            return Err(Trap::Fault(fault));
+            // The serve-time handler services only MPK rights violations;
+            // everything else (unmapped, prot) still traps.
+            let handler = match &self.handler {
+                Some(h) if fault.is_pkey_violation() => Arc::clone(h),
+                _ => return Err(Trap::Fault(fault)),
+            };
+            let site = self.profiler.metadata.lookup(fault.addr).map(|r| r.id);
+            return match handler.on_violation(&fault, site) {
+                Verdict::SingleStep { grant } => {
+                    let space = self.space.clone();
+                    let outcome = single_step_access(&mut self.cpu, grant, |cpu| {
+                        retry(cpu, &mut space.lock())
+                    });
+                    match outcome {
+                        Ok(v) => Ok(v.unwrap_or(0)),
+                        Err(f) => Err(Trap::Fault(f)),
+                    }
+                }
+                Verdict::Deny => Err(Trap::Fault(fault)),
+            };
         }
         match self.profiler.handle_fault(&fault) {
             FaultResolution::SingleStep { grant } => {

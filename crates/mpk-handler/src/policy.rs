@@ -1,0 +1,114 @@
+//! The violation-handling policy and its CLI grammar.
+
+use core::fmt;
+use std::str::FromStr;
+
+/// Quarantine threshold used when `quarantine` is given without `:N`.
+pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 3;
+
+/// What happens when a worker's compartment boundary is violated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MpkPolicy {
+    /// The fault kills the request and counts as a defect (the behaviour
+    /// the paper's enforcement build has: SIGSEGV, no recovery).
+    #[default]
+    Enforce,
+    /// Single-step past the access (§4.3.2), log it, and continue.
+    Audit,
+    /// Audit until `threshold` violations accumulate from one worker
+    /// incarnation or one allocation site, then deny and trip the breaker.
+    Quarantine {
+        /// Violations tolerated before the breaker trips (must be ≥ 1).
+        threshold: u32,
+    },
+}
+
+/// A policy string the CLI rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyParseError(String);
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad --mpk-policy {:?}: expected enforce, audit, or quarantine[:N]", self.0)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+impl MpkPolicy {
+    /// Parses the CLI grammar `enforce | audit | quarantine[:N]`.
+    pub fn parse(text: &str) -> Result<MpkPolicy, PolicyParseError> {
+        let bad = || PolicyParseError(text.to_string());
+        match text {
+            "enforce" => Ok(MpkPolicy::Enforce),
+            "audit" => Ok(MpkPolicy::Audit),
+            "quarantine" => Ok(MpkPolicy::Quarantine { threshold: DEFAULT_QUARANTINE_THRESHOLD }),
+            _ => {
+                let n = text.strip_prefix("quarantine:").ok_or_else(bad)?;
+                let threshold: u32 = n.parse().map_err(|_| bad())?;
+                if threshold == 0 {
+                    return Err(bad());
+                }
+                Ok(MpkPolicy::Quarantine { threshold })
+            }
+        }
+    }
+
+    /// Whether this policy records audit log entries (audit or quarantine).
+    pub fn audits(self) -> bool {
+        !matches!(self, MpkPolicy::Enforce)
+    }
+}
+
+impl FromStr for MpkPolicy {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<MpkPolicy, PolicyParseError> {
+        MpkPolicy::parse(s)
+    }
+}
+
+impl fmt::Display for MpkPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpkPolicy::Enforce => write!(f, "enforce"),
+            MpkPolicy::Audit => write!(f, "audit"),
+            MpkPolicy::Quarantine { threshold } => write!(f, "quarantine:{threshold}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar() {
+        assert_eq!(MpkPolicy::parse("enforce"), Ok(MpkPolicy::Enforce));
+        assert_eq!(MpkPolicy::parse("audit"), Ok(MpkPolicy::Audit));
+        assert_eq!(
+            MpkPolicy::parse("quarantine"),
+            Ok(MpkPolicy::Quarantine { threshold: DEFAULT_QUARANTINE_THRESHOLD })
+        );
+        assert_eq!(MpkPolicy::parse("quarantine:7"), Ok(MpkPolicy::Quarantine { threshold: 7 }));
+        assert!(MpkPolicy::parse("quarantine:0").is_err(), "a zero threshold never admits");
+        assert!(MpkPolicy::parse("quarantine:").is_err());
+        assert!(MpkPolicy::parse("Audit").is_err(), "the grammar is case-sensitive");
+        assert!(MpkPolicy::parse("panic").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for policy in [MpkPolicy::Enforce, MpkPolicy::Audit, MpkPolicy::Quarantine { threshold: 5 }]
+        {
+            assert_eq!(MpkPolicy::parse(&policy.to_string()), Ok(policy));
+        }
+    }
+
+    #[test]
+    fn only_enforce_skips_the_audit_log() {
+        assert!(!MpkPolicy::Enforce.audits());
+        assert!(MpkPolicy::Audit.audits());
+        assert!(MpkPolicy::Quarantine { threshold: 1 }.audits());
+    }
+}

@@ -74,6 +74,24 @@ impl Profile {
         self.shared_sites.iter().copied()
     }
 
+    /// Absorbs the sites resolved from a serve-time audit log: every site
+    /// that violated the boundary under `audit` policy joins the shared
+    /// set, so an identical re-run allocates it from `M_U` and runs
+    /// violation-free. Returns how many sites were newly added.
+    ///
+    /// This closes the compile–profile–recompile loop at runtime — the
+    /// audit log is a profiling run that happened in production.
+    pub fn absorb_audit(&mut self, sites: impl IntoIterator<Item = AllocId>) -> usize {
+        let mut added = 0;
+        for id in sites {
+            self.faults_observed += 1;
+            if self.record(id) {
+                added += 1;
+            }
+        }
+        added
+    }
+
     /// Unions `other` into `self` (merging a profiling corpus).
     pub fn merge(&mut self, other: &Profile) {
         self.shared_sites.extend(other.shared_sites.iter().copied());
@@ -160,6 +178,16 @@ mod tests {
         p.faults_observed = 42;
         let q = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn absorb_audit_records_and_counts_new_sites() {
+        let mut p = Profile::new();
+        p.record(AllocId::new(1, 0, 0));
+        let audited = [AllocId::new(1, 0, 0), AllocId::new(2, 0, 0), AllocId::new(2, 0, 0)];
+        assert_eq!(p.absorb_audit(audited), 1, "only the unseen site is new");
+        assert!(p.contains(AllocId::new(2, 0, 0)));
+        assert_eq!(p.faults_observed, 3, "every audited violation counts as a fault");
     }
 
     #[test]

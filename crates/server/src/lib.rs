@@ -35,6 +35,10 @@ mod traffic;
 mod worker;
 
 pub use fault::{Fault, FaultKind, FaultPlan, FaultState};
+pub use pkru_handler::{
+    audit_log_json, AuditRecord, MpkPolicy, Verdict, ViolationCounters, ViolationHandler,
+    AUDIT_LOG_CAP, DEFAULT_QUARANTINE_THRESHOLD,
+};
 pub use queue::{BoundedQueue, QueueStats};
 pub use request::{catalog, Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
 pub use server::{serve, ServeConfig, ServeError, ServeReport, RESTART_BUDGET};

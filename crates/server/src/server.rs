@@ -26,7 +26,8 @@ use std::time::Instant;
 use lir::SharedHost;
 use minijs::Value;
 use pkalloc::MAX_WORKERS;
-use pkru_provenance::Profile;
+use pkru_handler::{audit_log_json, AuditRecord, MpkPolicy, ViolationHandler};
+use pkru_provenance::{AllocId, Profile};
 use servolite::{Browser, BrowserConfig};
 use workloads::suites::micro_page;
 
@@ -89,6 +90,14 @@ pub struct ServeConfig {
     /// run — the default, and byte-identical in output to the plan-less
     /// behaviour before fault injection existed).
     pub faults: FaultPlan,
+    /// What happens when a worker's compartment boundary is violated
+    /// ([`MpkPolicy::Enforce`] — the default — is byte-identical in
+    /// behaviour and report JSON to the policy-less runtime before PR 4).
+    pub mpk_policy: MpkPolicy,
+    /// Extra shared sites merged into the catalog profile before workers
+    /// start — typically sites absorbed from a previous run's audit log
+    /// via [`Profile::absorb_audit`]. Not rendered in the report JSON.
+    pub extra_profile: Option<Profile>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +108,8 @@ impl Default for ServeConfig {
             queue_capacity: 32,
             seed: 0x5eed,
             faults: FaultPlan::none(),
+            mpk_policy: MpkPolicy::Enforce,
+            extra_profile: None,
         }
     }
 }
@@ -139,6 +150,21 @@ pub struct ServeReport {
     pub requests_abandoned: u64,
     /// Fault-plan injections that actually fired.
     pub injected_faults: u64,
+    /// Violations denied under `enforce` (under that policy, a mirror of
+    /// `unexpected_faults`).
+    pub violations_enforced: u64,
+    /// Violations single-stepped and logged (audit, or quarantine below
+    /// its threshold).
+    pub violations_audited: u64,
+    /// Violations denied by a tripped quarantine breaker.
+    pub violations_quarantined: u64,
+    /// Allocation sites flagged by the quarantine breaker (sorted,
+    /// deduplicated across workers).
+    pub flagged_sites: Vec<AllocId>,
+    /// The merged audit log, in (worker slot, violation order).
+    pub audit_log: Vec<AuditRecord>,
+    /// Audit records discarded because a worker's log was full.
+    pub audit_dropped: u64,
 }
 
 impl ServeReport {
@@ -153,7 +179,39 @@ impl ServeReport {
     }
 
     /// Machine-readable form (hand-rolled; the workspace has no serde).
+    ///
+    /// Under [`MpkPolicy::Enforce`] the policy and violation fields are
+    /// omitted entirely, keeping the schema byte-identical to the
+    /// policy-less runtime (the fault-free schema is pinned by test).
     pub fn to_json(&self) -> String {
+        // Both insertion slots are empty strings under `enforce`.
+        let (policy, violations) = if self.config.mpk_policy == MpkPolicy::Enforce {
+            (String::new(), String::new())
+        } else {
+            let flagged: Vec<String> = self
+                .flagged_sites
+                .iter()
+                .map(|id| {
+                    format!("{{\"func\":{},\"block\":{},\"site\":{}}}", id.func, id.block, id.site)
+                })
+                .collect();
+            (
+                format!("\"mpk_policy\":\"{}\",", self.config.mpk_policy),
+                format!(
+                    concat!(
+                        "\"violations_enforced\":{},\"violations_audited\":{},",
+                        "\"violations_quarantined\":{},\"flagged_sites\":[{}],",
+                        "\"audit_dropped\":{},\"audit_log\":{},"
+                    ),
+                    self.violations_enforced,
+                    self.violations_audited,
+                    self.violations_quarantined,
+                    flagged.join(","),
+                    self.audit_dropped,
+                    audit_log_json(&self.audit_log)
+                ),
+            )
+        };
         let workers: Vec<String> = self
             .workers
             .iter()
@@ -175,18 +233,19 @@ impl ServeReport {
             .collect();
         format!(
             concat!(
-                "{{\"workers\":{},\"requests\":{},\"queue_capacity\":{},\"seed\":{},",
+                "{{\"workers\":{},\"requests\":{},\"queue_capacity\":{},\"seed\":{},{}",
                 "\"elapsed_seconds\":{:.6},\"throughput_rps\":{:.2},",
                 "\"queue\":{{\"enqueued\":{},\"max_depth\":{},\"backpressure_waits\":{}}},",
                 "\"requests_served\":{},\"transitions\":{},\"checksum_mismatches\":{},",
                 "\"unexpected_faults\":{},\"errors\":{},",
                 "\"workers_restarted\":{},\"requests_retried\":{},",
-                "\"requests_abandoned\":{},\"injected_faults\":{},\"per_worker\":[{}]}}"
+                "\"requests_abandoned\":{},\"injected_faults\":{},{}\"per_worker\":[{}]}}"
             ),
             self.config.workers,
             self.config.requests,
             self.config.queue_capacity,
             self.config.seed,
+            policy,
             self.elapsed_seconds,
             self.throughput_rps,
             self.queue.enqueued,
@@ -201,6 +260,7 @@ impl ServeReport {
             self.requests_retried,
             self.requests_abandoned,
             self.injected_faults,
+            violations,
             workers.join(",")
         )
     }
@@ -294,7 +354,10 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     }
 
     let catalog = catalog();
-    let profile = profile_catalog(&catalog)?;
+    let mut profile = profile_catalog(&catalog)?;
+    if let Some(extra) = &config.extra_profile {
+        profile.merge(extra);
+    }
     let reference = reference_checksums(&catalog, &profile)?;
 
     let host = SharedHost::new();
@@ -302,6 +365,14 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     let faults = FaultState::new(&config.faults, config.workers);
     let cells: Vec<Arc<WorkerCell>> =
         (0..config.workers).map(|w| Arc::new(WorkerCell::new(w))).collect();
+    // Under `enforce` no handler exists at all: workers run the exact
+    // pre-policy code path, so behaviour and report stay byte-identical.
+    let handlers: Option<Vec<Arc<ViolationHandler>>> = match config.mpk_policy {
+        MpkPolicy::Enforce => None,
+        policy => {
+            Some((0..config.workers).map(|w| Arc::new(ViolationHandler::new(policy, w))).collect())
+        }
+    };
 
     let mut workers_restarted = 0u64;
     let mut requests_retried = 0u64;
@@ -315,6 +386,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         let spawn_worker = |slot: usize| {
             let events = events.clone();
             let cell = Arc::clone(&cells[slot]);
+            let handler = handlers.as_ref().map(|hs| Arc::clone(&hs[slot]));
             let (queue, host, profile, catalog, faults) =
                 (&queue, &host, &profile, &catalog, &faults);
             scope.spawn(move || {
@@ -322,7 +394,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
                 // unjoined panicked scoped thread would re-panic the whole
                 // scope. Catch it and report it as a death event instead.
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_worker(slot, queue, host, profile, catalog, faults, &cell)
+                    run_worker(slot, queue, host, profile, catalog, faults, &cell, handler.as_ref())
                 }));
                 let death = match outcome {
                     Ok(Ok(())) => None,
@@ -426,6 +498,33 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     let throughput_rps =
         if elapsed_seconds > 0.0 { requests_served as f64 / elapsed_seconds } else { 0.0 };
 
+    // Fold the per-worker handlers into the report, in slot order so the
+    // merged audit log is deterministic for a deterministic run.
+    let mut violations_enforced = 0u64;
+    let mut violations_audited = 0u64;
+    let mut violations_quarantined = 0u64;
+    let mut flagged_sites: Vec<AllocId> = Vec::new();
+    let mut audit_log: Vec<AuditRecord> = Vec::new();
+    let mut audit_dropped = 0u64;
+    match &handlers {
+        Some(handlers) => {
+            for handler in handlers {
+                let counters = handler.counters();
+                violations_enforced += counters.enforced;
+                violations_audited += counters.audited;
+                violations_quarantined += counters.quarantined;
+                flagged_sites.extend(handler.flagged_sites());
+                audit_log.extend(handler.audit_log());
+                audit_dropped += handler.audit_dropped();
+            }
+            flagged_sites.sort();
+            flagged_sites.dedup();
+        }
+        // No handler under `enforce`: every unexpected MPK fault was a
+        // request-killing enforcement, mirror it.
+        None => violations_enforced = unexpected_faults,
+    }
+
     let report = ServeReport {
         workers,
         elapsed_seconds,
@@ -443,6 +542,12 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         // only when its first worker died *without* completing it).
         requests_abandoned: config.requests.saturating_sub(requests_served),
         injected_faults: faults.injected(),
+        violations_enforced,
+        violations_audited,
+        violations_quarantined,
+        flagged_sites,
+        audit_log,
+        audit_dropped,
         config,
     };
 

@@ -12,13 +12,14 @@
 //! supervisor also holds: whatever kills the incarnation, the work it
 //! completed survives, and the one request it was holding can be requeued.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use servolite::{Browser, BrowserConfig};
 use workloads::suites::micro_page;
 
 use lir::SharedHost;
 use minijs::Value;
+use pkru_handler::ViolationHandler;
 use pkru_provenance::Profile;
 
 use crate::fault::{FaultKind, FaultState};
@@ -131,6 +132,7 @@ fn exhaust_carveout(browser: &mut Browser) -> String {
 /// only the [`SharedHost`] crosses the thread boundary. A respawned
 /// incarnation claims a fresh carve-out slot from the host, so it starts
 /// with a clean allocator even if its predecessor died by exhaustion.
+#[allow(clippy::too_many_arguments)]
 pub fn run_worker(
     worker: usize,
     queue: &BoundedQueue<Request>,
@@ -139,7 +141,13 @@ pub fn run_worker(
     catalog: &[ScriptSpec],
     faults: &FaultState,
     cell: &WorkerCell,
+    handler: Option<&Arc<ViolationHandler>>,
 ) -> Result<(), ServeError> {
+    if let Some(handler) = handler {
+        // A fresh incarnation starts with a clean quarantine breaker; the
+        // per-site ledger and the audit log persist across respawns.
+        handler.begin_incarnation();
+    }
     if faults.setup_should_fail(worker) {
         return Err(ServeError::Worker {
             worker,
@@ -147,10 +155,17 @@ pub fn run_worker(
             report: None,
         });
     }
-    let mut browser =
-        Browser::with_profile_on(BrowserConfig::Mpk, Some(profile), host).map_err(|e| {
-            ServeError::Worker { worker, message: format!("browser setup: {e}"), report: None }
-        })?;
+    let mut browser = match handler {
+        Some(handler) => {
+            Browser::with_handler_on(BrowserConfig::Mpk, Some(profile), host, Arc::clone(handler))
+        }
+        None => Browser::with_profile_on(BrowserConfig::Mpk, Some(profile), host),
+    }
+    .map_err(|e| ServeError::Worker {
+        worker,
+        message: format!("browser setup: {e}"),
+        report: None,
+    })?;
     browser.load_html(micro_page()).map_err(|e| ServeError::Worker {
         worker,
         message: format!("initial page: {e}"),
@@ -167,17 +182,60 @@ pub fn run_worker(
                 panic!("injected panic: worker {worker} dying on request {}", request.id);
             }
             Some(FaultKind::PkeyViolation) => {
-                // An injected violation looks exactly like a real one:
-                // the request completes, the defect lands in the report.
-                cell.complete(|stats, _| {
-                    stats.requests += 1;
-                    match request.kind {
-                        RequestKind::PageLoad => stats.page_loads += 1,
-                        RequestKind::Script(_) => stats.scripts += 1,
+                match handler {
+                    // No handler (enforce): an injected violation looks
+                    // exactly like a real one — the request completes, the
+                    // defect lands in the report.
+                    None => {
+                        cell.complete(|stats, _| {
+                            stats.requests += 1;
+                            match request.kind {
+                                RequestKind::PageLoad => stats.page_loads += 1,
+                                RequestKind::Script(_) => stats.scripts += 1,
+                            }
+                            stats.pkey_faults += 1;
+                        });
+                        continue;
                     }
-                    stats.pkey_faults += 1;
-                });
-                continue;
+                    // With a handler, the injection provokes a *real* MPK
+                    // violation (a trusted-pool read from inside `U`) that
+                    // flows through the machine's fault path into the
+                    // handler. The violation is accounted there — never in
+                    // `pkey_faults` — so `injected_faults` and the
+                    // `violations_*` counters stay disjoint from the
+                    // legacy unexpected-fault counter.
+                    Some(handler) => {
+                        let outcome = browser.probe_trusted_access();
+                        cell.complete(|stats, _| {
+                            stats.requests += 1;
+                            match request.kind {
+                                RequestKind::PageLoad => stats.page_loads += 1,
+                                RequestKind::Script(_) => stats.scripts += 1,
+                            }
+                            // A denied probe is the handler's verdict
+                            // (enforcement or a tripped breaker), already
+                            // counted by the handler; anything else is a
+                            // genuine worker error.
+                            if let Err(e) = &outcome {
+                                if !e.is_pkey_violation() {
+                                    stats.errors += 1;
+                                }
+                            }
+                        });
+                        if handler.tripped() {
+                            // Quarantine: tear this incarnation down
+                            // through the supervision path. The request
+                            // was completed above, so nothing is requeued.
+                            cell.add_transitions(browser.stats().transitions);
+                            return Err(ServeError::Worker {
+                                worker,
+                                message: "quarantined: MPK violation breaker tripped".into(),
+                                report: None,
+                            });
+                        }
+                        continue;
+                    }
+                }
             }
             Some(FaultKind::AllocExhaustion) => {
                 let message = exhaust_carveout(&mut browser);

@@ -63,6 +63,7 @@ fn setup_failure_terminates_instead_of_hanging() {
         queue_capacity: 4,
         seed: 11,
         faults: FaultPlan::none().with(Fault { worker: 0, kind: FaultKind::SetupFailure, at: 1 }),
+        ..ServeConfig::default()
     };
     let error = with_watchdog(180, || serve(config)).expect_err("a dead pool must error");
     match error {
@@ -92,6 +93,7 @@ fn panic_is_survived_by_respawn_and_retry() {
         queue_capacity: 8,
         seed: 5,
         faults: FaultPlan::none().with(Fault { worker: 0, kind: FaultKind::Panic, at: 3 }),
+        ..ServeConfig::default()
     };
     let report = with_watchdog(180, || serve(config)).expect("one panic must not kill the run");
     assert_accounted(&report);
@@ -114,6 +116,7 @@ fn injected_mpk_violation_lands_in_the_fault_counters() {
         queue_capacity: 4,
         seed: 2,
         faults: FaultPlan::none().with(Fault { worker: 0, kind: FaultKind::PkeyViolation, at: 4 }),
+        ..ServeConfig::default()
     };
     let report = with_watchdog(180, || serve(config)).expect("violations are counters");
     assert_accounted(&report);
@@ -139,6 +142,7 @@ fn carveout_exhaustion_is_survived_by_respawn() {
             kind: FaultKind::AllocExhaustion,
             at: 2,
         }),
+        ..ServeConfig::default()
     };
     let report = with_watchdog(180, || serve(config)).expect("exhaustion must be survivable");
     assert_accounted(&report);
@@ -158,7 +162,14 @@ fn repeated_panics_exhaust_the_budget_and_abandon_once_retried_requests() {
         .with(Fault { worker: 0, kind: FaultKind::Panic, at: 1 })
         .with(Fault { worker: 0, kind: FaultKind::Panic, at: 2 })
         .with(Fault { worker: 0, kind: FaultKind::Panic, at: 3 });
-    let config = ServeConfig { workers: 1, requests: 16, queue_capacity: 4, seed: 3, faults: plan };
+    let config = ServeConfig {
+        workers: 1,
+        requests: 16,
+        queue_capacity: 4,
+        seed: 3,
+        faults: plan,
+        ..ServeConfig::default()
+    };
     let error = with_watchdog(180, || serve(config)).expect_err("budget exhaustion must error");
     match error {
         ServeError::Worker { worker, ref message, ref report } => {
@@ -197,6 +208,7 @@ proptest! {
             queue_capacity: 4,
             seed,
             faults: faults.clone(),
+            ..ServeConfig::default()
         };
         let outcome = with_watchdog(300, || serve(config));
         let report = match &outcome {

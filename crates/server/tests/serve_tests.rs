@@ -2,8 +2,8 @@
 //! against the single-threaded reference, and config validation.
 
 use pkru_server::{
-    serve, Fault, FaultKind, FaultPlan, QueueStats, ServeConfig, ServeError, ServeReport,
-    WorkerStats,
+    serve, Fault, FaultKind, FaultPlan, MpkPolicy, QueueStats, ServeConfig, ServeError,
+    ServeReport, WorkerStats,
 };
 
 #[test]
@@ -74,6 +74,8 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
             queue_capacity: 4,
             seed: 9,
             faults: FaultPlan::none(),
+            mpk_policy: MpkPolicy::Enforce,
+            extra_profile: None,
         },
         workers: vec![WorkerStats {
             worker: 0,
@@ -96,6 +98,12 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
         requests_retried: 0,
         requests_abandoned: 0,
         injected_faults: 0,
+        violations_enforced: 0,
+        violations_audited: 0,
+        violations_quarantined: 0,
+        flagged_sites: Vec::new(),
+        audit_log: Vec::new(),
+        audit_dropped: 0,
     };
     assert_eq!(
         report.to_json(),

@@ -5,11 +5,13 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use lir::{FaultPolicy, Machine, MachineConfig, SharedHost, Trap};
 use minijs::{Engine, EngineError, Value};
 use pkalloc::AllocError;
 use pkru_gates::GateError;
+use pkru_handler::ViolationHandler;
 use pkru_provenance::Profile;
 use pkru_vmem::{MapError, Prot, PAGE_SIZE};
 
@@ -179,7 +181,7 @@ impl Browser {
         config: BrowserConfig,
         profile: Option<&Profile>,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, None)
+        Browser::build(config, profile, None, None)
     }
 
     /// Creates a worker browser on a [`SharedHost`]: the address space and
@@ -195,13 +197,28 @@ impl Browser {
         profile: Option<&Profile>,
         host: &SharedHost,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, Some(host))
+        Browser::build(config, profile, Some(host), None)
+    }
+
+    /// Like [`Browser::with_profile_on`], but installs a serve-time MPK
+    /// violation handler: pkey faults route through its policy, the call
+    /// gates refuse entry once its quarantine breaker trips, and (for
+    /// auditing policies) allocations are logged to the metadata table so
+    /// faulting addresses resolve back to their sites.
+    pub fn with_handler_on(
+        config: BrowserConfig,
+        profile: Option<&Profile>,
+        host: &SharedHost,
+        handler: Arc<ViolationHandler>,
+    ) -> Result<Browser, BrowserError> {
+        Browser::build(config, profile, Some(host), Some(handler))
     }
 
     fn build(
         config: BrowserConfig,
         profile: Option<&Profile>,
         host: Option<&SharedHost>,
+        handler: Option<Arc<ViolationHandler>>,
     ) -> Result<Browser, BrowserError> {
         let machine_config = MachineConfig {
             split_allocator: config.split_allocator(),
@@ -217,12 +234,19 @@ impl Browser {
             Some(host) => Machine::on_host(machine_config, host)?,
             None => Machine::new(machine_config)?,
         };
+        if let Some(handler) = handler.as_ref() {
+            machine.set_violation_handler(Arc::clone(handler));
+        }
 
         let registry = match profile {
             Some(p) => SiteRegistry::from_profile(p),
             None => SiteRegistry::all_trusted(),
         };
-        let mut dom = Dom::new(registry, config == BrowserConfig::Profiling);
+        // Auditing policies need every allocation in the metadata table so
+        // the handler can resolve faulting addresses to their sites.
+        let track_metadata = config == BrowserConfig::Profiling
+            || handler.as_ref().is_some_and(|h| h.policy().audits());
+        let mut dom = Dom::new(registry, track_metadata);
 
         // Plant the §5.4 secret at its fixed address, inside trusted
         // memory (its page carries the trusted key under MPK configs).
@@ -313,6 +337,35 @@ impl Browser {
             self.machine.gates.exit_untrusted(&mut self.machine.cpu)?;
         }
         Ok(result?)
+    }
+
+    /// Allocates a probe object at [`Site::FaultProbe`] and reads it back
+    /// from inside the untrusted compartment.
+    ///
+    /// When the site is bound to `M_T` (not in the profile), the read is an
+    /// MPK violation under gated configurations: the installed violation
+    /// handler decides whether it retires (audit), trips the breaker
+    /// (quarantine), or kills the request (enforce). When the site is in
+    /// the profile — e.g. after `Profile::absorb_audit` of a previous run's
+    /// log — the object lives in `M_U` and the probe is violation-free.
+    pub fn probe_trusted_access(&mut self) -> Result<(), BrowserError> {
+        let addr = {
+            let mut dom = self.dom.borrow_mut();
+            dom.alloc(&mut self.machine, Site::FaultProbe, 64)?
+        };
+        // Materialize the object under trusted rights, as the shell would
+        // when staging data for the engine.
+        self.machine.mem_write(addr, 0x5250_4b55)?;
+        let gated = self.config.gated();
+        if gated {
+            self.machine.gates.enter_untrusted(&mut self.machine.cpu)?;
+        }
+        let result = self.machine.mem_read(addr);
+        if gated {
+            self.machine.gates.exit_untrusted(&mut self.machine.cpu)?;
+        }
+        result?;
+        Ok(())
     }
 
     /// Reads the planted secret (the value Servo "logs on program exit").

@@ -86,6 +86,8 @@ sites! {
     (ProfileScratch, "devtools::profile_scratch"),
     (ConsoleBuffer, "devtools::console_buffer"),
     (SessionStore, "browser::session_store"),
+    // Appended in PR 4; the list is append-only for discriminant stability.
+    (FaultProbe, "server::fault_probe"),
 }
 
 impl Site {

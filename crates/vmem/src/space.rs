@@ -316,10 +316,18 @@ impl AddressSpace {
         if len == 0 {
             return Ok(());
         }
-        let end = addr.checked_add(len).ok_or_else(|| {
-            self.stats.unmapped_faults.fetch_add(1, Ordering::Relaxed);
-            Fault { addr, access, kind: FaultKind::Unmapped }
-        })?;
+        let end = match addr.checked_add(len) {
+            Some(end) => end,
+            None => {
+                // The access wraps past the top of the address space. The
+                // first faulting byte is whichever byte of the representable
+                // prefix faults — or byte `u64::MAX` itself, which can never
+                // be mapped (region ends are exclusive and bounded).
+                self.check(pkru, addr, u64::MAX - addr, access)?;
+                self.stats.unmapped_faults.fetch_add(1, Ordering::Relaxed);
+                return Err(Fault { addr: u64::MAX, access, kind: FaultKind::Unmapped });
+            }
+        };
         let mut cursor = addr;
         while cursor < end {
             let region = match self.region_containing(cursor) {
@@ -462,7 +470,15 @@ impl AddressSpace {
         if len == 0 {
             return Ok(());
         }
-        let end = addr.checked_add(len).ok_or(Fault { addr, access, kind: FaultKind::Unmapped })?;
+        let end = match addr.checked_add(len) {
+            Some(end) => end,
+            None => {
+                // See `check`: report the true first faulting byte even for
+                // accesses whose end wraps past the top of the space.
+                self.check_mapped(addr, u64::MAX - addr, access)?;
+                return Err(Fault { addr: u64::MAX, access, kind: FaultKind::Unmapped });
+            }
+        };
         let mut cursor = addr;
         while cursor < end {
             match self.region_containing(cursor) {

@@ -1,0 +1,102 @@
+//! Boundary behaviour of `AddressSpace::check`: the reported fault address
+//! must always be the *first* faulting byte, including for accesses whose
+//! end wraps past the top of the 64-bit address space.
+
+use proptest::prelude::*;
+
+use pkru_mpk::{AccessKind, Pkey, Pkru};
+use pkru_vmem::{AddressSpace, FaultKind, Prot, PAGE_SIZE};
+
+/// Base of a 4-page region placed as high as the space allows: the page
+/// containing byte `u64::MAX` can never be mapped (region ends are
+/// exclusive and must be representable), so this leaves exactly one
+/// unmappable page above the region.
+const HIGH_BASE: u64 = u64::MAX - 5 * PAGE_SIZE + 1;
+const HIGH_LEN: u64 = 4 * PAGE_SIZE;
+
+fn high_space() -> AddressSpace {
+    let mut space = AddressSpace::new();
+    space.mmap_at(HIGH_BASE, HIGH_LEN, Prot::READ_WRITE).unwrap();
+    space
+}
+
+#[test]
+fn wrapping_access_faults_at_first_unmapped_byte_not_start() {
+    let space = high_space();
+    // The access starts inside the mapped region and its end overflows
+    // u64. Every byte of the region is accessible, so the first faulting
+    // byte is the first byte *past* it — not the (accessible) start
+    // address the old overflow path reported.
+    let fault = space.check(Pkru::ALL_ACCESS, HIGH_BASE, u64::MAX, AccessKind::Read).unwrap_err();
+    assert_eq!(fault.kind, FaultKind::Unmapped);
+    assert_eq!(fault.addr, HIGH_BASE + HIGH_LEN);
+    assert_eq!(space.stats().unmapped_faults, 1, "one fault, counted once");
+}
+
+#[test]
+fn wrapping_access_reports_pkey_violation_in_prefix() {
+    let mut space = high_space();
+    let key = Pkey::new(2).unwrap();
+    space.pkey_mprotect(HIGH_BASE, PAGE_SIZE, Prot::READ_WRITE, key).unwrap();
+    // The very first byte is denied by PKRU; the overflow must not mask
+    // the pkey violation as an `Unmapped` fault at the start address.
+    let fault =
+        space.check(Pkru::deny_only(key), HIGH_BASE, u64::MAX, AccessKind::Write).unwrap_err();
+    assert!(fault.is_pkey_violation(), "got {:?}", fault.kind);
+    assert_eq!(fault.addr, HIGH_BASE);
+    let stats = space.stats();
+    assert_eq!((stats.pkey_faults, stats.unmapped_faults), (1, 0));
+}
+
+#[test]
+fn access_at_the_very_top_byte_faults_there() {
+    let space = high_space();
+    // [u64::MAX, u64::MAX + 2) wraps; byte u64::MAX itself is unmappable.
+    let fault = space.check(Pkru::ALL_ACCESS, u64::MAX, 2, AccessKind::Read).unwrap_err();
+    assert_eq!(fault.kind, FaultKind::Unmapped);
+    assert_eq!(fault.addr, u64::MAX);
+}
+
+#[test]
+fn supervisor_read_near_the_top_faults_cleanly() {
+    let space = high_space();
+    // `read_supervisor` funnels through `check_mapped`, whose overflow
+    // path got the same first-faulting-byte treatment.
+    let mut buf = [0u8; 8];
+    let fault = space.read_supervisor(u64::MAX - 3, &mut buf).unwrap_err();
+    assert_eq!(fault.kind, FaultKind::Unmapped);
+    assert_eq!(fault.addr, u64::MAX - 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For wrapping accesses starting anywhere in the high region (with one
+    /// page pkey-restricted), the reported fault is the analytically first
+    /// faulting byte: the restricted page if the access enters it first,
+    /// else the first unmapped byte past the region.
+    #[test]
+    fn wrapping_fault_address_is_first_failing_byte(
+        tag_page in 0u64..4,
+        start in 0u64..(4 * PAGE_SIZE),
+    ) {
+        let mut space = high_space();
+        let key = Pkey::new(3).unwrap();
+        let tag_lo = HIGH_BASE + tag_page * PAGE_SIZE;
+        let tag_hi = tag_lo + PAGE_SIZE;
+        space.pkey_mprotect(tag_lo, PAGE_SIZE, Prot::READ_WRITE, key).unwrap();
+        let addr = HIGH_BASE + start;
+        // `addr + u64::MAX` always overflows for addr >= 1.
+        let fault =
+            space.check(Pkru::deny_only(key), addr, u64::MAX, AccessKind::Write).unwrap_err();
+        if addr < tag_hi {
+            // The access reaches the restricted page before running off
+            // the end of the region.
+            prop_assert!(fault.is_pkey_violation(), "got {:?}", fault.kind);
+            prop_assert_eq!(fault.addr, addr.max(tag_lo));
+        } else {
+            prop_assert_eq!(fault.kind, FaultKind::Unmapped);
+            prop_assert_eq!(fault.addr, HIGH_BASE + HIGH_LEN);
+        }
+    }
+}

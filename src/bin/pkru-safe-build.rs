@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use lir::{parse_module, verify_module, Module};
 use pkru_provenance::Profile;
 use pkru_safe::{run_profiling, Annotations, Pipeline, ProfileInput};
-use pkru_server::{serve, Fault, ServeConfig, ServeError};
+use pkru_server::{serve, Fault, MpkPolicy, ServeConfig, ServeError};
 
 struct Options {
     command: String,
@@ -64,6 +64,14 @@ serve options:
                          worker=K,kind=setup|panic|mpk|alloc[,at=N]
                          (kind=setup breaks every (re)start of worker K;
                          the others strike K's N-th request, once)
+  --mpk-policy <p>       what an MPK violation does (default enforce):
+                         enforce        deny; the defect dirties the run
+                         audit          single-step past it, log it, go on
+                         quarantine[:N] audit until N violations from one
+                                        worker or one site, then tear the
+                                        worker down and flag the site
+  --profile <file>       extra profile merged before serving (typically
+                         sites absorbed from a previous run's audit log)
   --json                 emit the report as JSON on stdout
 
 options:
@@ -138,6 +146,14 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 let spec = argv.next().ok_or("--fault needs worker=K,kind=...[,at=N]")?;
                 config.faults.push(Fault::parse(&spec)?);
             }
+            "--mpk-policy" => {
+                let spec = argv.next().ok_or("--mpk-policy needs enforce|audit|quarantine[:N]")?;
+                config.mpk_policy = MpkPolicy::parse(&spec).map_err(|e| e.to_string())?;
+            }
+            "--profile" => {
+                let path = PathBuf::from(argv.next().ok_or("--profile needs a file")?);
+                config.extra_profile = Some(Profile::load(&path).map_err(|e| e.to_string())?);
+            }
             "--json" => json = true,
             other => return Err(format!("unknown serve option {other:?}")),
         }
@@ -184,6 +200,18 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 report.requests_retried,
                 report.requests_abandoned,
                 report.injected_faults
+            );
+        }
+        if report.config.mpk_policy != MpkPolicy::Enforce {
+            println!(
+                "  {}: {} audited, {} quarantined, {} site(s) flagged, {} logged \
+                 ({} dropped)",
+                report.config.mpk_policy,
+                report.violations_audited,
+                report.violations_quarantined,
+                report.flagged_sites.len(),
+                report.audit_log.len(),
+                report.audit_dropped
             );
         }
     }

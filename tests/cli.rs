@@ -277,6 +277,52 @@ fn serve_fault_injection_is_reported_and_dirties_the_run() {
 }
 
 #[test]
+fn serve_audit_policy_survives_the_injection_and_exits_clean() {
+    // Same injection as the dirty-run test above, but under `audit` the
+    // violation is single-stepped and logged: every request is served,
+    // the run stays clean, and the CLI exits 0.
+    let out = cli()
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--requests",
+            "8",
+            "--json",
+            "--fault",
+            "worker=0,kind=mpk,at=3",
+            "--mpk-policy",
+            "audit",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"mpk_policy\":\"audit\"",
+        "\"requests_served\":8",
+        "\"requests_abandoned\":0",
+        "\"unexpected_faults\":0",
+        "\"injected_faults\":1",
+        "\"violations_audited\":1",
+        "\"audit_log\":[{\"worker\":0,",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn serve_rejects_a_bad_mpk_policy() {
+    let out = cli().args(["serve", "--mpk-policy", "lenient"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --mpk-policy"), "{out:?}");
+
+    let out = cli().args(["serve", "--mpk-policy", "quarantine:0"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --mpk-policy"), "{out:?}");
+}
+
+#[test]
 fn serve_pool_death_emits_partial_report_instead_of_hanging() {
     // Permanently broken single worker: the old runtime hung here; now
     // the CLI must exit with the pool-death diagnostic AND the partial
