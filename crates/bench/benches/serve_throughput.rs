@@ -134,7 +134,7 @@ fn main() {
         seed: 0x5eed,
         faults: plan,
         mpk_policy: MpkPolicy::Audit,
-        extra_profile: None,
+        ..ServeConfig::default()
     })
     .expect("audit mode must survive its violations");
     assert!(audited.clean(), "audited violations must not dirty the run: {audited:?}");

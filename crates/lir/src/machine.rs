@@ -8,7 +8,7 @@ use pkru_gates::Gates;
 use pkru_handler::{Verdict, ViolationHandler};
 use pkru_mpk::{Cpu, Pkey, PkeyPool, SharedPkeyPool};
 use pkru_provenance::{single_step_access, FaultResolution, ProfilingRuntime};
-use pkru_vmem::{AddressSpace, Fault, SharedSpace, VirtAddr};
+use pkru_vmem::{AddressSpace, Fault, SharedSpace, Tlb, VirtAddr};
 
 use crate::trap::Trap;
 
@@ -122,6 +122,11 @@ pub struct Machine {
     pub alloc: Box<dyn CompartmentAlloc>,
     /// The executing thread's CPU state (PKRU lives here).
     pub cpu: Cpu,
+    /// This thread's software TLB over `space`. Like the hardware TLB it
+    /// models, it is per-thread state alongside the PKRU: translations are
+    /// cached, rights verdicts are not, so gate transitions (`cpu.pkru()`
+    /// flips) need no flush.
+    pub tlb: Tlb,
     /// The call-gate runtime.
     pub gates: Gates,
     /// The profiling runtime (consulted only under
@@ -160,6 +165,7 @@ impl Machine {
             space,
             alloc,
             cpu: Cpu::new(),
+            tlb: Tlb::new(),
             gates: Gates::new(trusted_pkey),
             profiler: ProfilingRuntime::new(),
             fault_policy: config.fault_policy,
@@ -193,6 +199,7 @@ impl Machine {
             space: host.space().clone(),
             alloc: Box::new(alloc),
             cpu: Cpu::new(),
+            tlb: Tlb::new(),
             gates: Gates::new(host.trusted_pkey()),
             profiler: ProfilingRuntime::new(),
             fault_policy: config.fault_policy,
@@ -236,6 +243,15 @@ impl Machine {
         self.handler.as_ref()
     }
 
+    /// Publishes this thread's buffered TLB counters into the shared
+    /// space statistics. The hot path buffers hit/read/write counts in
+    /// the per-thread [`Tlb`]; they fold automatically on every miss and
+    /// epoch flush, and on drop — call this only to read exact
+    /// [`SharedSpace::stats`] totals while the machine is still live.
+    pub fn fold_tlb_stats(&mut self) {
+        self.space.tlb_fold_stats(&mut self.tlb);
+    }
+
     /// Burns one unit of instruction budget.
     pub(crate) fn tick(&mut self) -> Result<(), Trap> {
         self.instret += 1;
@@ -251,7 +267,7 @@ impl Machine {
     /// A rights-checked 8-byte load with fault-policy handling.
     pub fn mem_read(&mut self, addr: VirtAddr) -> Result<u64, Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.read_u64(pkru, addr);
+        let result = self.space.tlb_read_u64(&mut self.tlb, pkru, addr);
         match result {
             Ok(v) => Ok(v),
             Err(fault) => self.resolve_fault(fault, |cpu, space| {
@@ -264,7 +280,7 @@ impl Machine {
     /// A rights-checked 8-byte store with fault-policy handling.
     pub fn mem_write(&mut self, addr: VirtAddr, value: u64) -> Result<(), Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.write_u64(pkru, addr, value);
+        let result = self.space.tlb_write_u64(&mut self.tlb, pkru, addr, value);
         match result {
             Ok(()) => Ok(()),
             Err(fault) => self
@@ -279,7 +295,7 @@ impl Machine {
     /// A rights-checked single-byte load with fault-policy handling.
     pub fn mem_read_u8(&mut self, addr: VirtAddr) -> Result<u8, Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.read_u8(pkru, addr);
+        let result = self.space.tlb_read_u8(&mut self.tlb, pkru, addr);
         match result {
             Ok(v) => Ok(v),
             Err(fault) => self
@@ -294,7 +310,7 @@ impl Machine {
     /// A rights-checked single-byte store with fault-policy handling.
     pub fn mem_write_u8(&mut self, addr: VirtAddr, value: u8) -> Result<(), Trap> {
         let pkru = self.cpu.pkru();
-        let result = self.space.write_u8(pkru, addr, value);
+        let result = self.space.tlb_write_u8(&mut self.tlb, pkru, addr, value);
         match result {
             Ok(()) => Ok(()),
             Err(fault) => self
@@ -313,6 +329,11 @@ impl Machine {
         fault: Fault,
         retry: impl FnOnce(&mut Cpu, &mut AddressSpace) -> Result<Option<u64>, Fault>,
     ) -> Result<u64, Trap> {
+        // Drop the faulting page's cached translation before consulting
+        // the handler/profiler: verdicts and single-step replays must see
+        // the page's live state, and any later policy-driven retag of the
+        // page must be honored on the very next access.
+        self.space.tlb_flush_page(&mut self.tlb, fault.addr);
         if self.fault_policy == FaultPolicy::Crash {
             // The serve-time handler services only MPK rights violations;
             // everything else (unmapped, prot) still traps.
@@ -354,6 +375,14 @@ impl Machine {
                 }
             }
         }
+    }
+}
+
+impl Drop for Machine {
+    fn drop(&mut self) {
+        // A worker's buffered TLB counters must land in the shared space
+        // statistics before the supervisor reads them for the report.
+        self.space.tlb_fold_stats(&mut self.tlb);
     }
 }
 

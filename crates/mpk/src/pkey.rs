@@ -94,6 +94,7 @@ pub enum PkeyRights {
 
 impl PkeyRights {
     /// Whether an access of `kind` is permitted under these rights.
+    #[inline]
     pub const fn permits(self, kind: AccessKind) -> bool {
         match (self, kind) {
             (PkeyRights::NoAccess, _) => false,
@@ -104,6 +105,7 @@ impl PkeyRights {
     }
 
     /// Decodes rights from raw (AD, WD) bits.
+    #[inline]
     pub const fn from_bits(ad: bool, wd: bool) -> PkeyRights {
         match (ad, wd) {
             (true, _) => PkeyRights::NoAccess,

@@ -49,6 +49,7 @@ impl Pkru {
     }
 
     /// The rights currently granted for `key`.
+    #[inline]
     pub const fn rights(self, key: Pkey) -> PkeyRights {
         let ad = (self.0 >> key.ad_bit()) & 1 == 1;
         let wd = (self.0 >> key.wd_bit()) & 1 == 1;
@@ -72,6 +73,11 @@ impl Pkru {
     }
 
     /// Whether an access of `kind` through `key` is permitted.
+    ///
+    /// This is the per-access rights check on the software-TLB hit path
+    /// (the simulated analog of the hardware PKRU comparison), so it must
+    /// inline into the caller.
+    #[inline]
     pub const fn allows(self, key: Pkey, kind: AccessKind) -> bool {
         self.rights(key).permits(kind)
     }

@@ -98,6 +98,10 @@ pub struct ServeConfig {
     /// start — typically sites absorbed from a previous run's audit log
     /// via [`Profile::absorb_audit`]. Not rendered in the report JSON.
     pub extra_profile: Option<Profile>,
+    /// Per-worker software TLBs over the shared space (on by default;
+    /// `false` is the ablation configuration the `tlb_ablation` bench
+    /// measures). Observable behaviour is identical either way.
+    pub tlb: bool,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +114,7 @@ impl Default for ServeConfig {
             faults: FaultPlan::none(),
             mpk_policy: MpkPolicy::Enforce,
             extra_profile: None,
+            tlb: true,
         }
     }
 }
@@ -150,6 +155,13 @@ pub struct ServeReport {
     pub requests_abandoned: u64,
     /// Fault-plan injections that actually fired.
     pub injected_faults: u64,
+    /// Software-TLB hits across every worker's per-thread TLB.
+    pub tlb_hits: u64,
+    /// Software-TLB misses (slow-path fills) across all workers.
+    pub tlb_misses: u64,
+    /// Software-TLB invalidations (epoch flushes and targeted page
+    /// flushes) across all workers.
+    pub tlb_flushes: u64,
     /// Violations denied under `enforce` (under that policy, a mirror of
     /// `unexpected_faults`).
     pub violations_enforced: u64,
@@ -239,7 +251,9 @@ impl ServeReport {
                 "\"requests_served\":{},\"transitions\":{},\"checksum_mismatches\":{},",
                 "\"unexpected_faults\":{},\"errors\":{},",
                 "\"workers_restarted\":{},\"requests_retried\":{},",
-                "\"requests_abandoned\":{},\"injected_faults\":{},{}\"per_worker\":[{}]}}"
+                "\"requests_abandoned\":{},\"injected_faults\":{},",
+                "\"tlb_hits\":{},\"tlb_misses\":{},\"tlb_flushes\":{},",
+                "{}\"per_worker\":[{}]}}"
             ),
             self.config.workers,
             self.config.requests,
@@ -260,6 +274,9 @@ impl ServeReport {
             self.requests_retried,
             self.requests_abandoned,
             self.injected_faults,
+            self.tlb_hits,
+            self.tlb_misses,
+            self.tlb_flushes,
             violations,
             workers.join(",")
         )
@@ -383,6 +400,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     thread::scope(|scope| {
         // Worker exits flow to the supervisor as (slot, death cause).
         let (events, exits) = mpsc::channel::<(usize, Option<ServeError>)>();
+        let tlb = config.tlb;
         let spawn_worker = |slot: usize| {
             let events = events.clone();
             let cell = Arc::clone(&cells[slot]);
@@ -394,7 +412,17 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
                 // unjoined panicked scoped thread would re-panic the whole
                 // scope. Catch it and report it as a death event instead.
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_worker(slot, queue, host, profile, catalog, faults, &cell, handler.as_ref())
+                    run_worker(
+                        slot,
+                        queue,
+                        host,
+                        profile,
+                        catalog,
+                        faults,
+                        &cell,
+                        handler.as_ref(),
+                        tlb,
+                    )
                 }));
                 let death = match outcome {
                     Ok(Ok(())) => None,
@@ -469,6 +497,10 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         }
     });
     let elapsed_seconds = start.elapsed().as_secs_f64();
+    // The host space is exclusive to the pool (profiling and reference
+    // passes run on private spaces), so its TLB counters are exactly the
+    // serving phase's.
+    let tlb_stats = host.space().stats().tlb;
 
     let mut workers = Vec::new();
     let mut checksum_mismatches = 0u64;
@@ -542,6 +574,9 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         // only when its first worker died *without* completing it).
         requests_abandoned: config.requests.saturating_sub(requests_served),
         injected_faults: faults.injected(),
+        tlb_hits: tlb_stats.hits,
+        tlb_misses: tlb_stats.misses,
+        tlb_flushes: tlb_stats.flushes,
         violations_enforced,
         violations_audited,
         violations_quarantined,

@@ -142,6 +142,7 @@ pub fn run_worker(
     faults: &FaultState,
     cell: &WorkerCell,
     handler: Option<&Arc<ViolationHandler>>,
+    tlb: bool,
 ) -> Result<(), ServeError> {
     if let Some(handler) = handler {
         // A fresh incarnation starts with a clean quarantine breaker; the
@@ -155,17 +156,16 @@ pub fn run_worker(
             report: None,
         });
     }
-    let mut browser = match handler {
-        Some(handler) => {
-            Browser::with_handler_on(BrowserConfig::Mpk, Some(profile), host, Arc::clone(handler))
-        }
-        None => Browser::with_profile_on(BrowserConfig::Mpk, Some(profile), host),
-    }
-    .map_err(|e| ServeError::Worker {
-        worker,
-        message: format!("browser setup: {e}"),
-        report: None,
-    })?;
+    // The incarnation's per-thread TLB over the shared host space is
+    // configured at machine construction (disabled only in the ablation
+    // configuration), so even browser setup traffic goes the right way.
+    let mut browser =
+        Browser::with_tlb(BrowserConfig::Mpk, Some(profile), Some(host), handler.cloned(), tlb)
+            .map_err(|e| ServeError::Worker {
+                worker,
+                message: format!("browser setup: {e}"),
+                report: None,
+            })?;
     browser.load_html(micro_page()).map_err(|e| ServeError::Worker {
         worker,
         message: format!("initial page: {e}"),

@@ -43,6 +43,7 @@ fn audit_config() -> ServeConfig {
         faults: FaultPlan::none().with(Fault { worker: 0, kind: FaultKind::PkeyViolation, at: 4 }),
         mpk_policy: MpkPolicy::Audit,
         extra_profile: None,
+        tlb: true,
     }
 }
 
@@ -196,6 +197,9 @@ fn audit_json_schema_is_pinned() {
         requests_retried: 0,
         requests_abandoned: 0,
         injected_faults: 1,
+        tlb_hits: 4200,
+        tlb_misses: 12,
+        tlb_flushes: 3,
         violations_enforced: 0,
         violations_audited: 1,
         violations_quarantined: 0,
@@ -215,6 +219,7 @@ fn audit_json_schema_is_pinned() {
                 "\"unexpected_faults\":0,\"errors\":0,",
                 "\"workers_restarted\":0,\"requests_retried\":0,",
                 "\"requests_abandoned\":0,\"injected_faults\":1,",
+                "\"tlb_hits\":4200,\"tlb_misses\":12,\"tlb_flushes\":3,",
                 "\"violations_enforced\":0,\"violations_audited\":1,",
                 "\"violations_quarantined\":0,\"flagged_sites\":[],",
                 "\"audit_dropped\":0,\"audit_log\":[{}],",

@@ -56,6 +56,9 @@ fn report_serializes_to_json() {
         "\"requests_retried\":0",
         "\"requests_abandoned\":0",
         "\"injected_faults\":0",
+        "\"tlb_hits\":",
+        "\"tlb_misses\":",
+        "\"tlb_flushes\":",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
@@ -63,8 +66,9 @@ fn report_serializes_to_json() {
 
 /// Pins the report schema byte for byte: a fault-free report must render
 /// exactly as it did before fault injection existed, except for the four
-/// new supervision fields (all zero). Built by hand so wall-clock noise
-/// (elapsed seconds, throughput) cannot perturb the comparison.
+/// supervision fields (all zero) and the three software-TLB counters
+/// appended by the TLB work. Built by hand so wall-clock noise (elapsed
+/// seconds, throughput) cannot perturb the comparison.
 #[test]
 fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
     let report = ServeReport {
@@ -76,6 +80,7 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
             faults: FaultPlan::none(),
             mpk_policy: MpkPolicy::Enforce,
             extra_profile: None,
+            tlb: true,
         },
         workers: vec![WorkerStats {
             worker: 0,
@@ -98,6 +103,9 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
         requests_retried: 0,
         requests_abandoned: 0,
         injected_faults: 0,
+        tlb_hits: 640,
+        tlb_misses: 8,
+        tlb_flushes: 2,
         violations_enforced: 0,
         violations_audited: 0,
         violations_quarantined: 0,
@@ -115,6 +123,7 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
             "\"unexpected_faults\":0,\"errors\":0,",
             "\"workers_restarted\":0,\"requests_retried\":0,",
             "\"requests_abandoned\":0,\"injected_faults\":0,",
+            "\"tlb_hits\":640,\"tlb_misses\":8,\"tlb_flushes\":2,",
             "\"per_worker\":[{\"worker\":0,\"requests\":2,\"page_loads\":1,",
             "\"scripts\":1,\"transitions\":10,\"pkey_faults\":0,\"errors\":0}]}"
         )

@@ -181,7 +181,7 @@ impl Browser {
         config: BrowserConfig,
         profile: Option<&Profile>,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, None, None)
+        Browser::build(config, profile, None, None, true)
     }
 
     /// Creates a worker browser on a [`SharedHost`]: the address space and
@@ -197,7 +197,7 @@ impl Browser {
         profile: Option<&Profile>,
         host: &SharedHost,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, Some(host), None)
+        Browser::build(config, profile, Some(host), None, true)
     }
 
     /// Like [`Browser::with_profile_on`], but installs a serve-time MPK
@@ -211,7 +211,22 @@ impl Browser {
         host: &SharedHost,
         handler: Arc<ViolationHandler>,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, Some(host), Some(handler))
+        Browser::build(config, profile, Some(host), Some(handler), true)
+    }
+
+    /// The fully general constructor with an explicit software-TLB
+    /// toggle. The toggle takes effect before any setup traffic (startup
+    /// allocations, the DOM boot, engine init), so an ablation build's
+    /// machine never touches the cache at all — its counters stay at
+    /// zero for the whole browser lifetime.
+    pub fn with_tlb(
+        config: BrowserConfig,
+        profile: Option<&Profile>,
+        host: Option<&SharedHost>,
+        handler: Option<Arc<ViolationHandler>>,
+        tlb: bool,
+    ) -> Result<Browser, BrowserError> {
+        Browser::build(config, profile, host, handler, tlb)
     }
 
     fn build(
@@ -219,6 +234,7 @@ impl Browser {
         profile: Option<&Profile>,
         host: Option<&SharedHost>,
         handler: Option<Arc<ViolationHandler>>,
+        tlb: bool,
     ) -> Result<Browser, BrowserError> {
         let machine_config = MachineConfig {
             split_allocator: config.split_allocator(),
@@ -234,6 +250,7 @@ impl Browser {
             Some(host) => Machine::on_host(machine_config, host)?,
             None => Machine::new(machine_config)?,
         };
+        machine.tlb.set_enabled(tlb);
         if let Some(handler) = handler.as_ref() {
             machine.set_violation_handler(Arc::clone(handler));
         }
@@ -374,8 +391,8 @@ impl Browser {
     }
 
     /// Extracts the recorded profile (profiling configuration only).
-    pub fn into_profile(self) -> Profile {
-        self.machine.profiler.profile
+    pub fn into_profile(mut self) -> Profile {
+        std::mem::take(&mut self.machine.profiler.profile)
     }
 
     /// Runtime statistics for the evaluation tables.

@@ -24,11 +24,13 @@ mod fault;
 mod prot;
 mod shared;
 mod space;
+mod tlb;
 
 pub use fault::{Fault, FaultKind};
 pub use prot::Prot;
 pub use shared::SharedSpace;
 pub use space::{AddressSpace, MapError, SpaceStats};
+pub use tlb::{Tlb, TlbStats, TLB_ENTRIES};
 
 /// A virtual address in the simulated space.
 pub type VirtAddr = u64;

@@ -2,13 +2,14 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 use pkru_mpk::{AccessKind, Pkey, Pkru};
 
 use crate::fault::{Fault, FaultKind};
 use crate::prot::Prot;
+use crate::tlb::TlbStats;
 use crate::{page_align_up, page_base, VirtAddr, PAGE_SIZE};
 
 /// Where `mmap` without an address hint starts placing mappings.
@@ -40,6 +41,72 @@ impl fmt::Display for MapError {
 
 impl std::error::Error for MapError {}
 
+/// One materialized 4 KiB page frame, stored as per-byte atomics.
+///
+/// This is the simulator's memory model made literal: accesses to
+/// disjoint bytes proceed in parallel with no lock (as real loads and
+/// stores do), racing accesses to the same range interleave at byte
+/// granularity — tearing is possible across bytes, torn *bits* are not,
+/// and no access ever blocks another. Every relaxed byte load/store
+/// compiles to a plain `mov`, which is what makes the software-TLB hit
+/// path cheap enough to beat the region walk by a wide margin.
+pub(crate) struct Frame {
+    bytes: Box<[AtomicU8]>,
+}
+
+impl Frame {
+    /// A zero-filled frame (demand-zero semantics).
+    fn zeroed() -> Frame {
+        let mut bytes = Vec::with_capacity(PAGE_SIZE as usize);
+        bytes.resize_with(PAGE_SIZE as usize, || AtomicU8::new(0));
+        Frame { bytes: bytes.into_boxed_slice() }
+    }
+
+    /// Copies `buf.len()` bytes starting at `offset` into `buf`.
+    #[inline]
+    pub(crate) fn read_into(&self, offset: usize, buf: &mut [u8]) {
+        let cells = &self.bytes[offset..offset + buf.len()];
+        for (b, cell) in buf.iter_mut().zip(cells) {
+            *b = cell.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Copies `bytes` into the frame starting at `offset`.
+    #[inline]
+    pub(crate) fn write_from(&self, offset: usize, bytes: &[u8]) {
+        for (b, cell) in bytes.iter().zip(&self.bytes[offset..offset + bytes.len()]) {
+            cell.store(*b, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a little-endian `u64` at `offset` (which the caller has
+    /// bounds-checked to `offset <= PAGE_SIZE - 8`).
+    #[inline]
+    pub(crate) fn read_u64(&self, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `offset`.
+    #[inline]
+    pub(crate) fn write_u64(&self, offset: usize, value: u64) {
+        self.write_from(offset, &value.to_le_bytes());
+    }
+
+    /// Reads the byte at `offset`.
+    #[inline]
+    pub(crate) fn read_u8(&self, offset: usize) -> u8 {
+        self.bytes[offset].load(Ordering::Relaxed)
+    }
+
+    /// Writes the byte at `offset`.
+    #[inline]
+    pub(crate) fn write_u8(&self, offset: usize, value: u8) {
+        self.bytes[offset].store(value, Ordering::Relaxed);
+    }
+}
+
 /// A contiguous run of pages with identical attributes.
 #[derive(Clone, Copy, Debug)]
 struct Region {
@@ -65,22 +132,30 @@ pub struct SpaceStats {
     pub prot_faults: u64,
     /// Unmapped-address faults raised.
     pub unmapped_faults: u64,
+    /// Software-TLB counters, aggregated across every per-thread TLB
+    /// filled from this space.
+    pub tlb: TlbStats,
 }
 
 /// Internal counters, atomic so rights-checked *accesses* can run under a
 /// shared borrow (many reader threads) while mapping calls stay exclusive.
+/// Shared by `Arc` so the TLB fast path can count without any lock.
 #[derive(Default)]
-struct AtomicStats {
+pub(crate) struct AtomicStats {
     demand_pages: AtomicU64,
-    reads: AtomicU64,
-    writes: AtomicU64,
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
     pkey_faults: AtomicU64,
     prot_faults: AtomicU64,
     unmapped_faults: AtomicU64,
+    pub(crate) tlb_hits: AtomicU64,
+    pub(crate) tlb_misses: AtomicU64,
+    pub(crate) tlb_flushes: AtomicU64,
+    pub(crate) tlb_evictions: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self) -> SpaceStats {
+    pub(crate) fn snapshot(&self) -> SpaceStats {
         SpaceStats {
             demand_pages: self.demand_pages.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
@@ -88,7 +163,26 @@ impl AtomicStats {
             pkey_faults: self.pkey_faults.load(Ordering::Relaxed),
             prot_faults: self.prot_faults.load(Ordering::Relaxed),
             unmapped_faults: self.unmapped_faults.load(Ordering::Relaxed),
+            tlb: TlbStats {
+                hits: self.tlb_hits.load(Ordering::Relaxed),
+                misses: self.tlb_misses.load(Ordering::Relaxed),
+                flushes: self.tlb_flushes.load(Ordering::Relaxed),
+                evictions: self.tlb_evictions.load(Ordering::Relaxed),
+            },
         }
+    }
+
+    /// Counts one raised fault in the class-specific counter. Every path
+    /// that *returns* a fault to the guest counts it here exactly once —
+    /// the slow path in [`AddressSpace::check`], the TLB fast path in
+    /// `SharedSpace`.
+    pub(crate) fn count_fault(&self, fault: &Fault) {
+        let counter = match fault.kind {
+            FaultKind::Unmapped => &self.unmapped_faults,
+            FaultKind::ProtViolation => &self.prot_faults,
+            FaultKind::PkeyViolation { .. } => &self.pkey_faults,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -101,15 +195,25 @@ impl AtomicStats {
 ///
 /// Like hardware, the page tables distinguish walking from changing:
 /// rights checks, loads, and stores into materialized frames take `&self`
-/// (each frame carries its own lock, so threads touching different pages
-/// proceed in parallel), while anything that edits the region map or
-/// materializes frames — `mmap`, `mprotect`, demand paging — takes
-/// `&mut self`.
+/// (frames are lock-free, so threads touching any pages proceed in
+/// parallel), while anything that edits the region map or materializes
+/// frames — `mmap`, `mprotect`, demand paging — takes `&mut self`.
 pub struct AddressSpace {
     regions: BTreeMap<VirtAddr, Region>,
-    frames: HashMap<VirtAddr, Mutex<Box<[u8]>>>,
+    /// Frames are `Arc`'d so a per-thread software TLB can hold a direct
+    /// handle and access page contents without walking the maps (or, for
+    /// `SharedSpace`, without even taking the space lock). The frames
+    /// themselves are lock-free ([`Frame`]), so a cached handle is a
+    /// straight line to the bytes.
+    frames: HashMap<VirtAddr, Arc<Frame>>,
     auto_cursor: VirtAddr,
-    stats: AtomicStats,
+    /// Shared by `Arc` so the TLB fast path counts lock-free.
+    stats: Arc<AtomicStats>,
+    /// Generation counter: bumped by every operation that can invalidate
+    /// a cached translation (`mmap`, `munmap`, `mprotect`,
+    /// `pkey_mprotect`, frame materialization). TLBs snapshot it and
+    /// flush on mismatch — the software analog of TLB shootdown.
+    epoch: Arc<AtomicU64>,
 }
 
 impl Default for AddressSpace {
@@ -125,13 +229,47 @@ impl AddressSpace {
             regions: BTreeMap::new(),
             frames: HashMap::new(),
             auto_cursor: AUTO_BASE,
-            stats: AtomicStats::default(),
+            stats: Arc::new(AtomicStats::default()),
+            epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Access and fault counters.
     pub fn stats(&self) -> SpaceStats {
         self.stats.snapshot()
+    }
+
+    /// The current translation generation. Any cached page attribute
+    /// observed at an older epoch may be stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Invalidates every cached translation of this space: called by each
+    /// mapping-layer mutation, mirroring a hardware TLB shootdown.
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Handles for the lock-free side channels `SharedSpace` exposes to
+    /// per-thread TLBs.
+    pub(crate) fn stats_arc(&self) -> Arc<AtomicStats> {
+        Arc::clone(&self.stats)
+    }
+
+    pub(crate) fn epoch_arc(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// The `(prot, pkey)` attributes of the page containing `addr`, for a
+    /// TLB fill. Pages inherit their region's attributes wholesale.
+    pub(crate) fn page_attrs(&self, addr: VirtAddr) -> Option<(Prot, Pkey)> {
+        self.region_containing(addr).map(|r| (r.prot, r.pkey))
+    }
+
+    /// A direct handle on the frame backing `base`, for a TLB fill.
+    pub(crate) fn frame_arc(&self, base: VirtAddr) -> Option<Arc<Frame>> {
+        self.frames.get(&base).map(Arc::clone)
     }
 
     /// Number of bytes currently mapped (sum of region sizes).
@@ -176,6 +314,7 @@ impl AddressSpace {
             if self.range_is_free(candidate, end) {
                 self.auto_cursor = end;
                 self.insert_region(candidate, end, prot, Pkey::DEFAULT);
+                self.bump_epoch();
                 return Ok(candidate);
             }
             // Skip past the colliding region and retry.
@@ -198,6 +337,7 @@ impl AddressSpace {
             return Err(MapError::AlreadyMapped { addr });
         }
         self.insert_region(addr, end, prot, Pkey::DEFAULT);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -264,12 +404,15 @@ impl AddressSpace {
             self.frames.remove(&page);
             page += PAGE_SIZE;
         }
+        self.bump_epoch();
         Ok(())
     }
 
     /// Changes the protection bits of `[addr, addr + len)`.
     pub fn mprotect(&mut self, addr: VirtAddr, len: u64, prot: Prot) -> Result<(), MapError> {
-        self.for_range(addr, len, |r| r.prot = prot)
+        self.for_range(addr, len, |r| r.prot = prot)?;
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Changes protection bits *and* the protection key of a range.
@@ -286,7 +429,11 @@ impl AddressSpace {
         self.for_range(addr, len, |r| {
             r.prot = prot;
             r.pkey = pkey;
-        })
+        })?;
+        // The shootdown analog that carries the security argument: no TLB
+        // may keep honoring the page's old key after a re-tag.
+        self.bump_epoch();
+        Ok(())
     }
 
     /// The protection key tagged on the page containing `addr`.
@@ -306,7 +453,27 @@ impl AddressSpace {
 
     /// Checks a `[addr, addr + len)` access against `pkru` without
     /// performing it. Returns the first fault encountered, if any.
+    ///
+    /// Fault accounting happens here, and only here on the slow path:
+    /// exactly one counter increment per fault *returned to the caller*.
+    /// The walk itself is uncounted because the address-wrap path recurses
+    /// into it — counting inside the walk would bill a faulting prefix
+    /// twice (once in the recursive call, once at the outer layer).
     pub fn check(
+        &self,
+        pkru: Pkru,
+        addr: VirtAddr,
+        len: u64,
+        access: AccessKind,
+    ) -> Result<(), Fault> {
+        self.check_uncounted(pkru, addr, len, access).inspect_err(|fault| {
+            self.stats.count_fault(fault);
+        })
+    }
+
+    /// The rights walk of [`AddressSpace::check`], with no fault
+    /// accounting.
+    fn check_uncounted(
         &self,
         pkru: Pkru,
         addr: VirtAddr,
@@ -323,8 +490,7 @@ impl AddressSpace {
                 // first faulting byte is whichever byte of the representable
                 // prefix faults — or byte `u64::MAX` itself, which can never
                 // be mapped (region ends are exclusive and bounded).
-                self.check(pkru, addr, u64::MAX - addr, access)?;
-                self.stats.unmapped_faults.fetch_add(1, Ordering::Relaxed);
+                self.check_uncounted(pkru, addr, u64::MAX - addr, access)?;
                 return Err(Fault { addr: u64::MAX, access, kind: FaultKind::Unmapped });
             }
         };
@@ -333,7 +499,6 @@ impl AddressSpace {
             let region = match self.region_containing(cursor) {
                 Some(r) => *r,
                 None => {
-                    self.stats.unmapped_faults.fetch_add(1, Ordering::Relaxed);
                     return Err(Fault { addr: cursor, access, kind: FaultKind::Unmapped });
                 }
             };
@@ -342,11 +507,9 @@ impl AddressSpace {
                 AccessKind::Write => Prot::WRITE,
             };
             if !region.prot.contains(needed) {
-                self.stats.prot_faults.fetch_add(1, Ordering::Relaxed);
                 return Err(Fault { addr: cursor, access, kind: FaultKind::ProtViolation });
             }
             if !pkru.allows(region.pkey, access) {
-                self.stats.pkey_faults.fetch_add(1, Ordering::Relaxed);
                 return Err(Fault {
                     addr: cursor,
                     access,
@@ -492,9 +655,9 @@ impl AddressSpace {
     }
 
     // Unchecked data movement; callers have already validated the range.
-    // Shared-borrow movers lock one frame at a time (never two, so there
-    // is no lock-ordering hazard); frames cannot appear or vanish while a
-    // shared borrow is live, because that requires `&mut self`.
+    // Frames are lock-free, so the movers never block each other; frames
+    // cannot appear or vanish while a shared borrow is live, because that
+    // requires `&mut self`.
 
     fn copy_out(&self, addr: VirtAddr, buf: &mut [u8]) {
         let mut off = 0usize;
@@ -504,10 +667,7 @@ impl AddressSpace {
             let in_page = (cur - base) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
             match self.frames.get(&base) {
-                Some(frame) => {
-                    let frame = frame.lock().expect("frame lock");
-                    buf[off..off + n].copy_from_slice(&frame[in_page..in_page + n]);
-                }
+                Some(frame) => frame.read_into(in_page, &mut buf[off..off + n]),
                 // Untouched pages read as zeros (demand-zero semantics).
                 None => buf[off..off + n].fill(0),
             }
@@ -522,8 +682,7 @@ impl AddressSpace {
             let base = page_base(cur);
             let in_page = (cur - base) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
-            let frame = self.frame_mut(base);
-            frame[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
+            self.ensure_frame(base).write_from(in_page, &bytes[off..off + n]);
             off += n;
         }
     }
@@ -552,23 +711,28 @@ impl AddressSpace {
             let base = page_base(cur);
             let in_page = (cur - base) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(bytes.len() - off);
-            let mut frame =
-                self.frames.get(&base).expect("resident frame").lock().expect("frame lock");
-            frame[in_page..in_page + n].copy_from_slice(&bytes[off..off + n]);
+            self.frames
+                .get(&base)
+                .expect("resident frame")
+                .write_from(in_page, &bytes[off..off + n]);
             off += n;
         }
     }
 
-    fn frame_mut(&mut self, base: VirtAddr) -> &mut Box<[u8]> {
+    /// The frame backing `base`, materializing it on first touch.
+    ///
+    /// Materialization bumps the epoch: a TLB that cached `frame: None`
+    /// (the reads-as-zeros entry) for this page must refill, or it would
+    /// keep serving zeros after another thread's write created the frame.
+    fn ensure_frame(&mut self, base: VirtAddr) -> Arc<Frame> {
         let stats = &self.stats;
-        self.frames
-            .entry(base)
-            .or_insert_with(|| {
-                stats.demand_pages.fetch_add(1, Ordering::Relaxed);
-                Mutex::new(vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
-            })
-            .get_mut()
-            .expect("frame lock")
+        let epoch = &self.epoch;
+        let frame = self.frames.entry(base).or_insert_with(|| {
+            stats.demand_pages.fetch_add(1, Ordering::Relaxed);
+            epoch.fetch_add(1, Ordering::Release);
+            Arc::new(Frame::zeroed())
+        });
+        Arc::clone(frame)
     }
 
     fn peek_u64(&self, addr: VirtAddr) -> u64 {
@@ -576,12 +740,7 @@ impl AddressSpace {
         if addr - base <= PAGE_SIZE - 8 {
             // Fast path: the value lies within one page.
             match self.frames.get(&base) {
-                Some(frame) => {
-                    let frame = frame.lock().expect("frame lock");
-                    let i = (addr - base) as usize;
-                    // The slice is exactly eight bytes long.
-                    u64::from_le_bytes(frame[i..i + 8].try_into().expect("8-byte slice"))
-                }
+                Some(frame) => frame.read_u64((addr - base) as usize),
                 None => 0,
             }
         } else {
@@ -594,9 +753,7 @@ impl AddressSpace {
     fn poke_u64(&mut self, addr: VirtAddr, value: u64) {
         let base = page_base(addr);
         if addr - base <= PAGE_SIZE - 8 {
-            let i = (addr - base) as usize;
-            let frame = self.frame_mut(base);
-            frame[i..i + 8].copy_from_slice(&value.to_le_bytes());
+            self.ensure_frame(base).write_u64((addr - base) as usize, value);
         } else {
             self.copy_in(addr, &value.to_le_bytes());
         }

@@ -57,6 +57,40 @@ fn access_at_the_very_top_byte_faults_there() {
     assert_eq!(fault.addr, u64::MAX);
 }
 
+/// Pins single-counting on the address-wrap path: the wrap handler
+/// recurses into the rights walk for the representable prefix, and a
+/// count inside the walk would bill the fault once per recursion level.
+/// Accounting therefore lives only at the `check` entry point — exactly
+/// one counter increment per fault returned, for both wrap sub-cases.
+#[test]
+fn wrapping_faults_are_counted_exactly_once() {
+    // Sub-case 1: the prefix itself faults (first unmapped byte past the
+    // region) and the fault propagates out of the recursion.
+    let space = high_space();
+    for round in 1u64..=3 {
+        let fault =
+            space.check(Pkru::ALL_ACCESS, HIGH_BASE, u64::MAX, AccessKind::Read).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Unmapped);
+        assert_eq!(space.stats().unmapped_faults, round, "one increment per returned fault");
+    }
+
+    // Sub-case 2: the prefix succeeds (it is empty) and the wrap handler
+    // itself reports the unmappable byte `u64::MAX`.
+    let space = high_space();
+    let fault = space.check(Pkru::ALL_ACCESS, u64::MAX, 2, AccessKind::Read).unwrap_err();
+    assert_eq!(fault.addr, u64::MAX);
+    assert_eq!(space.stats().unmapped_faults, 1, "one fault, counted once");
+    // A pkey fault in the prefix must count in its own class only.
+    let mut space = high_space();
+    let key = Pkey::new(2).unwrap();
+    space.pkey_mprotect(HIGH_BASE, PAGE_SIZE, Prot::READ_WRITE, key).unwrap();
+    let fault =
+        space.check(Pkru::deny_only(key), HIGH_BASE, u64::MAX, AccessKind::Write).unwrap_err();
+    assert!(fault.is_pkey_violation());
+    let stats = space.stats();
+    assert_eq!((stats.pkey_faults, stats.prot_faults, stats.unmapped_faults), (1, 0, 0));
+}
+
 #[test]
 fn supervisor_read_near_the_top_faults_cleanly() {
     let space = high_space();

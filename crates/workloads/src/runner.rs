@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use minijs::Value;
 use pkru_provenance::Profile;
+use pkru_vmem::TlbStats;
 use servolite::{Browser, BrowserConfig, BrowserError};
 
 use crate::suites::micro_page;
@@ -135,8 +136,24 @@ pub fn run_benchmark(
     profile: Option<&Profile>,
     benchmark: &Benchmark,
 ) -> Result<RunResult, WorkloadError> {
-    let mut browser =
-        Browser::with_profile(config, profile).map_err(|e| browser_err(benchmark, e))?;
+    run_benchmark_tlb(config, profile, benchmark, true).map(|(row, _)| row)
+}
+
+/// [`run_benchmark`] with an explicit software-TLB toggle, additionally
+/// returning the machine's TLB counters for the whole browser session.
+///
+/// The toggle exists for the `tlb_ablation` bench: the two flavors run
+/// the identical benchmark with the per-thread translation cache enabled
+/// or bypassed, and the checksum equality the runner already enforces
+/// doubles as a coherence check on the real workload.
+pub fn run_benchmark_tlb(
+    config: BrowserConfig,
+    profile: Option<&Profile>,
+    benchmark: &Benchmark,
+    tlb: bool,
+) -> Result<(RunResult, TlbStats), WorkloadError> {
+    let mut browser = Browser::with_tlb(config, profile, None, None, tlb)
+        .map_err(|e| browser_err(benchmark, e))?;
     browser.load_html(micro_page()).map_err(|e| browser_err(benchmark, e))?;
     browser.eval_script(&benchmark.source).map_err(|e| browser_err(benchmark, e))?;
     browser.call_script("run", &[]).map_err(|e| browser_err(benchmark, e))?;
@@ -162,17 +179,22 @@ pub fn run_benchmark(
         block_transitions = browser.machine.gates.transitions() - transitions_before;
     }
     let stats = browser.stats();
+    browser.machine.fold_tlb_stats();
+    let tlb_stats = browser.machine.space.stats().tlb;
     let _ = block_transitions;
-    Ok(RunResult {
-        name: benchmark.name,
-        suite: benchmark.suite,
-        sub: benchmark.sub,
-        seconds,
-        iterations: benchmark.iterations,
-        transitions: stats.transitions,
-        percent_mu: stats.percent_untrusted(),
-        checksum,
-    })
+    Ok((
+        RunResult {
+            name: benchmark.name,
+            suite: benchmark.suite,
+            sub: benchmark.sub,
+            seconds,
+            iterations: benchmark.iterations,
+            transitions: stats.transitions,
+            percent_mu: stats.percent_untrusted(),
+            checksum,
+        },
+        tlb_stats,
+    ))
 }
 
 /// Records the profiling corpus for a benchmark list: each benchmark runs

@@ -72,6 +72,8 @@ serve options:
                                         worker down and flag the site
   --profile <file>       extra profile merged before serving (typically
                          sites absorbed from a previous run's audit log)
+  --no-tlb               disable the per-worker software TLB (ablation;
+                         behaviour is identical, throughput is not)
   --json                 emit the report as JSON on stdout
 
 options:
@@ -154,6 +156,7 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 let path = PathBuf::from(argv.next().ok_or("--profile needs a file")?);
                 config.extra_profile = Some(Profile::load(&path).map_err(|e| e.to_string())?);
             }
+            "--no-tlb" => config.tlb = false,
             "--json" => json = true,
             other => return Err(format!("unknown serve option {other:?}")),
         }
