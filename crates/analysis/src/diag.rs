@@ -28,6 +28,24 @@ pub enum LintErrorKind {
         /// The untrusted callee.
         callee: String,
     },
+    /// An indirect call made with trusted rights whose conservative
+    /// target set (arity-matched address-taken functions) includes an
+    /// untrusted function — the unknown-callee analogue of
+    /// [`LintErrorKind::UngatedUntrustedCall`], previously skipped
+    /// silently.
+    UngatedUntrustedIndirectCall {
+        /// The untrusted function the call may reach.
+        callee: String,
+    },
+    /// An indirect call made while untrusted rights are in force whose
+    /// conservative target set includes a trusted function that does not
+    /// immediately re-enter the trusted compartment (no leading
+    /// `gate.enter.trusted`): trusted code would execute with the sandbox's
+    /// PKRU.
+    IndirectCallToUngatedTrusted {
+        /// The ungated trusted function the call may reach.
+        callee: String,
+    },
     /// A gate instruction inside an untrusted function. Gates are
     /// trusted-side infrastructure; untrusted code able to execute them
     /// could restore its own rights (the WRPKRU-scanning concern, §3.2).
@@ -73,6 +91,16 @@ impl fmt::Display for LintError {
             LintErrorKind::UngatedUntrustedCall { callee } => {
                 write!(f, "@{func} bb{block}: ungated call to untrusted @{callee} at index {index}")
             }
+            LintErrorKind::UngatedUntrustedIndirectCall { callee } => write!(
+                f,
+                "@{func} bb{block}: ungated indirect call at index {index} may target untrusted \
+                 @{callee}"
+            ),
+            LintErrorKind::IndirectCallToUngatedTrusted { callee } => write!(
+                f,
+                "@{func} bb{block}: indirect call at index {index} under untrusted rights may \
+                 target ungated trusted @{callee}"
+            ),
             LintErrorKind::GateInUntrustedFunction => write!(
                 f,
                 "@{func} bb{block}: gate instruction at index {index} inside untrusted function"

@@ -12,13 +12,18 @@
 //!   path-independent by construction, so disagreement is a bug);
 //! - direct trusted→untrusted calls must happen with untrusted rights in
 //!   force (i.e. inside a T→U gate region);
+//! - indirect calls are resolved conservatively (arity-matched
+//!   address-taken functions): with trusted rights they must not be able to
+//!   reach an untrusted function, and with untrusted rights they must not
+//!   be able to reach a trusted function lacking a `gate.enter.trusted`
+//!   prologue;
 //! - untrusted functions contain no gate or provenance instructions;
 //! - no trusted-pool allocation may execute while the untrusted
 //!   compartment is active.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use lir::{BlockId, Function, Instr, Module, SiteDomain};
+use lir::{address_taken, BlockId, FuncId, Function, Instr, Module, SiteDomain};
 
 use crate::diag::{LintError, LintErrorKind};
 
@@ -47,11 +52,12 @@ impl GateState {
 /// Lints `module`, returning every gate-integrity defect found.
 pub fn lint_module(module: &Module) -> Result<(), Vec<LintError>> {
     let mut errors = Vec::new();
+    let taken = address_taken(module);
     for func in &module.functions {
         if func.attrs.untrusted {
             lint_untrusted_function(func, &mut errors);
         } else {
-            lint_trusted_function(module, func, &mut errors);
+            lint_trusted_function(module, func, &taken, &mut errors);
         }
     }
     if errors.is_empty() {
@@ -88,7 +94,23 @@ fn lint_untrusted_function(func: &Function, errors: &mut Vec<LintError>) {
     }
 }
 
-fn lint_trusted_function(module: &Module, func: &Function, errors: &mut Vec<LintError>) {
+/// Whether a function's first instruction is a U→T trusted-entry gate, the
+/// shape `instrument_trusted_entries` gives every callable trusted entry
+/// point. A trusted function *without* that prologue must never be reached
+/// while untrusted rights are in force.
+fn begins_with_trusted_entry(func: &Function) -> bool {
+    func.blocks
+        .first()
+        .and_then(|b| b.instrs.first())
+        .is_some_and(|i| matches!(i, Instr::GateEnterTrusted))
+}
+
+fn lint_trusted_function(
+    module: &Module,
+    func: &Function,
+    taken: &BTreeSet<FuncId>,
+    errors: &mut Vec<LintError>,
+) {
     if func.blocks.is_empty() {
         return;
     }
@@ -167,6 +189,40 @@ fn lint_trusted_function(module: &Module, func: &Function, errors: &mut Vec<Lint
                             ii,
                             LintErrorKind::UngatedUntrustedCall { callee: callee.clone() },
                         );
+                    }
+                }
+                Instr::CallIndirect { args, .. } => {
+                    // The conservative target set: arity-matched
+                    // address-taken functions (the callgraph's indirect
+                    // resolution). Report each hazardous may-target.
+                    let arity = args.len() as u32;
+                    for target in taken.iter().copied() {
+                        let tf = module.function(target);
+                        if tf.params != arity {
+                            continue;
+                        }
+                        if tf.attrs.untrusted && state.rights == CurRights::Trusted {
+                            error(
+                                errors,
+                                bi,
+                                ii,
+                                LintErrorKind::UngatedUntrustedIndirectCall {
+                                    callee: tf.name.clone(),
+                                },
+                            );
+                        } else if !tf.attrs.untrusted
+                            && state.rights == CurRights::Untrusted
+                            && !begins_with_trusted_entry(tf)
+                        {
+                            error(
+                                errors,
+                                bi,
+                                ii,
+                                LintErrorKind::IndirectCallToUngatedTrusted {
+                                    callee: tf.name.clone(),
+                                },
+                            );
+                        }
                     }
                 }
                 Instr::Alloc { domain: SiteDomain::Trusted, .. }
@@ -289,6 +345,103 @@ bb0:
             matches!(&errs[0].kind, LintErrorKind::UngatedUntrustedCall { callee } if callee == "u::f"),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn ungated_indirect_untrusted_call_flagged() {
+        // Regression: the icall may reach @u::f (address-taken, arity 1)
+        // with trusted rights in force; this used to pass silently.
+        let errs = lint_text(
+            "
+untrusted fn @u::f(1) {
+bb0:
+  ret %0
+}
+fn @main(0) {
+bb0:
+  %0 = addr @u::f
+  %1 = icall %0(7)
+  ret %1
+}
+",
+        )
+        .unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(
+            matches!(&errs[0].kind, LintErrorKind::UngatedUntrustedIndirectCall { callee } if callee == "u::f"),
+            "{errs:?}"
+        );
+        assert_eq!(
+            errs[0].to_string(),
+            "@main bb0: ungated indirect call at index 1 may target untrusted @u::f"
+        );
+    }
+
+    #[test]
+    fn indirect_call_in_gate_region_to_ungated_trusted_flagged() {
+        // Inside the T→U region an icall may land on @helper, trusted code
+        // with no trusted-entry prologue — it would run with the sandbox's
+        // PKRU.
+        let errs = lint_text(
+            "
+fn @helper(1) {
+bb0:
+  %1 = alloc 8
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = addr @helper
+  gate.enter.untrusted
+  %1 = icall %0(7)
+  gate.exit.untrusted
+  ret %1
+}
+",
+        )
+        .unwrap_err();
+        assert!(
+            errs.iter().any(|e| matches!(
+                &e.kind,
+                LintErrorKind::IndirectCallToUngatedTrusted { callee } if callee == "helper"
+            )),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn indirect_call_to_gated_trusted_entry_accepted() {
+        // The instrumented shape: the address-taken trusted entry starts
+        // with gate.enter.trusted, so reaching it from a gate-open region
+        // is sanctioned.
+        lint_text(
+            "
+fn @__pkru_impl_cb(1) {
+bb0:
+  ret %0
+}
+fn @cb(1) {
+bb0:
+  gate.enter.trusted
+  %1 = call @__pkru_impl_cb(%0)
+  gate.exit.trusted
+  ret %1
+}
+untrusted fn @u::f(0) {
+bb0:
+  ret
+}
+fn @main(0) {
+bb0:
+  %0 = addr @cb
+  gate.enter.untrusted
+  %1 = icall %0(7)
+  gate.exit.untrusted
+  ret %1
+}
+",
+        )
+        .unwrap();
     }
 
     #[test]

@@ -21,13 +21,24 @@
 //!   calls bracketed, no gate or provenance hooks reachable inside the
 //!   untrusted compartment, and no trusted-pool allocation while the
 //!   untrusted compartment is active.
+//! - [`scan::scan_module`] — the whole-module adversarial complement to
+//!   the lint: treats untrusted functions as attacker-controlled and walks
+//!   the callgraph for unsanctioned gate gadgets, out-of-policy `sys.*`
+//!   primitives, and gate-region pointer-publication hazards, each finding
+//!   carrying a reachability witness path.
+//! - [`redteam`] — a seeded generator of Garmr-shaped attack modules plus
+//!   a harness asserting every attack is rejected statically by the scan
+//!   or caught dynamically under the quarantine policy.
 
 mod callgraph;
 mod diag;
 mod escape;
 mod gatelint;
+pub mod redteam;
+mod scan;
 
 pub use callgraph::CallGraph;
 pub use diag::{LintError, LintErrorKind};
 pub use escape::{analyze, check_profile_soundness, EscapeAnalysis, StaticProfile};
 pub use gatelint::lint_module;
+pub use scan::{scan_module, ScanFinding, ScanFindingKind};

@@ -1,0 +1,348 @@
+//! Red-team attack corpus: a seeded generator of Garmr-shaped attacker
+//! modules, plus the harness that vets each one against the defense in
+//! depth — [`crate::scan_module`] first, then the runtime (MPK faults,
+//! gate integrity, the syscall filter, and the quarantine circuit breaker).
+//!
+//! Every generated module is a *complete* program: `@main` plays the
+//! trusted application and routes into the attacker-controlled untrusted
+//! code through the exact sanctioned wrapper shapes the compiler passes
+//! emit, so a module that survives the static scan genuinely executes its
+//! attack under untrusted rights. The contract, asserted by the corpus
+//! tests and the CI chaos job, is that [`vet`] never returns
+//! [`Catch::Uncaught`] for a generated attack.
+//!
+//! Generation is deterministic per seed (SplitMix64, as in
+//! `server::fault`): a failing sample reproduces exactly from its seed.
+
+use std::sync::Arc;
+
+use lir::{parse_module, FaultPolicy, Interp, Machine, Module, SyscallFilter};
+use pkru_handler::{MpkPolicy, ViolationHandler};
+
+use crate::scan::{scan_module, ScanFinding};
+
+/// Quarantine threshold the vetting machine runs with. Generated
+/// fault-storm attacks always exceed it, so the breaker trips before the
+/// run completes.
+pub const VET_QUARANTINE_THRESHOLD: u32 = 4;
+
+/// The attack families, one per Garmr technique the scanner (or the
+/// runtime behind it) must stop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttackKind {
+    /// The sandbox carries its own rights-restoring gate instruction — the
+    /// classic reusable WRPKRU gadget.
+    GadgetReuse,
+    /// The gadget hides in a trusted helper reachable only through an
+    /// indirect call from untrusted code (the path `gatelint` historically
+    /// skipped).
+    IndirectGadget,
+    /// Trusted code opens a raw gate region and publishes an `M_T` pointer
+    /// through memory while it is open — the cross-thread re-entry race,
+    /// collapsed to its single-thread observable.
+    GateReentry,
+    /// Untrusted code issues an undeclared `sys.pkey_mprotect`, rewriting
+    /// page protections from below the MPK story.
+    SyscallAbuse,
+    /// The module declares a broad `allow sys.*` list and the sandbox uses
+    /// it: the allow-list must not sanction untrusted-rights syscalls.
+    AllowlistWiden,
+    /// A fault storm that is invisible statically (dereferencing a trusted
+    /// pointer handed across the FFI boundary is exactly what profiling
+    /// runs do): only the quarantine circuit breaker stops it.
+    AuditAbuse,
+}
+
+impl AttackKind {
+    /// Every attack family, in a stable order.
+    pub const ALL: [AttackKind; 6] = [
+        AttackKind::GadgetReuse,
+        AttackKind::IndirectGadget,
+        AttackKind::GateReentry,
+        AttackKind::SyscallAbuse,
+        AttackKind::AllowlistWiden,
+        AttackKind::AuditAbuse,
+    ];
+
+    /// A short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::GadgetReuse => "gadget-reuse",
+            AttackKind::IndirectGadget => "indirect-gadget",
+            AttackKind::GateReentry => "gate-reentry",
+            AttackKind::SyscallAbuse => "syscall-abuse",
+            AttackKind::AllowlistWiden => "allowlist-widen",
+            AttackKind::AuditAbuse => "audit-abuse",
+        }
+    }
+}
+
+/// One generated attack: the family, the seed that reproduces it, and the
+/// module source text.
+#[derive(Clone, Debug)]
+pub struct Attack {
+    /// Which family the module exercises.
+    pub kind: AttackKind,
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// LIR source text of the complete attack program.
+    pub text: String,
+}
+
+impl Attack {
+    /// Parses the attack source. Generated text always parses; the panic
+    /// message carries the seed for reproduction.
+    pub fn module(&self) -> Module {
+        parse_module(&self.text).unwrap_or_else(|e| {
+            panic!(
+                "generated attack (kind {}, seed {}) failed to parse: {e}",
+                self.kind.label(),
+                self.seed
+            )
+        })
+    }
+}
+
+/// How (or whether) an attack was stopped.
+#[derive(Clone, Debug)]
+pub enum Catch {
+    /// The adversarial scan rejected the module before it ran.
+    Static(Vec<ScanFinding>),
+    /// The scan passed it, but the runtime stopped it: a trap, or the
+    /// quarantine breaker tripping. Carries a human-readable cause.
+    Dynamic(String),
+    /// Nothing stopped it — a defense gap. Never acceptable for a
+    /// generated attack.
+    Uncaught,
+}
+
+impl Catch {
+    /// Whether the attack was stopped at either layer.
+    pub fn caught(&self) -> bool {
+        !matches!(self, Catch::Uncaught)
+    }
+}
+
+/// Vets `module` the way the CI chaos job does: run the adversarial scan;
+/// if it finds nothing, execute `@main` on a split machine with the
+/// module's own syscall allow-list installed and the quarantine policy
+/// active, and report whatever stops it.
+pub fn vet(module: &Module) -> Catch {
+    let findings = scan_module(module);
+    if !findings.is_empty() {
+        return Catch::Static(findings);
+    }
+    let mut machine = match Machine::split(FaultPolicy::Crash) {
+        Ok(m) => m,
+        Err(t) => return Catch::Dynamic(format!("machine setup failed: {t}")),
+    };
+    let handler = Arc::new(ViolationHandler::new(
+        MpkPolicy::Quarantine { threshold: VET_QUARANTINE_THRESHOLD },
+        0,
+    ));
+    machine.set_violation_handler(Arc::clone(&handler));
+    machine.install_syscall_filter(SyscallFilter::from_module(module));
+    let outcome = Interp::new(module, &mut machine).run("main", &[]);
+    match outcome {
+        Err(trap) => Catch::Dynamic(trap.to_string()),
+        Ok(_) if handler.tripped() => Catch::Dynamic("quarantine breaker tripped".into()),
+        Ok(_) => Catch::Uncaught,
+    }
+}
+
+/// Generates the attack family selected by `seed`, varying names, sizes,
+/// and instruction counts deterministically.
+pub fn generate_any(seed: u64) -> Attack {
+    let kind = AttackKind::ALL[(seed % AttackKind::ALL.len() as u64) as usize];
+    generate(kind, seed)
+}
+
+/// Generates one attack of `kind` from `seed`.
+pub fn generate(kind: AttackKind, seed: u64) -> Attack {
+    // SplitMix64: quality is irrelevant, determinism is not.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let tag = next() % 1000;
+    let size = 8 * (1 + next() % 8);
+    let secret = 1 + next() % 9000;
+    let text = match kind {
+        AttackKind::GadgetReuse => gadget_reuse(tag, size, secret),
+        AttackKind::IndirectGadget => indirect_gadget(tag, size, secret),
+        AttackKind::GateReentry => gate_reentry(tag, size, secret),
+        AttackKind::SyscallAbuse => syscall_abuse(tag, size, next() % 2 == 0),
+        AttackKind::AllowlistWiden => allowlist_widen(tag, size),
+        AttackKind::AuditAbuse => {
+            audit_abuse(tag, size, secret, VET_QUARANTINE_THRESHOLD as u64 + 1 + next() % 3)
+        }
+    };
+    Attack { kind, seed, text }
+}
+
+/// The sanctioned T→U wrapper shape for `callee` (arity 1), exactly as
+/// `expand_annotations` emits it.
+fn gate_wrapper(callee: &str) -> String {
+    format!(
+        "fn @__pkru_gate_{callee}(1) {{\nbb0:\n  gate.enter.untrusted\n  \
+         %1 = call @{callee}(%0)\n  gate.exit.untrusted\n  ret %1\n}}\n"
+    )
+}
+
+fn gadget_reuse(tag: u64, size: u64, secret: u64) -> String {
+    // The untrusted function restores trusted rights with a raw gate exit,
+    // then helps itself to memory. Statically: SCAN001. Dynamically the
+    // stray exit corrupts the gate stack.
+    format!(
+        "untrusted fn @evil::f{tag}(1) {{\nbb0:\n  gate.exit.untrusted\n  \
+         %1 = load %0, 0\n  ret %1\n}}\n{wrapper}\
+         fn @main(0) {{\nbb0:\n  %0 = ualloc {size}\n  store %0, 0, {secret}\n  \
+         %1 = call @__pkru_gate_evil::f{tag}(%0)\n  ret %1\n}}\n",
+        wrapper = gate_wrapper(&format!("evil::f{tag}"))
+    )
+}
+
+fn indirect_gadget(tag: u64, size: u64, secret: u64) -> String {
+    // The gadget sits in a *trusted* helper whose address the application
+    // takes; the sandbox reaches it through an icall. Statically: SCAN001
+    // with a witness through @evil::entry.
+    format!(
+        "fn @gadget{tag}(1) {{\nbb0:\n  gate.exit.untrusted\n  %1 = load %0, 0\n  \
+         ret %1\n}}\n\
+         untrusted fn @evil::entry{tag}(1) {{\nbb0:\n  %1 = icall %0({secret})\n  ret %1\n}}\n{wrapper}\
+         fn @main(0) {{\nbb0:\n  %0 = addr @gadget{tag}\n  %1 = ualloc {size}\n  \
+         %2 = call @__pkru_gate_evil::entry{tag}(%0)\n  ret %2\n}}\n",
+        wrapper = gate_wrapper(&format!("evil::entry{tag}"))
+    )
+}
+
+fn gate_reentry(tag: u64, size: u64, secret: u64) -> String {
+    // Trusted code opens a raw gate region and publishes an M_T pointer
+    // into untrusted-readable memory while it is open. Statically: SCAN001
+    // (raw gates in @main) and SCAN003 (the publication).
+    format!(
+        "untrusted fn @evil::peek{tag}(1) {{\nbb0:\n  %1 = load %0, 0\n  ret %1\n}}\n\
+         fn @main(0) {{\nbb0:\n  %0 = alloc {size}\n  store %0, 0, {secret}\n  \
+         %1 = ualloc {size}\n  gate.enter.untrusted\n  store %1, 0, %0\n  \
+         %2 = call @evil::peek{tag}(%1)\n  gate.exit.untrusted\n  ret %2\n}}\n"
+    )
+}
+
+fn syscall_abuse(tag: u64, size: u64, remap: bool) -> String {
+    // The sandbox rewrites page protections from below with an undeclared
+    // syscall. Statically: SCAN002 (untrusted rights). Dynamically the
+    // machine's syscall filter refuses it.
+    let sys = if remap { "sys.pkey_mprotect %0, 4096, 3, 0" } else { "sys.mprotect %0, 4096, 7" };
+    format!(
+        "untrusted fn @evil::remap{tag}(1) {{\nbb0:\n  {sys}\n  %1 = load %0, 0\n  \
+         ret %1\n}}\n{wrapper}\
+         fn @main(0) {{\nbb0:\n  %0 = ualloc {size}\n  store %0, 0, 7\n  \
+         %1 = call @__pkru_gate_evil::remap{tag}(%0)\n  ret %1\n}}\n",
+        wrapper = gate_wrapper(&format!("evil::remap{tag}"))
+    )
+}
+
+fn allowlist_widen(tag: u64, size: u64) -> String {
+    // The module legitimately allow-lists sys.mprotect for its trusted
+    // code, and the sandbox tries to ride the entry. Statically: SCAN002
+    // (allow-listed or not, untrusted rights). Dynamically the filter
+    // denies any syscall arriving with untrusted rights.
+    format!(
+        "allow sys.mprotect\n\
+         untrusted fn @evil::ride{tag}(1) {{\nbb0:\n  sys.mprotect %0, 4096, 7\n  \
+         %1 = load %0, 0\n  ret %1\n}}\n{wrapper}\
+         fn @main(0) {{\nbb0:\n  %0 = ualloc {size}\n  store %0, 0, 7\n  \
+         %1 = call @__pkru_gate_evil::ride{tag}(%0)\n  ret %1\n}}\n",
+        wrapper = gate_wrapper(&format!("evil::ride{tag}"))
+    )
+}
+
+fn audit_abuse(tag: u64, size: u64, secret: u64, probes: u64) -> String {
+    // Statically clean by design: @main hands a trusted pointer across the
+    // sanctioned gate (exactly what a profiling run does) and the sandbox
+    // hammers it. Each dereference faults; the quarantine breaker must
+    // trip before the storm completes.
+    let mut body = String::new();
+    for i in 0..probes {
+        body.push_str(&format!("  %{} = load %0, 0\n", i + 1));
+    }
+    format!(
+        "untrusted fn @evil::probe{tag}(1) {{\nbb0:\n{body}  ret %{probes}\n}}\n{wrapper}\
+         fn @main(0) {{\nbb0:\n  %0 = alloc {size}\n  store %0, 0, {secret}\n  \
+         %1 = call @__pkru_gate_evil::probe{tag}(%0)\n  ret %1\n}}\n",
+        wrapper = gate_wrapper(&format!("evil::probe{tag}"))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lir::verify_module;
+
+    #[test]
+    fn every_kind_generates_a_well_formed_module() {
+        for (i, kind) in AttackKind::ALL.into_iter().enumerate() {
+            let attack = generate(kind, 1000 + i as u64);
+            let module = attack.module();
+            verify_module(&module).unwrap_or_else(|e| {
+                panic!("attack {} (seed {}) does not verify: {e:?}", kind.label(), attack.seed)
+            });
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(generate_any(42).text, generate_any(42).text);
+        assert_ne!(generate_any(42).text, generate_any(43).text);
+    }
+
+    #[test]
+    fn every_kind_is_caught() {
+        for (i, kind) in AttackKind::ALL.into_iter().enumerate() {
+            let attack = generate(kind, 7 * i as u64 + 1);
+            let catch = vet(&attack.module());
+            assert!(
+                catch.caught(),
+                "attack {} (seed {}) escaped both layers:\n{}",
+                kind.label(),
+                attack.seed,
+                attack.text
+            );
+        }
+    }
+
+    #[test]
+    fn audit_abuse_is_static_clean_but_dynamically_quarantined() {
+        // The one family the scanner must NOT flag — dereferencing a
+        // trusted pointer handed across the FFI boundary is what every
+        // profiling run looks like. The breaker is the backstop.
+        let attack = generate(AttackKind::AuditAbuse, 5);
+        let module = attack.module();
+        assert!(scan_module(&module).is_empty(), "audit-abuse must pass the static scan");
+        match vet(&module) {
+            Catch::Dynamic(cause) => {
+                assert!(
+                    cause.contains("quarantine") || cause.contains("pkey violation"),
+                    "unexpected dynamic cause: {cause}"
+                );
+            }
+            other => panic!("expected a dynamic catch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syscall_abuse_without_static_scan_is_denied_at_runtime() {
+        // Defense in depth: skip the scanner entirely and the machine's
+        // syscall filter still refuses the remap.
+        let attack = generate(AttackKind::SyscallAbuse, 11);
+        let module = attack.module();
+        let mut machine = Machine::split(FaultPolicy::Crash).unwrap();
+        machine.install_syscall_filter(SyscallFilter::from_module(&module));
+        let trap = Interp::new(&module, &mut machine).run("main", &[]).unwrap_err();
+        assert!(trap.to_string().contains("denied"), "unexpected trap: {trap}");
+    }
+}

@@ -3,7 +3,7 @@
 use core::fmt;
 
 use lir::{verify_module, FaultPolicy, Interp, Machine, Module, Trap, VerifyError};
-use pkru_analysis::{EscapeAnalysis, LintError};
+use pkru_analysis::{EscapeAnalysis, LintError, ScanFinding};
 use pkru_provenance::{AllocId, Profile};
 
 use crate::annotations::Annotations;
@@ -48,6 +48,10 @@ pub enum PipelineError {
     /// The gate-integrity lint rejected the annotated build (a compiler
     /// pass emitted unbalanced or misplaced gates).
     Lint(Vec<LintError>),
+    /// The adversarial scan rejected the annotated build: an unsanctioned
+    /// gate gadget, an out-of-policy syscall, or a gate-region pointer
+    /// publication is reachable.
+    Scan(Vec<ScanFinding>),
     /// The dynamic profile observed sites the static escape analysis did
     /// not predict — one of the two analyses is unsound.
     UnsoundProfile {
@@ -75,6 +79,13 @@ impl fmt::Display for PipelineError {
                 write!(f, "gate-integrity lint failed: ")?;
                 for e in errs {
                     write!(f, "[{e}] ")?;
+                }
+                Ok(())
+            }
+            PipelineError::Scan(findings) => {
+                write!(f, "adversarial scan failed: ")?;
+                for finding in findings {
+                    write!(f, "[{finding}] ")?;
                 }
                 Ok(())
             }
@@ -169,12 +180,19 @@ pub struct Pipeline {
     annotations: Annotations,
     inputs: Vec<ProfileInput>,
     static_checks: bool,
+    adversarial_scan: bool,
 }
 
 impl Pipeline {
     /// Creates a pipeline over `source` with the developer's annotations.
     pub fn new(source: Module, annotations: Annotations) -> Pipeline {
-        Pipeline { source, annotations, inputs: Vec::new(), static_checks: false }
+        Pipeline {
+            source,
+            annotations,
+            inputs: Vec::new(),
+            static_checks: false,
+            adversarial_scan: false,
+        }
     }
 
     /// Adds a profiling input (stage 3 corpus).
@@ -192,10 +210,30 @@ impl Pipeline {
         self
     }
 
+    /// Enables the adversarial scan stage: [`Pipeline::build`]
+    /// additionally runs [`pkru_analysis::scan_module`] over the annotated
+    /// build and refuses to proceed on any finding — the whole-module
+    /// complement to the path-sensitive lint.
+    pub fn with_adversarial_scan(mut self) -> Pipeline {
+        self.adversarial_scan = true;
+        self
+    }
+
     /// Runs the gate-integrity lint over the annotated build.
     pub fn lint(&self) -> Result<(), PipelineError> {
         let module = self.annotated_build()?;
         pkru_analysis::lint_module(&module).map_err(PipelineError::Lint)
+    }
+
+    /// Runs the adversarial scan over the annotated build.
+    pub fn scan(&self) -> Result<(), PipelineError> {
+        let module = self.annotated_build()?;
+        let findings = pkru_analysis::scan_module(&module);
+        if findings.is_empty() {
+            Ok(())
+        } else {
+            Err(PipelineError::Scan(findings))
+        }
     }
 
     /// Runs the static escape analysis over the annotated build.
@@ -232,6 +270,9 @@ impl Pipeline {
     /// gate-linted and the recorded profile is checked for static
     /// coverage before the enforcement rewrite.
     pub fn build(self) -> Result<PkruApp, PipelineError> {
+        if self.adversarial_scan {
+            self.scan()?;
+        }
         let static_profile = if self.static_checks {
             self.lint()?;
             Some(self.static_analysis()?.static_profile())
@@ -372,6 +413,45 @@ bb0:
         .unwrap();
         let err = Pipeline::new(source, Annotations::new()).lint().unwrap_err();
         assert!(matches!(err, PipelineError::Lint(_)), "{err}");
+    }
+
+    #[test]
+    fn adversarial_scan_accepts_e1_and_rejects_smuggled_gadget() {
+        // The pass-emitted wrappers are sanctioned shapes, so E1 builds
+        // clean with the scan enabled...
+        let source = parse_module(E1).unwrap();
+        Pipeline::new(source, Annotations::new())
+            .with_input(ProfileInput::new("main", &[]))
+            .with_adversarial_scan()
+            .build()
+            .unwrap();
+        // ...but an untrusted function carrying its own gate gadget is
+        // refused before anything runs.
+        let source = parse_module(
+            "
+untrusted fn @clib::evil(1) {
+bb0:
+  gate.exit.untrusted
+  %1 = load %0, 0
+  ret %1
+}
+fn @main(0) {
+bb0:
+  %0 = alloc 8
+  %1 = call @clib::evil(%0)
+  ret %1
+}
+",
+        )
+        .unwrap();
+        let err =
+            Pipeline::new(source, Annotations::new()).with_adversarial_scan().build().unwrap_err();
+        match err {
+            PipelineError::Scan(findings) => {
+                assert!(findings.iter().any(|f| f.kind.code() == "SCAN001"), "{findings:?}");
+            }
+            other => panic!("expected a scan rejection, got {other}"),
+        }
     }
 
     #[test]

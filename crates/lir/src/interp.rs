@@ -119,6 +119,13 @@ impl<'a> Interp<'a> {
                             .ok_or_else(|| Trap::UndefinedFunction(callee.clone()))?;
                         regs[*dst as usize] = encode_func_addr(callee_id);
                     }
+                    Instr::Sys { dst, kind, args: sys_args } => {
+                        let vals: Vec<i64> = sys_args.iter().map(|a| read(&regs, *a)).collect();
+                        let result = self.machine.syscall(*kind, &vals)?;
+                        if let Some(d) = dst {
+                            regs[*d as usize] = result;
+                        }
+                    }
                     Instr::Print { value } => {
                         let v = read(&regs, *value);
                         self.machine.output.push(v);

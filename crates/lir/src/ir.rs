@@ -1,6 +1,6 @@
 //! The IR data model.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use pkru_provenance::AllocId;
@@ -89,6 +89,56 @@ impl BinOp {
             BinOp::Le => "le",
             BinOp::Gt => "gt",
             BinOp::Ge => "ge",
+        }
+    }
+}
+
+/// Which vmem "syscall-like" primitive a [`Instr::Sys`] invokes.
+///
+/// These model the protection-management syscalls Garmr's attacks abuse to
+/// rewrite compartment boundaries from below (`mmap`, `munmap`, `mprotect`,
+/// `pkey_mprotect`). A module must declare each kind it uses on its
+/// allow-list (`allow sys.<kind>` at the top level); the machine's syscall
+/// filter and the adversarial scanner both enforce that list.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SysKind {
+    /// `dst = sys.map len, prot` — maps fresh pages, yielding the address.
+    Map,
+    /// `sys.unmap addr, len` — unmaps a range.
+    Unmap,
+    /// `sys.mprotect addr, len, prot` — changes a range's protection bits.
+    Mprotect,
+    /// `sys.pkey_mprotect addr, len, prot, pkey` — changes protection bits
+    /// and the protection key of a range.
+    PkeyMprotect,
+}
+
+impl SysKind {
+    /// Every syscall kind, in allow-list rendering order.
+    pub const ALL: [SysKind; 4] =
+        [SysKind::Map, SysKind::Unmap, SysKind::Mprotect, SysKind::PkeyMprotect];
+
+    /// The textual mnemonic used by the parser, printer, and allow-list.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SysKind::Map => "sys.map",
+            SysKind::Unmap => "sys.unmap",
+            SysKind::Mprotect => "sys.mprotect",
+            SysKind::PkeyMprotect => "sys.pkey_mprotect",
+        }
+    }
+
+    /// Parses a mnemonic back into its kind.
+    pub fn from_mnemonic(s: &str) -> Option<SysKind> {
+        SysKind::ALL.into_iter().find(|k| k.mnemonic() == s)
+    }
+
+    /// Number of operands the kind takes.
+    pub fn arity(self) -> usize {
+        match self {
+            SysKind::Map | SysKind::Unmap => 2,
+            SysKind::Mprotect => 3,
+            SysKind::PkeyMprotect => 4,
         }
     }
 }
@@ -204,6 +254,17 @@ pub enum Instr {
         /// The value printed.
         value: Operand,
     },
+    /// A vmem "syscall-like" primitive (see [`SysKind`]). Only `sys.map`
+    /// produces a meaningful result (the mapped address); the other kinds
+    /// yield 0.
+    Sys {
+        /// Destination register, if the result is used.
+        dst: Option<Reg>,
+        /// Which primitive is invoked.
+        kind: SysKind,
+        /// Operands, `kind.arity()` of them.
+        args: Vec<Operand>,
+    },
     /// Pass-inserted: T→U enter gate (drop access to `M_T`).
     GateEnterUntrusted,
     /// Pass-inserted: T→U exit gate (restore caller rights).
@@ -316,6 +377,11 @@ impl Function {
 pub struct Module {
     /// The functions, indexed by [`FuncId`].
     pub functions: Vec<Function>,
+    /// Syscall kinds this module declares it may invoke (its syscall-filter
+    /// allow-list), from top-level `allow sys.<kind>` lines. Everything not
+    /// listed is denied both statically (`analysis::scan`) and at the
+    /// machine boundary.
+    pub allowed_syscalls: BTreeSet<SysKind>,
     name_index: HashMap<String, FuncId>,
 }
 
@@ -377,6 +443,9 @@ impl Module {
     /// Renders the module in the textual format.
     pub fn dump(&self) -> String {
         let mut out = String::new();
+        for kind in &self.allowed_syscalls {
+            out.push_str(&format!("allow {}\n", kind.mnemonic()));
+        }
         for f in &self.functions {
             if f.attrs.untrusted {
                 out.push_str("untrusted ");
@@ -432,6 +501,13 @@ fn render_instr(instr: &Instr) -> String {
             }
         }
         Instr::FuncAddr { dst, callee } => format!("%{dst} = addr @{callee}"),
+        Instr::Sys { dst, kind, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("%{d} = {} {}", kind.mnemonic(), args.join(", ")),
+                None => format!("{} {}", kind.mnemonic(), args.join(", ")),
+            }
+        }
         Instr::Print { value } => format!("print {value}"),
         Instr::GateEnterUntrusted => "gate.enter.untrusted".to_string(),
         Instr::GateExitUntrusted => "gate.exit.untrusted".to_string(),

@@ -34,8 +34,9 @@ pub use cfg::address_taken;
 pub use interp::Interp;
 pub use ir::{
     BinOp, Block, BlockId, FnAttrs, FuncId, Function, Instr, Module, Operand, Reg, SiteDomain,
+    SysKind,
 };
-pub use machine::{FaultPolicy, Machine, MachineConfig, SharedHost};
+pub use machine::{FaultPolicy, Machine, MachineConfig, SharedHost, SyscallFilter};
 pub use parse::{parse_module, ParseError};
 pub use trap::Trap;
 pub use verify::{verify_def_use, verify_module, VerifyError};

@@ -1,16 +1,52 @@
 //! The simulated machine a LIR program executes on.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use pkalloc::{BaselineAlloc, CompartmentAlloc, PkAlloc, PkAllocConfig};
 use pkru_gates::Gates;
 use pkru_handler::{Verdict, ViolationHandler};
-use pkru_mpk::{Cpu, Pkey, PkeyPool, SharedPkeyPool};
+use pkru_mpk::{AccessKind, Cpu, Pkey, PkeyPool, SharedPkeyPool};
 use pkru_provenance::{single_step_access, FaultResolution, ProfilingRuntime};
-use pkru_vmem::{AddressSpace, Fault, SharedSpace, Tlb, VirtAddr};
+use pkru_vmem::{AddressSpace, Fault, Prot, SharedSpace, Tlb, VirtAddr};
 
+use crate::ir::{Module, SysKind};
 use crate::trap::Trap;
+
+/// The machine-boundary half of the syscall-filter layer.
+///
+/// A module declares the vmem primitives it needs (`allow sys.<kind>`);
+/// everything else is refused before it reaches the mapping layer, the
+/// runtime analogue of a seccomp filter. `analysis::scan` checks the same
+/// list statically. The default filter denies everything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyscallFilter {
+    allowed: BTreeSet<SysKind>,
+}
+
+impl SyscallFilter {
+    /// A filter that refuses every syscall kind (the default).
+    pub fn deny_all() -> SyscallFilter {
+        SyscallFilter::default()
+    }
+
+    /// The filter matching a module's declared allow-list.
+    pub fn from_module(module: &Module) -> SyscallFilter {
+        SyscallFilter { allowed: module.allowed_syscalls.clone() }
+    }
+
+    /// Adds `kind` to the allow-list.
+    pub fn allow(&mut self, kind: SysKind) -> &mut SyscallFilter {
+        self.allowed.insert(kind);
+        self
+    }
+
+    /// Whether `kind` is on the allow-list.
+    pub fn permits(&self, kind: SysKind) -> bool {
+        self.allowed.contains(&kind)
+    }
+}
 
 /// What happens when an access raises an MPK violation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -145,6 +181,9 @@ pub struct Machine {
     /// The serve-time MPK violation handler, consulted for pkey faults
     /// under [`FaultPolicy::Crash`] when installed.
     handler: Option<Arc<ViolationHandler>>,
+    /// The syscall filter guarding the `sys.*` boundary (deny-all until a
+    /// module's allow-list is installed).
+    syscall_filter: SyscallFilter,
 }
 
 impl Machine {
@@ -174,6 +213,7 @@ impl Machine {
             fuel: config.fuel,
             trusted_pkey,
             handler: None,
+            syscall_filter: SyscallFilter::deny_all(),
         })
     }
 
@@ -208,6 +248,7 @@ impl Machine {
             fuel: config.fuel,
             trusted_pkey: host.trusted_pkey(),
             handler: None,
+            syscall_filter: SyscallFilter::deny_all(),
         })
     }
 
@@ -241,6 +282,67 @@ impl Machine {
     /// The installed serve-time violation handler, if any.
     pub fn violation_handler(&self) -> Option<&Arc<ViolationHandler>> {
         self.handler.as_ref()
+    }
+
+    /// Installs the syscall filter consulted by [`Machine::syscall`].
+    pub fn install_syscall_filter(&mut self, filter: SyscallFilter) {
+        self.syscall_filter = filter;
+    }
+
+    /// The syscall filter in force.
+    pub fn syscall_filter(&self) -> &SyscallFilter {
+        &self.syscall_filter
+    }
+
+    /// Executes one `sys.*` primitive against the address space, enforcing
+    /// the syscall-filter layer.
+    ///
+    /// Two checks precede the mapping layer, in order: the request must not
+    /// arrive with untrusted rights in force (a compartment that dropped
+    /// access to `M_T` remapping page protections is exactly Garmr's
+    /// rewrite-from-below attack, and no allow-list entry can sanction it),
+    /// and the kind must be on the installed allow-list.
+    pub fn syscall(&mut self, kind: SysKind, args: &[i64]) -> Result<i64, Trap> {
+        if args.len() != kind.arity() {
+            return Err(Trap::ArityMismatch {
+                callee: kind.mnemonic().to_string(),
+                expected: kind.arity() as u32,
+                got: args.len() as u32,
+            });
+        }
+        if !self.cpu.pkru().allows(self.trusted_pkey, AccessKind::Read) {
+            return Err(Trap::SyscallDenied { kind, untrusted: true });
+        }
+        if !self.syscall_filter.permits(kind) {
+            return Err(Trap::SyscallDenied { kind, untrusted: false });
+        }
+        let fail = |e: pkru_vmem::MapError| Trap::SyscallFailed { kind, message: e.to_string() };
+        match kind {
+            SysKind::Map => {
+                let prot = Prot::from_bits(args[1] as u8);
+                let addr = self.space.mmap(args[0] as u64, prot).map_err(fail)?;
+                Ok(addr as i64)
+            }
+            SysKind::Unmap => {
+                self.space.munmap(args[0] as u64, args[1] as u64).map_err(fail)?;
+                Ok(0)
+            }
+            SysKind::Mprotect => {
+                let prot = Prot::from_bits(args[2] as u8);
+                self.space.mprotect(args[0] as u64, args[1] as u64, prot).map_err(fail)?;
+                Ok(0)
+            }
+            SysKind::PkeyMprotect => {
+                let prot = Prot::from_bits(args[2] as u8);
+                let pkey = u8::try_from(args[3]).ok().and_then(Pkey::new).ok_or_else(|| {
+                    Trap::SyscallFailed { kind, message: format!("bad pkey index {}", args[3]) }
+                })?;
+                self.space
+                    .pkey_mprotect(args[0] as u64, args[1] as u64, prot, pkey)
+                    .map_err(fail)?;
+                Ok(0)
+            }
+        }
     }
 
     /// Publishes this thread's buffered TLB counters into the shared
@@ -431,6 +533,65 @@ mod tests {
         assert_eq!(m.mem_read(p).unwrap(), 1234);
         assert_eq!(m.profiler.profile.len(), 1);
         assert_eq!(m.profiler.profile.faults_observed, 2);
+    }
+
+    #[test]
+    fn syscall_filter_denies_by_default_and_permits_allowed() {
+        let mut m = Machine::split(FaultPolicy::Crash).unwrap();
+        assert_eq!(
+            m.syscall(SysKind::Map, &[4096, 3]),
+            Err(Trap::SyscallDenied { kind: SysKind::Map, untrusted: false })
+        );
+        let mut filter = SyscallFilter::deny_all();
+        filter.allow(SysKind::Map).allow(SysKind::Unmap);
+        m.install_syscall_filter(filter);
+        let addr = m.syscall(SysKind::Map, &[4096, 3]).unwrap();
+        m.mem_write(addr as u64, 7).unwrap();
+        assert_eq!(m.mem_read(addr as u64).unwrap(), 7);
+        m.syscall(SysKind::Unmap, &[addr, 4096]).unwrap();
+        // The unmapped page is gone on the very next access.
+        assert!(matches!(m.mem_read(addr as u64), Err(Trap::Fault(_))));
+        // Kinds off the list stay denied.
+        assert_eq!(
+            m.syscall(SysKind::Mprotect, &[addr, 4096, 1]),
+            Err(Trap::SyscallDenied { kind: SysKind::Mprotect, untrusted: false })
+        );
+    }
+
+    #[test]
+    fn syscalls_denied_under_untrusted_rights_regardless_of_allow_list() {
+        let mut m = Machine::split(FaultPolicy::Crash).unwrap();
+        let mut filter = SyscallFilter::deny_all();
+        filter.allow(SysKind::PkeyMprotect);
+        m.install_syscall_filter(filter);
+        let p = m.alloc.alloc(64).unwrap();
+        let page = (p & !(pkru_vmem::PAGE_SIZE - 1)) as i64;
+        m.gates.enter_untrusted(&mut m.cpu).unwrap();
+        // Untagging M_T's pages from inside the sandbox must be refused
+        // even though the kind is allow-listed.
+        assert_eq!(
+            m.syscall(SysKind::PkeyMprotect, &[page, 4096, 3, 0]),
+            Err(Trap::SyscallDenied { kind: SysKind::PkeyMprotect, untrusted: true })
+        );
+        m.gates.exit_untrusted(&mut m.cpu).unwrap();
+        // Back under trusted rights the same call goes through.
+        m.syscall(SysKind::PkeyMprotect, &[page, 4096, 3, 0]).unwrap();
+    }
+
+    #[test]
+    fn bad_pkey_index_fails_cleanly() {
+        let mut m = Machine::split(FaultPolicy::Crash).unwrap();
+        let mut filter = SyscallFilter::deny_all();
+        filter.allow(SysKind::PkeyMprotect);
+        m.install_syscall_filter(filter);
+        let p = m.alloc.alloc(64).unwrap();
+        let page = (p & !(pkru_vmem::PAGE_SIZE - 1)) as i64;
+        match m.syscall(SysKind::PkeyMprotect, &[page, 4096, 3, 99]) {
+            Err(Trap::SyscallFailed { message, .. }) => {
+                assert!(message.contains("bad pkey"), "{message}")
+            }
+            other => panic!("expected SyscallFailed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ use core::fmt;
 use pkru_provenance::AllocId;
 
 use crate::ir::{
-    BinOp, Block, BlockId, FnAttrs, Function, Instr, Module, Operand, Reg, SiteDomain,
+    BinOp, Block, BlockId, FnAttrs, Function, Instr, Module, Operand, Reg, SiteDomain, SysKind,
 };
 
 /// A parse failure with its 1-based source line.
@@ -71,6 +71,18 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 }
                 None => return err(line_no, "unmatched '}'"),
             }
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("allow ") {
+            if current.is_some() {
+                return err(line_no, "'allow' must appear at module top level");
+            }
+            let kind = SysKind::from_mnemonic(rest.trim()).ok_or_else(|| ParseError {
+                line: line_no,
+                message: format!("unknown syscall {:?} in allow-list", rest.trim()),
+            })?;
+            module.allowed_syscalls.insert(kind);
             continue;
         }
 
@@ -226,6 +238,25 @@ fn parse_call(
     }
 }
 
+fn parse_sys(
+    dst: Option<Reg>,
+    op: &str,
+    rest: &str,
+    line: usize,
+    nregs: &mut Reg,
+) -> Result<Instr, ParseError> {
+    let kind = SysKind::from_mnemonic(op)
+        .ok_or_else(|| ParseError { line, message: format!("unknown syscall {op:?}") })?;
+    let args = split_args(rest)
+        .into_iter()
+        .map(|t| parse_operand(t, line, nregs))
+        .collect::<Result<Vec<_>, _>>()?;
+    if args.len() != kind.arity() {
+        return err(line, format!("{op} needs {} operands, got {}", kind.arity(), args.len()));
+    }
+    Ok(Instr::Sys { dst, kind, args })
+}
+
 fn bin_op(mnemonic: &str) -> Option<BinOp> {
     Some(match mnemonic {
         "add" => BinOp::Add,
@@ -295,6 +326,7 @@ fn parse_instr(line: &str, line_no: usize, nregs: &mut Reg) -> Result<Instr, Par
                 })
             }
             "call" | "icall" => parse_call(Some(dst), rest, line_no, nregs),
+            _ if op.starts_with("sys.") => parse_sys(Some(dst), op, rest, line_no, nregs),
             "addr" => {
                 let name = rest.trim().strip_prefix('@').ok_or_else(|| ParseError {
                     line: line_no,
@@ -339,6 +371,7 @@ fn parse_instr(line: &str, line_no: usize, nregs: &mut Reg) -> Result<Instr, Par
         }
         "free" => Ok(Instr::Dealloc { ptr: parse_operand(rest, line_no, nregs)? }),
         "call" | "icall" => parse_call(None, rest, line_no, nregs),
+        _ if op.starts_with("sys.") => parse_sys(None, op, rest, line_no, nregs),
         "gate.enter.untrusted" => Ok(Instr::GateEnterUntrusted),
         "gate.exit.untrusted" => Ok(Instr::GateExitUntrusted),
         "gate.enter.trusted" => Ok(Instr::GateEnterTrusted),
@@ -510,6 +543,40 @@ bb0:
         let e = parse_module("fn @f(0) {\nbb0:\n  prov.log_alloc 0, 8, x1.b2.s3\n  ret\n}")
             .unwrap_err();
         assert!(e.message.contains("bad site id"), "{e}");
+    }
+
+    #[test]
+    fn allow_list_and_sys_instrs_roundtrip() {
+        let text = r#"
+allow sys.map
+allow sys.mprotect
+fn @main(0) {
+bb0:
+  %0 = sys.map 4096, 3
+  sys.mprotect %0, 4096, 1
+  ret %0
+}
+"#;
+        let module = parse_module(text).unwrap();
+        assert!(module.allowed_syscalls.contains(&crate::SysKind::Map));
+        assert!(module.allowed_syscalls.contains(&crate::SysKind::Mprotect));
+        assert!(!module.allowed_syscalls.contains(&crate::SysKind::Unmap));
+        verify_module(&module).unwrap();
+        let dumped = module.dump();
+        assert!(dumped.starts_with("allow sys.map\nallow sys.mprotect\n"), "{dumped}");
+        assert_eq!(parse_module(&dumped).unwrap().dump(), dumped);
+    }
+
+    #[test]
+    fn sys_arity_and_unknown_kind_rejected() {
+        let e = parse_module("fn @f(0) {\nbb0:\n  sys.unmap 0\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("needs 2 operands"), "{e}");
+        let e = parse_module("fn @f(0) {\nbb0:\n  sys.fork 1\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("unknown syscall"), "{e}");
+        let e = parse_module("allow sys.fork\n").unwrap_err();
+        assert!(e.message.contains("unknown syscall"), "{e}");
+        let e = parse_module("fn @f(0) {\nbb0:\nallow sys.map\n  ret\n}").unwrap_err();
+        assert!(e.message.contains("top level"), "{e}");
     }
 
     #[test]

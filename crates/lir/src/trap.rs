@@ -6,6 +6,8 @@ use pkalloc::AllocError;
 use pkru_gates::GateError;
 use pkru_vmem::Fault;
 
+use crate::ir::SysKind;
+
 /// Abnormal termination of an interpreted program.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Trap {
@@ -42,6 +44,23 @@ pub enum Trap {
     StackOverflow,
     /// An allocation size operand was negative or absurd.
     BadAllocSize(i64),
+    /// A `sys.*` instruction was refused by the machine's syscall filter:
+    /// the kind is absent from the installed allow-list, or — allow-list
+    /// notwithstanding — the request arrived with untrusted rights in
+    /// force (Garmr's protection-rewrite-from-below attack).
+    SyscallDenied {
+        /// The refused primitive.
+        kind: SysKind,
+        /// Whether the denial was because untrusted rights were in force.
+        untrusted: bool,
+    },
+    /// A permitted `sys.*` call failed in the mapping layer.
+    SyscallFailed {
+        /// The failing primitive.
+        kind: SysKind,
+        /// The mapping-layer error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -61,6 +80,15 @@ impl fmt::Display for Trap {
             Trap::FuelExhausted => write!(f, "instruction budget exhausted"),
             Trap::StackOverflow => write!(f, "call depth limit exceeded"),
             Trap::BadAllocSize(v) => write!(f, "bad allocation size {v}"),
+            Trap::SyscallDenied { kind, untrusted: true } => {
+                write!(f, "{} denied: untrusted rights in force", kind.mnemonic())
+            }
+            Trap::SyscallDenied { kind, untrusted: false } => {
+                write!(f, "{} denied: not on the module allow-list", kind.mnemonic())
+            }
+            Trap::SyscallFailed { kind, message } => {
+                write!(f, "{} failed: {message}", kind.mnemonic())
+            }
         }
     }
 }

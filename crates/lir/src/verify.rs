@@ -230,6 +230,22 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
                         check_reg(*dst, &mut errors);
                         check_callee(callee, None, &mut errors);
                     }
+                    Instr::Sys { dst, kind, args } => {
+                        if let Some(d) = dst {
+                            check_reg(*d, &mut errors);
+                        }
+                        for a in args {
+                            check_op(a, &mut errors);
+                        }
+                        if args.len() != kind.arity() {
+                            errors.push(VerifyError::ArityMismatch {
+                                func: func.name.clone(),
+                                callee: kind.mnemonic().to_string(),
+                                expected: kind.arity() as u32,
+                                got: args.len(),
+                            });
+                        }
+                    }
                     Instr::Print { value } => check_op(value, &mut errors),
                     Instr::GateEnterUntrusted
                     | Instr::GateExitUntrusted
@@ -276,7 +292,7 @@ fn instr_def(instr: &Instr) -> Option<u32> {
         | Instr::Alloc { dst, .. }
         | Instr::Realloc { dst, .. }
         | Instr::FuncAddr { dst, .. } => Some(*dst),
-        Instr::Call { dst, .. } | Instr::CallIndirect { dst, .. } => *dst,
+        Instr::Call { dst, .. } | Instr::CallIndirect { dst, .. } | Instr::Sys { dst, .. } => *dst,
         _ => None,
     }
 }
@@ -311,7 +327,7 @@ fn for_each_use(instr: &Instr, mut use_reg: impl FnMut(u32)) {
             op(new_size);
         }
         Instr::Dealloc { ptr } | Instr::ProvLogDealloc { ptr } => op(ptr),
-        Instr::Call { args, .. } => args.iter().for_each(op),
+        Instr::Call { args, .. } | Instr::Sys { args, .. } => args.iter().for_each(op),
         Instr::CallIndirect { target, args, .. } => {
             op(target);
             args.iter().for_each(op);

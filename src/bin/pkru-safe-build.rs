@@ -13,8 +13,10 @@
 //! pkru-safe-build enforce   app.lir --distrust clib -p p.json  # stage 4 + run
 //! pkru-safe-build analyze   app.lir --distrust clib -o s.json  # static escape analysis
 //! pkru-safe-build lint      app.lir --stage1                   # gate-integrity lint
+//! pkru-safe-build scan      app.lir --json                     # adversarial scan
 //! pkru-safe-build check     app.lir                            # parse + verify only
 //! pkru-safe-build serve     --workers 4 --requests 200         # worker-pool runtime
+//! pkru-safe-build redteam   --samples 200 --seed 7             # attack generator
 //! ```
 
 use std::path::PathBuf;
@@ -34,6 +36,7 @@ struct Options {
     entry: String,
     args: Vec<i64>,
     stage1: bool,
+    json: bool,
 }
 
 const USAGE: &str = "\
@@ -50,7 +53,18 @@ commands:
   lint       gate-integrity lint (balanced gates, bracketed calls,
              no gates/hooks in U, no trusted allocs under U rights);
              lints the module as-given, or stage-1 output with --stage1
+  scan       adversarial reachability scan (Garmr-style): unsanctioned
+             gate gadgets, sys.* outside the allow-list or reachable
+             under untrusted rights, trusted pointers published while a
+             gate is open; scans the module as-given, or stage-1 output
+             with --stage1; non-zero exit on any finding (--json for a
+             machine-readable report with reachability witnesses)
   run        run the full pipeline (profile with --entry) and execute
+  redteam    generate seeded Garmr-shaped attack modules (no input
+             file) and vet each one: every attack must be rejected by
+             the scan or stopped at run time (syscall filter, MPK
+             fault, quarantine breaker); non-zero exit if any escapes
+             (--samples <n>, --seed <n>, --json)
   serve      run the multi-threaded serving runtime (no input file):
              profile the catalog, then serve it from a worker pool with
              per-thread PKRU; fails unless the run is clean
@@ -80,7 +94,8 @@ options:
   --distrust <crate>     mark a crate untrusted (repeatable)
   --entry <name>         entry function (default: main)
   --arg <n>              entry argument (repeatable)
-  --stage1               lint the annotated build instead of the input
+  --stage1               lint/scan the annotated build instead of the input
+  --json                 emit scan findings as JSON on stdout
   -p, --profile <file>   profile to apply (enforce) or compare (analyze)
   -o, --output <file>    where to write the profile (profile, analyze)
 ";
@@ -98,10 +113,12 @@ fn parse_args() -> Result<Options, String> {
         entry: "main".to_string(),
         args: Vec::new(),
         stage1: false,
+        json: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--stage1" => options.stage1 = true,
+            "--json" => options.json = true,
             "--distrust" => {
                 options.distrust.push(argv.next().ok_or("--distrust needs a crate name")?);
             }
@@ -247,7 +264,19 @@ fn main() -> ExitCode {
                 }
             };
         }
-        Some("check" | "annotate" | "profile" | "enforce" | "analyze" | "lint" | "run") | None => {}
+        Some("redteam") => {
+            return match redteam_main(argv) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some(
+            "check" | "annotate" | "profile" | "enforce" | "analyze" | "lint" | "scan" | "run",
+        )
+        | None => {}
         Some(other) => {
             eprintln!("error: unknown command {other:?}");
             eprintln!("\n{USAGE}");
@@ -360,6 +389,34 @@ fn real_main(options: Options) -> Result<(), String> {
             println!("ok: gate integrity verified ({} function(s))", linted.functions.len());
             Ok(())
         }
+        "scan" => {
+            let scanned = if options.stage1 {
+                Pipeline::new(module, annotations).annotated_build().map_err(|e| e.to_string())?
+            } else {
+                verify(&module)?;
+                module
+            };
+            let findings = pkru_analysis::scan_module(&scanned);
+            if options.json {
+                println!("{}", scan_report_json(&findings));
+            }
+            if findings.is_empty() {
+                if !options.json {
+                    println!(
+                        "ok: adversarial scan clean ({} function(s))",
+                        scanned.functions.len()
+                    );
+                }
+                Ok(())
+            } else {
+                if !options.json {
+                    for finding in &findings {
+                        eprintln!("{finding}");
+                    }
+                }
+                Err(format!("adversarial scan found {} finding(s)", findings.len()))
+            }
+        }
         "run" => {
             let app = Pipeline::new(module, annotations)
                 .with_input(input)
@@ -371,6 +428,110 @@ fn real_main(options: Options) -> Result<(), String> {
         }
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
+}
+
+/// Generates and vets the red-team corpus: every sampled attack must be
+/// rejected by the adversarial scan or stopped at run time.
+fn redteam_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
+    let mut samples: u64 = 32;
+    let mut seed: u64 = 0x5eed;
+    let mut json = false;
+    while let Some(flag) = argv.next() {
+        let parse_num = |flag: &str, raw: Option<String>| -> Result<u64, String> {
+            let raw = raw.ok_or(format!("{flag} needs a number"))?;
+            raw.parse().map_err(|_| format!("bad {flag} {raw:?}"))
+        };
+        match flag.as_str() {
+            "--samples" => samples = parse_num("--samples", argv.next())?,
+            "--seed" => seed = parse_num("--seed", argv.next())?,
+            "--json" => json = true,
+            other => return Err(format!("unknown redteam option {other:?}")),
+        }
+    }
+
+    use pkru_analysis::redteam::{generate_any, vet, Catch};
+    let (mut caught_static, mut caught_dynamic, mut uncaught) = (0u64, 0u64, 0u64);
+    let mut rows = Vec::new();
+    for i in 0..samples {
+        let attack = generate_any(seed.wrapping_add(i));
+        let (layer, detail) = match vet(&attack.module()) {
+            Catch::Static(findings) => {
+                caught_static += 1;
+                ("static", findings[0].to_string())
+            }
+            Catch::Dynamic(cause) => {
+                caught_dynamic += 1;
+                ("dynamic", cause)
+            }
+            Catch::Uncaught => {
+                uncaught += 1;
+                ("uncaught", String::new())
+            }
+        };
+        if layer == "uncaught" && !json {
+            eprintln!("UNCAUGHT {} (seed {}):\n{}", attack.kind.label(), attack.seed, attack.text);
+        }
+        rows.push(format!(
+            "{{\"kind\":\"{}\",\"seed\":{},\"caught\":\"{layer}\",\"detail\":\"{}\"}}",
+            attack.kind.label(),
+            attack.seed,
+            json_escape(&detail)
+        ));
+    }
+    if json {
+        println!(
+            "{{\"samples\":{samples},\"caught_static\":{caught_static},\
+             \"caught_dynamic\":{caught_dynamic},\"uncaught\":{uncaught},\
+             \"results\":[{}]}}",
+            rows.join(",")
+        );
+    } else {
+        println!(
+            "red team: {samples} attack(s): {caught_static} caught statically, \
+             {caught_dynamic} dynamically, {uncaught} uncaught"
+        );
+    }
+    if uncaught == 0 {
+        Ok(())
+    } else {
+        Err(format!("{uncaught} attack(s) escaped both the scan and the runtime"))
+    }
+}
+
+/// The `scan --json` report: one object per finding, with the reachability
+/// witness as an array of function names (untrusted entry first).
+fn scan_report_json(findings: &[pkru_analysis::ScanFinding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let witness: Vec<String> =
+            f.witness.iter().map(|w| format!("\"{}\"", json_escape(w))).collect();
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"func\":\"{}\",\"block\":{},\"index\":{},\
+             \"witness\":[{}],\"message\":\"{}\"}}",
+            f.kind.code(),
+            json_escape(&f.func),
+            f.block,
+            f.index,
+            witness.join(","),
+            json_escape(&f.to_string())
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Structural verification plus the def-before-use dataflow check.

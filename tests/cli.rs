@@ -196,6 +196,60 @@ fn lint_accepts_stage1_output() {
 }
 
 #[test]
+fn scan_accepts_clean_module_raw_and_stage1() {
+    let dir = temp_dir("scan_clean");
+    let program = demo_program(&dir);
+    let out = cli().args(["scan"]).arg(&program).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("adversarial scan clean"));
+
+    // The compiler's own gated output is sanctioned by shape.
+    let out = cli().args(["scan"]).arg(&program).arg("--stage1").output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // --json on a clean module: an empty findings array, exit 0.
+    let out = cli().args(["scan"]).arg(&program).arg("--json").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("{\"findings\":[]}"), "{out:?}");
+}
+
+#[test]
+fn scan_rejects_corpus_attack_with_machine_readable_finding() {
+    // The checked-in indirect-gadget attack: exit non-zero, and the JSON
+    // report names the gadget, its code, and the witness path through the
+    // untrusted dispatcher.
+    let program = PathBuf::from("tests/corpus/indirect_gadget.lir");
+    let out = cli().args(["scan"]).arg(&program).args(["--json"]).output().expect("run");
+    assert!(!out.status.success(), "a corpus attack must fail the scan");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"code\":\"SCAN001\"",
+        "\"func\":\"callback_table_entry\"",
+        "\"witness\":[\"evil::dispatch\",\"callback_table_entry\"]",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    assert!(String::from_utf8_lossy(&out.stderr).contains("adversarial scan found"), "{out:?}");
+
+    // Without --json the findings render human-readable on stderr.
+    let out = cli().args(["scan"]).arg(&program).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SCAN001") && stderr.contains("unsanctioned"), "{stderr}");
+}
+
+#[test]
+fn redteam_vets_generated_attacks_and_reports_json() {
+    let out =
+        cli().args(["redteam", "--samples", "18", "--seed", "7", "--json"]).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"samples\":18", "\"uncaught\":0", "\"kind\":\"gadget-reuse\"", "\"caught\":\""] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = cli().arg("frobnicate").output().expect("run");
     assert!(!out.status.success());

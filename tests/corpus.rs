@@ -1,0 +1,111 @@
+//! The checked-in red-team corpus: six hand-written Garmr-shaped attack
+//! programs under `tests/corpus/`, each annotated with the defense that
+//! must stop it (`; expect: SCAN001 ...` for the adversarial scan,
+//! `; expect: dynamic` for a runtime-only catch). The harness runs every
+//! file through [`pkru_analysis::redteam::vet`] — the same
+//! scan-then-execute gauntlet the CI chaos job applies — and asserts the
+//! expected codes appear. An attack slipping through both layers fails
+//! the suite.
+
+use std::path::PathBuf;
+
+use lir::{parse_module, verify_module, Module};
+use pkru_analysis::redteam::{vet, Catch};
+use pkru_analysis::scan_module;
+
+/// Loads every corpus program with its `; expect:` tokens.
+fn corpus() -> Vec<(String, Vec<String>, Module)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lir"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 6, "corpus shrank: {entries:?}");
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let expect: Vec<String> = text
+                .lines()
+                .filter_map(|l| l.trim().strip_prefix("; expect:"))
+                .flat_map(|l| l.split_whitespace())
+                .map(str::to_string)
+                .collect();
+            assert!(!expect.is_empty(), "{name}: missing `; expect:` header");
+            let module =
+                parse_module(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            verify_module(&module).unwrap_or_else(|e| panic!("{name} does not verify: {e:?}"));
+            (name, expect, module)
+        })
+        .collect()
+}
+
+#[test]
+fn every_corpus_attack_is_caught_as_annotated() {
+    for (name, expect, module) in corpus() {
+        let catch = vet(&module);
+        if expect.iter().any(|t| t == "dynamic") {
+            // Runtime-only attacks must be invisible to the scan (that is
+            // the point of checking them in) and stopped dynamically.
+            assert!(scan_module(&module).is_empty(), "{name}: expected a static-clean module");
+            assert!(
+                matches!(catch, Catch::Dynamic(_)),
+                "{name}: expected a dynamic catch, got {catch:?}"
+            );
+        } else {
+            match &catch {
+                Catch::Static(findings) => {
+                    for code in &expect {
+                        assert!(
+                            findings.iter().any(|f| f.kind.code() == code),
+                            "{name}: expected {code} among {findings:?}"
+                        );
+                    }
+                }
+                other => panic!("{name}: expected a static catch, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_findings_carry_reachability_witnesses() {
+    // Findings inside attacker-reachable code must explain *how* the
+    // attacker gets there, not just where the gadget sits. (gate_reentry's
+    // findings live in trusted @main, which no untrusted entry reaches —
+    // its witnesses are legitimately empty.)
+    for (name, _, module) in corpus() {
+        let untrusted: Vec<&str> = module
+            .functions
+            .iter()
+            .filter(|f| f.attrs.untrusted)
+            .map(|f| f.name.as_str())
+            .collect();
+        for finding in scan_module(&module) {
+            if untrusted.contains(&finding.func.as_str()) {
+                assert!(
+                    !finding.witness.is_empty(),
+                    "{name}: finding in untrusted @{} lacks a witness",
+                    finding.func
+                );
+            }
+        }
+    }
+
+    // And the indirect-gadget file specifically proves the interprocedural
+    // walk: its SCAN001 sits in a trusted helper, reached through an icall
+    // from the untrusted dispatcher.
+    let (_, _, module) = corpus()
+        .into_iter()
+        .find(|(name, _, _)| name == "indirect_gadget")
+        .expect("indirect_gadget.lir present");
+    let findings = scan_module(&module);
+    assert!(
+        findings.iter().any(|f| f.func == "callback_table_entry"
+            && f.witness == ["evil::dispatch", "callback_table_entry"]),
+        "{findings:?}"
+    );
+}

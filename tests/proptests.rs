@@ -335,6 +335,32 @@ proptest! {
         prop_assert!(lint.is_ok(), "lint rejected profiling build: {:?}\n{}", lint, profiling.dump());
     }
 
+    // The adversarial scan must be a no-false-positive gate for the
+    // compiler's own output: every stage-1 module (and its profiling
+    // sibling) scans clean, so wiring the scan into CI can never block a
+    // legitimate build.
+    #[test]
+    fn scan_accepts_expand_annotations_output(
+        writers in proptest::collection::vec(any::<bool>(), 1..3),
+        allocs in proptest::collection::vec((1u64..8, any::<bool>(), 0usize..4), 1..4),
+        use_helper in any::<bool>(),
+        branch in any::<bool>(),
+    ) {
+        use pkru_safe_repro::core_pipeline::{Annotations, Pipeline};
+
+        let text = gen_lir_program(&writers, &allocs, use_helper, branch);
+        let module = pkru_safe_repro::lir::parse_module(&text).expect("generated module parses");
+        let pipeline = Pipeline::new(module, Annotations::new());
+
+        let annotated = pipeline.annotated_build().expect("annotate");
+        let findings = pkru_safe_repro::analysis::scan_module(&annotated);
+        prop_assert!(findings.is_empty(), "scan rejected stage 1: {:?}\n{}", findings, annotated.dump());
+
+        let profiling = pipeline.profiling_build().expect("profiling build");
+        let findings = pkru_safe_repro::analysis::scan_module(&profiling);
+        prop_assert!(findings.is_empty(), "scan rejected profiling build: {:?}\n{}", findings, profiling.dump());
+    }
+
     // Soundness: whatever the interpreter observes crossing the boundary,
     // the static escape analysis must have predicted.
     #[test]
@@ -361,6 +387,29 @@ proptest! {
             "dynamic sites missing from static may-escape: {:?}\nprogram:\n{}",
             sound,
             text
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    // The red-team contract: every generated Garmr-shaped attack is
+    // rejected by the adversarial scan or stopped at run time (MPK fault,
+    // syscall filter, gate integrity, or the quarantine breaker). 200
+    // seeds cycle through all six attack families.
+    #[test]
+    fn every_redteam_attack_is_caught(seed in any::<u64>()) {
+        use pkru_safe_repro::analysis::redteam::{generate_any, vet};
+
+        let attack = generate_any(seed);
+        let catch = vet(&attack.module());
+        prop_assert!(
+            catch.caught(),
+            "attack {} (seed {}) escaped both layers:\n{}",
+            attack.kind.label(),
+            attack.seed,
+            attack.text
         );
     }
 }
