@@ -140,6 +140,22 @@ impl Gates {
         self.handler = Some(handler);
     }
 
+    /// Detaches the violation handler (restores the unpoliced default).
+    pub fn clear_violation_handler(&mut self) {
+        self.handler = None;
+    }
+
+    /// Replaces the PKRU enforced inside the untrusted compartment.
+    ///
+    /// This is the multi-tenant compartment switch: a worker serving
+    /// tenant A installs A's rights (key 0 plus A's bound hardware key)
+    /// so the next enter gate drops into A's compartment rather than the
+    /// ambient `U`. Takes effect on the next [`Gates::enter_untrusted`];
+    /// regions already open keep the rights they entered with.
+    pub fn set_untrusted_pkru(&mut self, pkru: Pkru) {
+        self.untrusted_pkru = pkru;
+    }
+
     /// Disables the post-`WRPKRU` verification (ablation measurement only).
     pub fn set_verify(&mut self, on: bool) {
         self.verify = on;

@@ -284,6 +284,14 @@ impl Machine {
         self.handler.as_ref()
     }
 
+    /// Detaches the violation handler from the machine and its gates
+    /// (tenant multiplexing swaps handlers per request; a worker with no
+    /// ambient handler restores to this).
+    pub fn clear_violation_handler(&mut self) {
+        self.gates.clear_violation_handler();
+        self.handler = None;
+    }
+
     /// Installs the syscall filter consulted by [`Machine::syscall`].
     pub fn install_syscall_filter(&mut self, filter: SyscallFilter) {
         self.syscall_filter = filter;

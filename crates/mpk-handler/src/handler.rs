@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
-use pkru_mpk::PkeyRights;
+use pkru_mpk::{Pkey, PkeyRights};
 use pkru_provenance::AllocId;
 use pkru_vmem::{Fault, FaultKind};
 
@@ -51,13 +51,36 @@ struct Inner {
 pub struct ViolationHandler {
     policy: MpkPolicy,
     worker: usize,
+    /// When set, only faults on this key may be single-stepped; faults
+    /// on any other key are recorded but denied outright.
+    grant_scope: Option<Pkey>,
     inner: Mutex<Inner>,
 }
 
 impl ViolationHandler {
     /// Creates a handler for the worker in pool slot `worker`.
     pub fn new(policy: MpkPolicy, worker: usize) -> ViolationHandler {
-        ViolationHandler { policy, worker, inner: Mutex::new(Inner::default()) }
+        ViolationHandler { policy, worker, grant_scope: None, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Restricts audit/quarantine grants to faults on `scope`.
+    ///
+    /// Multi-tenant compartments need this: under `audit`, the handler
+    /// replies `SingleStep { grant }` for *any* faulting key, which
+    /// would let a tenant's probe actually read a neighbour's byte
+    /// (logged, but leaked). Scoped to the trusted key, trusted-pool
+    /// probes keep their observability while cross-tenant and park-key
+    /// faults are recorded and denied — counted `enforced` under
+    /// `audit`, `quarantined` under `quarantine`, and still feeding the
+    /// quarantine breaker.
+    pub fn with_grant_scope(mut self, scope: Pkey) -> ViolationHandler {
+        self.grant_scope = Some(scope);
+        self
+    }
+
+    /// The key grants are restricted to, if any.
+    pub fn grant_scope(&self) -> Option<Pkey> {
+        self.grant_scope
     }
 
     /// The policy this handler enforces.
@@ -80,6 +103,10 @@ impl ViolationHandler {
         let FaultKind::PkeyViolation { pkey, pkru } = fault.kind else {
             return Verdict::Deny;
         };
+        // Out-of-scope faults are observed (recorded, counted, fed to
+        // the breaker) but never granted: single-stepping them would
+        // perform the forbidden access.
+        let out_of_scope = self.grant_scope.is_some_and(|scope| pkey != scope);
         let mut inner = self.inner.lock().expect("handler lock");
         match self.policy {
             MpkPolicy::Enforce => {
@@ -87,9 +114,14 @@ impl ViolationHandler {
                 Verdict::Deny
             }
             MpkPolicy::Audit => {
-                inner.counters.audited += 1;
                 inner.push_record(self.worker, fault, site);
-                Verdict::SingleStep { grant: pkru.with_rights(pkey, PkeyRights::ReadWrite) }
+                if out_of_scope {
+                    inner.counters.enforced += 1;
+                    Verdict::Deny
+                } else {
+                    inner.counters.audited += 1;
+                    Verdict::SingleStep { grant: pkru.with_rights(pkey, PkeyRights::ReadWrite) }
+                }
             }
             MpkPolicy::Quarantine { threshold } => {
                 inner.push_record(self.worker, fault, site);
@@ -102,14 +134,16 @@ impl ViolationHandler {
                     }
                     None => 0,
                 };
-                if inner.tripped
+                let trip = inner.tripped
                     || inner.incarnation_violations >= threshold
-                    || site_count >= threshold
-                {
-                    inner.tripped = true;
-                    if let Some(id) = site {
-                        if site_count >= threshold {
-                            inner.flagged.insert(id);
+                    || site_count >= threshold;
+                if trip || out_of_scope {
+                    if trip {
+                        inner.tripped = true;
+                        if let Some(id) = site {
+                            if site_count >= threshold {
+                                inner.flagged.insert(id);
+                            }
                         }
                     }
                     inner.counters.quarantined += 1;
@@ -273,6 +307,34 @@ mod tests {
         h.begin_incarnation();
         assert!(!h.tripped());
         assert_eq!(h.flagged_sites(), vec![hot]);
+    }
+
+    #[test]
+    fn grant_scope_denies_out_of_scope_faults_but_still_records_them() {
+        let scope = Pkey::new(2).unwrap();
+        let h = ViolationHandler::new(MpkPolicy::Audit, 0).with_grant_scope(scope);
+        assert_eq!(h.grant_scope(), Some(scope));
+        // The faulting key is 1 ≠ scope: logged, but denied outright.
+        assert_eq!(h.on_violation(&violation(0x1000), None), Verdict::Deny);
+        assert_eq!(h.audit_log().len(), 1);
+        assert_eq!(h.counters(), ViolationCounters { enforced: 1, audited: 0, quarantined: 0 });
+        // An in-scope fault still single-steps.
+        let in_scope = Fault {
+            addr: 0x2000,
+            access: AccessKind::Read,
+            kind: FaultKind::PkeyViolation { pkey: scope, pkru: Pkru::deny_only(scope) },
+        };
+        assert!(matches!(h.on_violation(&in_scope, None), Verdict::SingleStep { .. }));
+        assert_eq!(h.counters().audited, 1);
+        // Under quarantine, out-of-scope faults are denied immediately
+        // and still feed the breaker.
+        let q = ViolationHandler::new(MpkPolicy::Quarantine { threshold: 2 }, 0)
+            .with_grant_scope(scope);
+        assert_eq!(q.on_violation(&violation(1), None), Verdict::Deny);
+        assert!(!q.tripped(), "one out-of-scope fault must not trip a threshold of 2");
+        assert_eq!(q.on_violation(&violation(2), None), Verdict::Deny);
+        assert!(q.tripped());
+        assert_eq!(q.counters(), ViolationCounters { enforced: 0, audited: 0, quarantined: 2 });
     }
 
     #[test]

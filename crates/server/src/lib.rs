@@ -39,8 +39,15 @@ pub use pkru_handler::{
     audit_log_json, AuditRecord, MpkPolicy, Verdict, ViolationCounters, ViolationHandler,
     AUDIT_LOG_CAP, DEFAULT_QUARANTINE_THRESHOLD,
 };
+pub use pkru_tenant::{
+    Tenant, TenantConfig, TenantError, TenantLease, TenantRegistry, VirtualPkey, VirtualPkeyError,
+    VirtualPkeyPool, VkeyPoolStats,
+};
 pub use queue::{BoundedQueue, QueueStats};
 pub use request::{catalog, Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
-pub use server::{serve, ServeConfig, ServeError, ServeReport, RESTART_BUDGET};
+pub use server::{
+    build_tenant_registry, serve, ServeConfig, ServeError, ServeReport, TenantReportRow,
+    RESTART_BUDGET,
+};
 pub use traffic::TrafficGen;
 pub use worker::{run_worker, WorkerCell, WorkerStats};

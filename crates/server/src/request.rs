@@ -23,6 +23,9 @@ pub struct Request {
     /// worker dies too, it is abandoned (and counted), never requeued
     /// again.
     pub retried: bool,
+    /// The tenant whose compartment serves this request (`None` in
+    /// single-tenant mode: the ambient untrusted compartment).
+    pub tenant: Option<usize>,
 }
 
 /// A completed request, carrying its determinism witness.

@@ -28,6 +28,7 @@ use minijs::Value;
 use pkalloc::MAX_WORKERS;
 use pkru_handler::{audit_log_json, AuditRecord, MpkPolicy, ViolationHandler};
 use pkru_provenance::{AllocId, Profile};
+use pkru_tenant::{TenantError, TenantRegistry, VkeyPoolStats};
 use servolite::{Browser, BrowserConfig};
 use workloads::suites::micro_page;
 
@@ -49,6 +50,10 @@ pub enum ServeError {
     Config(String),
     /// The profiling or reference pass failed.
     Setup(String),
+    /// The hardware protection-key pool ran dry during setup (the park
+    /// key or a worker's key). Typed — key exhaustion is a capacity
+    /// planning fact, not a generic setup fault.
+    KeysExhausted(String),
     /// A worker failed to start or panicked. When the *whole pool* died
     /// this way, `report` carries the partial [`ServeReport`] — every
     /// surviving worker's counters, the queue stats, and the abandoned
@@ -68,6 +73,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Config(m) => write!(f, "bad serve config: {m}"),
             ServeError::Setup(m) => write!(f, "serve setup: {m}"),
+            ServeError::KeysExhausted(m) => write!(f, "protection keys exhausted: {m}"),
             ServeError::Worker { worker, message, .. } => write!(f, "worker {worker}: {message}"),
         }
     }
@@ -102,6 +108,13 @@ pub struct ServeConfig {
     /// `false` is the ablation configuration the `tlb_ablation` bench
     /// measures). Observable behaviour is identical either way.
     pub tlb: bool,
+    /// Multi-tenant mode: the number of tenants to register (0 — the
+    /// default — serves the classic single-U stream and is byte-identical
+    /// in behaviour and report JSON to the pre-tenant runtime).
+    pub tenants: usize,
+    /// The per-tenant violation policy (every tenant of one run shares
+    /// it; only consulted when `tenants > 0`).
+    pub tenant_policy: MpkPolicy,
 }
 
 impl Default for ServeConfig {
@@ -115,8 +128,30 @@ impl Default for ServeConfig {
             mpk_policy: MpkPolicy::Enforce,
             extra_profile: None,
             tlb: true,
+            tenants: 0,
+            tenant_policy: MpkPolicy::Enforce,
         }
     }
+}
+
+/// One tenant's row in the serve report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantReportRow {
+    /// The tenant's registry id.
+    pub tenant: usize,
+    /// Requests served inside this tenant's compartment.
+    pub requests: u64,
+    /// Requests refused because the tenant was quarantined.
+    pub rejected: u64,
+    /// The tenant's violation counters, split by verdict.
+    pub violations_enforced: u64,
+    /// Violations single-stepped and logged for this tenant.
+    pub violations_audited: u64,
+    /// Violations denied by the tenant's quarantine breaker (or grant
+    /// scope).
+    pub violations_quarantined: u64,
+    /// Whether the tenant ended the run quarantined.
+    pub quarantined: bool,
 }
 
 /// Everything a serve run produced.
@@ -177,6 +212,12 @@ pub struct ServeReport {
     pub audit_log: Vec<AuditRecord>,
     /// Audit records discarded because a worker's log was full.
     pub audit_dropped: u64,
+    /// Per-tenant counters, ordered by tenant id (empty when `tenants`
+    /// is 0).
+    pub per_tenant: Vec<TenantReportRow>,
+    /// Virtual-key multiplexing counters (bind hits/misses, evictions,
+    /// re-tagged pages); `None` when `tenants` is 0.
+    pub tenant_key_stats: Option<VkeyPoolStats>,
 }
 
 impl ServeReport {
@@ -193,10 +234,11 @@ impl ServeReport {
     /// Machine-readable form (hand-rolled; the workspace has no serde).
     ///
     /// Under [`MpkPolicy::Enforce`] the policy and violation fields are
-    /// omitted entirely, keeping the schema byte-identical to the
-    /// policy-less runtime (the fault-free schema is pinned by test).
+    /// omitted entirely, and with `tenants == 0` the tenant fields are
+    /// too — keeping the schema byte-identical to the pre-policy,
+    /// pre-tenant runtime (the fault-free schema is pinned by test).
     pub fn to_json(&self) -> String {
-        // Both insertion slots are empty strings under `enforce`.
+        // All insertion slots are empty strings in the default config.
         let (policy, violations) = if self.config.mpk_policy == MpkPolicy::Enforce {
             (String::new(), String::new())
         } else {
@@ -222,6 +264,47 @@ impl ServeReport {
                     self.audit_dropped,
                     audit_log_json(&self.audit_log)
                 ),
+            )
+        };
+        let tenants = if self.config.tenants == 0 {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .per_tenant
+                .iter()
+                .map(|t| {
+                    format!(
+                        concat!(
+                            "{{\"tenant\":{},\"requests\":{},\"rejected\":{},",
+                            "\"violations_enforced\":{},\"violations_audited\":{},",
+                            "\"violations_quarantined\":{},\"quarantined\":{}}}"
+                        ),
+                        t.tenant,
+                        t.requests,
+                        t.rejected,
+                        t.violations_enforced,
+                        t.violations_audited,
+                        t.violations_quarantined,
+                        t.quarantined
+                    )
+                })
+                .collect();
+            let keys = self.tenant_key_stats.unwrap_or_default();
+            format!(
+                concat!(
+                    "\"tenants\":{},\"tenant_policy\":\"{}\",",
+                    "\"tenant_keys\":{{\"binds\":{},\"hits\":{},\"misses\":{},",
+                    "\"evictions\":{},\"pages_retagged\":{}}},",
+                    "\"per_tenant\":[{}],"
+                ),
+                self.config.tenants,
+                self.config.tenant_policy,
+                keys.binds,
+                keys.hits,
+                keys.misses,
+                keys.evictions,
+                keys.pages_retagged,
+                rows.join(",")
             )
         };
         let workers: Vec<String> = self
@@ -253,7 +336,7 @@ impl ServeReport {
                 "\"workers_restarted\":{},\"requests_retried\":{},",
                 "\"requests_abandoned\":{},\"injected_faults\":{},",
                 "\"tlb_hits\":{},\"tlb_misses\":{},\"tlb_flushes\":{},",
-                "{}\"per_worker\":[{}]}}"
+                "{}{}\"per_worker\":[{}]}}"
             ),
             self.config.workers,
             self.config.requests,
@@ -278,6 +361,7 @@ impl ServeReport {
             self.tlb_misses,
             self.tlb_flushes,
             violations,
+            tenants,
             workers.join(",")
         )
     }
@@ -347,6 +431,34 @@ fn reference_checksums(
     Ok(reference)
 }
 
+/// Builds the tenant registry for a serve run: `tenants` tenants, all
+/// under `policy`, over the host's shared space and key pool.
+///
+/// Returns `Ok(None)` for `tenants == 0` (single-tenant mode). Hardware
+/// key exhaustion — the park key is one more key on top of the trusted
+/// key and any pre-allocated ones — surfaces as the typed
+/// [`ServeError::KeysExhausted`], never a panic.
+pub fn build_tenant_registry(
+    host: &SharedHost,
+    tenants: usize,
+    policy: MpkPolicy,
+) -> Result<Option<TenantRegistry>, ServeError> {
+    if tenants == 0 {
+        return Ok(None);
+    }
+    fn lift(stage: &str, e: TenantError) -> ServeError {
+        match e {
+            TenantError::KeysExhausted => ServeError::KeysExhausted(format!(
+                "tenant registry {stage}: no hardware key free for the park key"
+            )),
+            other => ServeError::Setup(format!("tenant registry {stage}: {other}")),
+        }
+    }
+    let mut registry = TenantRegistry::new(host).map_err(|e| lift("setup", e))?;
+    registry.populate(tenants, policy).map_err(|e| lift("populate", e))?;
+    Ok(Some(registry))
+}
+
 /// Runs the full pipeline and the supervised pool, returning the
 /// aggregated report — or, if every worker slot died past its respawn
 /// budget, the fatal error with the partial report attached. Either way
@@ -378,6 +490,11 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     let reference = reference_checksums(&catalog, &profile)?;
 
     let host = SharedHost::new();
+    // Tenants register before any worker starts: their regions map and
+    // park, the park key is claimed, and key exhaustion fails the run
+    // typed instead of killing workers one by one later.
+    let registry = build_tenant_registry(&host, config.tenants, config.tenant_policy)?;
+    let registry = registry.as_ref();
     let queue: BoundedQueue<Request> = BoundedQueue::new(config.queue_capacity);
     let faults = FaultState::new(&config.faults, config.workers);
     let cells: Vec<Arc<WorkerCell>> =
@@ -421,6 +538,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
                         faults,
                         &cell,
                         handler.as_ref(),
+                        registry,
                         tlb,
                     )
                 }));
@@ -448,10 +566,11 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         let producer_catalog_len = catalog.len();
         let producer_queue = &queue;
         scope.spawn(move || {
-            let traffic = TrafficGen::new(
+            let traffic = TrafficGen::with_tenants(
                 producer_config.seed,
                 producer_config.requests,
                 producer_catalog_len,
+                producer_config.tenants,
             );
             for request in traffic {
                 if producer_queue.push(request).is_err() {
@@ -557,6 +676,30 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         None => violations_enforced = unexpected_faults,
     }
 
+    // Per-tenant breakdown: the tenants' own ledgers, in id order.
+    let (per_tenant, tenant_key_stats) = match registry {
+        Some(registry) => (
+            registry
+                .tenants()
+                .iter()
+                .map(|t| {
+                    let counters = t.violation_counters();
+                    TenantReportRow {
+                        tenant: t.id(),
+                        requests: t.requests(),
+                        rejected: t.rejected(),
+                        violations_enforced: counters.enforced,
+                        violations_audited: counters.audited,
+                        violations_quarantined: counters.quarantined,
+                        quarantined: t.quarantined(),
+                    }
+                })
+                .collect(),
+            Some(registry.key_stats()),
+        ),
+        None => (Vec::new(), None),
+    };
+
     let report = ServeReport {
         workers,
         elapsed_seconds,
@@ -583,6 +726,8 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         flagged_sites,
         audit_log,
         audit_dropped,
+        per_tenant,
+        tenant_key_stats,
         config,
     };
 

@@ -16,13 +16,23 @@ pub struct TrafficGen {
     next_id: u64,
     total: u64,
     catalog_len: usize,
+    tenants: usize,
 }
 
 impl TrafficGen {
     /// Creates a stream of `total` requests over `catalog_len` scripts.
     pub fn new(seed: u64, total: u64, catalog_len: usize) -> TrafficGen {
+        TrafficGen::with_tenants(seed, total, catalog_len, 0)
+    }
+
+    /// Like [`TrafficGen::new`], but tags each request with one of
+    /// `tenants` tenants (uniformly, from the same seeded stream). With
+    /// `tenants == 0` the request sequence is identical to `new`'s —
+    /// the tenant draw happens only when tenants exist, so the kind
+    /// stream never shifts.
+    pub fn with_tenants(seed: u64, total: u64, catalog_len: usize, tenants: usize) -> TrafficGen {
         assert!(catalog_len > 0, "empty catalog");
-        TrafficGen { state: seed ^ 0x9e37_79b9_7f4a_7c15, next_id: 0, total, catalog_len }
+        TrafficGen { state: seed ^ 0x9e37_79b9_7f4a_7c15, next_id: 0, total, catalog_len, tenants }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -46,7 +56,12 @@ impl Iterator for TrafficGen {
         } else {
             RequestKind::Script((self.next_u64() % self.catalog_len as u64) as usize)
         };
-        Some(Request { id, kind, retried: false })
+        let tenant = if self.tenants > 0 {
+            Some((self.next_u64() % self.tenants as u64) as usize)
+        } else {
+            None
+        };
+        Some(Request { id, kind, retried: false, tenant })
     }
 }
 
@@ -68,6 +83,21 @@ mod tests {
                 assert!(s < 9);
             }
         }
+    }
+
+    #[test]
+    fn tenant_tagging_covers_all_tenants_without_shifting_the_kind_stream() {
+        let plain: Vec<Request> = TrafficGen::new(42, 64, 9).collect();
+        let tagged: Vec<Request> = TrafficGen::with_tenants(42, 64, 9, 4).collect();
+        assert!(plain.iter().all(|r| r.tenant.is_none()));
+        let mut seen = [false; 4];
+        for r in &tagged {
+            seen[r.tenant.expect("tenant mode tags every request")] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 requests over 4 tenants must hit each");
+        // The tenant=0 stream must stay byte-identical to `new`'s.
+        let zero: Vec<Request> = TrafficGen::with_tenants(42, 64, 9, 0).collect();
+        assert_eq!(plain, zero);
     }
 
     #[test]

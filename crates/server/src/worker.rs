@@ -21,11 +21,16 @@ use lir::SharedHost;
 use minijs::Value;
 use pkru_handler::ViolationHandler;
 use pkru_provenance::Profile;
+use pkru_tenant::TenantRegistry;
 
 use crate::fault::{FaultKind, FaultState};
 use crate::queue::BoundedQueue;
 use crate::request::{Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
 use crate::server::ServeError;
+
+/// How many yield-and-retry rounds a worker spends binding a tenant whose
+/// every candidate victim is pinned before giving up on the request.
+const TENANT_BIND_SPINS: usize = 64;
 
 /// Per-worker counters, reported after drain.
 #[derive(Clone, Copy, Debug, Default)]
@@ -142,6 +147,7 @@ pub fn run_worker(
     faults: &FaultState,
     cell: &WorkerCell,
     handler: Option<&Arc<ViolationHandler>>,
+    registry: Option<&TenantRegistry>,
     tlb: bool,
 ) -> Result<(), ServeError> {
     if let Some(handler) = handler {
@@ -171,132 +177,253 @@ pub fn run_worker(
         message: format!("initial page: {e}"),
         report: None,
     })?;
+    // The worker's ambient compartment context, restored after every
+    // tenant-tagged request: the single-U untrusted PKRU and the default
+    // (deny-all) syscall filter the browser was built with.
+    let base_untrusted = browser.machine.gates.untrusted_pkru();
+    let base_filter = browser.machine.syscall_filter().clone();
 
     while let Some(request) = queue.pop() {
         cell.begin(request);
-        match faults.next_request(worker) {
-            None => {}
-            Some(FaultKind::Panic) => {
-                // The in-flight request stays in the cell: the supervisor
-                // recovers and requeues it.
-                panic!("injected panic: worker {worker} dying on request {}", request.id);
-            }
-            Some(FaultKind::PkeyViolation) => {
-                match handler {
-                    // No handler (enforce): an injected violation looks
-                    // exactly like a real one — the request completes, the
-                    // defect lands in the report.
-                    None => {
-                        cell.complete(|stats, _| {
-                            stats.requests += 1;
-                            match request.kind {
-                                RequestKind::PageLoad => stats.page_loads += 1,
-                                RequestKind::Script(_) => stats.scripts += 1,
-                            }
-                            stats.pkey_faults += 1;
-                        });
-                        continue;
-                    }
-                    // With a handler, the injection provokes a *real* MPK
-                    // violation (a trusted-pool read from inside `U`) that
-                    // flows through the machine's fault path into the
-                    // handler. The violation is accounted there — never in
-                    // `pkey_faults` — so `injected_faults` and the
-                    // `violations_*` counters stay disjoint from the
-                    // legacy unexpected-fault counter.
-                    Some(handler) => {
-                        let outcome = browser.probe_trusted_access();
-                        cell.complete(|stats, _| {
-                            stats.requests += 1;
-                            match request.kind {
-                                RequestKind::PageLoad => stats.page_loads += 1,
-                                RequestKind::Script(_) => stats.scripts += 1,
-                            }
-                            // A denied probe is the handler's verdict
-                            // (enforcement or a tripped breaker), already
-                            // counted by the handler; anything else is a
-                            // genuine worker error.
-                            if let Err(e) = &outcome {
-                                if !e.is_pkey_violation() {
-                                    stats.errors += 1;
+        // Tenant-tagged request: bind the tenant's virtual key (possibly
+        // stealing an LRU hardware key from an idle tenant) and swap the
+        // worker into the tenant's compartment. The lease pins the
+        // binding — no other worker can evict this tenant's key while the
+        // request is in flight.
+        let lease = match (registry, request.tenant) {
+            (Some(registry), Some(tid)) => {
+                match registry.bind_with_retry(tid, TENANT_BIND_SPINS) {
+                    Ok(lease) => {
+                        let tenant = Arc::clone(lease.tenant());
+                        if tenant.quarantined() {
+                            // A quarantined tenant is refused per request
+                            // — its neighbours (and this worker) keep
+                            // serving.
+                            tenant.record_rejected();
+                            cell.complete(|stats, _| {
+                                stats.requests += 1;
+                                match request.kind {
+                                    RequestKind::PageLoad => stats.page_loads += 1,
+                                    RequestKind::Script(_) => stats.scripts += 1,
                                 }
-                            }
-                        });
-                        if handler.tripped() {
-                            // Quarantine: tear this incarnation down
-                            // through the supervision path. The request
-                            // was completed above, so nothing is requeued.
-                            cell.add_transitions(browser.stats().transitions);
-                            return Err(ServeError::Worker {
-                                worker,
-                                message: "quarantined: MPK violation breaker tripped".into(),
-                                report: None,
                             });
+                            continue;
                         }
+                        tenant.record_request();
+                        browser.machine.gates.set_untrusted_pkru(lease.pkru());
+                        if let Some(h) = tenant.handler() {
+                            browser.machine.set_violation_handler(Arc::clone(h));
+                        }
+                        browser.machine.install_syscall_filter(tenant.syscall_filter().clone());
+                        Some(lease)
+                    }
+                    // Bind refused after the retry budget (sustained pin
+                    // pressure or true exhaustion): the request completes
+                    // as an error, the worker survives.
+                    Err(_) => {
+                        cell.complete(|stats, _| {
+                            stats.requests += 1;
+                            match request.kind {
+                                RequestKind::PageLoad => stats.page_loads += 1,
+                                RequestKind::Script(_) => stats.scripts += 1,
+                            }
+                            stats.errors += 1;
+                        });
                         continue;
                     }
                 }
             }
-            Some(FaultKind::AllocExhaustion) => {
-                let message = exhaust_carveout(&mut browser);
-                cell.add_transitions(browser.stats().transitions);
-                return Err(ServeError::Worker { worker, message, report: None });
-            }
-            // Setup faults are filtered out by `next_request`.
-            Some(FaultKind::SetupFailure) => unreachable!("setup fault on a live worker"),
-        }
-        match request.kind {
-            RequestKind::PageLoad => {
-                let before = browser.stats().nodes;
-                let outcome = browser.load_html(micro_page());
-                let after = browser.stats().nodes;
-                cell.complete(|stats, responses| {
-                    stats.requests += 1;
-                    stats.page_loads += 1;
-                    match outcome {
-                        // A reload can only ever add nodes, but a
-                        // failed-then-retried load must not be able to
-                        // panic the worker on an impossible negative
-                        // delta — count it as an error instead.
-                        Ok(()) => match after.checked_sub(before) {
-                            Some(delta) => responses.push(Response {
-                                id: request.id,
-                                worker,
-                                name: PAGE_LOAD,
-                                checksum: delta as f64,
-                            }),
-                            None => stats.errors += 1,
-                        },
-                        Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
-                        Err(_) => stats.errors += 1,
-                    }
-                });
-            }
-            RequestKind::Script(i) => {
-                let spec = &catalog[i];
-                let outcome =
-                    browser.eval_script(&spec.source).and_then(|_| browser.call_script("run", &[]));
-                cell.complete(|stats, responses| {
-                    stats.requests += 1;
-                    stats.scripts += 1;
-                    match outcome {
-                        Ok(Value::Num(checksum)) => {
-                            responses.push(Response {
-                                id: request.id,
-                                worker,
-                                name: spec.name,
-                                checksum,
-                            });
+            _ => None,
+        };
+        // Injected faults consult the *tenant's* handler when one is
+        // active: a violation inside a tenant compartment is the
+        // tenant's liability, not the worker's.
+        let active_handler = lease.as_ref().and_then(|l| l.tenant().handler()).or(handler);
+        // The request body runs inside a labelled block so every early
+        // exit funnels through one restore point below — a tenant swap
+        // must never leak into the next request's compartment.
+        let die: Option<ServeError> = 'serve: {
+            if let Some(lease) = &lease {
+                // Touch the tenant's private region under its rights:
+                // the round-trip only succeeds if the bind re-tagged the
+                // tenant's (parked) pages onto the leased hardware key.
+                let scratch = lease.tenant().scratch_addr();
+                let m = &mut browser.machine;
+                let touched = m.gates.enter_untrusted(&mut m.cpu).is_ok()
+                    && m.mem_write(scratch, request.id).is_ok()
+                    && m.mem_read(scratch) == Ok(request.id)
+                    && m.gates.exit_untrusted(&mut m.cpu).is_ok();
+                if !touched {
+                    cell.complete(|stats, _| {
+                        stats.requests += 1;
+                        match request.kind {
+                            RequestKind::PageLoad => stats.page_loads += 1,
+                            RequestKind::Script(_) => stats.scripts += 1,
                         }
-                        Ok(_) => stats.errors += 1,
-                        Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
-                        Err(_) => stats.errors += 1,
-                    }
-                });
+                        stats.errors += 1;
+                    });
+                    break 'serve None;
+                }
             }
+            match faults.next_request(worker) {
+                None => {}
+                Some(FaultKind::Panic) => {
+                    // The in-flight request stays in the cell: the supervisor
+                    // recovers and requeues it.
+                    panic!("injected panic: worker {worker} dying on request {}", request.id);
+                }
+                Some(FaultKind::PkeyViolation) => {
+                    match active_handler {
+                        // No handler (enforce): an injected violation looks
+                        // exactly like a real one — the request completes, the
+                        // defect lands in the report.
+                        None => {
+                            cell.complete(|stats, _| {
+                                stats.requests += 1;
+                                match request.kind {
+                                    RequestKind::PageLoad => stats.page_loads += 1,
+                                    RequestKind::Script(_) => stats.scripts += 1,
+                                }
+                                stats.pkey_faults += 1;
+                            });
+                            break 'serve None;
+                        }
+                        // With a handler, the injection provokes a *real* MPK
+                        // violation (a trusted-pool read from inside the
+                        // compartment) that flows through the machine's fault
+                        // path into the handler. The violation is accounted
+                        // there — never in `pkey_faults` — so `injected_faults`
+                        // and the `violations_*` counters stay disjoint from
+                        // the legacy unexpected-fault counter.
+                        Some(active) => {
+                            let outcome = browser.probe_trusted_access();
+                            cell.complete(|stats, _| {
+                                stats.requests += 1;
+                                match request.kind {
+                                    RequestKind::PageLoad => stats.page_loads += 1,
+                                    RequestKind::Script(_) => stats.scripts += 1,
+                                }
+                                // A denied probe is the handler's verdict
+                                // (enforcement or a tripped breaker), already
+                                // counted by the handler; anything else is a
+                                // genuine worker error.
+                                if let Err(e) = &outcome {
+                                    if !e.is_pkey_violation() {
+                                        stats.errors += 1;
+                                    }
+                                }
+                            });
+                            if active.tripped() {
+                                if lease.is_some() {
+                                    // The *tenant's* breaker tripped: the
+                                    // tenant is condemned (every later
+                                    // request of theirs is rejected), but
+                                    // the worker lives on for everyone
+                                    // else.
+                                    break 'serve None;
+                                }
+                                // The worker's own breaker: tear this
+                                // incarnation down through the supervision
+                                // path. The request was completed above, so
+                                // nothing is requeued.
+                                break 'serve Some(ServeError::Worker {
+                                    worker,
+                                    message: "quarantined: MPK violation breaker tripped".into(),
+                                    report: None,
+                                });
+                            }
+                            break 'serve None;
+                        }
+                    }
+                }
+                Some(FaultKind::AllocExhaustion) => {
+                    let message = exhaust_carveout(&mut browser);
+                    break 'serve Some(ServeError::Worker { worker, message, report: None });
+                }
+                // Setup faults are filtered out by `next_request`.
+                Some(FaultKind::SetupFailure) => unreachable!("setup fault on a live worker"),
+            }
+            serve_request(worker, &request, catalog, cell, &mut browser);
+            None
+        };
+        // Restore the worker's ambient compartment before anything else
+        // can run on this browser.
+        if lease.is_some() {
+            browser.machine.gates.set_untrusted_pkru(base_untrusted);
+            browser.machine.install_syscall_filter(base_filter.clone());
+            match handler {
+                Some(h) => browser.machine.set_violation_handler(Arc::clone(h)),
+                None => browser.machine.clear_violation_handler(),
+            }
+        }
+        drop(lease);
+        if let Some(error) = die {
+            cell.add_transitions(browser.stats().transitions);
+            return Err(error);
         }
     }
 
     cell.add_transitions(browser.stats().transitions);
     Ok(())
+}
+
+/// Serves one page-load or script request on the worker's browser,
+/// completing it in `cell`.
+fn serve_request(
+    worker: usize,
+    request: &Request,
+    catalog: &[ScriptSpec],
+    cell: &WorkerCell,
+    browser: &mut Browser,
+) {
+    match request.kind {
+        RequestKind::PageLoad => {
+            let before = browser.stats().nodes;
+            let outcome = browser.load_html(micro_page());
+            let after = browser.stats().nodes;
+            cell.complete(|stats, responses| {
+                stats.requests += 1;
+                stats.page_loads += 1;
+                match outcome {
+                    // A reload can only ever add nodes, but a
+                    // failed-then-retried load must not be able to
+                    // panic the worker on an impossible negative
+                    // delta — count it as an error instead.
+                    Ok(()) => match after.checked_sub(before) {
+                        Some(delta) => responses.push(Response {
+                            id: request.id,
+                            worker,
+                            name: PAGE_LOAD,
+                            checksum: delta as f64,
+                        }),
+                        None => stats.errors += 1,
+                    },
+                    Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
+                    Err(_) => stats.errors += 1,
+                }
+            });
+        }
+        RequestKind::Script(i) => {
+            let spec = &catalog[i];
+            let outcome =
+                browser.eval_script(&spec.source).and_then(|_| browser.call_script("run", &[]));
+            cell.complete(|stats, responses| {
+                stats.requests += 1;
+                stats.scripts += 1;
+                match outcome {
+                    Ok(Value::Num(checksum)) => {
+                        responses.push(Response {
+                            id: request.id,
+                            worker,
+                            name: spec.name,
+                            checksum,
+                        });
+                    }
+                    Ok(_) => stats.errors += 1,
+                    Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
+                    Err(_) => stats.errors += 1,
+                }
+            });
+        }
+    }
 }

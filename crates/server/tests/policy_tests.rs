@@ -44,6 +44,7 @@ fn audit_config() -> ServeConfig {
         mpk_policy: MpkPolicy::Audit,
         extra_profile: None,
         tlb: true,
+        ..ServeConfig::default()
     }
 }
 
@@ -206,6 +207,8 @@ fn audit_json_schema_is_pinned() {
         flagged_sites: Vec::new(),
         audit_log: vec![record],
         audit_dropped: 0,
+        per_tenant: Vec::new(),
+        tenant_key_stats: None,
     };
     assert_eq!(
         report.to_json(),

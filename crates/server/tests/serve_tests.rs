@@ -81,6 +81,7 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
             mpk_policy: MpkPolicy::Enforce,
             extra_profile: None,
             tlb: true,
+            ..ServeConfig::default()
         },
         workers: vec![WorkerStats {
             worker: 0,
@@ -112,6 +113,8 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
         flagged_sites: Vec::new(),
         audit_log: Vec::new(),
         audit_dropped: 0,
+        per_tenant: Vec::new(),
+        tenant_key_stats: None,
     };
     assert_eq!(
         report.to_json(),

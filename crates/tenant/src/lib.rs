@@ -1,0 +1,35 @@
+//! Multi-tenant compartments: virtual protection keys over real MPK.
+//!
+//! The paper's model is one trusted compartment `T` and one untrusted
+//! compartment `U`. Production serving means *many* mutually-distrusting
+//! tenants sharing one address space — which collides head-on with the
+//! hardware limit of 15 allocatable protection keys. This crate resolves
+//! the collision libmpk-style, with two layers:
+//!
+//! - [`VirtualPkeyPool`] multiplexes an unbounded virtual-key space onto
+//!   the hardware keys: binding a virtual key lazily steals the
+//!   least-recently-bound hardware key, re-tags the evicted owner's
+//!   pages onto a dedicated no-access *park key* (a `pkey_mprotect`
+//!   storm that bumps the global TLB epoch, so every per-thread software
+//!   TLB resynchronizes), and hands the freed key to the binder.
+//!   [`BindGuard`] pins a binding for the duration of a gate region so
+//!   eviction can never race an open compartment switch.
+//! - [`TenantRegistry`] builds tenants on top: each [`Tenant`] owns a
+//!   virtual key, a private data region (parked until bound), an
+//!   allocator carve-out, a syscall allow-list, and its own violation
+//!   policy/quarantine breaker. [`TenantLease`] bundles the pinned
+//!   binding with the untrusted PKRU to run the compartment under.
+//!
+//! The isolation invariant — proved by the cross-tenant proptest in
+//! `tests/cross_tenant.rs` — is that tenant A can never read a byte of
+//! tenant B's pages: attacks are caught statically, denied by PKRU, or
+//! quarantined, never uncaught.
+
+mod tenant;
+mod vkey;
+
+pub use tenant::{
+    tenant_canary, tenant_pkru, Tenant, TenantConfig, TenantError, TenantLease, TenantRegistry,
+    TENANT_BASE, TENANT_DATA_PAGES, TENANT_SPAN,
+};
+pub use vkey::{BindGuard, VirtualPkey, VirtualPkeyError, VirtualPkeyPool, VkeyPoolStats};

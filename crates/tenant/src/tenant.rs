@@ -1,0 +1,510 @@
+//! Tenants: one untrusted compartment each, multiplexed over shared keys.
+//!
+//! A [`Tenant`] is the multi-tenant generalization of the paper's single
+//! untrusted compartment `U`: it owns a virtual protection key (bound to
+//! hardware on demand by the registry's [`VirtualPkeyPool`]), a private
+//! data region carved out of a dedicated reservation (described by a
+//! [`PkAllocConfig`]), a syscall allow-list ([`SyscallFilter`], deny-all
+//! by default), and an [`MpkPolicy`] with its own violation ledger and
+//! quarantine breaker — one abusive tenant is refused service while its
+//! neighbours keep flowing.
+//!
+//! The rights story is strict: a tenant's untrusted PKRU grants exactly
+//! two keys — key 0 (the shared untrusted heap the engine allocates
+//! from) and the tenant's currently bound hardware key. Everything else —
+//! the trusted key over `M_T`, the park key, every other tenant's key —
+//! is access-disabled. Because an evicted tenant's pages are re-tagged
+//! onto the park key *before* its hardware key is reused, a stale PKRU
+//! that still grants the recycled key can only ever reach the *new*
+//! owner's pages if it is the new owner.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lir::{SharedHost, SyscallFilter};
+use pkalloc::PkAllocConfig;
+use pkru_handler::{MpkPolicy, ViolationCounters, ViolationHandler};
+use pkru_mpk::{Pkey, PkeyRights, Pkru, SharedPkeyPool};
+use pkru_vmem::{Prot, SharedSpace, VirtAddr, PAGE_SIZE};
+
+use crate::vkey::{BindGuard, VirtualPkey, VirtualPkeyError, VirtualPkeyPool, VkeyPoolStats};
+
+/// Base of the tenant data reservation. Disjoint from the allocator's
+/// trusted (`0x4000_0000_0000+`) and untrusted (`0x0800_0000_0000+`)
+/// reservations and the planted secret page.
+pub const TENANT_BASE: VirtAddr = 0x3000_0000_0000;
+
+/// Per-tenant slice of the reservation (4 MiB — tenant id picks the
+/// slice, so regions can never collide).
+pub const TENANT_SPAN: u64 = 1 << 22;
+
+/// Default private data pages mapped per tenant.
+pub const TENANT_DATA_PAGES: u64 = 4;
+
+/// Errors raised by the tenant registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantError {
+    /// The hardware key pool is exhausted and nothing can be evicted —
+    /// the typed setup-path error (never a panic).
+    KeysExhausted,
+    /// Every bound tenant has a gate region in flight; retry after a
+    /// yield.
+    Busy,
+    /// An explicit evict was refused: the tenant has a gate region in
+    /// flight.
+    Pinned(usize),
+    /// No tenant with that id.
+    UnknownTenant(usize),
+    /// Mapping the tenant's data region failed.
+    Map(String),
+    /// A `pkey_mprotect` re-tag storm failed.
+    Retag(String),
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::KeysExhausted => write!(f, "hardware protection keys exhausted"),
+            TenantError::Busy => write!(f, "all bound tenants pinned by open gate regions"),
+            TenantError::Pinned(t) => write!(f, "tenant {t} pinned by an open gate region"),
+            TenantError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            TenantError::Map(m) => write!(f, "tenant region map: {m}"),
+            TenantError::Retag(m) => write!(f, "tenant re-tag: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+fn lift(e: VirtualPkeyError) -> TenantError {
+    match e {
+        VirtualPkeyError::Exhausted => TenantError::KeysExhausted,
+        VirtualPkeyError::AllPinned => TenantError::Busy,
+        VirtualPkeyError::Pinned(v) => TenantError::Pinned(v.index() as usize),
+        VirtualPkeyError::Unknown(v) => TenantError::UnknownTenant(v.index() as usize),
+        VirtualPkeyError::Retag(m) => TenantError::Retag(m),
+    }
+}
+
+/// How one tenant's compartment is configured.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// What happens on an MPK violation attributed to this tenant.
+    pub policy: MpkPolicy,
+    /// The tenant's syscall allow-list (deny-all unless widened).
+    pub syscalls: SyscallFilter,
+    /// Private data pages to map in the tenant's slice.
+    pub data_pages: u64,
+}
+
+impl Default for TenantConfig {
+    fn default() -> TenantConfig {
+        TenantConfig {
+            policy: MpkPolicy::Enforce,
+            syscalls: SyscallFilter::deny_all(),
+            data_pages: TENANT_DATA_PAGES,
+        }
+    }
+}
+
+/// The canary planted at each tenant's region base at creation — the
+/// byte pattern a cross-tenant read would exfiltrate.
+pub fn tenant_canary(id: usize) -> u64 {
+    0x7e4a_4e54_0000_0000 | id as u64
+}
+
+/// One tenant's compartment: virtual key, data region, policy, filter.
+#[derive(Debug)]
+pub struct Tenant {
+    id: usize,
+    vkey: VirtualPkey,
+    base: VirtAddr,
+    data_len: u64,
+    policy: MpkPolicy,
+    filter: SyscallFilter,
+    /// The tenant's violation ledger and quarantine breaker (`None`
+    /// under [`MpkPolicy::Enforce`], mirroring the serve runtime).
+    handler: Option<Arc<ViolationHandler>>,
+    /// The tenant's carve-out geometry (its slice of the reservation).
+    alloc_config: PkAllocConfig,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Tenant {
+    /// The tenant's registry id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The tenant's virtual protection key.
+    pub fn vkey(&self) -> VirtualPkey {
+        self.vkey
+    }
+
+    /// Base address of the tenant's private data region (the canary
+    /// lives in the first slot).
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Length of the mapped data region in bytes.
+    pub fn data_len(&self) -> u64 {
+        self.data_len
+    }
+
+    /// A scratch slot workers touch under the tenant's rights on every
+    /// request (second slot, after the canary).
+    pub fn scratch_addr(&self) -> VirtAddr {
+        self.base + 8
+    }
+
+    /// The tenant's violation policy.
+    pub fn policy(&self) -> MpkPolicy {
+        self.policy
+    }
+
+    /// The tenant's syscall allow-list.
+    pub fn syscall_filter(&self) -> &SyscallFilter {
+        &self.filter
+    }
+
+    /// The tenant's violation handler (`None` under `enforce`).
+    pub fn handler(&self) -> Option<&Arc<ViolationHandler>> {
+        self.handler.as_ref()
+    }
+
+    /// The tenant's allocator carve-out geometry.
+    pub fn alloc_config(&self) -> &PkAllocConfig {
+        &self.alloc_config
+    }
+
+    /// Whether the tenant's quarantine breaker has tripped.
+    pub fn quarantined(&self) -> bool {
+        self.handler.as_ref().is_some_and(|h| h.tripped())
+    }
+
+    /// Counts one request served under this tenant's compartment.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request refused because the tenant is quarantined.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served under this tenant's compartment.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused while the tenant was quarantined.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The tenant's violation counters (zero under `enforce`).
+    pub fn violation_counters(&self) -> ViolationCounters {
+        self.handler.as_ref().map(|h| h.counters()).unwrap_or_default()
+    }
+}
+
+/// A bound tenant: the pinned hardware binding plus the untrusted PKRU
+/// to run its compartment under. Hold it for the whole gate region; the
+/// pin blocks eviction until dropped.
+#[derive(Debug)]
+pub struct TenantLease {
+    guard: BindGuard,
+    pkru: Pkru,
+    tenant: Arc<Tenant>,
+}
+
+impl TenantLease {
+    /// The hardware key the tenant currently wears.
+    pub fn hw_key(&self) -> Pkey {
+        self.guard.hw_key()
+    }
+
+    /// The untrusted PKRU for this tenant's compartment: key 0 and the
+    /// bound hardware key, nothing else.
+    pub fn pkru(&self) -> Pkru {
+        self.pkru
+    }
+
+    /// The leased tenant.
+    pub fn tenant(&self) -> &Arc<Tenant> {
+        &self.tenant
+    }
+}
+
+/// The untrusted PKRU for a compartment bound to `hw`: Linux's default
+/// (key 0 only) plus read/write on `hw`. Denies the trusted key, the
+/// park key, and every other tenant's key by construction.
+pub fn tenant_pkru(hw: Pkey) -> Pkru {
+    Pkru::linux_default().with_rights(hw, PkeyRights::ReadWrite)
+}
+
+/// The registry: all tenants of one shared host, plus the virtual key
+/// pool that multiplexes them onto the hardware key space.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    space: SharedSpace,
+    trusted_pkey: Pkey,
+    pool: VirtualPkeyPool,
+    tenants: Vec<Arc<Tenant>>,
+}
+
+impl TenantRegistry {
+    /// Creates a registry over a serving host's space and key pool.
+    ///
+    /// Allocates the park key up front; exhaustion surfaces typed as
+    /// [`TenantError::KeysExhausted`], never as a panic.
+    pub fn new(host: &SharedHost) -> Result<TenantRegistry, TenantError> {
+        TenantRegistry::with_space(
+            host.space().clone(),
+            host.pkey_pool().clone(),
+            host.trusted_pkey(),
+        )
+    }
+
+    /// Creates a registry over explicit space/pool handles (tests and
+    /// harnesses that run without a full serving host).
+    pub fn with_space(
+        space: SharedSpace,
+        hw: SharedPkeyPool,
+        trusted_pkey: Pkey,
+    ) -> Result<TenantRegistry, TenantError> {
+        let pool = VirtualPkeyPool::new(space.clone(), hw).map_err(lift)?;
+        Ok(TenantRegistry { space, trusted_pkey, pool, tenants: Vec::new() })
+    }
+
+    /// Registers a tenant: a fresh virtual key, a mapped data region in
+    /// the tenant's slice of the reservation (tagged with the park key
+    /// until first bind), and a canary in its first slot.
+    pub fn add_tenant(&mut self, config: TenantConfig) -> Result<Arc<Tenant>, TenantError> {
+        let id = self.tenants.len();
+        let vkey = self.pool.register();
+        let base = TENANT_BASE + id as u64 * TENANT_SPAN;
+        let data_len = config.data_pages.max(1) * PAGE_SIZE;
+        assert!(data_len <= TENANT_SPAN, "tenant data exceeds its slice");
+        self.space
+            .mmap_at(base, data_len, Prot::READ_WRITE)
+            .map_err(|e| TenantError::Map(e.to_string()))?;
+        // Plant the canary (and zero the scratch slot) from `T` before
+        // the region is parked behind the tenant's key.
+        self.space
+            .write_u64(Pkru::ALL_ACCESS, base, tenant_canary(id))
+            .map_err(|e| TenantError::Map(format!("canary: {e:?}")))?;
+        self.pool.add_region(vkey, base, data_len, Prot::READ_WRITE).map_err(lift)?;
+        let handler = match config.policy {
+            MpkPolicy::Enforce => None,
+            policy => Some(Arc::new(
+                // Grants are scoped to the trusted key: a fault on any
+                // *other* key (another tenant's pages, the park key) is
+                // denied outright — audit-mode single-stepping must never
+                // become a cross-tenant read primitive.
+                ViolationHandler::new(policy, id).with_grant_scope(self.trusted_pkey),
+            )),
+        };
+        let tenant = Arc::new(Tenant {
+            id,
+            vkey,
+            base,
+            data_len,
+            policy: config.policy,
+            filter: config.syscalls,
+            handler,
+            alloc_config: PkAllocConfig {
+                trusted_base: base,
+                trusted_span: 0,
+                untrusted_base: base,
+                untrusted_span: TENANT_SPAN,
+                unified_pools: false,
+            },
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        self.tenants.push(Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Registers `n` tenants sharing one policy (the serve path).
+    pub fn populate(&mut self, n: usize, policy: MpkPolicy) -> Result<(), TenantError> {
+        for _ in 0..n {
+            self.add_tenant(TenantConfig { policy, ..TenantConfig::default() })?;
+        }
+        Ok(())
+    }
+
+    /// Binds tenant `id`'s virtual key (stealing an LRU hardware key
+    /// under pressure) and returns the lease to run its compartment
+    /// under. [`TenantError::Busy`] is retryable.
+    pub fn bind(&self, id: usize) -> Result<TenantLease, TenantError> {
+        let tenant = self.tenants.get(id).ok_or(TenantError::UnknownTenant(id))?;
+        let guard = self.pool.bind(tenant.vkey()).map_err(lift)?;
+        let pkru = tenant_pkru(guard.hw_key());
+        Ok(TenantLease { guard, pkru, tenant: Arc::clone(tenant) })
+    }
+
+    /// Like [`TenantRegistry::bind`], but yields and retries while every
+    /// candidate victim is pinned (bounded; returns [`TenantError::Busy`]
+    /// if the pressure never clears).
+    pub fn bind_with_retry(&self, id: usize, spins: usize) -> Result<TenantLease, TenantError> {
+        let mut last = TenantError::Busy;
+        for _ in 0..spins.max(1) {
+            match self.bind(id) {
+                Err(TenantError::Busy) => {
+                    last = TenantError::Busy;
+                    std::thread::yield_now();
+                }
+                other => return other,
+            }
+        }
+        Err(last)
+    }
+
+    /// Explicitly evicts tenant `id` (parks its pages, frees its key).
+    pub fn evict(&self, id: usize) -> Result<bool, TenantError> {
+        let tenant = self.tenants.get(id).ok_or(TenantError::UnknownTenant(id))?;
+        self.pool.evict(tenant.vkey()).map_err(|e| match e {
+            VirtualPkeyError::Pinned(_) => TenantError::Pinned(id),
+            other => lift(other),
+        })
+    }
+
+    /// The tenant with registry id `id`.
+    pub fn tenant(&self, id: usize) -> Option<&Arc<Tenant>> {
+        self.tenants.get(id)
+    }
+
+    /// All tenants, in id order.
+    pub fn tenants(&self) -> &[Arc<Tenant>] {
+        &self.tenants
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The virtual key pool (bind/evict/re-tag counters live here).
+    pub fn pool(&self) -> &VirtualPkeyPool {
+        &self.pool
+    }
+
+    /// Snapshot of the key-multiplexing counters.
+    pub fn key_stats(&self) -> VkeyPoolStats {
+        self.pool.stats()
+    }
+
+    /// The trusted key protecting `M_T` on this host.
+    pub fn trusted_pkey(&self) -> Pkey {
+        self.trusted_pkey
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkru_mpk::AccessKind;
+
+    fn registry() -> TenantRegistry {
+        let space = SharedSpace::new();
+        let hw = SharedPkeyPool::new();
+        let trusted = hw.alloc().unwrap();
+        TenantRegistry::with_space(space, hw, trusted).unwrap()
+    }
+
+    #[test]
+    fn tenant_pkru_grants_exactly_key0_and_the_bound_key() {
+        let hw = Pkey::new(5).unwrap();
+        let pkru = tenant_pkru(hw);
+        assert!(pkru.allows(Pkey::DEFAULT, AccessKind::Write));
+        assert!(pkru.allows(hw, AccessKind::Read));
+        assert!(pkru.allows(hw, AccessKind::Write));
+        for k in 1..pkru_mpk::MAX_PKEYS {
+            let key = Pkey::new(k).unwrap();
+            if key != hw {
+                assert!(!pkru.allows(key, AccessKind::Read), "key {k} must be denied");
+            }
+        }
+    }
+
+    #[test]
+    fn tenants_get_disjoint_slices_and_canaries() {
+        let mut reg = registry();
+        reg.populate(3, MpkPolicy::Enforce).unwrap();
+        let a = reg.tenant(0).unwrap();
+        let b = reg.tenant(1).unwrap();
+        assert_eq!(a.base() + TENANT_SPAN, b.base());
+        for t in reg.tenants() {
+            let read = reg.space.read_u64(Pkru::ALL_ACCESS, t.base()).unwrap();
+            assert_eq!(read, tenant_canary(t.id()));
+        }
+    }
+
+    #[test]
+    fn bound_tenant_reads_its_own_pages_but_not_a_neighbours() {
+        let mut reg = registry();
+        reg.populate(2, MpkPolicy::Enforce).unwrap();
+        let lease = reg.bind(0).unwrap();
+        let own = reg.space.read_u64(lease.pkru(), reg.tenant(0).unwrap().base());
+        assert_eq!(own.unwrap(), tenant_canary(0));
+        // Neighbour parked: denied via the park key.
+        let cross = reg.space.read_u64(lease.pkru(), reg.tenant(1).unwrap().base());
+        assert!(cross.unwrap_err().is_pkey_violation());
+        // Neighbour bound: denied via its own (different) key.
+        let lease_b = reg.bind(1).unwrap();
+        let cross = reg.space.read_u64(lease.pkru(), reg.tenant(1).unwrap().base());
+        assert!(cross.unwrap_err().is_pkey_violation());
+        drop(lease_b);
+    }
+
+    #[test]
+    fn evicted_tenants_park_and_recycled_keys_carry_no_residual_rights() {
+        let mut reg = registry();
+        reg.populate(2, MpkPolicy::Enforce).unwrap();
+        let stale_pkru = {
+            let lease = reg.bind(0).unwrap();
+            lease.pkru()
+        };
+        reg.evict(0).unwrap();
+        // Tenant 1 now takes (by the lowest-free rule) the very key
+        // tenant 0 wore. Tenant 0's stale PKRU still grants that key —
+        // but tenant 0's pages are parked, and the key now tags tenant
+        // 1's pages only. The stale rights reach nothing of tenant 0's…
+        let lease_b = reg.bind(1).unwrap();
+        let parked = reg.space.read_u64(stale_pkru, reg.tenant(0).unwrap().base());
+        assert!(parked.unwrap_err().is_pkey_violation(), "parked pages must be dark");
+        // …which is the known limit: rights are per-key, not per-page,
+        // so a *stale* PKRU held across an evict/rebind cycle could read
+        // the key's new owner. That is exactly why leases pin bindings:
+        // no PKRU outlives its lease on the serve path.
+        drop(lease_b);
+    }
+
+    #[test]
+    fn default_tenant_filter_denies_every_syscall() {
+        let mut reg = registry();
+        reg.populate(1, MpkPolicy::Enforce).unwrap();
+        let t = reg.tenant(0).unwrap();
+        assert!(!t.syscall_filter().permits(lir::SysKind::Map));
+        assert!(!t.syscall_filter().permits(lir::SysKind::PkeyMprotect));
+    }
+
+    #[test]
+    fn quarantine_policy_gets_a_scoped_handler() {
+        let mut reg = registry();
+        reg.populate(1, MpkPolicy::Quarantine { threshold: 2 }).unwrap();
+        let t = reg.tenant(0).unwrap();
+        let handler = t.handler().expect("quarantine tenants carry a handler");
+        assert_eq!(handler.grant_scope(), Some(reg.trusted_pkey()));
+        assert!(!t.quarantined());
+    }
+}

@@ -1,0 +1,565 @@
+//! Virtual protection keys multiplexed onto the hardware key space.
+//!
+//! MPK has 16 keys per process and one of them is the untagged default —
+//! a hard cap that a multi-tenant server blows through immediately. The
+//! libmpk answer (and ours) is *key virtualization*: tenants hold
+//! unbounded **virtual** keys, and a [`VirtualPkeyPool`] binds them to
+//! hardware keys on demand. When the hardware pool runs dry, binding
+//! steals the least-recently-used tenant's key: the victim's pages are
+//! re-tagged onto a dedicated no-access **park key** (a `pkey_mprotect`
+//! storm that bumps the shared space's TLB epoch, so every thread's
+//! software TLB refetches), and only then is the key handed to the new
+//! binding. A parked tenant's pages are inaccessible under *every*
+//! tenant PKRU — stale PKRU or TLB state can therefore never grant
+//! cross-tenant access, because the rights a stale PKRU still carries
+//! are for a key the victim's pages no longer wear.
+//!
+//! Eviction safety: a binding is returned as a [`BindGuard`] pin. While
+//! any pin for a virtual key is live — a worker is inside a gate region
+//! running under that tenant's rights — [`VirtualPkeyPool::evict`]
+//! refuses to steal its hardware key, because re-tagging pages under an
+//! executing compartment would yield spurious faults (or worse, let the
+//! next binder's rights apply to the victim's still-running code).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pkru_mpk::{Pkey, PkeyPoolError, SharedPkeyPool};
+use pkru_vmem::{page_align_up, Prot, SharedSpace, VirtAddr, PAGE_SIZE};
+
+/// A tenant-held protection key: an index into the virtual key space,
+/// unbounded where hardware keys stop at 15.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualPkey(u32);
+
+impl VirtualPkey {
+    /// The key's index in the virtual key space.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for VirtualPkey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vkey{}", self.0)
+    }
+}
+
+/// Errors raised by the virtual key pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VirtualPkeyError {
+    /// No hardware key is free and no binding exists to evict. Setup-time
+    /// version: the underlying `pkey_alloc` pool was already drained
+    /// (surfaced typed, never as a panic — see `ServeError::KeysExhausted`
+    /// on the serve path).
+    Exhausted,
+    /// Every currently bound virtual key is pinned by an open gate region;
+    /// the caller should retry once some compartment exits.
+    AllPinned,
+    /// An explicit evict was refused because the binding is pinned by an
+    /// open gate region.
+    Pinned(VirtualPkey),
+    /// The virtual key was never registered with this pool.
+    Unknown(VirtualPkey),
+    /// A `pkey_mprotect` re-tag storm failed mid-flight.
+    Retag(String),
+}
+
+impl std::fmt::Display for VirtualPkeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VirtualPkeyError::Exhausted => {
+                write!(f, "hardware protection keys exhausted (pkey_alloc)")
+            }
+            VirtualPkeyError::AllPinned => {
+                write!(f, "every bound virtual key is pinned by an open gate region")
+            }
+            VirtualPkeyError::Pinned(v) => {
+                write!(f, "{v} is pinned by an open gate region and cannot be evicted")
+            }
+            VirtualPkeyError::Unknown(v) => write!(f, "{v} is not registered with this pool"),
+            VirtualPkeyError::Retag(m) => write!(f, "pkey_mprotect re-tag failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VirtualPkeyError {}
+
+impl From<PkeyPoolError> for VirtualPkeyError {
+    fn from(_: PkeyPoolError) -> VirtualPkeyError {
+        VirtualPkeyError::Exhausted
+    }
+}
+
+/// Lifetime counters for the pool (mirrored into `BENCH_tenant.json`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VkeyPoolStats {
+    /// Total bind calls.
+    pub binds: u64,
+    /// Binds that found the virtual key already wearing a hardware key.
+    pub hits: u64,
+    /// Binds that had to allocate or steal a hardware key.
+    pub misses: u64,
+    /// Bindings whose hardware key was stolen (LRU) or explicitly evicted.
+    pub evictions: u64,
+    /// Pages re-tagged by `pkey_mprotect` storms (parking + rebinding).
+    pub pages_retagged: u64,
+}
+
+impl VkeyPoolStats {
+    /// Bind hit rate over the pool's lifetime.
+    pub fn hit_rate(&self) -> f64 {
+        if self.binds == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.binds as f64
+        }
+    }
+}
+
+/// A page range owned by a virtual key, re-tagged wholesale on every
+/// bind/evict transition.
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    addr: VirtAddr,
+    len: u64,
+    prot: Prot,
+}
+
+/// Per-virtual-key state.
+struct VkeyState {
+    hw: Option<Pkey>,
+    regions: Vec<Region>,
+    /// Logical timestamp of the last bind (LRU victim = smallest).
+    last_bound: u64,
+    /// Live [`BindGuard`]s — open gate regions running under this key.
+    pins: Arc<AtomicUsize>,
+}
+
+struct Inner {
+    states: Vec<VkeyState>,
+    tick: u64,
+    stats: VkeyPoolStats,
+}
+
+/// Multiplexes an unbounded virtual key space onto the ≤15 allocatable
+/// hardware keys of one [`SharedPkeyPool`].
+///
+/// One hardware key is claimed up front as the **park key**: evicted
+/// virtual keys' pages are re-tagged onto it, and no tenant PKRU ever
+/// grants it, so parked pages are dark to every compartment but `T`.
+pub struct VirtualPkeyPool {
+    space: SharedSpace,
+    hw: SharedPkeyPool,
+    park: Pkey,
+    inner: Mutex<Inner>,
+}
+
+/// A live binding: proof that `vkey` wears hardware key `hw` and a pin
+/// that blocks eviction until dropped. Hold it across the gate region
+/// that runs under the tenant's rights; drop it when the compartment
+/// exits.
+#[derive(Debug)]
+pub struct BindGuard {
+    vkey: VirtualPkey,
+    hw: Pkey,
+    pins: Arc<AtomicUsize>,
+}
+
+impl BindGuard {
+    /// The virtual key this binding pins.
+    pub fn vkey(&self) -> VirtualPkey {
+        self.vkey
+    }
+
+    /// The hardware key the virtual key currently wears.
+    pub fn hw_key(&self) -> Pkey {
+        self.hw
+    }
+}
+
+impl Drop for BindGuard {
+    fn drop(&mut self) {
+        self.pins.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl VirtualPkeyPool {
+    /// Creates a pool over `space`'s page tables and the process key
+    /// pool, claiming one hardware key as the park key.
+    ///
+    /// Fails typed with [`VirtualPkeyError::Exhausted`] when `pkey_alloc`
+    /// has nothing left even for the park key.
+    pub fn new(
+        space: SharedSpace,
+        hw: SharedPkeyPool,
+    ) -> Result<VirtualPkeyPool, VirtualPkeyError> {
+        let park = hw.alloc()?;
+        Ok(VirtualPkeyPool {
+            space,
+            hw,
+            park,
+            inner: Mutex::new(Inner {
+                states: Vec::new(),
+                tick: 0,
+                stats: VkeyPoolStats::default(),
+            }),
+        })
+    }
+
+    /// The no-access key parked pages wear. No tenant PKRU grants it.
+    pub fn park_key(&self) -> Pkey {
+        self.park
+    }
+
+    /// Registers a fresh virtual key, unbound and owning no pages yet.
+    pub fn register(&self) -> VirtualPkey {
+        let mut inner = self.inner.lock().expect("vkey pool lock");
+        let vkey = VirtualPkey(inner.states.len() as u32);
+        inner.states.push(VkeyState {
+            hw: None,
+            regions: Vec::new(),
+            last_bound: 0,
+            pins: Arc::new(AtomicUsize::new(0)),
+        });
+        vkey
+    }
+
+    /// Adds `[addr, addr + len)` to the pages `vkey` owns and tags it
+    /// with the key's current binding (the park key while unbound). The
+    /// range must already be mapped.
+    pub fn add_region(
+        &self,
+        vkey: VirtualPkey,
+        addr: VirtAddr,
+        len: u64,
+        prot: Prot,
+    ) -> Result<(), VirtualPkeyError> {
+        let mut inner = self.inner.lock().expect("vkey pool lock");
+        let state = inner.states.get_mut(vkey.0 as usize).ok_or(VirtualPkeyError::Unknown(vkey))?;
+        let key = state.hw.unwrap_or(self.park);
+        state.regions.push(Region { addr, len, prot });
+        let pages = retag(&self.space, &[Region { addr, len, prot }], key)?;
+        inner.stats.pages_retagged += pages;
+        Ok(())
+    }
+
+    /// Binds `vkey` to a hardware key, returning a pinned [`BindGuard`].
+    ///
+    /// Hit: the key is already bound — bump its LRU stamp and pin it.
+    /// Miss: allocate a hardware key, or steal the LRU unpinned binding's
+    /// key — park the victim's pages (a `pkey_mprotect` storm; the epoch
+    /// bump flushes every thread's software TLB), then re-tag this key's
+    /// pages onto the stolen key. If every bound key is pinned by an open
+    /// gate region, refuses with [`VirtualPkeyError::AllPinned`] rather
+    /// than re-tagging under a running compartment; retry after a yield.
+    pub fn bind(&self, vkey: VirtualPkey) -> Result<BindGuard, VirtualPkeyError> {
+        let mut inner = self.inner.lock().expect("vkey pool lock");
+        let inner = &mut *inner;
+        if vkey.0 as usize >= inner.states.len() {
+            return Err(VirtualPkeyError::Unknown(vkey));
+        }
+        inner.tick += 1;
+        inner.stats.binds += 1;
+        let tick = inner.tick;
+
+        if let Some(hw) = inner.states[vkey.0 as usize].hw {
+            inner.stats.hits += 1;
+            let state = &mut inner.states[vkey.0 as usize];
+            state.last_bound = tick;
+            state.pins.fetch_add(1, Ordering::Acquire);
+            return Ok(BindGuard { vkey, hw, pins: Arc::clone(&state.pins) });
+        }
+
+        inner.stats.misses += 1;
+        let hw = match self.hw.alloc() {
+            Ok(key) => key,
+            Err(PkeyPoolError::Exhausted) => self.steal_lru(inner, vkey)?,
+            Err(e) => return Err(e.into()),
+        };
+
+        let state = &mut inner.states[vkey.0 as usize];
+        let pages = retag(&self.space, &state.regions, hw)?;
+        state.hw = Some(hw);
+        state.last_bound = tick;
+        state.pins.fetch_add(1, Ordering::Acquire);
+        let guard = BindGuard { vkey, hw, pins: Arc::clone(&state.pins) };
+        inner.stats.pages_retagged += pages;
+        Ok(guard)
+    }
+
+    /// Steals the least-recently-bound unpinned binding's hardware key,
+    /// parking the victim's pages first. The key is handed over directly
+    /// (never released to the shared pool mid-steal), so a concurrent
+    /// `pkey_alloc` elsewhere in the process can never race it away.
+    fn steal_lru(&self, inner: &mut Inner, binder: VirtualPkey) -> Result<Pkey, VirtualPkeyError> {
+        let mut victim: Option<usize> = None;
+        let mut any_bound = false;
+        for (i, state) in inner.states.iter().enumerate() {
+            if i == binder.0 as usize || state.hw.is_none() {
+                continue;
+            }
+            any_bound = true;
+            // The pin check under the pool lock is the eviction-safety
+            // fix: a pinned binding has a gate region in flight, and its
+            // pages must keep their key until that compartment exits.
+            if state.pins.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if victim.is_none_or(|v| state.last_bound < inner.states[v].last_bound) {
+                victim = Some(i);
+            }
+        }
+        let Some(v) = victim else {
+            return Err(if any_bound {
+                VirtualPkeyError::AllPinned
+            } else {
+                VirtualPkeyError::Exhausted
+            });
+        };
+        let state = &mut inner.states[v];
+        let hw = state.hw.take().expect("victim was bound");
+        let pages = retag(&self.space, &state.regions, self.park)?;
+        inner.stats.evictions += 1;
+        inner.stats.pages_retagged += pages;
+        Ok(hw)
+    }
+
+    /// Explicitly evicts `vkey`: parks its pages and releases its
+    /// hardware key back to the shared pool (`pkey_free`), so the next
+    /// bind — of any virtual key — can reuse it.
+    ///
+    /// Idempotent: evicting an unbound key returns `Ok(false)`. Refuses
+    /// with [`VirtualPkeyError::Pinned`] while a [`BindGuard`] is live.
+    pub fn evict(&self, vkey: VirtualPkey) -> Result<bool, VirtualPkeyError> {
+        let mut inner = self.inner.lock().expect("vkey pool lock");
+        let inner = &mut *inner;
+        let state = inner.states.get_mut(vkey.0 as usize).ok_or(VirtualPkeyError::Unknown(vkey))?;
+        let Some(hw) = state.hw else {
+            return Ok(false);
+        };
+        if state.pins.load(Ordering::Acquire) != 0 {
+            return Err(VirtualPkeyError::Pinned(vkey));
+        }
+        let pages = retag(&self.space, &state.regions, self.park)?;
+        state.hw = None;
+        inner.stats.evictions += 1;
+        inner.stats.pages_retagged += pages;
+        // Freeing cannot fail: the key was handed out by this pool and
+        // nobody else frees it while we hold the binding.
+        self.hw.free(hw).expect("evicted key was allocated");
+        Ok(true)
+    }
+
+    /// The hardware key `vkey` currently wears, if bound.
+    pub fn hw_key(&self, vkey: VirtualPkey) -> Option<Pkey> {
+        let inner = self.inner.lock().expect("vkey pool lock");
+        inner.states.get(vkey.0 as usize).and_then(|s| s.hw)
+    }
+
+    /// Whether `vkey` is currently bound to a hardware key.
+    pub fn is_bound(&self, vkey: VirtualPkey) -> bool {
+        self.hw_key(vkey).is_some()
+    }
+
+    /// Number of virtual keys currently wearing a hardware key.
+    pub fn bound_count(&self) -> usize {
+        let inner = self.inner.lock().expect("vkey pool lock");
+        inner.states.iter().filter(|s| s.hw.is_some()).count()
+    }
+
+    /// Number of virtual keys registered.
+    pub fn registered(&self) -> usize {
+        self.inner.lock().expect("vkey pool lock").states.len()
+    }
+
+    /// Snapshot of the pool's lifetime counters.
+    pub fn stats(&self) -> VkeyPoolStats {
+        self.inner.lock().expect("vkey pool lock").stats
+    }
+
+    /// Hardware keys currently allocated process-wide (including key 0,
+    /// the trusted key, and the park key) — can never exceed 16.
+    pub fn allocated_count(&self) -> u32 {
+        self.hw.allocated_count()
+    }
+}
+
+impl std::fmt::Debug for VirtualPkeyPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualPkeyPool")
+            .field("park", &self.park)
+            .field("registered", &self.registered())
+            .field("bound", &self.bound_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Re-tags every region onto `key`, returning the pages touched. Each
+/// `pkey_mprotect` bumps the space's epoch — the storm is what invalidates
+/// every thread's software TLB.
+fn retag(space: &SharedSpace, regions: &[Region], key: Pkey) -> Result<u64, VirtualPkeyError> {
+    let mut pages = 0;
+    for r in regions {
+        space
+            .pkey_mprotect(r.addr, r.len, r.prot, key)
+            .map_err(|e| VirtualPkeyError::Retag(format!("{:#x}+{:#x}: {e}", r.addr, r.len)))?;
+        pages += page_align_up(r.len) / PAGE_SIZE;
+    }
+    Ok(pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with(space: &SharedSpace) -> (VirtualPkeyPool, SharedPkeyPool) {
+        let hw = SharedPkeyPool::new();
+        (VirtualPkeyPool::new(space.clone(), hw.clone()).unwrap(), hw)
+    }
+
+    fn mapped_vkey(pool: &VirtualPkeyPool, space: &SharedSpace, at: VirtAddr) -> VirtualPkey {
+        let vkey = pool.register();
+        space.mmap_at(at, PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        pool.add_region(vkey, at, PAGE_SIZE, Prot::READ_WRITE).unwrap();
+        vkey
+    }
+
+    #[test]
+    fn regions_park_until_bound_then_wear_the_binding() {
+        let space = SharedSpace::new();
+        let (pool, _) = pool_with(&space);
+        let vkey = mapped_vkey(&pool, &space, 0x100_0000);
+        assert_eq!(space.page_pkey(0x100_0000), Some(pool.park_key()));
+        let guard = pool.bind(vkey).unwrap();
+        assert_eq!(space.page_pkey(0x100_0000), Some(guard.hw_key()));
+        assert_ne!(guard.hw_key(), pool.park_key());
+    }
+
+    #[test]
+    fn binding_past_the_hardware_limit_steals_the_lru_key() {
+        let space = SharedSpace::new();
+        let (pool, hw) = pool_with(&space);
+        // Burn the pool down to 2 free keys so the test stays small.
+        let mut held = Vec::new();
+        while hw.allocated_count() < 14 {
+            held.push(hw.alloc().unwrap());
+        }
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let b = mapped_vkey(&pool, &space, 0x200_0000);
+        let c = mapped_vkey(&pool, &space, 0x300_0000);
+        let key_a = pool.bind(a).unwrap().hw_key();
+        drop(pool.bind(b).unwrap());
+        // Rebind b so a becomes the LRU victim.
+        drop(pool.bind(b).unwrap());
+        let guard_c = pool.bind(c).unwrap();
+        // c stole a's key; a is parked.
+        assert_eq!(guard_c.hw_key(), key_a);
+        assert!(!pool.is_bound(a));
+        assert_eq!(space.page_pkey(0x100_0000), Some(pool.park_key()));
+        assert_eq!(space.page_pkey(0x300_0000), Some(key_a));
+        let stats = pool.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn pinned_bindings_are_never_stolen() {
+        let space = SharedSpace::new();
+        let (pool, hw) = pool_with(&space);
+        let mut held = Vec::new();
+        while hw.allocated_count() < 14 {
+            held.push(hw.alloc().unwrap());
+        }
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let b = mapped_vkey(&pool, &space, 0x200_0000);
+        let c = mapped_vkey(&pool, &space, 0x300_0000);
+        // a is the LRU *and* pinned: the steal must skip it and take b.
+        let guard_a = pool.bind(a).unwrap();
+        let key_b = { pool.bind(b).unwrap().hw_key() };
+        let guard_c = pool.bind(c).unwrap();
+        assert_eq!(guard_c.hw_key(), key_b);
+        assert!(pool.is_bound(a));
+        assert_eq!(space.page_pkey(0x100_0000), Some(guard_a.hw_key()));
+    }
+
+    #[test]
+    fn all_pinned_refuses_instead_of_retagging_under_a_live_compartment() {
+        let space = SharedSpace::new();
+        let (pool, hw) = pool_with(&space);
+        let mut held = Vec::new();
+        while hw.allocated_count() < 15 {
+            held.push(hw.alloc().unwrap());
+        }
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let b = mapped_vkey(&pool, &space, 0x200_0000);
+        let guard_a = pool.bind(a).unwrap();
+        assert!(matches!(pool.bind(b), Err(VirtualPkeyError::AllPinned)));
+        // Once the gate region closes, the bind goes through.
+        drop(guard_a);
+        assert!(pool.bind(b).is_ok());
+    }
+
+    #[test]
+    fn evict_is_refused_while_pinned_and_idempotent_after() {
+        let space = SharedSpace::new();
+        let (pool, _) = pool_with(&space);
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let guard = pool.bind(a).unwrap();
+        assert_eq!(pool.evict(a), Err(VirtualPkeyError::Pinned(a)));
+        drop(guard);
+        assert_eq!(pool.evict(a), Ok(true));
+        assert_eq!(pool.evict(a), Ok(false), "double evict is idempotent");
+        assert_eq!(space.page_pkey(0x100_0000), Some(pool.park_key()));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn free_then_rebind_reuses_the_same_hardware_key() {
+        let space = SharedSpace::new();
+        let (pool, _) = pool_with(&space);
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let first = { pool.bind(a).unwrap().hw_key() };
+        pool.evict(a).unwrap();
+        let second = { pool.bind(a).unwrap().hw_key() };
+        assert_eq!(first, second, "pkey_free followed by pkey_alloc reuses the lowest key");
+    }
+
+    #[test]
+    fn unknown_vkey_is_typed() {
+        let space = SharedSpace::new();
+        let (pool, _) = pool_with(&space);
+        let ghost = VirtualPkey(99);
+        assert!(matches!(pool.bind(ghost), Err(VirtualPkeyError::Unknown(g)) if g == ghost));
+        assert_eq!(pool.evict(ghost), Err(VirtualPkeyError::Unknown(ghost)));
+    }
+
+    #[test]
+    fn exhausted_park_allocation_is_typed() {
+        let hw = SharedPkeyPool::new();
+        let mut held = Vec::new();
+        while hw.allocated_count() < 16 {
+            held.push(hw.alloc().unwrap());
+        }
+        match VirtualPkeyPool::new(SharedSpace::new(), hw) {
+            Err(VirtualPkeyError::Exhausted) => {}
+            other => panic!("expected typed exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retag_storm_bumps_the_tlb_epoch() {
+        let space = SharedSpace::new();
+        let (pool, _) = pool_with(&space);
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let before = space.epoch();
+        let guard = pool.bind(a).unwrap();
+        assert!(space.epoch() > before, "bind re-tag must bump the epoch");
+        drop(guard);
+        let mid = space.epoch();
+        pool.evict(a).unwrap();
+        assert!(space.epoch() > mid, "evict parking must bump the epoch");
+    }
+}

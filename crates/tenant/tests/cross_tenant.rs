@@ -1,0 +1,172 @@
+//! The headline isolation property: tenant A never reads tenant B.
+//!
+//! Each case builds a fresh shared host, registers ≥ 20 tenants over the
+//! ≤ 15 hardware keys (so binds *must* steal), churns bind/evict from
+//! concurrent threads for key pressure and scheduling noise, and then
+//! lets attacker tenant A run a generated `analysis::redteam` attack
+//! program inside its compartment — plus direct PKRU probes of victim
+//! tenant B's pages. Every attack must be stopped somewhere in the
+//! defense in depth: statically by the scanner, dynamically by a PKRU
+//! denial/trap, or by the quarantine breaker. A successful read of one
+//! byte of B's memory is `Uncaught` — an immediate failure.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use lir::{Interp, Machine, MachineConfig, SharedHost, SyscallFilter};
+use pkru_analysis::redteam::{generate_any, Catch, VET_QUARANTINE_THRESHOLD};
+use pkru_analysis::scan_module;
+use pkru_handler::{MpkPolicy, ViolationHandler};
+use pkru_tenant::{tenant_canary, TenantError, TenantRegistry};
+use proptest::prelude::*;
+
+/// Deterministic churn: one thread binding and evicting random non-A,
+/// non-B tenants until the attacker finishes, keeping every hardware key
+/// contended. `Busy`/`Pinned` are legal outcomes under contention;
+/// anything else is an invariant breach.
+fn churn(
+    registry: &TenantRegistry,
+    stop: &AtomicBool,
+    attacker: usize,
+    victim: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let mut state = seed | 1;
+    while !stop.load(Ordering::Relaxed) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let id = (state >> 33) as usize % registry.len();
+        if id == attacker || id == victim {
+            continue;
+        }
+        let evict = state & 1 == 1;
+        let outcome =
+            if evict { registry.evict(id).map(|_| ()) } else { registry.bind(id).map(drop) };
+        match outcome {
+            Ok(()) | Err(TenantError::Busy) | Err(TenantError::Pinned(_)) => {}
+            Err(e) => return Err(format!("churn {id}: {e}")),
+        }
+        let count = registry.pool().allocated_count();
+        if count > 16 {
+            return Err(format!("{count} hardware keys live, budget is 16"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tenant_a_never_reads_tenant_b(
+        seed in 0u64..u64::MAX,
+        tenants in 20usize..28,
+        victim_pick in 0usize..1024,
+    ) {
+        let host = SharedHost::new();
+        let mut registry = TenantRegistry::new(&host).expect("registry");
+        registry
+            .populate(tenants, MpkPolicy::Quarantine { threshold: VET_QUARANTINE_THRESHOLD })
+            .expect("populate");
+        let attacker = (seed as usize) % tenants;
+        let victim = {
+            let v = victim_pick % tenants;
+            if v == attacker { (v + 1) % tenants } else { v }
+        };
+        let victim_base = registry.tenant(victim).unwrap().base();
+
+        let attack = generate_any(seed);
+        let module = attack.module();
+
+        let stop = AtomicBool::new(false);
+        let (catch, churn_results) = thread::scope(|scope| {
+            let churners: Vec<_> = (0..2)
+                .map(|t| {
+                    let (registry, stop) = (&registry, &stop);
+                    scope.spawn(move || {
+                        churn(registry, stop, attacker, victim, seed ^ (t + 1) as u64)
+                    })
+                })
+                .collect();
+
+            // Layer 1: the adversarial scanner, exactly as the serve-time
+            // vet harness runs it.
+            let catch = if !scan_module(&module).is_empty() {
+                Catch::Static(scan_module(&module))
+            } else {
+                // Layer 2: run the attack inside A's compartment on the
+                // *shared* host — A's untrusted PKRU, A's grant-scoped
+                // quarantine handler, the module's own allow-list.
+                let mut machine =
+                    Machine::on_host(MachineConfig::default(), &host).expect("attacker machine");
+                let lease = registry.bind(attacker).expect("bind attacker");
+                machine.gates.set_untrusted_pkru(lease.pkru());
+                let handler = Arc::new(
+                    ViolationHandler::new(
+                        MpkPolicy::Quarantine { threshold: VET_QUARANTINE_THRESHOLD },
+                        attacker,
+                    )
+                    .with_grant_scope(machine.trusted_pkey()),
+                );
+                machine.set_violation_handler(Arc::clone(&handler));
+                machine.install_syscall_filter(SyscallFilter::from_module(&module));
+                let outcome = Interp::new(&module, &mut machine).run("main", &[]);
+                // Snapshot the breaker *before* the probes below: a probe
+                // tripping it must not retroactively reclassify an
+                // otherwise-uncaught attack as dynamically stopped.
+                let tripped_by_attack = handler.tripped();
+
+                // Direct cross-tenant probes under A's leased rights: the
+                // victim's pages are either parked (no-access key) or
+                // bound to a key A's PKRU denies — and the grant-scoped
+                // handler can never single-step an out-of-scope fault. A
+                // single successful read is the defense gap this whole PR
+                // exists to close.
+                let direct_read = machine
+                    .gates
+                    .enter_untrusted(&mut machine.cpu)
+                    .ok()
+                    .and_then(|_| {
+                        let read = machine.mem_read(victim_base).ok();
+                        let _ = machine.gates.exit_untrusted(&mut machine.cpu);
+                        read
+                    });
+                let raw_read = host.space().read_u64(lease.pkru(), victim_base).ok();
+                drop(lease);
+
+                if direct_read.is_some() || raw_read.is_some() {
+                    Catch::Uncaught
+                } else {
+                    match outcome {
+                        Err(trap) => Catch::Dynamic(trap.to_string()),
+                        Ok(_) if tripped_by_attack => {
+                            Catch::Dynamic("quarantine breaker tripped".into())
+                        }
+                        Ok(_) => Catch::Uncaught,
+                    }
+                }
+            };
+            stop.store(true, Ordering::Relaxed);
+            let churn_results: Vec<Result<(), String>> =
+                churners.into_iter().map(|h| h.join().unwrap()).collect();
+            (catch, churn_results)
+        });
+
+        for result in churn_results {
+            prop_assert!(result.is_ok(), "churn invariant violated: {:?}", result);
+        }
+        prop_assert!(
+            catch.caught(),
+            "attack {:?} (seed {seed}) reached tenant {victim}'s pages uncaught",
+            attack.kind
+        );
+        // The victim's canary survived the whole assault, bit for bit.
+        let canary = host
+            .space()
+            .read_u64(pkru_mpk::Pkru::ALL_ACCESS, victim_base)
+            .expect("trusted read of the victim canary");
+        prop_assert_eq!(canary, tenant_canary(victim));
+        // Key pressure never overflowed the hardware budget.
+        prop_assert!(registry.pool().allocated_count() <= 16);
+    }
+}

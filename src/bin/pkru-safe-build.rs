@@ -88,6 +88,13 @@ serve options:
                          sites absorbed from a previous run's audit log)
   --no-tlb               disable the per-worker software TLB (ablation;
                          behaviour is identical, throughput is not)
+  --tenants <n>          multi-tenant mode: serve a tenant-tagged request
+                         mix across n isolated compartments, virtual keys
+                         multiplexed onto the hardware key space (default
+                         0 = classic single-compartment serving)
+  --tenant-policy <p>    per-tenant violation policy (default enforce):
+                         enforce|audit|quarantine[:N], as --mpk-policy
+                         but scoped to one tenant's compartment
   --json                 emit the report as JSON on stdout
 
 options:
@@ -174,6 +181,12 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 config.extra_profile = Some(Profile::load(&path).map_err(|e| e.to_string())?);
             }
             "--no-tlb" => config.tlb = false,
+            "--tenants" => config.tenants = parse_num("--tenants", argv.next())? as usize,
+            "--tenant-policy" => {
+                let spec =
+                    argv.next().ok_or("--tenant-policy needs enforce|audit|quarantine[:N]")?;
+                config.tenant_policy = MpkPolicy::parse(&spec).map_err(|e| e.to_string())?;
+            }
             "--json" => json = true,
             other => return Err(format!("unknown serve option {other:?}")),
         }
@@ -233,6 +246,30 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 report.audit_log.len(),
                 report.audit_dropped
             );
+        }
+        if report.config.tenants > 0 {
+            let keys = report.tenant_key_stats.unwrap_or_default();
+            println!(
+                "  tenants: {} over the hardware keys: {} bind(s) ({} hit, {} miss), \
+                 {} eviction(s), {} page(s) re-tagged",
+                report.config.tenants,
+                keys.binds,
+                keys.hits,
+                keys.misses,
+                keys.evictions,
+                keys.pages_retagged
+            );
+            for t in &report.per_tenant {
+                println!(
+                    "    tenant {}: {} request(s), {} rejected, {} audited, {} quarantined{}",
+                    t.tenant,
+                    t.requests,
+                    t.rejected,
+                    t.violations_audited,
+                    t.violations_quarantined,
+                    if t.quarantined { " [quarantined]" } else { "" }
+                );
+            }
         }
     }
     if report.clean() {

@@ -306,6 +306,63 @@ fn serve_json_emits_machine_readable_report() {
 }
 
 #[test]
+fn serve_tenants_reports_per_tenant_breakdown() {
+    // Multi-tenant mode with more tenants than hardware keys: the run
+    // must stay clean, and both the human and JSON reports carry the
+    // per-tenant breakdown and the key-multiplexing counters.
+    let out = cli()
+        .args(["serve", "--workers", "2", "--requests", "48", "--tenants", "20", "--json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"tenants\":20",
+        "\"tenant_policy\":\"enforce\"",
+        "\"tenant_keys\":{\"binds\":48",
+        "\"evictions\":",
+        "\"per_tenant\":[{\"tenant\":0,",
+        "\"requests_served\":48",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
+fn serve_tenant_quarantine_isolates_one_tenant() {
+    // A tenant-scoped quarantine: the injected violation condemns one
+    // tenant, the worker survives (no restart), and the run exits clean
+    // because rejection is not an error.
+    let out = cli()
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--requests",
+            "32",
+            "--tenants",
+            "4",
+            "--tenant-policy",
+            "quarantine:1",
+            "--fault",
+            "worker=0,kind=mpk,at=2",
+            "--json",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"tenant_policy\":\"quarantine:1\"",
+        "\"quarantined\":true",
+        "\"workers_restarted\":0",
+        "\"requests_served\":32",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+}
+
+#[test]
 fn serve_fault_injection_is_reported_and_dirties_the_run() {
     // An injected MPK violation completes the run (every request served)
     // but must exit dirty, with the injection visible in the JSON.
