@@ -23,6 +23,7 @@ struct Row {
     tenants: usize,
     throughput_rps: f64,
     keys: VkeyPoolStats,
+    bind_retries: u64,
 }
 
 impl Row {
@@ -35,7 +36,8 @@ impl Row {
             concat!(
                 "{{\"tenants\":{},\"throughput_rps\":{:.3},\"binds\":{},",
                 "\"bind_hits\":{},\"bind_misses\":{},\"evictions\":{},",
-                "\"pages_retagged\":{},\"hit_rate\":{:.4}}}"
+                "\"pages_retagged\":{},\"revocations\":{},\"deferred_reuses\":{},",
+                "\"bind_retries\":{},\"hit_rate\":{:.4}}}"
             ),
             self.tenants,
             self.throughput_rps,
@@ -44,6 +46,9 @@ impl Row {
             self.keys.misses,
             self.keys.evictions,
             self.keys.pages_retagged,
+            self.keys.revocations,
+            self.keys.deferred_reuses,
+            self.bind_retries,
             self.hit_rate(),
         )
     }
@@ -77,6 +82,7 @@ fn sweep_point(tenants: usize, requests: u64, repeats: usize) -> Row {
         tenants,
         throughput_rps: report.throughput_rps,
         keys: report.tenant_key_stats.expect("tenant mode reports key stats"),
+        bind_retries: report.per_tenant.iter().map(|t| t.bind_retries).sum(),
     }
 }
 
@@ -109,7 +115,9 @@ fn main() {
     }
 
     for r in &rows {
-        assert_eq!(r.keys.binds, requests, "one bind per tenant-tagged request: {}", r.json());
+        // One bind per tenant-tagged request, plus one per recorded
+        // retry (a retry is always paired with another pool bind call).
+        assert_eq!(r.keys.binds, requests + r.bind_retries, "{}", r.json());
         assert_eq!(r.keys.binds, r.keys.hits + r.keys.misses, "{}", r.json());
         // Every miss re-tags the tenant's pages park→key (and every
         // steal re-tags the victim key→park), so any miss shows up here.

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pkru_handler::ViolationHandler;
-use pkru_mpk::{Cpu, Pkey, Pkru};
+use pkru_mpk::{Cpu, LeaseStamp, Pkey, Pkru, WorkerEpoch};
 
 /// Calibrated wall-clock cost of one gate crossing.
 ///
@@ -66,6 +66,16 @@ pub enum GateError {
     /// The worker's quarantine breaker has tripped: no further compartment
     /// transitions are admitted until the worker is torn down and respawned.
     Quarantined,
+    /// The untrusted PKRU was minted from a tenant lease whose binding
+    /// has since been revoked (its hardware key stolen or evicted):
+    /// granting it now would hand the caller rights to the key's *next*
+    /// owner. The caller should re-bind and install a fresh lease.
+    StaleLease {
+        /// The generation the lease was granted at.
+        held: u64,
+        /// The binding's live generation now (0 while revoked).
+        current: u64,
+    },
 }
 
 impl fmt::Display for GateError {
@@ -80,6 +90,13 @@ impl fmt::Display for GateError {
             }
             GateError::Quarantined => {
                 write!(f, "compartment transitions quarantined (violation breaker tripped)")
+            }
+            GateError::StaleLease { held, current } => {
+                write!(
+                    f,
+                    "stale tenant lease: held generation {held}, binding now at {current} — \
+                     re-bind before entering the compartment"
+                )
             }
         }
     }
@@ -103,6 +120,8 @@ pub struct Gates {
     verify: bool,
     crossing_cost: Duration,
     handler: Option<Arc<ViolationHandler>>,
+    untrusted_lease: Option<LeaseStamp>,
+    epoch: Option<Arc<WorkerEpoch>>,
 }
 
 impl Gates {
@@ -119,6 +138,8 @@ impl Gates {
             verify: true,
             crossing_cost: DEFAULT_CROSSING_COST,
             handler: None,
+            untrusted_lease: None,
+            epoch: None,
         }
     }
 
@@ -152,8 +173,37 @@ impl Gates {
     /// so the next enter gate drops into A's compartment rather than the
     /// ambient `U`. Takes effect on the next [`Gates::enter_untrusted`];
     /// regions already open keep the rights they entered with.
+    ///
+    /// Clears any installed lease stamp: a PKRU set through this plain
+    /// path (the worker's ambient single-`U` rights, ablation harnesses)
+    /// carries no tenant binding to go stale.
     pub fn set_untrusted_pkru(&mut self, pkru: Pkru) {
         self.untrusted_pkru = pkru;
+        self.untrusted_lease = None;
+    }
+
+    /// Installs a tenant's untrusted PKRU together with the lease stamp
+    /// it was minted from. Every subsequent [`Gates::enter_untrusted`]
+    /// validates the stamp before granting the rights: once the tenant's
+    /// binding is revoked (key stolen or evicted), entry refuses with
+    /// [`GateError::StaleLease`] instead of silently granting rights to
+    /// the hardware key's next owner.
+    pub fn set_untrusted_lease(&mut self, pkru: Pkru, lease: LeaseStamp) {
+        self.untrusted_pkru = pkru;
+        self.untrusted_lease = Some(lease);
+    }
+
+    /// The lease stamp guarding the untrusted PKRU, if one is installed.
+    pub fn untrusted_lease(&self) -> Option<&LeaseStamp> {
+        self.untrusted_lease.as_ref()
+    }
+
+    /// Attaches the worker's revocation-barrier handle. The gates publish
+    /// through it: region entry (depth 0 → 1) stamps the barrier epoch,
+    /// and the single restore point (depth 1 → 0) parks — the signal the
+    /// key pool waits on before recycling a quarantined key.
+    pub fn set_worker_epoch(&mut self, epoch: Arc<WorkerEpoch>) {
+        self.epoch = Some(epoch);
     }
 
     /// Disables the post-`WRPKRU` verification (ablation measurement only).
@@ -208,7 +258,7 @@ impl Gates {
         }
     }
 
-    fn switch(&mut self, cpu: &mut Cpu, target: Pkru) -> Result<(), GateError> {
+    fn switch(&mut self, cpu: &mut Cpu, target: Pkru, check_lease: bool) -> Result<(), GateError> {
         // Refuse before mutating anything: a denied enter leaves the stack
         // balanced, so error paths can still unwind with exit gates.
         if self.stack.len() >= self.depth_limit {
@@ -216,6 +266,32 @@ impl Gates {
         }
         if self.handler.as_ref().is_some_and(|h| h.tripped()) {
             return Err(GateError::Quarantined);
+        }
+        // Publish gate-region entry *before* validating the lease: under
+        // the SeqCst total order, either the validation below observes a
+        // concurrent revocation (and refuses), or this entry's epoch
+        // precedes the steal's — in which case the revocation barrier
+        // holds the stolen key in quarantine until the restore point.
+        let first_entry = self.stack.is_empty();
+        if first_entry {
+            if let Some(epoch) = &self.epoch {
+                epoch.enter();
+            }
+        }
+        if check_lease {
+            if let Some(lease) = &self.untrusted_lease {
+                if !lease.is_current() {
+                    if first_entry {
+                        if let Some(epoch) = &self.epoch {
+                            epoch.park();
+                        }
+                    }
+                    return Err(GateError::StaleLease {
+                        held: lease.generation(),
+                        current: lease.current_generation(),
+                    });
+                }
+            }
         }
         self.burn();
         self.stack.push(cpu.pkru());
@@ -233,6 +309,14 @@ impl Gates {
         let previous = self.stack.pop().ok_or(GateError::StackUnderflow)?;
         cpu.wrpkru(previous.bits());
         self.transitions += 1;
+        // The single restore point: back at base rights, the worker's
+        // PKRU no longer carries any lease-derived rights — park, so
+        // quarantined keys whose steal this region straddled can mature.
+        if self.stack.is_empty() {
+            if let Some(epoch) = &self.epoch {
+                epoch.park();
+            }
+        }
         if self.verify && cpu.rdpkru() != previous.bits() {
             return Err(GateError::PkruMismatch {
                 expected: previous.bits(),
@@ -243,8 +327,12 @@ impl Gates {
     }
 
     /// T→U enter gate: drops access to `M_T` before calling into `U`.
+    ///
+    /// When the untrusted PKRU was installed from a tenant lease, the
+    /// lease's generation is validated first — stale rights are refused
+    /// with [`GateError::StaleLease`], never granted.
     pub fn enter_untrusted(&mut self, cpu: &mut Cpu) -> Result<(), GateError> {
-        self.switch(cpu, self.untrusted_pkru)
+        self.switch(cpu, self.untrusted_pkru, true)
     }
 
     /// T→U exit gate: restores the caller's rights after `U` returns.
@@ -255,7 +343,10 @@ impl Gates {
     /// U→T trusted-entry gate: raises rights on entry to an exported or
     /// address-taken trusted function.
     pub fn enter_trusted(&mut self, cpu: &mut Cpu) -> Result<(), GateError> {
-        self.switch(cpu, self.trusted_pkru)
+        // Trusted entries never check the lease: the trusted compartment's
+        // rights are not lease-derived, and a U→T callback must succeed
+        // even while the tenant's binding is being revoked underneath it.
+        self.switch(cpu, self.trusted_pkru, false)
     }
 
     /// U→T trusted-exit gate: restores the untrusted caller's rights.
@@ -427,6 +518,80 @@ mod tests {
         // ...and a respawned incarnation is admitted again.
         handler.begin_incarnation();
         gates.with_untrusted::<_, GateError>(&mut cpu, |_, _| Ok(())).unwrap();
+    }
+
+    #[test]
+    fn stale_lease_is_refused_before_rights_are_granted() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let (mut gates, mut cpu, key) = setup();
+        gates.set_crossing_cost(Duration::ZERO);
+        let current = Arc::new(AtomicU64::new(3));
+        let tenant_pkru = Pkru::deny_only(key);
+        gates.set_untrusted_lease(tenant_pkru, LeaseStamp::new(3, Arc::clone(&current)));
+        // Live lease: entry granted, rights in force.
+        gates.with_untrusted::<_, GateError>(&mut cpu, |_, _| Ok(())).unwrap();
+        // The binding is revoked (key stolen): entry must refuse typed,
+        // leave the stack balanced, and never load the stale rights.
+        current.store(0, Ordering::SeqCst);
+        assert_eq!(
+            gates.enter_untrusted(&mut cpu),
+            Err(GateError::StaleLease { held: 3, current: 0 })
+        );
+        assert_eq!(gates.depth(), 0, "a refused entry leaves the stack balanced");
+        assert!(
+            cpu.pkru().allows(key, AccessKind::Write),
+            "refusal must leave the caller at its previous rights"
+        );
+        // Rebinding at a *newer* generation does not resurrect the old
+        // stamp — the worker has to install a fresh lease.
+        current.store(4, Ordering::SeqCst);
+        assert_eq!(
+            gates.enter_untrusted(&mut cpu),
+            Err(GateError::StaleLease { held: 3, current: 4 })
+        );
+        gates.set_untrusted_lease(tenant_pkru, LeaseStamp::new(4, Arc::clone(&current)));
+        gates.with_untrusted::<_, GateError>(&mut cpu, |_, _| Ok(())).unwrap();
+    }
+
+    #[test]
+    fn plain_untrusted_pkru_clears_the_lease() {
+        use std::sync::atomic::AtomicU64;
+
+        let (mut gates, mut cpu, _key) = setup();
+        gates.set_crossing_cost(Duration::ZERO);
+        let current = Arc::new(AtomicU64::new(0)); // already revoked
+        gates.set_untrusted_lease(gates.untrusted_pkru(), LeaseStamp::new(1, current));
+        assert!(gates.enter_untrusted(&mut cpu).is_err());
+        // Restoring the ambient (non-tenant) untrusted PKRU drops the
+        // stamp: the worker's base compartment has no lease to go stale.
+        gates.set_untrusted_pkru(gates.untrusted_pkru());
+        assert!(gates.untrusted_lease().is_none());
+        gates.with_untrusted::<_, GateError>(&mut cpu, |_, _| Ok(())).unwrap();
+    }
+
+    #[test]
+    fn gates_publish_worker_epoch_across_regions() {
+        use pkru_mpk::RevocationBarrier;
+
+        let (mut gates, mut cpu, _key) = setup();
+        gates.set_crossing_cost(Duration::ZERO);
+        let barrier = Arc::new(RevocationBarrier::new());
+        let epoch = Arc::new(barrier.register());
+        gates.set_worker_epoch(Arc::clone(&epoch));
+        assert!(epoch.parked());
+        gates.enter_untrusted(&mut cpu).unwrap();
+        assert!(!epoch.parked(), "depth 0 → 1 publishes region entry");
+        // A steal lands while the region is open: its epoch must not pass.
+        let steal = barrier.begin_revocation();
+        assert!(!barrier.all_passed(steal));
+        // Nested transitions stay inside the same region.
+        gates.enter_trusted(&mut cpu).unwrap();
+        gates.exit_trusted(&mut cpu).unwrap();
+        assert!(!barrier.all_passed(steal), "nested exits are not the restore point");
+        gates.exit_untrusted(&mut cpu).unwrap();
+        assert!(epoch.parked(), "depth 1 → 0 parks at the single restore point");
+        assert!(barrier.all_passed(steal), "parking releases the quarantined epoch");
     }
 
     #[test]

@@ -51,16 +51,30 @@ struct Inner {
 pub struct ViolationHandler {
     policy: MpkPolicy,
     worker: usize,
-    /// When set, only faults on this key may be single-stepped; faults
-    /// on any other key are recorded but denied outright.
+    /// When set, only faults on this key (or on the refreshed
+    /// `tenant_scope` below) may be single-stepped; faults on any other
+    /// key are recorded but denied outright.
     grant_scope: Option<Pkey>,
+    /// The tenant's *currently bound* hardware key, refreshed on every
+    /// bind/rebind and cleared at the worker's restore point. Kept
+    /// separate from the immutable base scope: a scope captured at bind
+    /// time would keep naming the hardware key after it is stolen and
+    /// recycled — and an audit single-step would then grant the key's
+    /// next owner.
+    tenant_scope: Mutex<Option<Pkey>>,
     inner: Mutex<Inner>,
 }
 
 impl ViolationHandler {
     /// Creates a handler for the worker in pool slot `worker`.
     pub fn new(policy: MpkPolicy, worker: usize) -> ViolationHandler {
-        ViolationHandler { policy, worker, grant_scope: None, inner: Mutex::new(Inner::default()) }
+        ViolationHandler {
+            policy,
+            worker,
+            grant_scope: None,
+            tenant_scope: Mutex::new(None),
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
     /// Restricts audit/quarantine grants to faults on `scope`.
@@ -81,6 +95,20 @@ impl ViolationHandler {
     /// The key grants are restricted to, if any.
     pub fn grant_scope(&self) -> Option<Pkey> {
         self.grant_scope
+    }
+
+    /// Refreshes the tenant's currently bound hardware key (widening the
+    /// grant scope to base ∪ tenant key), or clears it with `None`.
+    ///
+    /// Call on every bind/rebind and at the worker's restore point: the
+    /// scope must track the *live* binding, never a recycled key.
+    pub fn refresh_tenant_scope(&self, key: Option<Pkey>) {
+        *self.tenant_scope.lock().expect("tenant scope lock") = key;
+    }
+
+    /// The tenant hardware key grants currently extend to, if any.
+    pub fn tenant_scope(&self) -> Option<Pkey> {
+        *self.tenant_scope.lock().expect("tenant scope lock")
     }
 
     /// The policy this handler enforces.
@@ -105,8 +133,11 @@ impl ViolationHandler {
         };
         // Out-of-scope faults are observed (recorded, counted, fed to
         // the breaker) but never granted: single-stepping them would
-        // perform the forbidden access.
-        let out_of_scope = self.grant_scope.is_some_and(|scope| pkey != scope);
+        // perform the forbidden access. In scope = the base scope or the
+        // tenant's live binding; a key the tenant *used to* wear is out.
+        let out_of_scope = self.grant_scope.is_some()
+            && self.grant_scope != Some(pkey)
+            && self.tenant_scope() != Some(pkey);
         let mut inner = self.inner.lock().expect("handler lock");
         match self.policy {
             MpkPolicy::Enforce => {
@@ -335,6 +366,43 @@ mod tests {
         assert_eq!(q.on_violation(&violation(2), None), Verdict::Deny);
         assert!(q.tripped());
         assert_eq!(q.counters(), ViolationCounters { enforced: 0, audited: 0, quarantined: 2 });
+    }
+
+    /// The grant-scope-staleness regression: a handler whose scope was
+    /// captured at bind time would keep granting a hardware key after it
+    /// was stolen and recycled, turning audit single-steps into reads of
+    /// the key's next owner. The refreshed `tenant_scope` must track the
+    /// live binding exactly.
+    #[test]
+    fn refreshed_tenant_scope_never_grants_a_recycled_key() {
+        let trusted = Pkey::new(2).unwrap();
+        let old = Pkey::new(5).unwrap();
+        let new = Pkey::new(6).unwrap();
+        let fault_on = |key: Pkey| Fault {
+            addr: 0x3000,
+            access: AccessKind::Read,
+            kind: FaultKind::PkeyViolation { pkey: key, pkru: Pkru::deny_only(key) },
+        };
+        let h = ViolationHandler::new(MpkPolicy::Audit, 0).with_grant_scope(trusted);
+        // Bound to `old`: faults on it single-step, like trusted faults.
+        h.refresh_tenant_scope(Some(old));
+        assert_eq!(h.tenant_scope(), Some(old));
+        assert!(matches!(h.on_violation(&fault_on(old), None), Verdict::SingleStep { .. }));
+        assert!(matches!(h.on_violation(&fault_on(trusted), None), Verdict::SingleStep { .. }));
+        // `old` is stolen and recycled to another tenant; the worker
+        // rebinds onto `new`. A fault on `old` must now be denied — an
+        // audit single-step would read the recycled key's new owner.
+        h.refresh_tenant_scope(Some(new));
+        assert_eq!(
+            h.on_violation(&fault_on(old), None),
+            Verdict::Deny,
+            "audit single-step granted a recycled key"
+        );
+        assert!(matches!(h.on_violation(&fault_on(new), None), Verdict::SingleStep { .. }));
+        // The restore point clears the scope: only the base remains.
+        h.refresh_tenant_scope(None);
+        assert_eq!(h.on_violation(&fault_on(new), None), Verdict::Deny);
+        assert!(matches!(h.on_violation(&fault_on(trusted), None), Verdict::SingleStep { .. }));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Key-revocation primitives: lease generations and the deferred-reuse
+//! revocation barrier.
+//!
+//! The key-virtualization layer multiplexes unbounded virtual keys onto
+//! ≤15 hardware keys, which makes *recycling* the dangerous moment: a
+//! PKRU value minted for a binding is just an integer in a register, and
+//! nothing in the hardware model ties it to the binding it was derived
+//! from. If the hardware key is stolen and rebound while some thread
+//! still holds that integer, the stale rights now name the key's *next
+//! owner* — a silent cross-tenant read primitive (the libmpk problem).
+//!
+//! Two cooperating mechanisms close it:
+//!
+//! 1. **Lease generations** ([`LeaseStamp`]): every binding carries a
+//!    monotonic generation, published through a shared cell that the
+//!    pool zeroes the instant the binding is revoked. Gate entry
+//!    validates the stamp *before* loading the lease's PKRU — a stale
+//!    stamp is a typed refusal, never silent stale access.
+//! 2. **The revocation barrier** ([`RevocationBarrier`]): generations
+//!    stop *new* rights from being granted, but a thread already inside
+//!    a gate region still wears the old PKRU. So a stolen key is
+//!    quarantined at a barrier **epoch**, and only rebound once every
+//!    registered worker has *passed* that epoch — i.e. has dropped to
+//!    base rights (parked) at least once since the steal. After that, no
+//!    live PKRU register anywhere can still grant the recycled key.
+//!
+//! The ordering proof is small and worth stating. All operations below
+//! are `SeqCst`, so they form one total order. A steal performs
+//! `revoke(generation cell := 0)` → re-tag → `begin_revocation(epoch +=
+//! 1)`. A gate entry performs `enter(entered_at := epoch)` → `validate
+//! (generation cell)`. For any gate region and any steal, either the
+//! entry's validation observes the revocation (the gate refuses with a
+//! stale-lease error and immediately parks), or the entry's `enter`
+//! preceded the steal's `begin_revocation` — in which case
+//! `entered_at < steal_epoch` and the region blocks the key's reuse
+//! until it exits. Either way no region ever *runs* under rights to a
+//! key that has been handed to a new owner.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The sentinel a parked worker publishes: at base rights, outside every
+/// gate region, it trivially passes every barrier epoch.
+const PARKED: u64 = u64::MAX;
+
+/// A binding's liveness proof: the generation the holder was granted,
+/// plus the shared cell the pool publishes the binding's *current*
+/// generation through (zeroed on revocation).
+///
+/// Cheap to clone and to check; gates validate it on every untrusted
+/// entry.
+#[derive(Clone, Debug)]
+pub struct LeaseStamp {
+    generation: u64,
+    current: Arc<AtomicU64>,
+}
+
+impl LeaseStamp {
+    /// Stamps a lease at `generation` against the pool's `current` cell.
+    pub fn new(generation: u64, current: Arc<AtomicU64>) -> LeaseStamp {
+        LeaseStamp { generation, current }
+    }
+
+    /// The generation this lease was granted at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The binding's live generation right now (0 once revoked).
+    pub fn current_generation(&self) -> u64 {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// Whether the lease still names the binding's live generation.
+    /// `false` means the hardware key has been revoked (stolen or
+    /// evicted) since this stamp was minted.
+    pub fn is_current(&self) -> bool {
+        self.current_generation() == self.generation
+    }
+}
+
+/// A worker's published PKRU epoch: the barrier epoch it observed when
+/// it entered its current gate region, or [`PARKED`] while it sits at
+/// base rights.
+#[derive(Debug)]
+struct EpochCell {
+    entered_at: AtomicU64,
+}
+
+/// The revocation barrier: a monotonically increasing epoch plus the set
+/// of workers whose PKRU registers could carry tenant rights.
+///
+/// A steal quarantines the stolen key at `begin_revocation()`'s epoch;
+/// the pool rebinds it only once [`RevocationBarrier::all_passed`] holds
+/// for that epoch — every registered worker has parked (or entered a
+/// fresh region) since the steal, so no register still wears the old
+/// rights.
+#[derive(Debug, Default)]
+pub struct RevocationBarrier {
+    epoch: AtomicU64,
+    workers: Mutex<Vec<Arc<EpochCell>>>,
+}
+
+impl RevocationBarrier {
+    /// A fresh barrier at epoch 0 with no registered workers.
+    pub fn new() -> RevocationBarrier {
+        RevocationBarrier::default()
+    }
+
+    /// Registers a worker, returning the handle it publishes its PKRU
+    /// epoch through. The handle deregisters on drop, so a worker that
+    /// dies (panic, supervision teardown) can never wedge the barrier.
+    pub fn register(self: &Arc<Self>) -> WorkerEpoch {
+        let cell = Arc::new(EpochCell { entered_at: AtomicU64::new(PARKED) });
+        self.workers.lock().expect("barrier registry lock").push(Arc::clone(&cell));
+        WorkerEpoch { cell, barrier: Arc::clone(self) }
+    }
+
+    /// The current barrier epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Opens a new revocation: bumps the epoch and returns the value a
+    /// quarantined key must wait out.
+    pub fn begin_revocation(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Whether every registered worker has passed `epoch`: each is
+    /// either parked (at base rights) or inside a region entered at or
+    /// after the revocation — so none can still wear rights minted
+    /// before it. Vacuously true with no workers registered.
+    pub fn all_passed(&self, epoch: u64) -> bool {
+        self.workers
+            .lock()
+            .expect("barrier registry lock")
+            .iter()
+            .all(|cell| cell.entered_at.load(Ordering::SeqCst) >= epoch)
+    }
+
+    /// Number of workers currently registered.
+    pub fn registered(&self) -> usize {
+        self.workers.lock().expect("barrier registry lock").len()
+    }
+}
+
+/// A registered worker's handle on the barrier. Call [`WorkerEpoch::enter`]
+/// when the worker's PKRU leaves base rights (gate depth 0 → 1) and
+/// [`WorkerEpoch::park`] when it returns (depth 1 → 0). Dropping the
+/// handle deregisters the worker — a respawning worker never deadlocks
+/// the barrier.
+#[derive(Debug)]
+pub struct WorkerEpoch {
+    cell: Arc<EpochCell>,
+    barrier: Arc<RevocationBarrier>,
+}
+
+impl WorkerEpoch {
+    /// Publishes entry into a gate region at the current barrier epoch.
+    pub fn enter(&self) {
+        self.cell.entered_at.store(self.barrier.epoch.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    /// Publishes return to base rights: the worker passes every epoch.
+    pub fn park(&self) {
+        self.cell.entered_at.store(PARKED, Ordering::SeqCst);
+    }
+
+    /// Whether this worker is currently parked at base rights.
+    pub fn parked(&self) -> bool {
+        self.cell.entered_at.load(Ordering::SeqCst) == PARKED
+    }
+}
+
+impl Drop for WorkerEpoch {
+    fn drop(&mut self) {
+        let mut workers = self.barrier.workers.lock().expect("barrier registry lock");
+        if let Some(i) = workers.iter().position(|c| Arc::ptr_eq(c, &self.cell)) {
+            workers.swap_remove(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_revoked_stamp_is_stale_and_a_rebound_one_stays_stale() {
+        let current = Arc::new(AtomicU64::new(7));
+        let stamp = LeaseStamp::new(7, Arc::clone(&current));
+        assert!(stamp.is_current());
+        current.store(0, Ordering::SeqCst); // revoked
+        assert!(!stamp.is_current());
+        current.store(8, Ordering::SeqCst); // rebound at a new generation
+        assert!(!stamp.is_current(), "an old stamp never matches a newer generation");
+        assert_eq!(stamp.generation(), 7);
+        assert_eq!(stamp.current_generation(), 8);
+    }
+
+    #[test]
+    fn barrier_passes_vacuously_and_blocks_on_a_pre_steal_region() {
+        let barrier = Arc::new(RevocationBarrier::new());
+        assert!(barrier.all_passed(barrier.begin_revocation()), "no workers → every epoch passes");
+
+        let worker = barrier.register();
+        assert_eq!(barrier.registered(), 1);
+        // Parked workers pass every epoch.
+        assert!(barrier.all_passed(barrier.begin_revocation()));
+        // A region entered *before* the steal blocks the steal's epoch.
+        worker.enter();
+        let steal = barrier.begin_revocation();
+        assert!(!barrier.all_passed(steal), "an in-flight region must block reuse");
+        // Exiting the region (parking) releases it.
+        worker.park();
+        assert!(barrier.all_passed(steal));
+        // A region entered *after* the steal does not block it.
+        worker.enter();
+        assert!(barrier.all_passed(steal), "post-steal entries carry post-steal rights");
+    }
+
+    #[test]
+    fn dropping_a_workers_handle_deregisters_it() {
+        let barrier = Arc::new(RevocationBarrier::new());
+        let worker = barrier.register();
+        worker.enter();
+        let steal = barrier.begin_revocation();
+        assert!(!barrier.all_passed(steal));
+        // The worker dies mid-region (panic / supervision teardown): its
+        // handle drops, and the barrier must not deadlock on its ghost.
+        drop(worker);
+        assert_eq!(barrier.registered(), 0);
+        assert!(barrier.all_passed(steal), "a dead worker never wedges the barrier");
+    }
+}

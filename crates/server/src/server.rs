@@ -143,6 +143,9 @@ pub struct TenantReportRow {
     pub requests: u64,
     /// Requests refused because the tenant was quarantined.
     pub rejected: u64,
+    /// Bind attempts retried because every hardware key was briefly
+    /// quarantined behind the revocation barrier.
+    pub bind_retries: u64,
     /// The tenant's violation counters, split by verdict.
     pub violations_enforced: u64,
     /// Violations single-stepped and logged for this tenant.
@@ -276,12 +279,14 @@ impl ServeReport {
                     format!(
                         concat!(
                             "{{\"tenant\":{},\"requests\":{},\"rejected\":{},",
+                            "\"bind_retries\":{},",
                             "\"violations_enforced\":{},\"violations_audited\":{},",
                             "\"violations_quarantined\":{},\"quarantined\":{}}}"
                         ),
                         t.tenant,
                         t.requests,
                         t.rejected,
+                        t.bind_retries,
                         t.violations_enforced,
                         t.violations_audited,
                         t.violations_quarantined,
@@ -294,7 +299,8 @@ impl ServeReport {
                 concat!(
                     "\"tenants\":{},\"tenant_policy\":\"{}\",",
                     "\"tenant_keys\":{{\"binds\":{},\"hits\":{},\"misses\":{},",
-                    "\"evictions\":{},\"pages_retagged\":{}}},",
+                    "\"evictions\":{},\"pages_retagged\":{},",
+                    "\"revocations\":{},\"deferred_reuses\":{},\"deferred_keys\":{}}},",
                     "\"per_tenant\":[{}],"
                 ),
                 self.config.tenants,
@@ -304,6 +310,9 @@ impl ServeReport {
                 keys.misses,
                 keys.evictions,
                 keys.pages_retagged,
+                keys.revocations,
+                keys.deferred_reuses,
+                keys.deferred_keys,
                 rows.join(",")
             )
         };
@@ -688,6 +697,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
                         tenant: t.id(),
                         requests: t.requests(),
                         rejected: t.rejected(),
+                        bind_retries: t.bind_retries(),
                         violations_enforced: counters.enforced,
                         violations_audited: counters.audited,
                         violations_quarantined: counters.quarantined,

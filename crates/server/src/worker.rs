@@ -19,18 +19,26 @@ use workloads::suites::micro_page;
 
 use lir::SharedHost;
 use minijs::Value;
+use pkru_gates::GateError;
 use pkru_handler::ViolationHandler;
 use pkru_provenance::Profile;
-use pkru_tenant::TenantRegistry;
+use pkru_tenant::{TenantLease, TenantRegistry};
 
 use crate::fault::{FaultKind, FaultState};
 use crate::queue::BoundedQueue;
 use crate::request::{Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
 use crate::server::ServeError;
 
-/// How many yield-and-retry rounds a worker spends binding a tenant whose
-/// every candidate victim is pinned before giving up on the request.
-const TENANT_BIND_SPINS: usize = 64;
+/// Backoff-and-retry attempts a worker spends binding a tenant whose
+/// every candidate key is quarantined behind the revocation barrier
+/// before giving up on the request (each attempt already includes the
+/// pool's own bounded wait).
+const TENANT_BIND_RETRIES: usize = 8;
+
+/// How many times a worker re-binds after its lease is revoked
+/// mid-request (the pool stole the tenant's key underneath it) before
+/// completing the request as an error.
+const STALE_REBIND_RETRIES: usize = 4;
 
 /// Per-worker counters, reported after drain.
 #[derive(Clone, Copy, Debug, Default)]
@@ -182,17 +190,29 @@ pub fn run_worker(
     // (deny-all) syscall filter the browser was built with.
     let base_untrusted = browser.machine.gates.untrusted_pkru();
     let base_filter = browser.machine.syscall_filter().clone();
+    // Register this incarnation with the key pool's revocation barrier.
+    // The gates publish through the handle — region entry (depth 0 → 1)
+    // stamps the barrier epoch, the single restore point parks — and its
+    // Drop (including panic unwind through the supervision path)
+    // deregisters, so a dead incarnation can never wedge a quarantined
+    // key.
+    let _epoch = registry.map(|r| {
+        let epoch = Arc::new(r.pool().barrier().register());
+        browser.machine.gates.set_worker_epoch(Arc::clone(&epoch));
+        epoch
+    });
 
     while let Some(request) = queue.pop() {
         cell.begin(request);
         // Tenant-tagged request: bind the tenant's virtual key (possibly
         // stealing an LRU hardware key from an idle tenant) and swap the
-        // worker into the tenant's compartment. The lease pins the
-        // binding — no other worker can evict this tenant's key while the
-        // request is in flight.
-        let lease = match (registry, request.tenant) {
+        // worker into the tenant's compartment. The lease no longer pins
+        // the binding — revocation protects it: if the pool steals the
+        // key mid-request, the gates refuse with a typed `StaleLease`
+        // and the worker re-binds below.
+        let mut lease = match (registry, request.tenant) {
             (Some(registry), Some(tid)) => {
-                match registry.bind_with_retry(tid, TENANT_BIND_SPINS) {
+                match registry.bind_with_retry(tid, TENANT_BIND_RETRIES) {
                     Ok(lease) => {
                         let tenant = Arc::clone(lease.tenant());
                         if tenant.quarantined() {
@@ -210,16 +230,12 @@ pub fn run_worker(
                             continue;
                         }
                         tenant.record_request();
-                        browser.machine.gates.set_untrusted_pkru(lease.pkru());
-                        if let Some(h) = tenant.handler() {
-                            browser.machine.set_violation_handler(Arc::clone(h));
-                        }
-                        browser.machine.install_syscall_filter(tenant.syscall_filter().clone());
+                        install_tenant(&mut browser, &lease);
                         Some(lease)
                     }
-                    // Bind refused after the retry budget (sustained pin
-                    // pressure or true exhaustion): the request completes
-                    // as an error, the worker survives.
+                    // Bind refused after the retry budget (sustained
+                    // barrier pressure or true exhaustion): the request
+                    // completes as an error, the worker survives.
                     Err(_) => {
                         cell.complete(|stats, _| {
                             stats.requests += 1;
@@ -235,24 +251,66 @@ pub fn run_worker(
             }
             _ => None,
         };
+        // The tenant outlives any one lease (a stale re-bind replaces
+        // the lease mid-request), so hold it by its own Arc.
+        let tenant_arc = lease.as_ref().map(|l| Arc::clone(l.tenant()));
         // Injected faults consult the *tenant's* handler when one is
         // active: a violation inside a tenant compartment is the
         // tenant's liability, not the worker's.
-        let active_handler = lease.as_ref().and_then(|l| l.tenant().handler()).or(handler);
+        let active_handler = tenant_arc.as_ref().and_then(|t| t.handler()).or(handler);
         // The request body runs inside a labelled block so every early
         // exit funnels through one restore point below — a tenant swap
         // must never leak into the next request's compartment.
         let die: Option<ServeError> = 'serve: {
-            if let Some(lease) = &lease {
+            if lease.is_some() {
                 // Touch the tenant's private region under its rights:
                 // the round-trip only succeeds if the bind re-tagged the
                 // tenant's (parked) pages onto the leased hardware key.
-                let scratch = lease.tenant().scratch_addr();
-                let m = &mut browser.machine;
-                let touched = m.gates.enter_untrusted(&mut m.cpu).is_ok()
-                    && m.mem_write(scratch, request.id).is_ok()
-                    && m.mem_read(scratch) == Ok(request.id)
-                    && m.gates.exit_untrusted(&mut m.cpu).is_ok();
+                // The pool may steal that key at any moment — the gate
+                // then refuses with a typed `StaleLease` (or a mem op
+                // faults on the freshly parked pages mid-region), and
+                // the worker re-binds and retries, bounded.
+                let tenant = Arc::clone(tenant_arc.as_ref().expect("tenant in flight"));
+                let scratch = tenant.scratch_addr();
+                let mut rebinds = 0usize;
+                let touched = loop {
+                    let m = &mut browser.machine;
+                    let ok = match m.gates.enter_untrusted(&mut m.cpu) {
+                        Ok(()) => {
+                            let wrote = m.mem_write(scratch, request.id).is_ok()
+                                && m.mem_read(scratch) == Ok(request.id);
+                            // The exit gate runs unconditionally after a
+                            // successful enter: an open region would
+                            // block the revocation barrier (and leak
+                            // compartment stack depth) for the rest of
+                            // the incarnation.
+                            let exited = m.gates.exit_untrusted(&mut m.cpu).is_ok();
+                            wrote && exited
+                        }
+                        Err(GateError::StaleLease { .. }) => false,
+                        Err(_) => break false,
+                    };
+                    if ok {
+                        break true;
+                    }
+                    let stale = !lease.as_ref().expect("tenant lease in flight").is_current();
+                    if !stale || rebinds >= STALE_REBIND_RETRIES {
+                        break false;
+                    }
+                    // Revoked underneath us: re-bind the tenant (counted
+                    // against its bind_retries stat) and reinstall the
+                    // fresh lease.
+                    rebinds += 1;
+                    tenant.record_bind_retry();
+                    let registry = registry.expect("tenant lease implies a registry");
+                    match registry.bind_with_retry(tenant.id(), TENANT_BIND_RETRIES) {
+                        Ok(fresh) => {
+                            install_tenant(&mut browser, &fresh);
+                            lease = Some(fresh);
+                        }
+                        Err(_) => break false,
+                    }
+                };
                 if !touched {
                     cell.complete(|stats, _| {
                         stats.requests += 1;
@@ -347,10 +405,18 @@ pub fn run_worker(
             None
         };
         // Restore the worker's ambient compartment before anything else
-        // can run on this browser.
+        // can run on this browser. `set_untrusted_pkru` also drops the
+        // lease stamp from the gates.
         if lease.is_some() {
             browser.machine.gates.set_untrusted_pkru(base_untrusted);
             browser.machine.install_syscall_filter(base_filter.clone());
+            // The tenant handler's grant scope must not outlive the
+            // request: the tenant's key may be stolen and recycled the
+            // moment the lease drops, and a lingering scope would let an
+            // audit single-step grant the recycled key.
+            if let Some(h) = tenant_arc.as_ref().and_then(|t| t.handler()) {
+                h.refresh_tenant_scope(None);
+            }
             match handler {
                 Some(h) => browser.machine.set_violation_handler(Arc::clone(h)),
                 None => browser.machine.clear_violation_handler(),
@@ -365,6 +431,20 @@ pub fn run_worker(
 
     cell.add_transitions(browser.stats().transitions);
     Ok(())
+}
+
+/// Swaps the worker's browser into a tenant's compartment: installs the
+/// lease's PKRU together with its liveness stamp (so the gates refuse
+/// stale entry typed), refreshes the tenant handler's grant scope to the
+/// *currently* bound hardware key, and installs the tenant's violation
+/// handler and syscall filter.
+fn install_tenant(browser: &mut Browser, lease: &TenantLease) {
+    browser.machine.gates.set_untrusted_lease(lease.pkru(), lease.stamp());
+    if let Some(h) = lease.tenant().handler() {
+        h.refresh_tenant_scope(Some(lease.hw_key()));
+        browser.machine.set_violation_handler(Arc::clone(h));
+    }
+    browser.machine.install_syscall_filter(lease.tenant().syscall_filter().clone());
 }
 
 /// Serves one page-load or script request on the worker's browser,

@@ -11,14 +11,18 @@
 //!   least-recently-bound hardware key, re-tags the evicted owner's
 //!   pages onto a dedicated no-access *park key* (a `pkey_mprotect`
 //!   storm that bumps the global TLB epoch, so every per-thread software
-//!   TLB resynchronizes), and hands the freed key to the binder.
-//!   [`BindGuard`] pins a binding for the duration of a gate region so
-//!   eviction can never race an open compartment switch.
+//!   TLB resynchronizes), and quarantines the stolen key behind a
+//!   [`RevocationBarrier`] before anyone may reuse it. Every binding is
+//!   stamped with a monotonic generation ([`BindGuard`] / [`LeaseStamp`])
+//!   that is revoked at the instant of the steal, so a stale PKRU is
+//!   refused at the gate and — thanks to the barrier — can never name a
+//!   recycled key's new owner.
 //! - [`TenantRegistry`] builds tenants on top: each [`Tenant`] owns a
 //!   virtual key, a private data region (parked until bound), an
 //!   allocator carve-out, a syscall allow-list, and its own violation
-//!   policy/quarantine breaker. [`TenantLease`] bundles the pinned
-//!   binding with the untrusted PKRU to run the compartment under.
+//!   policy/quarantine breaker. [`TenantLease`] bundles the generation-
+//!   stamped binding with the untrusted PKRU to run the compartment
+//!   under.
 //!
 //! The isolation invariant — proved by the cross-tenant proptest in
 //! `tests/cross_tenant.rs` — is that tenant A can never read a byte of
@@ -33,3 +37,7 @@ pub use tenant::{
     TENANT_BASE, TENANT_DATA_PAGES, TENANT_SPAN,
 };
 pub use vkey::{BindGuard, VirtualPkey, VirtualPkeyError, VirtualPkeyPool, VkeyPoolStats};
+
+// Re-exported so lease holders can name the revocation types without
+// depending on `pkru-mpk` directly.
+pub use pkru_mpk::{LeaseStamp, RevocationBarrier, WorkerEpoch};

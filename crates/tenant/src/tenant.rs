@@ -13,18 +13,21 @@
 //! two keys — key 0 (the shared untrusted heap the engine allocates
 //! from) and the tenant's currently bound hardware key. Everything else —
 //! the trusted key over `M_T`, the park key, every other tenant's key —
-//! is access-disabled. Because an evicted tenant's pages are re-tagged
-//! onto the park key *before* its hardware key is reused, a stale PKRU
-//! that still grants the recycled key can only ever reach the *new*
-//! owner's pages if it is the new owner.
+//! is access-disabled. An evicted tenant's pages are re-tagged onto the
+//! park key *before* its hardware key moves, and the key itself is
+//! revoked (its lease generation zeroed) and quarantined behind the
+//! registry pool's revocation barrier — so a stale PKRU can neither
+//! reach the victim's parked pages nor, once the key is eventually
+//! recycled, the key's new owner (see `vkey` and `pkru_mpk::revoke`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use lir::{SharedHost, SyscallFilter};
 use pkalloc::PkAllocConfig;
 use pkru_handler::{MpkPolicy, ViolationCounters, ViolationHandler};
-use pkru_mpk::{Pkey, PkeyRights, Pkru, SharedPkeyPool};
+use pkru_mpk::{LeaseStamp, Pkey, PkeyRights, Pkru, SharedPkeyPool};
 use pkru_vmem::{Prot, SharedSpace, VirtAddr, PAGE_SIZE};
 
 use crate::vkey::{BindGuard, VirtualPkey, VirtualPkeyError, VirtualPkeyPool, VkeyPoolStats};
@@ -47,11 +50,11 @@ pub enum TenantError {
     /// The hardware key pool is exhausted and nothing can be evicted —
     /// the typed setup-path error (never a panic).
     KeysExhausted,
-    /// Every bound tenant has a gate region in flight; retry after a
-    /// yield.
+    /// The bind backoff expired with every candidate hardware key still
+    /// quarantined behind the revocation barrier; retry after a yield.
     Busy,
-    /// An explicit evict was refused: the tenant has a gate region in
-    /// flight.
+    /// An explicit evict was refused: the tenant has a request (lease)
+    /// in flight.
     Pinned(usize),
     /// No tenant with that id.
     UnknownTenant(usize),
@@ -65,8 +68,10 @@ impl std::fmt::Display for TenantError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TenantError::KeysExhausted => write!(f, "hardware protection keys exhausted"),
-            TenantError::Busy => write!(f, "all bound tenants pinned by open gate regions"),
-            TenantError::Pinned(t) => write!(f, "tenant {t} pinned by an open gate region"),
+            TenantError::Busy => {
+                write!(f, "every hardware key quarantined behind the revocation barrier; retry")
+            }
+            TenantError::Pinned(t) => write!(f, "tenant {t} is leased by an in-flight request"),
             TenantError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
             TenantError::Map(m) => write!(f, "tenant region map: {m}"),
             TenantError::Retag(m) => write!(f, "tenant re-tag: {m}"),
@@ -129,6 +134,7 @@ pub struct Tenant {
     alloc_config: PkAllocConfig,
     requests: AtomicU64,
     rejected: AtomicU64,
+    bind_retries: AtomicU64,
 }
 
 impl Tenant {
@@ -204,15 +210,29 @@ impl Tenant {
         self.rejected.load(Ordering::Relaxed)
     }
 
+    /// Counts one retried bind attempt for this tenant (key pressure:
+    /// the first attempt found every key quarantined).
+    pub fn record_bind_retry(&self) {
+        self.bind_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bind attempts beyond the first needed to lease this tenant's key.
+    pub fn bind_retries(&self) -> u64 {
+        self.bind_retries.load(Ordering::Relaxed)
+    }
+
     /// The tenant's violation counters (zero under `enforce`).
     pub fn violation_counters(&self) -> ViolationCounters {
         self.handler.as_ref().map(|h| h.counters()).unwrap_or_default()
     }
 }
 
-/// A bound tenant: the pinned hardware binding plus the untrusted PKRU
-/// to run its compartment under. Hold it for the whole gate region; the
-/// pin blocks eviction until dropped.
+/// A bound tenant: the hardware-key lease plus the untrusted PKRU to run
+/// its compartment under. The lease no longer pins the binding — the
+/// pool may steal the key mid-request, revoking the lease's generation —
+/// so holders install [`TenantLease::stamp`] on their gates (which then
+/// refuse stale entry typed) and re-bind on [`TenantLease::is_current`]
+/// turning false.
 #[derive(Debug)]
 pub struct TenantLease {
     guard: BindGuard,
@@ -221,7 +241,8 @@ pub struct TenantLease {
 }
 
 impl TenantLease {
-    /// The hardware key the tenant currently wears.
+    /// The hardware key the tenant wore when the lease was granted.
+    /// Only meaningful while [`TenantLease::is_current`] holds.
     pub fn hw_key(&self) -> Pkey {
         self.guard.hw_key()
     }
@@ -235,6 +256,24 @@ impl TenantLease {
     /// The leased tenant.
     pub fn tenant(&self) -> &Arc<Tenant> {
         &self.tenant
+    }
+
+    /// The binding generation this lease was granted at.
+    pub fn generation(&self) -> u64 {
+        self.guard.generation()
+    }
+
+    /// Whether the lease still names the live binding — `false` once the
+    /// tenant's hardware key has been stolen or evicted.
+    pub fn is_current(&self) -> bool {
+        self.guard.is_current()
+    }
+
+    /// The liveness stamp to install alongside [`TenantLease::pkru`] via
+    /// `Gates::set_untrusted_lease`, so compartment entry validates the
+    /// lease before granting its rights.
+    pub fn stamp(&self) -> LeaseStamp {
+        self.guard.stamp()
     }
 }
 
@@ -324,6 +363,7 @@ impl TenantRegistry {
             },
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            bind_retries: AtomicU64::new(0),
         });
         self.tenants.push(Arc::clone(&tenant));
         Ok(tenant)
@@ -347,24 +387,32 @@ impl TenantRegistry {
         Ok(TenantLease { guard, pkru, tenant: Arc::clone(tenant) })
     }
 
-    /// Like [`TenantRegistry::bind`], but yields and retries while every
-    /// candidate victim is pinned (bounded; returns [`TenantError::Busy`]
-    /// if the pressure never clears).
-    pub fn bind_with_retry(&self, id: usize, spins: usize) -> Result<TenantLease, TenantError> {
-        let mut last = TenantError::Busy;
-        for _ in 0..spins.max(1) {
+    /// Like [`TenantRegistry::bind`], but retries with exponential
+    /// backoff while every candidate key sits quarantined behind the
+    /// revocation barrier (bounded; returns [`TenantError::Busy`] if the
+    /// pressure never clears within `attempts`). Each retry is recorded
+    /// against the tenant's `bind_retries` stat.
+    pub fn bind_with_retry(&self, id: usize, attempts: usize) -> Result<TenantLease, TenantError> {
+        let tenant = self.tenants.get(id).ok_or(TenantError::UnknownTenant(id))?;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                tenant.record_bind_retry();
+                // Backoff on top of the pool's own bounded wait — the
+                // quarantine matures as workers reach their restore
+                // points, so a short sleep is usually enough.
+                std::thread::sleep(Duration::from_micros(50 << attempt.min(4)));
+            }
             match self.bind(id) {
-                Err(TenantError::Busy) => {
-                    last = TenantError::Busy;
-                    std::thread::yield_now();
-                }
+                Err(TenantError::Busy) => {}
                 other => return other,
             }
         }
-        Err(last)
+        Err(TenantError::Busy)
     }
 
-    /// Explicitly evicts tenant `id` (parks its pages, frees its key).
+    /// Explicitly evicts tenant `id`: revokes its lease generation,
+    /// parks its pages, and quarantines its hardware key behind the
+    /// revocation barrier.
     pub fn evict(&self, id: usize) -> Result<bool, TenantError> {
         let tenant = self.tenants.get(id).ok_or(TenantError::UnknownTenant(id))?;
         self.pool.evict(tenant.vkey()).map_err(|e| match e {
@@ -466,27 +514,83 @@ mod tests {
         drop(lease_b);
     }
 
+    /// The headline regression test for the key-recycling read
+    /// primitive. Before the revocation protocol, `evict` freed tenant
+    /// 0's hardware key immediately and tenant 1's bind recycled it (the
+    /// lowest-free rule) — so a stale PKRU minted for tenant 0 silently
+    /// read tenant 1's canary. Now the key sits in quarantine until the
+    /// PKRU's holder passes the revocation barrier, and the stale read
+    /// of the recycled key's new owner **must fault**.
     #[test]
-    fn evicted_tenants_park_and_recycled_keys_carry_no_residual_rights() {
+    fn stale_pkru_cannot_read_the_recycled_keys_new_owner() {
         let mut reg = registry();
         reg.populate(2, MpkPolicy::Enforce).unwrap();
-        let stale_pkru = {
+        // The worker that minted the stale PKRU is inside a gate region:
+        // it registered with the barrier and entered before the evict.
+        let holder = reg.pool().barrier().register();
+        let (stale_pkru, stamp, stolen_key) = {
             let lease = reg.bind(0).unwrap();
-            lease.pkru()
+            holder.enter();
+            (lease.pkru(), lease.stamp(), lease.hw_key())
         };
+        assert!(stamp.is_current());
         reg.evict(0).unwrap();
-        // Tenant 1 now takes (by the lowest-free rule) the very key
-        // tenant 0 wore. Tenant 0's stale PKRU still grants that key —
-        // but tenant 0's pages are parked, and the key now tags tenant
-        // 1's pages only. The stale rights reach nothing of tenant 0's…
+        assert!(!stamp.is_current(), "evict revokes the lease generation");
+        // Tenant 1 binds while the stale PKRU's holder is still inside
+        // its region: the quarantined key may not be recycled yet, so
+        // tenant 1 wears a *different* key.
         let lease_b = reg.bind(1).unwrap();
+        assert_ne!(
+            lease_b.hw_key(),
+            stolen_key,
+            "a quarantined key must not be recycled while its stale PKRU may live"
+        );
+        // Tenant 0's parked pages are dark under the stale PKRU...
         let parked = reg.space.read_u64(stale_pkru, reg.tenant(0).unwrap().base());
         assert!(parked.unwrap_err().is_pkey_violation(), "parked pages must be dark");
-        // …which is the known limit: rights are per-key, not per-page,
-        // so a *stale* PKRU held across an evict/rebind cycle could read
-        // the key's new owner. That is exactly why leases pin bindings:
-        // no PKRU outlives its lease on the serve path.
+        // ...and so is the new owner of everything the stale PKRU still
+        // grants — the read primitive this protocol closes. On the old
+        // pool this read *succeeded* (the documented "known limit").
+        let cross = reg.space.read_u64(stale_pkru, reg.tenant(1).unwrap().base());
+        assert!(
+            cross.unwrap_err().is_pkey_violation(),
+            "stale PKRU read the recycled key's new owner"
+        );
         drop(lease_b);
+        // The holder reaches its restore point (drops to base rights):
+        // the quarantine matures and only now is the key reused.
+        holder.park();
+        let lease_a = reg.bind(0).unwrap();
+        assert_eq!(lease_a.hw_key(), stolen_key, "the matured key recycles after the barrier");
+        assert!(reg.key_stats().deferred_reuses >= 1);
+        assert!(reg.key_stats().revocations >= 1);
+    }
+
+    #[test]
+    fn bind_with_retry_counts_retries_against_the_tenant() {
+        let space = SharedSpace::new();
+        let hw = SharedPkeyPool::new();
+        let trusted = hw.alloc().unwrap();
+        let mut reg = TenantRegistry::with_space(space, hw.clone(), trusted).unwrap();
+        reg.populate(2, MpkPolicy::Enforce).unwrap();
+        // Burn the pool down to one free key, bind it to tenant 0, and
+        // park a worker inside a gate region so a steal's quarantine can
+        // never mature while it sits there.
+        let mut held = Vec::new();
+        while hw.allocated_count() < 15 {
+            held.push(hw.alloc().unwrap());
+        }
+        drop(reg.bind(0).unwrap());
+        let holder = reg.pool().barrier().register();
+        holder.enter();
+        let err = reg.bind_with_retry(1, 3).expect_err("the barrier never clears");
+        assert_eq!(err, TenantError::Busy);
+        assert_eq!(reg.tenant(1).unwrap().bind_retries(), 2, "attempts 2 and 3 are retries");
+        // The worker parks: the quarantined key matures and the next
+        // attempt succeeds first try, leaving the counter untouched.
+        holder.park();
+        assert!(reg.bind_with_retry(1, 3).is_ok());
+        assert_eq!(reg.tenant(1).unwrap().bind_retries(), 2);
     }
 
     #[test]

@@ -11,20 +11,37 @@
 //! software TLB refetches), and only then is the key handed to the new
 //! binding. A parked tenant's pages are inaccessible under *every*
 //! tenant PKRU — stale PKRU or TLB state can therefore never grant
-//! cross-tenant access, because the rights a stale PKRU still carries
-//! are for a key the victim's pages no longer wear.
+//! access to the *victim's* pages, because the rights a stale PKRU still
+//! carries are for a key the victim's pages no longer wear.
 //!
-//! Eviction safety: a binding is returned as a [`BindGuard`] pin. While
-//! any pin for a virtual key is live — a worker is inside a gate region
-//! running under that tenant's rights — [`VirtualPkeyPool::evict`]
-//! refuses to steal its hardware key, because re-tagging pages under an
-//! executing compartment would yield spurious faults (or worse, let the
-//! next binder's rights apply to the victim's still-running code).
+//! Recycling safety is the harder half: a stale PKRU's rights *do* still
+//! name the stolen hardware key, and once that key is rebound they would
+//! grant access to the key's **next owner**. Two mechanisms close that
+//! hole (see `pkru_mpk::revoke` for the ordering proof):
+//!
+//! 1. Every binding carries a monotonic **generation**, published through
+//!    a shared cell the pool zeroes at the instant of revocation. Leases
+//!    ([`BindGuard`]) carry a [`LeaseStamp`]; the call gates validate it
+//!    before granting the lease's rights, so a revoked lease is a typed
+//!    refusal, never silent stale access.
+//! 2. A stolen key is **quarantined** on a deferred-reuse list at a
+//!    [`RevocationBarrier`] epoch, and is rebound only once every
+//!    registered worker has dropped to base rights since the steal — at
+//!    which point no live PKRU register can still grant it.
+//!
+//! Because revocation (not pinning) is what protects a live lease, a
+//! [`BindGuard`] no longer blocks stealing: it records a *lease* that
+//! steals merely prefer to avoid, so `bind` under pressure degrades to
+//! bounded waiting on the barrier instead of the old hard
+//! `AllPinned` refusal. Explicit [`VirtualPkeyPool::evict`] still
+//! refuses while a lease is live — deliberately unbinding a tenant that
+//! is mid-request remains an error at the management API.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use pkru_mpk::{Pkey, PkeyPoolError, SharedPkeyPool};
+use pkru_mpk::{LeaseStamp, Pkey, PkeyPoolError, RevocationBarrier, SharedPkeyPool};
 use pkru_vmem::{page_align_up, Prot, SharedSpace, VirtAddr, PAGE_SIZE};
 
 /// A tenant-held protection key: an index into the virtual key space,
@@ -45,6 +62,18 @@ impl std::fmt::Display for VirtualPkey {
     }
 }
 
+/// How many rounds `bind` waits for a quarantined key to mature behind
+/// the revocation barrier before refusing. The first rounds yield; the
+/// rest sleep [`BIND_BACKOFF_SLEEP`], bounding the wait to a few
+/// milliseconds — gate regions are per-FFI-call and exit far faster.
+const BIND_BACKOFF_SPINS: usize = 96;
+
+/// Rounds that merely yield before the backoff starts sleeping.
+const BIND_BACKOFF_YIELDS: usize = 32;
+
+/// Per-round sleep once yielding has not freed a key.
+const BIND_BACKOFF_SLEEP: Duration = Duration::from_micros(100);
+
 /// Errors raised by the virtual key pool.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VirtualPkeyError {
@@ -53,11 +82,13 @@ pub enum VirtualPkeyError {
     /// (surfaced typed, never as a panic — see `ServeError::KeysExhausted`
     /// on the serve path).
     Exhausted,
-    /// Every currently bound virtual key is pinned by an open gate region;
-    /// the caller should retry once some compartment exits.
+    /// The bind backoff budget expired with every candidate key still
+    /// quarantined behind the revocation barrier (some worker has sat
+    /// inside one gate region for the whole budget). Retryable: the
+    /// caller should back off and bind again.
     AllPinned,
-    /// An explicit evict was refused because the binding is pinned by an
-    /// open gate region.
+    /// An explicit evict was refused because the binding is leased by an
+    /// in-flight request.
     Pinned(VirtualPkey),
     /// The virtual key was never registered with this pool.
     Unknown(VirtualPkey),
@@ -72,10 +103,10 @@ impl std::fmt::Display for VirtualPkeyError {
                 write!(f, "hardware protection keys exhausted (pkey_alloc)")
             }
             VirtualPkeyError::AllPinned => {
-                write!(f, "every bound virtual key is pinned by an open gate region")
+                write!(f, "bind backoff expired: every key is quarantined behind the barrier")
             }
             VirtualPkeyError::Pinned(v) => {
-                write!(f, "{v} is pinned by an open gate region and cannot be evicted")
+                write!(f, "{v} is leased by an in-flight request and cannot be evicted")
             }
             VirtualPkeyError::Unknown(v) => write!(f, "{v} is not registered with this pool"),
             VirtualPkeyError::Retag(m) => write!(f, "pkey_mprotect re-tag failed: {m}"),
@@ -104,6 +135,14 @@ pub struct VkeyPoolStats {
     pub evictions: u64,
     /// Pages re-tagged by `pkey_mprotect` storms (parking + rebinding).
     pub pages_retagged: u64,
+    /// Lease generations revoked (every steal and explicit evict).
+    pub revocations: u64,
+    /// Binds satisfied from the deferred-reuse list after its quarantine
+    /// epoch cleared the revocation barrier.
+    pub deferred_reuses: u64,
+    /// Hardware keys sitting in quarantine right now (gauge, sampled at
+    /// [`VirtualPkeyPool::stats`] time).
+    pub deferred_keys: u64,
 }
 
 impl VkeyPoolStats {
@@ -132,14 +171,33 @@ struct VkeyState {
     regions: Vec<Region>,
     /// Logical timestamp of the last bind (LRU victim = smallest).
     last_bound: u64,
-    /// Live [`BindGuard`]s — open gate regions running under this key.
-    pins: Arc<AtomicUsize>,
+    /// Live [`BindGuard`]s — in-flight requests running under this key.
+    /// A lease no longer blocks stealing (revocation protects it); it
+    /// only steers the victim choice and blocks explicit `evict`.
+    leases: Arc<AtomicUsize>,
+    /// The generation of the current binding (0 while unbound/revoked).
+    generation: u64,
+    /// The published copy of `generation` that outstanding [`LeaseStamp`]s
+    /// validate against; zeroed at the instant of revocation.
+    current: Arc<AtomicU64>,
+}
+
+/// A stolen hardware key sitting out its quarantine: reusable only once
+/// every registered worker has passed `steal_epoch` on the barrier.
+struct DeferredKey {
+    hw: Pkey,
+    steal_epoch: u64,
 }
 
 struct Inner {
     states: Vec<VkeyState>,
     tick: u64,
     stats: VkeyPoolStats,
+    /// Monotonic source for binding generations (never reused, never 0).
+    next_generation: u64,
+    /// The deferred-reuse quarantine list. Epochs ascend with the index,
+    /// so the matured entries always form a prefix.
+    deferred: Vec<DeferredKey>,
 }
 
 /// Multiplexes an unbounded virtual key space onto the ≤15 allocatable
@@ -152,35 +210,57 @@ pub struct VirtualPkeyPool {
     space: SharedSpace,
     hw: SharedPkeyPool,
     park: Pkey,
+    barrier: Arc<RevocationBarrier>,
     inner: Mutex<Inner>,
 }
 
-/// A live binding: proof that `vkey` wears hardware key `hw` and a pin
-/// that blocks eviction until dropped. Hold it across the gate region
-/// that runs under the tenant's rights; drop it when the compartment
-/// exits.
+/// A live lease: proof that `vkey` wore hardware key `hw` at
+/// `generation`. The pool may still steal the key underneath the lease —
+/// [`BindGuard::is_current`] (and the [`LeaseStamp`] the gates validate)
+/// is how the holder finds out, re-binds, and never touches memory
+/// through revoked rights.
 #[derive(Debug)]
 pub struct BindGuard {
     vkey: VirtualPkey,
     hw: Pkey,
-    pins: Arc<AtomicUsize>,
+    generation: u64,
+    current: Arc<AtomicU64>,
+    leases: Arc<AtomicUsize>,
 }
 
 impl BindGuard {
-    /// The virtual key this binding pins.
+    /// The virtual key this lease names.
     pub fn vkey(&self) -> VirtualPkey {
         self.vkey
     }
 
-    /// The hardware key the virtual key currently wears.
+    /// The hardware key the virtual key wore when the lease was granted.
+    /// Only meaningful while [`BindGuard::is_current`] holds.
     pub fn hw_key(&self) -> Pkey {
         self.hw
+    }
+
+    /// The binding generation this lease was granted at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the lease still names the live binding — `false` once the
+    /// hardware key has been stolen or evicted.
+    pub fn is_current(&self) -> bool {
+        self.current.load(Ordering::SeqCst) == self.generation
+    }
+
+    /// The liveness stamp the call gates validate before granting this
+    /// lease's rights.
+    pub fn stamp(&self) -> LeaseStamp {
+        LeaseStamp::new(self.generation, Arc::clone(&self.current))
     }
 }
 
 impl Drop for BindGuard {
     fn drop(&mut self) {
-        self.pins.fetch_sub(1, Ordering::Release);
+        self.leases.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -199,10 +279,13 @@ impl VirtualPkeyPool {
             space,
             hw,
             park,
+            barrier: Arc::new(RevocationBarrier::new()),
             inner: Mutex::new(Inner {
                 states: Vec::new(),
                 tick: 0,
                 stats: VkeyPoolStats::default(),
+                next_generation: 0,
+                deferred: Vec::new(),
             }),
         })
     }
@@ -210,6 +293,14 @@ impl VirtualPkeyPool {
     /// The no-access key parked pages wear. No tenant PKRU grants it.
     pub fn park_key(&self) -> Pkey {
         self.park
+    }
+
+    /// The revocation barrier workers register with. Gate runtimes
+    /// publish region entry/exit through a [`pkru_mpk::WorkerEpoch`]
+    /// handle; the pool reuses a quarantined key only once every
+    /// registered worker has passed its steal epoch.
+    pub fn barrier(&self) -> &Arc<RevocationBarrier> {
+        &self.barrier
     }
 
     /// Registers a fresh virtual key, unbound and owning no pages yet.
@@ -220,7 +311,9 @@ impl VirtualPkeyPool {
             hw: None,
             regions: Vec::new(),
             last_bound: 0,
-            pins: Arc::new(AtomicUsize::new(0)),
+            leases: Arc::new(AtomicUsize::new(0)),
+            generation: 0,
+            current: Arc::new(AtomicU64::new(0)),
         });
         vkey
     }
@@ -244,93 +337,192 @@ impl VirtualPkeyPool {
         Ok(())
     }
 
-    /// Binds `vkey` to a hardware key, returning a pinned [`BindGuard`].
+    /// Binds `vkey` to a hardware key, returning a leased [`BindGuard`].
     ///
-    /// Hit: the key is already bound — bump its LRU stamp and pin it.
-    /// Miss: allocate a hardware key, or steal the LRU unpinned binding's
-    /// key — park the victim's pages (a `pkey_mprotect` storm; the epoch
-    /// bump flushes every thread's software TLB), then re-tag this key's
-    /// pages onto the stolen key. If every bound key is pinned by an open
-    /// gate region, refuses with [`VirtualPkeyError::AllPinned`] rather
-    /// than re-tagging under a running compartment; retry after a yield.
+    /// Hit: the key is already bound — bump its LRU stamp and lease it.
+    /// Miss, in preference order: (1) a quarantined key whose steal epoch
+    /// has cleared the revocation barrier, (2) a fresh `pkey_alloc`, (3)
+    /// steal the LRU binding — revoke its generation, park the victim's
+    /// pages (a `pkey_mprotect` storm; the epoch bump flushes every
+    /// thread's software TLB) and quarantine the key at a fresh barrier
+    /// epoch, then wait (bounded backoff) for it to mature. Unleased
+    /// victims are stolen first, but a leased LRU binding *is* stolen
+    /// when nothing better exists — revocation, not pinning, is what
+    /// keeps the lease holder safe. Only when the backoff budget expires
+    /// with every key still quarantined does bind refuse, retryably, with
+    /// [`VirtualPkeyError::AllPinned`].
     pub fn bind(&self, vkey: VirtualPkey) -> Result<BindGuard, VirtualPkeyError> {
-        let mut inner = self.inner.lock().expect("vkey pool lock");
-        let inner = &mut *inner;
-        if vkey.0 as usize >= inner.states.len() {
-            return Err(VirtualPkeyError::Unknown(vkey));
+        let mut stolen = false;
+        for attempt in 0..BIND_BACKOFF_SPINS {
+            {
+                let mut inner = self.inner.lock().expect("vkey pool lock");
+                let inner = &mut *inner;
+                if vkey.0 as usize >= inner.states.len() {
+                    return Err(VirtualPkeyError::Unknown(vkey));
+                }
+                inner.tick += 1;
+                let tick = inner.tick;
+                if attempt == 0 {
+                    inner.stats.binds += 1;
+                }
+
+                if let Some(hw) = inner.states[vkey.0 as usize].hw {
+                    if attempt == 0 {
+                        inner.stats.hits += 1;
+                    }
+                    let state = &mut inner.states[vkey.0 as usize];
+                    state.last_bound = tick;
+                    state.leases.fetch_add(1, Ordering::Acquire);
+                    return Ok(BindGuard {
+                        vkey,
+                        hw,
+                        generation: state.generation,
+                        current: Arc::clone(&state.current),
+                        leases: Arc::clone(&state.leases),
+                    });
+                }
+                if attempt == 0 {
+                    inner.stats.misses += 1;
+                }
+
+                // (1) A matured quarantined key — taken before a fresh
+                // alloc so an evict/rebind round-trip reuses the same
+                // hardware key (LIFO over the matured prefix).
+                if let Some(hw) = self.take_matured(inner) {
+                    inner.stats.deferred_reuses += 1;
+                    return self.finish_bind(inner, vkey, hw, tick);
+                }
+                // (2) A fresh hardware key.
+                match self.hw.alloc() {
+                    Ok(hw) => return self.finish_bind(inner, vkey, hw, tick),
+                    Err(PkeyPoolError::Exhausted) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                // (3) Steal into quarantine — at most once per bind call
+                // while the quarantine is non-empty, so a slow barrier
+                // makes this bind *wait*, not strip every other tenant.
+                if !stolen || inner.deferred.is_empty() {
+                    match self.steal_into_quarantine(inner, vkey) {
+                        Ok(()) => stolen = true,
+                        // Nothing bound to steal, but keys are sitting in
+                        // quarantine: wait for one to mature.
+                        Err(VirtualPkeyError::Exhausted) if !inner.deferred.is_empty() => {}
+                        Err(e) => return Err(e),
+                    }
+                    if let Some(hw) = self.take_matured(inner) {
+                        inner.stats.deferred_reuses += 1;
+                        return self.finish_bind(inner, vkey, hw, tick);
+                    }
+                }
+            }
+            // Lock released: give the workers blocking the barrier a
+            // chance to reach their restore point.
+            if attempt < BIND_BACKOFF_YIELDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(BIND_BACKOFF_SLEEP);
+            }
         }
-        inner.tick += 1;
-        inner.stats.binds += 1;
-        let tick = inner.tick;
+        Err(VirtualPkeyError::AllPinned)
+    }
 
-        if let Some(hw) = inner.states[vkey.0 as usize].hw {
-            inner.stats.hits += 1;
-            let state = &mut inner.states[vkey.0 as usize];
-            state.last_bound = tick;
-            state.pins.fetch_add(1, Ordering::Acquire);
-            return Ok(BindGuard { vkey, hw, pins: Arc::clone(&state.pins) });
-        }
-
-        inner.stats.misses += 1;
-        let hw = match self.hw.alloc() {
-            Ok(key) => key,
-            Err(PkeyPoolError::Exhausted) => self.steal_lru(inner, vkey)?,
-            Err(e) => return Err(e.into()),
-        };
-
+    /// Completes a miss-path bind of `vkey` onto `hw`: mints the next
+    /// generation, re-tags the key's pages, and publishes the binding.
+    fn finish_bind(
+        &self,
+        inner: &mut Inner,
+        vkey: VirtualPkey,
+        hw: Pkey,
+        tick: u64,
+    ) -> Result<BindGuard, VirtualPkeyError> {
+        inner.next_generation += 1;
+        let generation = inner.next_generation;
         let state = &mut inner.states[vkey.0 as usize];
         let pages = retag(&self.space, &state.regions, hw)?;
         state.hw = Some(hw);
         state.last_bound = tick;
-        state.pins.fetch_add(1, Ordering::Acquire);
-        let guard = BindGuard { vkey, hw, pins: Arc::clone(&state.pins) };
+        state.generation = generation;
+        state.current.store(generation, Ordering::SeqCst);
+        state.leases.fetch_add(1, Ordering::Acquire);
+        let guard = BindGuard {
+            vkey,
+            hw,
+            generation,
+            current: Arc::clone(&state.current),
+            leases: Arc::clone(&state.leases),
+        };
         inner.stats.pages_retagged += pages;
         Ok(guard)
     }
 
-    /// Steals the least-recently-bound unpinned binding's hardware key,
-    /// parking the victim's pages first. The key is handed over directly
-    /// (never released to the shared pool mid-steal), so a concurrent
-    /// `pkey_alloc` elsewhere in the process can never race it away.
-    fn steal_lru(&self, inner: &mut Inner, binder: VirtualPkey) -> Result<Pkey, VirtualPkeyError> {
+    /// Takes the newest quarantined key whose steal epoch every
+    /// registered worker has passed, if any. Epochs ascend with the list
+    /// index, so the matured entries form a prefix and `rposition` finds
+    /// its end — LIFO reuse keeps an evict/rebind round-trip on the same
+    /// hardware key.
+    fn take_matured(&self, inner: &mut Inner) -> Option<Pkey> {
+        let i = inner.deferred.iter().rposition(|d| self.barrier.all_passed(d.steal_epoch))?;
+        Some(inner.deferred.remove(i).hw)
+    }
+
+    /// Steals the least-recently-bound binding's hardware key — unleased
+    /// victims first — revoking its generation, parking its pages, and
+    /// quarantining the key at a fresh barrier epoch. The key is *not*
+    /// released to the shared `pkey_alloc` pool: it stays owned by the
+    /// quarantine list until it matures, so nothing else in the process
+    /// can race it into reuse before the barrier clears.
+    fn steal_into_quarantine(
+        &self,
+        inner: &mut Inner,
+        binder: VirtualPkey,
+    ) -> Result<(), VirtualPkeyError> {
         let mut victim: Option<usize> = None;
-        let mut any_bound = false;
         for (i, state) in inner.states.iter().enumerate() {
             if i == binder.0 as usize || state.hw.is_none() {
                 continue;
             }
-            any_bound = true;
-            // The pin check under the pool lock is the eviction-safety
-            // fix: a pinned binding has a gate region in flight, and its
-            // pages must keep their key until that compartment exits.
-            if state.pins.load(Ordering::Acquire) != 0 {
-                continue;
-            }
-            if victim.is_none_or(|v| state.last_bound < inner.states[v].last_bound) {
+            let leased = state.leases.load(Ordering::Acquire) != 0;
+            let better = match victim {
+                None => true,
+                Some(v) => {
+                    let best = &inner.states[v];
+                    let best_leased = best.leases.load(Ordering::Acquire) != 0;
+                    (leased, state.last_bound) < (best_leased, best.last_bound)
+                }
+            };
+            if better {
                 victim = Some(i);
             }
         }
         let Some(v) = victim else {
-            return Err(if any_bound {
-                VirtualPkeyError::AllPinned
-            } else {
-                VirtualPkeyError::Exhausted
-            });
+            return Err(VirtualPkeyError::Exhausted);
         };
         let state = &mut inner.states[v];
+        // Revoke *before* the quarantine epoch is minted: a gate entry
+        // that misses this store must have published its region before
+        // `begin_revocation`, and the barrier then holds the key until
+        // that region's restore point (see `pkru_mpk::revoke`).
+        state.current.store(0, Ordering::SeqCst);
+        state.generation = 0;
         let hw = state.hw.take().expect("victim was bound");
         let pages = retag(&self.space, &state.regions, self.park)?;
+        let steal_epoch = self.barrier.begin_revocation();
+        inner.deferred.push(DeferredKey { hw, steal_epoch });
         inner.stats.evictions += 1;
+        inner.stats.revocations += 1;
         inner.stats.pages_retagged += pages;
-        Ok(hw)
+        Ok(())
     }
 
-    /// Explicitly evicts `vkey`: parks its pages and releases its
-    /// hardware key back to the shared pool (`pkey_free`), so the next
-    /// bind — of any virtual key — can reuse it.
+    /// Explicitly evicts `vkey`: revokes its lease generation, parks its
+    /// pages, and quarantines its hardware key on the deferred-reuse list
+    /// — the next bind (of any virtual key) reuses it once its steal
+    /// epoch clears the revocation barrier.
     ///
     /// Idempotent: evicting an unbound key returns `Ok(false)`. Refuses
-    /// with [`VirtualPkeyError::Pinned`] while a [`BindGuard`] is live.
+    /// with [`VirtualPkeyError::Pinned`] while a [`BindGuard`] lease is
+    /// live — deliberate management-path eviction of a tenant that is
+    /// mid-request stays an error even though steals no longer wait.
     pub fn evict(&self, vkey: VirtualPkey) -> Result<bool, VirtualPkeyError> {
         let mut inner = self.inner.lock().expect("vkey pool lock");
         let inner = &mut *inner;
@@ -338,16 +530,19 @@ impl VirtualPkeyPool {
         let Some(hw) = state.hw else {
             return Ok(false);
         };
-        if state.pins.load(Ordering::Acquire) != 0 {
+        if state.leases.load(Ordering::Acquire) != 0 {
             return Err(VirtualPkeyError::Pinned(vkey));
         }
-        let pages = retag(&self.space, &state.regions, self.park)?;
+        state.current.store(0, Ordering::SeqCst);
+        state.generation = 0;
         state.hw = None;
+        let regions = state.regions.clone();
+        let pages = retag(&self.space, &regions, self.park)?;
+        let steal_epoch = self.barrier.begin_revocation();
+        inner.deferred.push(DeferredKey { hw, steal_epoch });
         inner.stats.evictions += 1;
+        inner.stats.revocations += 1;
         inner.stats.pages_retagged += pages;
-        // Freeing cannot fail: the key was handed out by this pool and
-        // nobody else frees it while we hold the binding.
-        self.hw.free(hw).expect("evicted key was allocated");
         Ok(true)
     }
 
@@ -368,18 +563,29 @@ impl VirtualPkeyPool {
         inner.states.iter().filter(|s| s.hw.is_some()).count()
     }
 
+    /// Number of hardware keys currently quarantined on the
+    /// deferred-reuse list.
+    pub fn deferred_count(&self) -> usize {
+        self.inner.lock().expect("vkey pool lock").deferred.len()
+    }
+
     /// Number of virtual keys registered.
     pub fn registered(&self) -> usize {
         self.inner.lock().expect("vkey pool lock").states.len()
     }
 
-    /// Snapshot of the pool's lifetime counters.
+    /// Snapshot of the pool's lifetime counters (plus the live
+    /// `deferred_keys` gauge).
     pub fn stats(&self) -> VkeyPoolStats {
-        self.inner.lock().expect("vkey pool lock").stats
+        let inner = self.inner.lock().expect("vkey pool lock");
+        let mut stats = inner.stats;
+        stats.deferred_keys = inner.deferred.len() as u64;
+        stats
     }
 
     /// Hardware keys currently allocated process-wide (including key 0,
-    /// the trusted key, and the park key) — can never exceed 16.
+    /// the trusted key, the park key, and quarantined keys — which stay
+    /// allocated while deferred) — can never exceed 16.
     pub fn allocated_count(&self) -> u32 {
         self.hw.allocated_count()
     }
@@ -454,7 +660,8 @@ mod tests {
         // Rebind b so a becomes the LRU victim.
         drop(pool.bind(b).unwrap());
         let guard_c = pool.bind(c).unwrap();
-        // c stole a's key; a is parked.
+        // c stole a's key (revoked, quarantined, matured — no workers are
+        // registered, so the barrier passes immediately); a is parked.
         assert_eq!(guard_c.hw_key(), key_a);
         assert!(!pool.is_bound(a));
         assert_eq!(space.page_pkey(0x100_0000), Some(pool.park_key()));
@@ -463,10 +670,13 @@ mod tests {
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 3);
+        assert_eq!(stats.revocations, 1);
+        assert_eq!(stats.deferred_reuses, 1);
+        assert_eq!(stats.deferred_keys, 0, "the matured key went straight to c");
     }
 
     #[test]
-    fn pinned_bindings_are_never_stolen() {
+    fn leased_bindings_are_stolen_last() {
         let space = SharedSpace::new();
         let (pool, hw) = pool_with(&space);
         let mut held = Vec::new();
@@ -476,17 +686,18 @@ mod tests {
         let a = mapped_vkey(&pool, &space, 0x100_0000);
         let b = mapped_vkey(&pool, &space, 0x200_0000);
         let c = mapped_vkey(&pool, &space, 0x300_0000);
-        // a is the LRU *and* pinned: the steal must skip it and take b.
+        // a is the LRU *and* leased: the steal must prefer unleased b.
         let guard_a = pool.bind(a).unwrap();
         let key_b = { pool.bind(b).unwrap().hw_key() };
         let guard_c = pool.bind(c).unwrap();
         assert_eq!(guard_c.hw_key(), key_b);
         assert!(pool.is_bound(a));
+        assert!(guard_a.is_current(), "an unstolen lease stays live");
         assert_eq!(space.page_pkey(0x100_0000), Some(guard_a.hw_key()));
     }
 
     #[test]
-    fn all_pinned_refuses_instead_of_retagging_under_a_live_compartment() {
+    fn stealing_a_leased_binding_revokes_the_lease() {
         let space = SharedSpace::new();
         let (pool, hw) = pool_with(&space);
         let mut held = Vec::new();
@@ -495,25 +706,63 @@ mod tests {
         }
         let a = mapped_vkey(&pool, &space, 0x100_0000);
         let b = mapped_vkey(&pool, &space, 0x200_0000);
+        // a holds the only key and is leased. The old pool refused here
+        // with `AllPinned`; now the steal proceeds — the lease is revoked
+        // and the holder finds out through its stamp, never through
+        // memory it can still touch.
         let guard_a = pool.bind(a).unwrap();
-        assert!(matches!(pool.bind(b), Err(VirtualPkeyError::AllPinned)));
-        // Once the gate region closes, the bind goes through.
-        drop(guard_a);
-        assert!(pool.bind(b).is_ok());
+        assert!(guard_a.is_current());
+        let guard_b = pool.bind(b).unwrap();
+        assert_eq!(guard_b.hw_key(), guard_a.hw_key(), "b recycled a's key");
+        assert!(!guard_a.is_current(), "the steal revoked a's lease");
+        assert!(guard_b.is_current());
+        assert!(!pool.is_bound(a));
+        assert_eq!(space.page_pkey(0x100_0000), Some(pool.park_key()));
+        assert_eq!(pool.stats().revocations, 1);
     }
 
     #[test]
-    fn evict_is_refused_while_pinned_and_idempotent_after() {
+    fn quarantined_keys_wait_for_the_revocation_barrier() {
+        let space = SharedSpace::new();
+        let (pool, hw) = pool_with(&space);
+        let mut held = Vec::new();
+        while hw.allocated_count() < 15 {
+            held.push(hw.alloc().unwrap());
+        }
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let b = mapped_vkey(&pool, &space, 0x200_0000);
+        let key_a = { pool.bind(a).unwrap().hw_key() };
+        // A worker sits inside a gate region entered *before* the steal:
+        // its PKRU may still carry rights to a's key, so the quarantine
+        // must hold the key for the whole bind backoff.
+        let worker = pool.barrier().register();
+        worker.enter();
+        assert!(matches!(pool.bind(b), Err(VirtualPkeyError::AllPinned)));
+        assert_eq!(pool.deferred_count(), 1, "the stolen key waits in quarantine");
+        // The worker reaches its restore point: the epoch clears and the
+        // very same key is granted to b.
+        worker.park();
+        let guard_b = pool.bind(b).unwrap();
+        assert_eq!(guard_b.hw_key(), key_a);
+        assert_eq!(pool.deferred_count(), 0);
+        assert!(pool.stats().deferred_reuses >= 1);
+    }
+
+    #[test]
+    fn evict_is_refused_while_leased_and_idempotent_after() {
         let space = SharedSpace::new();
         let (pool, _) = pool_with(&space);
         let a = mapped_vkey(&pool, &space, 0x100_0000);
         let guard = pool.bind(a).unwrap();
         assert_eq!(pool.evict(a), Err(VirtualPkeyError::Pinned(a)));
+        assert!(guard.is_current(), "a refused evict revokes nothing");
         drop(guard);
         assert_eq!(pool.evict(a), Ok(true));
         assert_eq!(pool.evict(a), Ok(false), "double evict is idempotent");
         assert_eq!(space.page_pkey(0x100_0000), Some(pool.park_key()));
-        assert_eq!(pool.stats().evictions, 1);
+        let stats = pool.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.revocations, 1);
     }
 
     #[test]
@@ -524,7 +773,30 @@ mod tests {
         let first = { pool.bind(a).unwrap().hw_key() };
         pool.evict(a).unwrap();
         let second = { pool.bind(a).unwrap().hw_key() };
-        assert_eq!(first, second, "pkey_free followed by pkey_alloc reuses the lowest key");
+        // The evicted key matured in quarantine (no workers registered)
+        // and the rebind takes the deferred list LIFO before allocating
+        // fresh — same key both times, as with pkey_free/pkey_alloc.
+        assert_eq!(first, second, "evict then rebind reuses the quarantined key");
+        assert_eq!(pool.stats().deferred_reuses, 1);
+    }
+
+    #[test]
+    fn rebinding_mints_a_fresh_generation_and_old_stamps_stay_stale() {
+        let space = SharedSpace::new();
+        let (pool, _) = pool_with(&space);
+        let a = mapped_vkey(&pool, &space, 0x100_0000);
+        let (old_generation, old_stamp) = {
+            let guard = pool.bind(a).unwrap();
+            (guard.generation(), guard.stamp())
+        };
+        assert!(old_stamp.is_current());
+        pool.evict(a).unwrap();
+        assert!(!old_stamp.is_current(), "evict revokes the published generation");
+        assert_eq!(old_stamp.current_generation(), 0);
+        let guard = pool.bind(a).unwrap();
+        assert!(guard.generation() > old_generation, "generations are monotonic");
+        assert!(guard.is_current());
+        assert!(!old_stamp.is_current(), "a rebind never resurrects an old stamp");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::thread;
 
-use pkru_mpk::{Pkey, SharedPkeyPool};
+use pkru_mpk::{Pkey, PkeyRights, Pkru, SharedPkeyPool};
 use pkru_tenant::{VirtualPkey, VirtualPkeyError, VirtualPkeyPool};
 use pkru_vmem::{Prot, SharedSpace, PAGE_SIZE};
 use proptest::prelude::*;
@@ -123,5 +123,123 @@ proptest! {
         pool.evict(vkeys[0]).expect("evict again");
         let second = pool.bind(vkeys[0]).expect("rebind again").hw_key();
         prop_assert_eq!(first, second, "free-then-rebind must reuse the same hardware key");
+    }
+}
+
+/// One worker's storm of binds, evictions, respawns and *direct*
+/// stale-PKRU probes. After releasing a binding (and maybe evicting it),
+/// the worker re-enters a gate region wielding the PKRU it minted for
+/// that binding and reads a different tenant's pages: under the
+/// revocation protocol that read must fault every single time — if the
+/// lease generation is still live the hardware key cannot have moved,
+/// and if it was stolen the quarantine cannot mature while this worker's
+/// entry epoch predates the steal.
+fn probe_storm(
+    pool: &VirtualPkeyPool,
+    space: &SharedSpace,
+    vkeys: &[VirtualPkey],
+    bases: &[u64],
+    seed: u64,
+    ops: u32,
+) -> Result<(), String> {
+    let mut epoch = pool.barrier().register();
+    let mut state = seed | 1;
+    for _ in 0..ops {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let a = (state >> 33) as usize % vkeys.len();
+        let b = (a + 1 + (state >> 17) as usize % (vkeys.len() - 1)) % vkeys.len();
+        let (pkru, stamp) = match pool.bind(vkeys[a]) {
+            Ok(guard) => {
+                let hw = guard.hw_key();
+                let pkru = Pkru::linux_default().with_rights(hw, PkeyRights::ReadWrite);
+                // A live lease reads its own pages.
+                if let Err(fault) = space.read_u64(pkru, bases[a]) {
+                    return Err(format!("live binding faulted on its own pages: {fault:?}"));
+                }
+                (pkru, guard.stamp())
+            }
+            // Legal under contention (every key briefly quarantined).
+            Err(VirtualPkeyError::AllPinned) | Err(VirtualPkeyError::Exhausted) => continue,
+            Err(e) => return Err(format!("bind {}: {e}", vkeys[a])),
+        };
+        // The guard is dropped: the binding is unleased and stealable.
+        // Sometimes evict it ourselves so the generation is revoked on
+        // this very thread, not just by racing stealers.
+        if state & 3 == 0 {
+            let _ = pool.evict(vkeys[a]);
+        }
+        // The stale probe, inside a gate region: entry epoch first, then
+        // the generation check — exactly the order the real gates use.
+        epoch.enter();
+        if stamp.is_current() && space.read_u64(pkru, bases[b]).is_ok() {
+            epoch.park();
+            return Err(format!("stale PKRU for {} read {}'s pages", vkeys[a], vkeys[b]));
+        }
+        epoch.park();
+        // Worker respawn: drop the epoch handle and re-register. The
+        // barrier must keep maturing keys without it.
+        if state & 15 == 0 {
+            epoch = pool.barrier().register();
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn recycling_storm_defeats_stale_pkru_probes(
+        seed in 0u64..u64::MAX,
+        workers in 2usize..5,
+        vkey_count in 18usize..26,
+        ops in 30u32..80,
+    ) {
+        let space = SharedSpace::new();
+        let hw = SharedPkeyPool::new();
+        let pool = VirtualPkeyPool::new(space.clone(), hw).expect("pool");
+        let mut bases = Vec::new();
+        let vkeys: Vec<VirtualPkey> = (0..vkey_count)
+            .map(|i| {
+                let vkey = pool.register();
+                let base = 0x4600_0000_0000 + i as u64 * (4 * PAGE_SIZE);
+                space.mmap_at(base, 2 * PAGE_SIZE, Prot::READ_WRITE).expect("map");
+                pool.add_region(vkey, base, 2 * PAGE_SIZE, Prot::READ_WRITE).expect("region");
+                bases.push(base);
+                vkey
+            })
+            .collect();
+
+        let results: Vec<Result<(), String>> = thread::scope(|scope| {
+            (0..workers)
+                .map(|t| {
+                    let (pool, space, vkeys, bases) =
+                        (&pool, &space, vkeys.as_slice(), bases.as_slice());
+                    scope.spawn(move || {
+                        probe_storm(pool, space, vkeys, bases, seed ^ (t as u64) << 7, ops)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for result in results {
+            prop_assert!(result.is_ok(), "stale-PKRU probe invariant violated: {:?}", result);
+        }
+
+        // Every worker has deregistered: the barrier is vacuous, so a
+        // full drain-and-rebind sweep must terminate — quarantined keys
+        // mature immediately and every tenant binds without deadlock.
+        for vkey in &vkeys {
+            pool.evict(*vkey).expect("drain evict");
+        }
+        prop_assert_eq!(pool.barrier().registered(), 0);
+        for vkey in &vkeys {
+            let guard = pool.bind(*vkey).expect("post-storm rebind must not deadlock");
+            drop(guard);
+        }
+        prop_assert!(pool.allocated_count() <= 16);
+        prop_assert!(pool.deferred_count() <= 16);
     }
 }

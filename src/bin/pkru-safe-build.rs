@@ -251,20 +251,27 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
             let keys = report.tenant_key_stats.unwrap_or_default();
             println!(
                 "  tenants: {} over the hardware keys: {} bind(s) ({} hit, {} miss), \
-                 {} eviction(s), {} page(s) re-tagged",
+                 {} eviction(s), {} page(s) re-tagged, {} revocation(s), \
+                 {} deferred reuse(s), {} key(s) still quarantined",
                 report.config.tenants,
                 keys.binds,
                 keys.hits,
                 keys.misses,
                 keys.evictions,
-                keys.pages_retagged
+                keys.pages_retagged,
+                keys.revocations,
+                keys.deferred_reuses,
+                keys.deferred_keys
             );
             for t in &report.per_tenant {
                 println!(
-                    "    tenant {}: {} request(s), {} rejected, {} audited, {} quarantined{}",
+                    "    tenant {}: {} request(s), {} rejected, {} bind retr{}, \
+                     {} audited, {} quarantined{}",
                     t.tenant,
                     t.requests,
                     t.rejected,
+                    t.bind_retries,
+                    if t.bind_retries == 1 { "y" } else { "ies" },
                     t.violations_audited,
                     t.violations_quarantined,
                     if t.quarantined { " [quarantined]" } else { "" }

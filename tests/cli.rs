@@ -319,13 +319,30 @@ fn serve_tenants_reports_per_tenant_breakdown() {
     for key in [
         "\"tenants\":20",
         "\"tenant_policy\":\"enforce\"",
-        "\"tenant_keys\":{\"binds\":48",
+        "\"tenant_keys\":{\"binds\":",
         "\"evictions\":",
+        "\"revocations\":",
+        "\"deferred_reuses\":",
+        "\"bind_retries\":",
         "\"per_tenant\":[{\"tenant\":0,",
         "\"requests_served\":48",
     ] {
         assert!(stdout.contains(key), "missing {key} in {stdout}");
     }
+    // One bind per request plus one per recorded retry: barrier stalls
+    // cost retries, never unaccounted binds.
+    let binds: u64 = stdout
+        .split("\"tenant_keys\":{\"binds\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("binds field");
+    let retries: u64 = stdout
+        .split("\"bind_retries\":")
+        .skip(1)
+        .map(|s| s.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(binds, 48 + retries, "binds must equal requests + retries: {stdout}");
 }
 
 #[test]
