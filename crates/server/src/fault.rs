@@ -12,6 +12,7 @@
 //! one.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// What an injected fault does to its victim worker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +29,12 @@ pub enum FaultKind {
     /// allocator refuses, then the worker dies (respawn gets a fresh
     /// carve-out slot on the shared host).
     AllocExhaustion,
+    /// The worker wedges mid-request: its heartbeat freezes with the
+    /// request in flight and it never returns on its own (livelock /
+    /// blocked-syscall model). Only the watchdog can recover the slot;
+    /// the wedged thread itself parks on the stall gate until the run
+    /// ends, so the pool's scoped join still completes.
+    Stall,
 }
 
 impl FaultKind {
@@ -52,8 +59,8 @@ pub struct Fault {
 
 impl Fault {
     /// Parses one `--fault` argument: `worker=K,kind=KIND[,at=N]` with
-    /// `KIND` one of `setup`, `panic`, `mpk`, `alloc`. `at` defaults to 1
-    /// and is meaningless for `setup`.
+    /// `KIND` one of `setup`, `panic`, `mpk`, `alloc`, `stall`. `at`
+    /// defaults to 1 and is meaningless for `setup`.
     pub fn parse(spec: &str) -> Result<Fault, String> {
         let (mut worker, mut kind, mut at) = (None, None, 1u64);
         for part in spec.split(',') {
@@ -71,9 +78,10 @@ impl Fault {
                         "panic" => FaultKind::Panic,
                         "mpk" => FaultKind::PkeyViolation,
                         "alloc" => FaultKind::AllocExhaustion,
+                        "stall" => FaultKind::Stall,
                         other => {
                             return Err(format!(
-                                "unknown fault kind {other:?} (setup|panic|mpk|alloc)"
+                                "unknown fault kind {other:?} (setup|panic|mpk|alloc|stall)"
                             ))
                         }
                     });
@@ -89,7 +97,7 @@ impl Fault {
         }
         Ok(Fault {
             worker: worker.ok_or("fault needs worker=K")?,
-            kind: kind.ok_or("fault needs kind=setup|panic|mpk|alloc")?,
+            kind: kind.ok_or("fault needs kind=setup|panic|mpk|alloc|stall")?,
             at,
         })
     }
@@ -160,6 +168,40 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// Like [`FaultPlan::random`], but the kind pool includes
+    /// [`FaultKind::Stall`] — for the overload/watchdog property tests,
+    /// which run with a short watchdog deadline. Kept separate so the
+    /// long-standing death-plan proptests keep their exact historical
+    /// distribution (and never wait out a stall under the default 5 s
+    /// deadline).
+    pub fn random_overload(seed: u64, workers: usize, requests: u64) -> FaultPlan {
+        assert!(workers > 0, "a plan needs at least one potential victim");
+        let mut state = seed ^ 0x6a09_e667_f3bc_c908;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::none();
+        for _ in 0..next() % 3 {
+            let kind = match next() % 5 {
+                0 => FaultKind::SetupFailure,
+                1 => FaultKind::Panic,
+                2 => FaultKind::PkeyViolation,
+                3 => FaultKind::AllocExhaustion,
+                _ => FaultKind::Stall,
+            };
+            plan.push(Fault {
+                worker: (next() % workers as u64) as usize,
+                kind,
+                at: 1 + next() % requests.max(1),
+            });
+        }
+        plan
+    }
 }
 
 /// Runtime injection state shared by every worker incarnation: which
@@ -170,6 +212,12 @@ pub struct FaultState {
     faults: Vec<(Fault, AtomicBool)>,
     attempts: Vec<AtomicU64>,
     injected: AtomicU64,
+    /// The stall gate: injected stalls park here. `serve` opens the gate
+    /// after supervision ends so wedged threads can exit and the scoped
+    /// join completes — a stalled worker "leaks" only for the run's
+    /// lifetime, never past it.
+    stall_released: Mutex<bool>,
+    stall_gate: Condvar,
 }
 
 impl FaultState {
@@ -179,6 +227,8 @@ impl FaultState {
             faults: plan.faults().iter().map(|&f| (f, AtomicBool::new(false))).collect(),
             attempts: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             injected: AtomicU64::new(0),
+            stall_released: Mutex::new(false),
+            stall_gate: Condvar::new(),
         }
     }
 
@@ -215,6 +265,26 @@ impl FaultState {
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
     }
+
+    /// Parks the calling worker until [`FaultState::release_stalls`] —
+    /// the body of an injected [`FaultKind::Stall`]. From the pool's
+    /// point of view the thread is wedged: heartbeat frozen, request in
+    /// flight, never returning. Only the end-of-run release (after the
+    /// watchdog has condemned the incarnation) lets it out.
+    pub fn stall_until_released(&self) {
+        let mut released = self.stall_released.lock().unwrap();
+        while !*released {
+            released = self.stall_gate.wait(released).unwrap();
+        }
+    }
+
+    /// Opens the stall gate: every wedged thread wakes, finds its
+    /// incarnation condemned, and exits. Called by `serve` once
+    /// supervision is over (idempotent).
+    pub fn release_stalls(&self) {
+        *self.stall_released.lock().unwrap() = true;
+        self.stall_gate.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +306,7 @@ mod tests {
             Fault::parse("worker=1,kind=alloc,at=3").unwrap().kind,
             FaultKind::AllocExhaustion
         );
+        assert_eq!(Fault::parse("worker=3,kind=stall,at=2").unwrap().kind, FaultKind::Stall);
     }
 
     #[test]
@@ -266,6 +337,52 @@ mod tests {
             }
         }
         assert_ne!(FaultPlan::random(1, 3, 10), FaultPlan::random(2, 3, 10));
+    }
+
+    #[test]
+    fn overload_plans_are_deterministic_and_can_stall() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::random_overload(seed, 3, 10);
+            assert_eq!(a, FaultPlan::random_overload(seed, 3, 10));
+            for fault in a.faults() {
+                assert!(fault.worker < 3);
+                assert!((1..=10).contains(&fault.at));
+            }
+        }
+        // The extended pool actually draws stalls somewhere in 256 seeds.
+        assert!(
+            (0..256).any(|seed| {
+                FaultPlan::random_overload(seed, 3, 10)
+                    .faults()
+                    .iter()
+                    .any(|f| f.kind == FaultKind::Stall)
+            }),
+            "no seed produced a stall"
+        );
+        // And the legacy pool never does: its distribution is frozen.
+        assert!((0..256).all(|seed| {
+            FaultPlan::random(seed, 3, 10).faults().iter().all(|f| f.kind != FaultKind::Stall)
+        }));
+    }
+
+    #[test]
+    fn stall_gate_parks_until_released() {
+        use std::sync::atomic::AtomicBool;
+        let state = FaultState::new(&FaultPlan::none(), 1);
+        let woke = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                state.stall_until_released();
+                woke.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!woke.load(Ordering::SeqCst), "stalled thread ran through the gate");
+            state.release_stalls();
+        });
+        assert!(woke.load(Ordering::SeqCst));
+        // Idempotent, and late stalls pass straight through.
+        state.release_stalls();
+        state.stall_until_released();
     }
 
     #[test]

@@ -24,10 +24,22 @@
 //! the queue and returns the error carrying a partial report. The same
 //! failure modes are injectable on demand through a deterministic
 //! [`FaultPlan`] (setup failure, mid-request panic, MPK violation,
-//! allocator-carve-out exhaustion), so the supervision semantics are
-//! testable property by property.
+//! allocator-carve-out exhaustion, mid-request stall), so the
+//! supervision semantics are testable property by property.
+//!
+//! Overload is likewise designed for, not suffered: a wedged-worker
+//! *watchdog* condemns and respawns a slot whose progress heartbeat
+//! stalls with a request in flight; request *deadlines* (on a logical
+//! completed-request clock) shed stale queue entries at pop; bounded-wait
+//! *admission control* rejects typed instead of blocking forever on a
+//! saturated queue; and per-tenant *fair queueing* (token buckets +
+//! deficit round robin) keeps a hot tenant's storm from starving its
+//! neighbours. Every disposition is accounted:
+//! `served + abandoned + expired + rejected == requested` on every exit
+//! path.
 
 mod fault;
+mod overload;
 mod queue;
 mod request;
 mod server;
@@ -35,6 +47,7 @@ mod traffic;
 mod worker;
 
 pub use fault::{Fault, FaultKind, FaultPlan, FaultState};
+pub use overload::{Admit, FairScheduler, LatencySummary, OverloadState, TokenBucket, DRR_QUANTUM};
 pub use pkru_handler::{
     audit_log_json, AuditRecord, MpkPolicy, Verdict, ViolationCounters, ViolationHandler,
     AUDIT_LOG_CAP, DEFAULT_QUARANTINE_THRESHOLD,
@@ -43,11 +56,11 @@ pub use pkru_tenant::{
     Tenant, TenantConfig, TenantError, TenantLease, TenantRegistry, VirtualPkey, VirtualPkeyError,
     VirtualPkeyPool, VkeyPoolStats,
 };
-pub use queue::{BoundedQueue, QueueStats};
+pub use queue::{BoundedQueue, PushError, QueueStats};
 pub use request::{catalog, Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
 pub use server::{
     build_tenant_registry, serve, ServeConfig, ServeError, ServeReport, TenantReportRow,
-    RESTART_BUDGET,
+    DEFAULT_STALL_TIMEOUT_MS, RESTART_BUDGET,
 };
-pub use traffic::TrafficGen;
-pub use worker::{run_worker, WorkerCell, WorkerStats};
+pub use traffic::{TrafficGen, TrafficShape};
+pub use worker::{run_worker, PoolCtx, WorkerCell, WorkerStats};

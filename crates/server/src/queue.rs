@@ -7,16 +7,43 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Counters the queue accumulates over its lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Requests accepted.
     pub enqueued: u64,
-    /// High-water mark of queued requests.
+    /// High-water mark of queued requests. Note this may *exceed*
+    /// [`BoundedQueue::capacity`]: crash-recovery [`BoundedQueue::requeue`]
+    /// returns an already-accepted item to the front unconditionally, so a
+    /// full queue plus a requeue observes `capacity + 1`.
     pub max_depth: usize,
-    /// Times the producer had to block on a full queue.
+    /// Times the producer had to block on a full queue (including
+    /// bounded waits that ultimately gave up saturated).
     pub backpressure_waits: u64,
+    /// Items returned to the front by [`BoundedQueue::requeue`]
+    /// (crash-recovery handoffs; disjoint from `enqueued`).
+    pub requeued: u64,
+}
+
+/// Why a bounded-wait [`BoundedQueue::push_within`] refused an item. Both
+/// variants hand the item back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was closed: nothing is accepted anymore.
+    Closed(T),
+    /// The queue stayed full past the admission wait: the item is shed.
+    Saturated(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the refused item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Closed(item) | PushError::Saturated(item) => item,
+        }
+    }
 }
 
 struct State<T> {
@@ -57,18 +84,45 @@ impl<T> BoundedQueue<T> {
     /// Enqueues `item`, blocking while the queue is full. Returns the item
     /// back if the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), T> {
+        self.push_within(item, None).map_err(PushError::into_inner)
+    }
+
+    /// Enqueues `item`, waiting at most `wait` for room (`None` = wait
+    /// forever; `Some(ZERO)` = reject immediately when full). This is the
+    /// admission-control path: a saturated queue sheds the item typed as
+    /// [`PushError::Saturated`] instead of blocking the producer without
+    /// bound.
+    pub fn push_within(&self, item: T, wait: Option<Duration>) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().unwrap();
         if state.items.len() >= self.capacity && !state.closed {
             // One blocked push is one backpressure event, however many
             // spurious or futile wake-ups the condvar delivers before
-            // room actually appears.
+            // room actually appears — and a bounded wait that gives up
+            // still experienced the backpressure.
             state.stats.backpressure_waits += 1;
+            let deadline = wait.map(|w| Instant::now() + w);
             while state.items.len() >= self.capacity && !state.closed {
-                state = self.not_full.wait(state).unwrap();
+                match deadline {
+                    None => state = self.not_full.wait(state).unwrap(),
+                    Some(deadline) => {
+                        let left = deadline.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            return Err(PushError::Saturated(item));
+                        }
+                        let (guard, timeout) = self.not_full.wait_timeout(state, left).unwrap();
+                        state = guard;
+                        if timeout.timed_out()
+                            && state.items.len() >= self.capacity
+                            && !state.closed
+                        {
+                            return Err(PushError::Saturated(item));
+                        }
+                    }
+                }
             }
         }
         if state.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
         state.items.push_back(item);
         state.stats.enqueued += 1;
@@ -81,10 +135,13 @@ impl<T> BoundedQueue<T> {
     /// (crash-recovery requeue, preserving request order). The item was
     /// already accepted once, so this ignores both capacity and close —
     /// workers drain a closed queue — never blocks, and does not count as
-    /// a new enqueue.
+    /// a new enqueue (it counts in [`QueueStats::requeued`]). Because it
+    /// ignores capacity, `max_depth` can legitimately exceed `capacity`
+    /// after a crash-recovery requeue.
     pub fn requeue(&self, item: T) {
         let mut state = self.state.lock().unwrap();
         state.items.push_front(item);
+        state.stats.requeued += 1;
         state.stats.max_depth = state.stats.max_depth.max(state.items.len());
         self.not_empty.notify_one();
     }
@@ -158,7 +215,12 @@ mod tests {
         q.push(0).unwrap();
         thread::scope(|s| {
             let producer = s.spawn(|| q.push(1));
-            // The producer must block until a consumer makes room.
+            // Wait until the producer has actually blocked on the full
+            // queue — popping first would let it slip through without
+            // ever experiencing backpressure.
+            while q.stats().backpressure_waits == 0 {
+                thread::yield_now();
+            }
             assert_eq!(q.pop(), Some(0));
             assert_eq!(producer.join().unwrap(), Ok(()));
         });
@@ -210,9 +272,40 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
-        // Requeues are not new acceptances.
+        // Requeues are not new acceptances; they have their own counter.
         assert_eq!(q.stats().enqueued, 1);
+        assert_eq!(q.stats().requeued, 2);
+        // And because requeue ignores capacity, the high-water mark is
+        // allowed to exceed the configured capacity.
         assert_eq!(q.stats().max_depth, 3);
+        assert!(q.stats().max_depth > q.capacity());
+    }
+
+    #[test]
+    fn push_within_sheds_saturated_and_reports_closed() {
+        let q = BoundedQueue::new(1);
+        q.push_within(1, Some(Duration::ZERO)).unwrap();
+        // Full + zero wait: immediate typed rejection, item handed back.
+        assert_eq!(q.push_within(2, Some(Duration::ZERO)), Err(PushError::Saturated(2)));
+        // Full + short wait with nobody popping: times out saturated.
+        assert_eq!(q.push_within(3, Some(Duration::from_millis(10))), Err(PushError::Saturated(3)));
+        // A bounded wait that gave up still counted as backpressure.
+        assert_eq!(q.stats().backpressure_waits, 2);
+        // Room appears within the wait: the push lands.
+        thread::scope(|s| {
+            let producer = s.spawn(|| q.push_within(4, Some(Duration::from_secs(10))));
+            while q.stats().backpressure_waits < 3 {
+                thread::yield_now();
+            }
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(producer.join().unwrap(), Ok(()));
+        });
+        assert_eq!(q.pop(), Some(4));
+        // Closed beats saturated, and the item comes back either way.
+        q.close();
+        let refused = q.push_within(5, Some(Duration::ZERO)).unwrap_err();
+        assert_eq!(refused, PushError::Closed(5));
+        assert_eq!(PushError::Saturated(6).into_inner(), 6);
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub struct Request {
     /// The tenant whose compartment serves this request (`None` in
     /// single-tenant mode: the ambient untrusted compartment).
     pub tenant: Option<usize>,
+    /// Absolute deadline on the logical clock (completed-request ticks):
+    /// a worker popping this request once the clock has reached the
+    /// deadline sheds it as expired instead of serving it. `0` means no
+    /// deadline (the default).
+    pub deadline: u64,
+    /// When the producer admitted the request (set only when the run
+    /// records latency percentiles; `None` otherwise, so default-config
+    /// request streams stay bit-identical).
+    pub enqueued: Option<std::time::Instant>,
 }
 
 /// A completed request, carrying its determinism witness.

@@ -21,7 +21,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lir::SharedHost;
 use minijs::Value;
@@ -33,15 +33,22 @@ use servolite::{Browser, BrowserConfig};
 use workloads::suites::micro_page;
 
 use crate::fault::{FaultPlan, FaultState};
-use crate::queue::{BoundedQueue, QueueStats};
+use crate::overload::{Admit, FairScheduler, LatencySummary, OverloadState};
+use crate::queue::{BoundedQueue, PushError, QueueStats};
 use crate::request::{catalog, Request, ScriptSpec, PAGE_LOAD};
-use crate::traffic::TrafficGen;
-use crate::worker::{run_worker, WorkerCell, WorkerStats};
+use crate::traffic::{TrafficGen, TrafficShape};
+use crate::worker::{run_worker, PoolCtx, WorkerCell, WorkerStats};
 
 /// How many times one worker slot may be respawned after dying before the
 /// slot is declared permanently dead. The budget is per slot: a pool only
 /// fails as a whole once *every* slot has died and burned its budget.
 pub const RESTART_BUDGET: usize = 2;
+
+/// The default wedged-worker deadline: a slot whose heartbeat has not
+/// advanced for this long while holding a request in flight is condemned
+/// and respawned. Generous by default (a stall is seconds of silence, not
+/// a slow request); chaos tests shrink it to hundreds of milliseconds.
+pub const DEFAULT_STALL_TIMEOUT_MS: u64 = 5_000;
 
 /// Serving errors (worker-request failures are counters, not errors).
 #[derive(Debug)]
@@ -115,6 +122,40 @@ pub struct ServeConfig {
     /// The per-tenant violation policy (every tenant of one run shares
     /// it; only consulted when `tenants > 0`).
     pub tenant_policy: MpkPolicy,
+    /// Request deadline in logical ticks (completed requests): a queued
+    /// request is shed as expired once `deadline_ticks` requests complete
+    /// after its admission. `0` — the default — disables deadlines and is
+    /// byte-identical in behaviour and report JSON to the pre-deadline
+    /// runtime.
+    pub deadline_ticks: u64,
+    /// Bounded-wait admission: how long the producer's push may stay
+    /// blocked on a full queue before the request is rejected (counted)
+    /// instead of waiting forever. `None` — the default — keeps the
+    /// original unbounded blocking push.
+    pub admission_wait_ms: Option<u64>,
+    /// Per-tenant fairness: token-bucket admission (this many burst
+    /// tokens per tenant, refilled at the fair share of the offered
+    /// stream) plus deficit-round-robin dispatch over per-tenant
+    /// sub-queues. Requires `tenants > 0`. `None` — the default — keeps
+    /// the shared FIFO path.
+    pub tenant_rate: Option<u64>,
+    /// The wedged-worker watchdog deadline in milliseconds (must be
+    /// nonzero; the watchdog is always on). A slot whose heartbeat stops
+    /// advancing past this while a request is in flight is condemned,
+    /// its request requeued (at most once), and the slot respawned
+    /// through the normal restart budget.
+    pub stall_timeout_ms: u64,
+    /// The traffic shape ([`TrafficShape::Uniform`] — the default — is
+    /// byte-identical to the pre-shape stream).
+    pub traffic: TrafficShape,
+    /// Producer pacing in microseconds per generated request (`0` — the
+    /// default — is the original closed-loop producer). The overload
+    /// bench uses this to offer a controlled multiple of measured
+    /// capacity.
+    pub pace_us: u64,
+    /// Record admission→completion latency percentiles (adds a `latency`
+    /// object to the report JSON; off by default).
+    pub record_latency: bool,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +171,13 @@ impl Default for ServeConfig {
             tlb: true,
             tenants: 0,
             tenant_policy: MpkPolicy::Enforce,
+            deadline_ticks: 0,
+            admission_wait_ms: None,
+            tenant_rate: None,
+            stall_timeout_ms: DEFAULT_STALL_TIMEOUT_MS,
+            traffic: TrafficShape::Uniform,
+            pace_us: 0,
+            record_latency: false,
         }
     }
 }
@@ -155,6 +203,12 @@ pub struct TenantReportRow {
     pub violations_quarantined: u64,
     /// Whether the tenant ended the run quarantined.
     pub quarantined: bool,
+    /// Requests the traffic stream offered for this tenant (fairness
+    /// mode only; 0 otherwise).
+    pub offered: u64,
+    /// Offered requests shed at the tenant's token bucket or backlog cap
+    /// (fairness mode only; 0 otherwise).
+    pub rate_limited: u64,
 }
 
 /// Everything a serve run produced.
@@ -221,14 +275,29 @@ pub struct ServeReport {
     /// Virtual-key multiplexing counters (bind hits/misses, evictions,
     /// re-tagged pages); `None` when `tenants` is 0.
     pub tenant_key_stats: Option<VkeyPoolStats>,
+    /// Requests shed at pop because their deadline had passed (0 unless
+    /// `deadline_ticks` is set).
+    pub requests_expired: u64,
+    /// Requests the producer shed — bounded-wait admission on a
+    /// saturated queue, or a tenant's rate limit (0 unless admission or
+    /// fairness is on).
+    pub requests_rejected: u64,
+    /// Worker incarnations the watchdog condemned as wedged.
+    pub workers_stalled: u64,
+    /// Admission→completion latency percentiles over disposed requests
+    /// (`None` unless the config records latency).
+    pub latency: Option<LatencySummary>,
 }
 
 impl ServeReport {
     /// Whether the run met the paper-pipeline expectations: every request
-    /// served, checksums identical to the single-threaded reference, and
-    /// no MPK faults.
+    /// *disposed* — served, or deliberately shed (expired/rejected) under
+    /// active overload controls — with checksums identical to the
+    /// single-threaded reference and no MPK faults. With the overload
+    /// knobs off this degenerates to the classic "every request served".
     pub fn clean(&self) -> bool {
-        self.requests_served == self.config.requests
+        self.requests_served + self.requests_expired + self.requests_rejected
+            == self.config.requests
             && self.checksum_mismatches == 0
             && self.unexpected_faults == 0
             && self.errors == 0
@@ -276,10 +345,21 @@ impl ServeReport {
                 .per_tenant
                 .iter()
                 .map(|t| {
+                    // Fairness counters render only when fairness ran, so
+                    // plain tenant runs keep their pinned row schema.
+                    let fairness = match self.config.tenant_rate {
+                        Some(_) => {
+                            format!(
+                                "\"offered\":{},\"rate_limited\":{},",
+                                t.offered, t.rate_limited
+                            )
+                        }
+                        None => String::new(),
+                    };
                     format!(
                         concat!(
                             "{{\"tenant\":{},\"requests\":{},\"rejected\":{},",
-                            "\"bind_retries\":{},",
+                            "\"bind_retries\":{},{}",
                             "\"violations_enforced\":{},\"violations_audited\":{},",
                             "\"violations_quarantined\":{},\"quarantined\":{}}}"
                         ),
@@ -287,6 +367,7 @@ impl ServeReport {
                         t.requests,
                         t.rejected,
                         t.bind_retries,
+                        fairness,
                         t.violations_enforced,
                         t.violations_audited,
                         t.violations_quarantined,
@@ -295,9 +376,13 @@ impl ServeReport {
                 })
                 .collect();
             let keys = self.tenant_key_stats.unwrap_or_default();
+            let rate = match self.config.tenant_rate {
+                Some(burst) => format!("\"tenant_rate\":{burst},"),
+                None => String::new(),
+            };
             format!(
                 concat!(
-                    "\"tenants\":{},\"tenant_policy\":\"{}\",",
+                    "\"tenants\":{},\"tenant_policy\":\"{}\",{}",
                     "\"tenant_keys\":{{\"binds\":{},\"hits\":{},\"misses\":{},",
                     "\"evictions\":{},\"pages_retagged\":{},",
                     "\"revocations\":{},\"deferred_reuses\":{},\"deferred_keys\":{}}},",
@@ -305,6 +390,7 @@ impl ServeReport {
                 ),
                 self.config.tenants,
                 self.config.tenant_policy,
+                rate,
                 keys.binds,
                 keys.hits,
                 keys.misses,
@@ -335,15 +421,47 @@ impl ServeReport {
                 )
             })
             .collect();
+        // Overload fields render only when their feature was active (or,
+        // for the watchdog, actually fired) — the default-config schema
+        // stays byte-identical to the pre-overload runtime.
+        let mut overload = String::new();
+        if self.config.deadline_ticks > 0 {
+            overload.push_str(&format!("\"deadline_ticks\":{},", self.config.deadline_ticks));
+        }
+        if let Some(wait) = self.config.admission_wait_ms {
+            overload.push_str(&format!("\"admission_wait_ms\":{wait},"));
+        }
+        if self.config.deadline_ticks > 0
+            || self.config.admission_wait_ms.is_some()
+            || self.config.tenant_rate.is_some()
+        {
+            overload.push_str(&format!(
+                "\"requests_expired\":{},\"requests_rejected\":{},",
+                self.requests_expired, self.requests_rejected
+            ));
+        }
+        if self.workers_stalled > 0 {
+            overload.push_str(&format!("\"workers_stalled\":{},", self.workers_stalled));
+        }
+        if let Some(latency) = &self.latency {
+            overload.push_str(&format!("\"latency\":{},", latency.to_json()));
+        }
+        // Same discipline for the queue's requeue counter: it only exists
+        // in runs where a crash-recovery requeue actually happened.
+        let requeued = if self.queue.requeued > 0 {
+            format!(",\"requeued\":{}", self.queue.requeued)
+        } else {
+            String::new()
+        };
         format!(
             concat!(
                 "{{\"workers\":{},\"requests\":{},\"queue_capacity\":{},\"seed\":{},{}",
                 "\"elapsed_seconds\":{:.6},\"throughput_rps\":{:.2},",
-                "\"queue\":{{\"enqueued\":{},\"max_depth\":{},\"backpressure_waits\":{}}},",
+                "\"queue\":{{\"enqueued\":{},\"max_depth\":{},\"backpressure_waits\":{}{}}},",
                 "\"requests_served\":{},\"transitions\":{},\"checksum_mismatches\":{},",
                 "\"unexpected_faults\":{},\"errors\":{},",
                 "\"workers_restarted\":{},\"requests_retried\":{},",
-                "\"requests_abandoned\":{},\"injected_faults\":{},",
+                "\"requests_abandoned\":{},\"injected_faults\":{},{}",
                 "\"tlb_hits\":{},\"tlb_misses\":{},\"tlb_flushes\":{},",
                 "{}{}\"per_worker\":[{}]}}"
             ),
@@ -357,6 +475,7 @@ impl ServeReport {
             self.queue.enqueued,
             self.queue.max_depth,
             self.queue.backpressure_waits,
+            requeued,
             self.requests_served,
             self.transitions,
             self.checksum_mismatches,
@@ -366,6 +485,7 @@ impl ServeReport {
             self.requests_retried,
             self.requests_abandoned,
             self.injected_faults,
+            overload,
             self.tlb_hits,
             self.tlb_misses,
             self.tlb_flushes,
@@ -468,6 +588,91 @@ pub fn build_tenant_registry(
     Ok(Some(registry))
 }
 
+/// The producer: generates the traffic stream and feeds the bounded
+/// queue, applying whichever admission controls the config enables.
+///
+/// * Deadlines stamp each request with `now + deadline_ticks` on the
+///   logical clock at generation.
+/// * Plain admission (`admission_wait_ms`, no fairness) uses the bounded
+///   wait push and counts saturated rejections.
+/// * Fairness (`tenant_rate`) admits through per-tenant token buckets
+///   into per-tenant sub-queues and dispatches deficit-round-robin into
+///   the bounded queue; dispatch pushes *block* (never shed) so a
+///   well-behaved tenant's admitted requests cannot be dropped at
+///   dispatch — shedding happens only at the per-tenant bucket/backlog,
+///   which is the point of fair queueing. `admission_wait_ms` is
+///   subsumed by the per-tenant backlog cap in this mode.
+fn run_producer(
+    config: &ServeConfig,
+    catalog_len: usize,
+    queue: &BoundedQueue<Request>,
+    overload: &OverloadState,
+) {
+    let traffic = TrafficGen::with_shape(
+        config.seed,
+        config.requests,
+        catalog_len,
+        config.tenants,
+        config.traffic,
+    );
+    let wait = config.admission_wait_ms.map(Duration::from_millis);
+    let mut fair = config
+        .tenant_rate
+        .map(|burst| FairScheduler::new(config.tenants, burst, config.queue_capacity));
+    for mut request in traffic {
+        if config.pace_us > 0 {
+            thread::sleep(Duration::from_micros(config.pace_us));
+        }
+        if config.record_latency {
+            request.enqueued = Some(Instant::now());
+        }
+        if config.deadline_ticks > 0 {
+            request.deadline = overload.ticks() + config.deadline_ticks;
+        }
+        match &mut fair {
+            None => match queue.push_within(request, wait) {
+                Ok(()) => {}
+                // Queue closed under us: the pool is gone and the
+                // supervisor already closed the queue — just stop.
+                Err(PushError::Closed(_)) => return,
+                Err(PushError::Saturated(_)) => overload.reject(),
+            },
+            Some(fair) => {
+                let tenant = request.tenant.unwrap_or(0);
+                overload.offer(tenant);
+                match fair.admit(request) {
+                    Admit::Admitted => {}
+                    Admit::RateLimited | Admit::BacklogFull => {
+                        overload.reject();
+                        overload.rate_limit(tenant);
+                    }
+                }
+                // Opportunistic dispatch: drain the fair backlog into the
+                // bounded queue while it has room, so workers see DRR
+                // order continuously rather than in one end-of-stream
+                // burst.
+                while queue.depth() < queue.capacity() {
+                    let Some(next) = fair.dispatch() else { break };
+                    if queue.push(next).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    // End of stream: drain the remaining fair backlog (blocking; a
+    // request that went stale in its sub-queue is shed by the deadline
+    // check at pop, not here).
+    if let Some(fair) = &mut fair {
+        while let Some(next) = fair.dispatch() {
+            if queue.push(next).is_err() {
+                return;
+            }
+        }
+    }
+    queue.close();
+}
+
 /// Runs the full pipeline and the supervised pool, returning the
 /// aggregated report — or, if every worker slot died past its respawn
 /// budget, the fatal error with the partial report attached. Either way
@@ -489,6 +694,28 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
                 fault.worker, config.workers
             )));
         }
+    }
+    if config.stall_timeout_ms == 0 {
+        return Err(ServeError::Config("the watchdog stall timeout must be nonzero".into()));
+    }
+    if config.tenant_rate.is_some() && config.tenants == 0 {
+        return Err(ServeError::Config("tenant-fair queueing needs tenants > 0".into()));
+    }
+    match config.traffic {
+        TrafficShape::Zipf { s_milli } => {
+            if config.tenants == 0 {
+                return Err(ServeError::Config("zipf traffic needs tenants > 0".into()));
+            }
+            if s_milli == 0 {
+                return Err(ServeError::Config("zipf exponent must be nonzero".into()));
+            }
+        }
+        TrafficShape::Bursty { run } => {
+            if run == 0 {
+                return Err(ServeError::Config("burst run length must be nonzero".into()));
+            }
+        }
+        TrafficShape::Uniform => {}
     }
 
     let catalog = catalog();
@@ -519,37 +746,40 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
 
     let mut workers_restarted = 0u64;
     let mut requests_retried = 0u64;
+    let mut workers_stalled = 0u64;
     // Set iff the whole pool died; `(slot, message)` of the last death.
     let mut pool_failure: Option<(usize, String)> = None;
+    let overload = OverloadState::new(config.tenants);
 
     let start = Instant::now();
     thread::scope(|scope| {
-        // Worker exits flow to the supervisor as (slot, death cause).
-        let (events, exits) = mpsc::channel::<(usize, Option<ServeError>)>();
-        let tlb = config.tlb;
-        let spawn_worker = |slot: usize| {
+        // Worker exits flow to the supervisor as (slot, incarnation,
+        // death cause). The incarnation stamp lets the supervisor drop
+        // *stale* events: a thread the watchdog already condemned and
+        // replaced may still exit much later, and that exit must not
+        // perturb the live slot's bookkeeping.
+        let (events, exits) = mpsc::channel::<(usize, u64, Option<ServeError>)>();
+        let ctx = PoolCtx {
+            queue: &queue,
+            host: &host,
+            profile: &profile,
+            catalog: &catalog,
+            faults: &faults,
+            registry,
+            overload: &overload,
+            tlb: config.tlb,
+            record_latency: config.record_latency,
+        };
+        let spawn_worker = |slot: usize, incarnation: u64| {
             let events = events.clone();
             let cell = Arc::clone(&cells[slot]);
             let handler = handlers.as_ref().map(|hs| Arc::clone(&hs[slot]));
-            let (queue, host, profile, catalog, faults) =
-                (&queue, &host, &profile, &catalog, &faults);
             scope.spawn(move || {
                 // A panicking worker must not panic its *thread*: an
                 // unjoined panicked scoped thread would re-panic the whole
                 // scope. Catch it and report it as a death event instead.
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_worker(
-                        slot,
-                        queue,
-                        host,
-                        profile,
-                        catalog,
-                        faults,
-                        &cell,
-                        handler.as_ref(),
-                        registry,
-                        tlb,
-                    )
+                    run_worker(slot, incarnation, ctx, &cell, handler.as_ref())
                 }));
                 let death = match outcome {
                     Ok(Ok(())) => None,
@@ -560,11 +790,11 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
                         report: None,
                     }),
                 };
-                let _ = events.send((slot, death));
+                let _ = events.send((slot, incarnation, death));
             });
         };
-        for slot in 0..config.workers {
-            spawn_worker(slot);
+        for (slot, cell) in cells.iter().enumerate() {
+            spawn_worker(slot, cell.live_incarnation());
         }
 
         // The producer gets its own thread so the supervisor below can
@@ -574,55 +804,131 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         let producer_config = &config;
         let producer_catalog_len = catalog.len();
         let producer_queue = &queue;
+        let producer_overload = &overload;
         scope.spawn(move || {
-            let traffic = TrafficGen::with_tenants(
-                producer_config.seed,
-                producer_config.requests,
-                producer_catalog_len,
-                producer_config.tenants,
-            );
-            for request in traffic {
-                if producer_queue.push(request).is_err() {
-                    break; // queue closed under us: the pool is gone
-                }
-            }
-            producer_queue.close();
+            run_producer(producer_config, producer_catalog_len, producer_queue, producer_overload);
         });
 
-        // The supervisor: the scope's own thread.
+        // The supervisor: the scope's own thread. `recv_timeout` (not
+        // `recv`) so the watchdog scan below runs even when no worker is
+        // exiting — a wedged worker emits no event at all, which is
+        // exactly why the pre-watchdog supervisor hung on it.
+        let stall_timeout = Duration::from_millis(config.stall_timeout_ms);
+        let watchdog_tick =
+            (stall_timeout / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
         let mut alive = config.workers;
         let mut budget = vec![RESTART_BUDGET; config.workers];
+        // Per slot: is an incarnation running, and when did we last see
+        // its heartbeat advance (watchdog bookkeeping).
+        let mut running = vec![true; config.workers];
+        let mut beats: Vec<(u64, Instant)> =
+            cells.iter().map(|c| (c.probe().0, Instant::now())).collect();
         while alive > 0 {
-            let (slot, death) = exits.recv().expect("worker event channel");
-            alive -= 1;
-            let Some(death) = death else { continue };
-            let respawn = budget[slot] > 0 && host.workers_started() < MAX_WORKERS;
-            // Retry-once: the dead incarnation's in-flight request goes
-            // back to the front of the queue — unless it already rode a
-            // retry, in which case it is abandoned and only counted.
-            if let Some(request) = cells[slot].take_in_flight() {
-                if !request.retried && (respawn || alive > 0) {
-                    queue.requeue(Request { retried: true, ..request });
-                    requests_retried += 1;
+            match exits.recv_timeout(watchdog_tick) {
+                Ok((slot, incarnation, death)) => {
+                    if incarnation != cells[slot].live_incarnation() {
+                        // A condemned thread finally exited (e.g. a
+                        // released stall): written off long ago, nothing
+                        // to account.
+                        continue;
+                    }
+                    running[slot] = false;
+                    alive -= 1;
+                    let Some(death) = death else { continue };
+                    let respawn = budget[slot] > 0 && host.workers_started() < MAX_WORKERS;
+                    // Retry-once: the dead incarnation's in-flight request
+                    // goes back to the front of the queue — unless it
+                    // already rode a retry, in which case it is abandoned
+                    // and only counted.
+                    if let Some(request) = cells[slot].take_in_flight() {
+                        if !request.retried && (respawn || alive > 0) {
+                            queue.requeue(Request { retried: true, ..request });
+                            requests_retried += 1;
+                        }
+                    }
+                    if respawn {
+                        budget[slot] -= 1;
+                        workers_restarted += 1;
+                        spawn_worker(slot, cells[slot].live_incarnation());
+                        running[slot] = true;
+                        beats[slot] = (cells[slot].probe().0, Instant::now());
+                        alive += 1;
+                    } else if alive == 0 {
+                        // The whole pool is dead: nobody will ever pop
+                        // again. Close the queue so the producer unblocks
+                        // and exits.
+                        let message = match death {
+                            ServeError::Worker { message, .. } => message,
+                            other => other.to_string(),
+                        };
+                        pool_failure = Some((slot, message));
+                        queue.close();
+                    }
+                    // else: slot permanently dead, survivors drain on.
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                // The supervisor holds an `events` sender for the
+                // lifetime of the loop, so the channel cannot disconnect
+                // while workers are alive.
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("event senders outlive the supervisor loop")
                 }
             }
-            if respawn {
-                budget[slot] -= 1;
-                workers_restarted += 1;
-                spawn_worker(slot);
-                alive += 1;
-            } else if alive == 0 {
-                // The whole pool is dead: nobody will ever pop again.
-                // Close the queue so the producer unblocks and exits.
-                let message = match death {
-                    ServeError::Worker { message, .. } => message,
-                    other => other.to_string(),
-                };
-                pool_failure = Some((slot, message));
-                queue.close();
+            // The watchdog scan: a slot whose heartbeat has not advanced
+            // past the deadline *while holding a request in flight* is
+            // wedged. Condemn the incarnation (poisoning its cell
+            // writes), requeue its request under the same retry-once
+            // rule, and respawn through the normal budget. The wedged
+            // thread itself is leaked until end-of-run — never joined,
+            // never trusted again.
+            for slot in 0..config.workers {
+                if !running[slot] {
+                    continue;
+                }
+                let (beat, in_flight) = cells[slot].probe();
+                if beat != beats[slot].0 || !in_flight {
+                    // Progress, or idle (blocked on an empty queue is not
+                    // a stall): reset the deadline.
+                    beats[slot] = (beat, Instant::now());
+                    continue;
+                }
+                if beats[slot].1.elapsed() < stall_timeout {
+                    continue;
+                }
+                workers_stalled += 1;
+                alive -= 1;
+                running[slot] = false;
+                let respawn = budget[slot] > 0 && host.workers_started() < MAX_WORKERS;
+                // Condemn *before* requeueing: bumping the incarnation
+                // and taking the in-flight request is one atomic cell
+                // operation, so the wedged thread can never complete the
+                // request after we hand it to someone else.
+                if let Some(request) = cells[slot].condemn() {
+                    if !request.retried && (respawn || alive > 0) {
+                        queue.requeue(Request { retried: true, ..request });
+                        requests_retried += 1;
+                    }
+                }
+                if respawn {
+                    budget[slot] -= 1;
+                    workers_restarted += 1;
+                    spawn_worker(slot, cells[slot].live_incarnation());
+                    running[slot] = true;
+                    beats[slot] = (cells[slot].probe().0, Instant::now());
+                    alive += 1;
+                } else if alive == 0 {
+                    pool_failure = Some((
+                        slot,
+                        "worker stalled past the watchdog deadline; respawn budget exhausted"
+                            .into(),
+                    ));
+                    queue.close();
+                }
             }
-            // else: this slot is permanently dead, survivors drain on.
         }
+        // Supervision is over: open the stall gate so any wedged threads
+        // (all condemned by now) can exit and the scope can join them.
+        faults.release_stalls();
     });
     let elapsed_seconds = start.elapsed().as_secs_f64();
     // The host space is exclusive to the pool (profiling and reference
@@ -633,15 +939,21 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     let mut workers = Vec::new();
     let mut checksum_mismatches = 0u64;
     let mut requests_served = 0u64;
+    let mut requests_expired = 0u64;
     let mut transitions = 0u64;
     let mut unexpected_faults = 0u64;
     let mut errors = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
     for cell in &cells {
         let (stats, responses) = cell.snapshot();
         requests_served += stats.requests;
+        requests_expired += stats.expired;
         transitions += stats.transitions;
         unexpected_faults += stats.pkey_faults;
         errors += stats.errors;
+        if config.record_latency {
+            latencies.extend(cell.take_latencies());
+        }
         for response in &responses {
             // Exact bit-for-bit equality: the engine is deterministic, so
             // a pooled worker must reproduce the reference float exactly.
@@ -702,6 +1014,8 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
                         violations_audited: counters.audited,
                         violations_quarantined: counters.quarantined,
                         quarantined: t.quarantined(),
+                        offered: overload.offered(t.id()),
+                        rate_limited: overload.rate_limited(t.id()),
                     }
                 })
                 .collect(),
@@ -722,10 +1036,16 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         errors,
         workers_restarted,
         requests_retried,
-        // Every generated request is either completed by exactly one
-        // worker or abandoned (a request is requeued at most once, and
-        // only when its first worker died *without* completing it).
-        requests_abandoned: config.requests.saturating_sub(requests_served),
+        // Every generated request is disposed exactly once: served by
+        // one worker, shed as expired at pop, rejected at admission, or
+        // abandoned (its worker died past the retry budget, or the pool
+        // died before it ran). The remainder form is the invariant
+        // `served + abandoned + expired + rejected == requested`.
+        requests_abandoned: config
+            .requests
+            .saturating_sub(requests_served)
+            .saturating_sub(requests_expired)
+            .saturating_sub(overload.rejected()),
         injected_faults: faults.injected(),
         tlb_hits: tlb_stats.hits,
         tlb_misses: tlb_stats.misses,
@@ -738,6 +1058,10 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         audit_dropped,
         per_tenant,
         tenant_key_stats,
+        requests_expired,
+        requests_rejected: overload.rejected(),
+        workers_stalled,
+        latency: LatencySummary::from_samples(&mut latencies),
         config,
     };
 

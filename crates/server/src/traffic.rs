@@ -4,11 +4,40 @@
 //! load — the same stream for a given `(seed, catalog size)` regardless of
 //! worker count, so multi-threaded runs are comparable to the
 //! single-threaded reference request for request.
+//!
+//! Beyond the uniform default, [`TrafficShape`] adds the overload-bench
+//! shapes the ROADMAP asks for: sticky *bursts* (runs of the same script
+//! and tenant, modelling a client hammering one endpoint) and a
+//! *Zipf-skewed tenant draw* (a hot tenant dominating the stream, the
+//! fairness scenario). The uniform path draws exactly as it always did, so
+//! `new`/`with_tenants` streams are bit-identical to earlier releases —
+//! pinned by test.
 
 use crate::request::{Request, RequestKind};
 
 /// Period of page-load requests in the stream.
 const PAGE_LOAD_PERIOD: u64 = 16;
+
+/// The statistical shape of the generated stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TrafficShape {
+    /// Independent uniform draws per request (the original stream).
+    #[default]
+    Uniform,
+    /// Sticky runs: a script (and tenant, when tenants exist) is drawn
+    /// once and reused for `run` consecutive requests.
+    Bursty {
+        /// Length of each sticky run (min 1).
+        run: u32,
+    },
+    /// Uniform script draw, Zipf-skewed tenant draw with exponent
+    /// `s_milli / 1000` — tenant 0 is the hottest. Requires tenants.
+    Zipf {
+        /// Zipf exponent in thousandths (e.g. `3322` ≈ a 10:1 hot/cold
+        /// ratio between adjacent ranks at base 2 tenants).
+        s_milli: u32,
+    },
+}
 
 /// A deterministic request stream.
 pub struct TrafficGen {
@@ -17,6 +46,15 @@ pub struct TrafficGen {
     total: u64,
     catalog_len: usize,
     tenants: usize,
+    shape: TrafficShape,
+    /// Requests left in the current sticky burst.
+    burst_left: u32,
+    /// The sticky draw for the current burst.
+    burst_script: usize,
+    burst_tenant: usize,
+    /// Cumulative Zipf weights per tenant (fixed-point), empty unless
+    /// the shape is `Zipf`.
+    zipf_cum: Vec<u64>,
 }
 
 impl TrafficGen {
@@ -31,14 +69,69 @@ impl TrafficGen {
     /// the tenant draw happens only when tenants exist, so the kind
     /// stream never shifts.
     pub fn with_tenants(seed: u64, total: u64, catalog_len: usize, tenants: usize) -> TrafficGen {
+        TrafficGen::with_shape(seed, total, catalog_len, tenants, TrafficShape::Uniform)
+    }
+
+    /// The general constructor: any [`TrafficShape`] over any tenant
+    /// count. `Uniform` reproduces `new`/`with_tenants` exactly.
+    pub fn with_shape(
+        seed: u64,
+        total: u64,
+        catalog_len: usize,
+        tenants: usize,
+        shape: TrafficShape,
+    ) -> TrafficGen {
         assert!(catalog_len > 0, "empty catalog");
-        TrafficGen { state: seed ^ 0x9e37_79b9_7f4a_7c15, next_id: 0, total, catalog_len, tenants }
+        if let TrafficShape::Zipf { .. } = shape {
+            assert!(tenants > 0, "a Zipf tenant draw needs tenants");
+        }
+        let zipf_cum = match shape {
+            TrafficShape::Zipf { s_milli } => {
+                // Fixed-point cumulative weights w_r = 1e6 / (r+1)^s,
+                // computed once; the per-request draw is pure integer
+                // compare, so the stream is reproducible bit for bit.
+                let s = f64::from(s_milli) / 1000.0;
+                let mut cum = 0u64;
+                (0..tenants)
+                    .map(|rank| {
+                        let w = (1_000_000.0 / ((rank + 1) as f64).powf(s)).max(1.0) as u64;
+                        cum += w;
+                        cum
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        TrafficGen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            next_id: 0,
+            total,
+            catalog_len,
+            tenants,
+            shape,
+            burst_left: 0,
+            burst_script: 0,
+            burst_tenant: 0,
+            zipf_cum,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
         // Knuth's MMIX LCG; quality is irrelevant, determinism is not.
         self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         self.state >> 16
+    }
+
+    /// One tenant draw under the configured shape (tenants > 0).
+    fn draw_tenant(&mut self) -> usize {
+        match self.shape {
+            TrafficShape::Zipf { .. } => {
+                let total = *self.zipf_cum.last().expect("zipf needs tenants");
+                let roll = self.next_u64() % total;
+                self.zipf_cum.iter().position(|&cum| roll < cum).expect("roll < total")
+            }
+            _ => (self.next_u64() % self.tenants as u64) as usize,
+        }
     }
 }
 
@@ -51,17 +144,32 @@ impl Iterator for TrafficGen {
         }
         let id = self.next_id;
         self.next_id += 1;
+        if let TrafficShape::Bursty { run } = self.shape {
+            // Sticky draws: one (script, tenant) pick per run. Page loads
+            // keep their fixed period and do not consume the burst.
+            if self.burst_left == 0 {
+                self.burst_script = (self.next_u64() % self.catalog_len as u64) as usize;
+                if self.tenants > 0 {
+                    self.burst_tenant = self.draw_tenant();
+                }
+                self.burst_left = run.max(1);
+            }
+            let kind = if id.is_multiple_of(PAGE_LOAD_PERIOD) {
+                RequestKind::PageLoad
+            } else {
+                self.burst_left -= 1;
+                RequestKind::Script(self.burst_script)
+            };
+            let tenant = (self.tenants > 0).then_some(self.burst_tenant);
+            return Some(Request { id, kind, retried: false, tenant, deadline: 0, enqueued: None });
+        }
         let kind = if id.is_multiple_of(PAGE_LOAD_PERIOD) {
             RequestKind::PageLoad
         } else {
             RequestKind::Script((self.next_u64() % self.catalog_len as u64) as usize)
         };
-        let tenant = if self.tenants > 0 {
-            Some((self.next_u64() % self.tenants as u64) as usize)
-        } else {
-            None
-        };
-        Some(Request { id, kind, retried: false, tenant })
+        let tenant = if self.tenants > 0 { Some(self.draw_tenant()) } else { None };
+        Some(Request { id, kind, retried: false, tenant, deadline: 0, enqueued: None })
     }
 }
 
@@ -105,5 +213,102 @@ mod tests {
         let a: Vec<Request> = TrafficGen::new(1, 64, 9).collect();
         let b: Vec<Request> = TrafficGen::new(2, 64, 9).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_shape_is_byte_identical_to_the_legacy_constructors() {
+        // The compatibility guarantee behind every pinned serve report:
+        // `with_shape(.., Uniform)` IS the old stream, draw for draw.
+        let legacy: Vec<Request> = TrafficGen::with_tenants(42, 128, 9, 4).collect();
+        let shaped: Vec<Request> =
+            TrafficGen::with_shape(42, 128, 9, 4, TrafficShape::Uniform).collect();
+        assert_eq!(legacy, shaped);
+        let legacy0: Vec<Request> = TrafficGen::new(7, 96, 9).collect();
+        let shaped0: Vec<Request> =
+            TrafficGen::with_shape(7, 96, 9, 0, TrafficShape::Uniform).collect();
+        assert_eq!(legacy0, shaped0);
+        // Golden pin of the legacy stream head, so any accidental draw
+        // reordering (not just shape drift) fails loudly.
+        let kinds: Vec<RequestKind> = legacy0.iter().take(4).map(|r| r.kind).collect();
+        assert_eq!(kinds[0], RequestKind::PageLoad);
+        assert!(matches!(kinds[1], RequestKind::Script(s) if s < 9));
+        let checksum: u64 = legacy0
+            .iter()
+            .map(|r| match r.kind {
+                RequestKind::PageLoad => 11,
+                RequestKind::Script(s) => s as u64,
+            })
+            .sum();
+        let checksum_tagged: u64 = legacy
+            .iter()
+            .map(|r| r.tenant.unwrap() as u64 * 31)
+            .chain(legacy.iter().map(|r| match r.kind {
+                RequestKind::PageLoad => 11,
+                RequestKind::Script(s) => s as u64,
+            }))
+            .sum();
+        // Computed once from the pre-shape generator and frozen here.
+        assert_eq!((checksum, checksum_tagged), golden_checksums());
+    }
+
+    /// The frozen draw-stream checksums for seeds 7 (plain, 96 requests)
+    /// and 42 (4 tenants, 128 requests), computed against the pre-shape
+    /// generator. Regenerate ONLY if the stream is deliberately — and
+    /// compatibility-breakingly — changed.
+    fn golden_checksums() -> (u64, u64) {
+        (400, 6092)
+    }
+
+    #[test]
+    fn bursty_streams_are_sticky_and_deterministic() {
+        let a: Vec<Request> =
+            TrafficGen::with_shape(9, 128, 9, 2, TrafficShape::Bursty { run: 8 }).collect();
+        let b: Vec<Request> =
+            TrafficGen::with_shape(9, 128, 9, 2, TrafficShape::Bursty { run: 8 }).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+        // Page loads keep their fixed period under bursts.
+        assert!(a.iter().all(|r| (r.id % 16 == 0) == (r.kind == RequestKind::PageLoad)));
+        // Stickiness: consecutive script requests repeat the same script
+        // far more often than a uniform draw would (which repeats ~1/9).
+        let scripts: Vec<usize> = a
+            .iter()
+            .filter_map(|r| match r.kind {
+                RequestKind::Script(s) => Some(s),
+                RequestKind::PageLoad => None,
+            })
+            .collect();
+        let repeats = scripts.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats * 2 > scripts.len(), "bursts not sticky: {repeats}/{}", scripts.len());
+        // And it is genuinely a different stream from the uniform one.
+        let uniform: Vec<Request> = TrafficGen::with_tenants(9, 128, 9, 2).collect();
+        assert_ne!(a, uniform);
+    }
+
+    #[test]
+    fn zipf_draw_skews_toward_tenant_zero_without_shifting_kinds() {
+        let skewed: Vec<Request> =
+            TrafficGen::with_shape(42, 256, 9, 4, TrafficShape::Zipf { s_milli: 2000 }).collect();
+        let again: Vec<Request> =
+            TrafficGen::with_shape(42, 256, 9, 4, TrafficShape::Zipf { s_milli: 2000 }).collect();
+        assert_eq!(skewed, again);
+        let mut counts = [0usize; 4];
+        for r in &skewed {
+            counts[r.tenant.expect("tagged")] += 1;
+        }
+        // s=2: expected weights 1, 1/4, 1/9, 1/16 — rank 0 dominates.
+        assert!(counts[0] > counts[1] && counts[1] > counts[3], "{counts:?}");
+        assert!(counts[0] > skewed.len() / 2, "{counts:?}");
+        // The kind stream is the uniform one: Zipf reshapes only the
+        // tenant draw (same one-draw-per-request cadence).
+        let uniform: Vec<Request> = TrafficGen::with_tenants(42, 256, 9, 4).collect();
+        let kinds = |v: &[Request]| v.iter().map(|r| r.kind).collect::<Vec<_>>();
+        assert_eq!(kinds(&skewed), kinds(&uniform));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs tenants")]
+    fn zipf_without_tenants_is_rejected() {
+        TrafficGen::with_shape(1, 8, 9, 0, TrafficShape::Zipf { s_milli: 1000 });
     }
 }

@@ -25,6 +25,7 @@ use pkru_provenance::Profile;
 use pkru_tenant::{TenantLease, TenantRegistry};
 
 use crate::fault::{FaultKind, FaultState};
+use crate::overload::OverloadState;
 use crate::queue::BoundedQueue;
 use crate::request::{Request, RequestKind, Response, ScriptSpec, PAGE_LOAD};
 use crate::server::ServeError;
@@ -60,18 +61,35 @@ pub struct WorkerStats {
     pub pkey_faults: u64,
     /// Non-MPK request failures.
     pub errors: u64,
+    /// Requests shed at pop because their deadline had already passed
+    /// (never served; disjoint from `requests`).
+    pub expired: u64,
 }
 
 struct CellInner {
     stats: WorkerStats,
     responses: Vec<Response>,
     in_flight: Option<Request>,
+    /// The incarnation currently authorized to write through this cell.
+    /// [`WorkerCell::condemn`] bumps it, *poisoning* every outstanding
+    /// handle: a wedged (or merely slow) thread still holding the old
+    /// incarnation can keep running, but its writes no longer land — the
+    /// slot's accounting belongs to the replacement.
+    live: u64,
+    /// Progress heartbeat: bumped on every pop/disposition by the live
+    /// incarnation. The watchdog declares the slot stalled when this
+    /// stops advancing while a request is in flight.
+    heartbeat: u64,
+    /// Admission→completion latencies (ms) of disposed requests, kept
+    /// only when the run records latency percentiles.
+    latencies: Vec<f64>,
 }
 
 /// One worker slot's state, shared between every incarnation of the slot
 /// and the supervisor. All transitions are atomic under one lock, so a
 /// request is always in exactly one place: in flight, completed, or back
-/// on the queue.
+/// on the queue — and every write is stamped with the incarnation making
+/// it, so a condemned thread can never corrupt its successor's ledger.
 pub struct WorkerCell {
     inner: Mutex<CellInner>,
 }
@@ -84,26 +102,75 @@ impl WorkerCell {
                 stats: WorkerStats { worker, ..WorkerStats::default() },
                 responses: Vec::new(),
                 in_flight: None,
+                live: 0,
+                heartbeat: 0,
+                latencies: Vec::new(),
             }),
         }
     }
 
-    /// Marks `request` in flight (called right after the pop).
-    fn begin(&self, request: Request) {
-        self.inner.lock().unwrap().in_flight = Some(request);
+    /// The incarnation a newly spawned thread must present to write here.
+    pub fn live_incarnation(&self) -> u64 {
+        self.inner.lock().unwrap().live
     }
 
-    /// Completes the in-flight request: clears it and applies `update` to
-    /// the counters/responses in one critical section, so a crash can
-    /// never double-account a request.
-    fn complete(&self, update: impl FnOnce(&mut WorkerStats, &mut Vec<Response>)) {
+    /// Marks `request` in flight and beats the heartbeat (called right
+    /// after the pop). No-op for a condemned incarnation.
+    fn begin(&self, incarnation: u64, request: Request) -> bool {
         let mut inner = self.inner.lock().unwrap();
+        if inner.live != incarnation {
+            return false;
+        }
+        inner.in_flight = Some(request);
+        inner.heartbeat += 1;
+        true
+    }
+
+    /// Completes the in-flight request: clears it, beats the heartbeat,
+    /// and applies `update` to the counters/responses in one critical
+    /// section, so a crash can never double-account a request. Returns
+    /// whether the write landed (a condemned incarnation's does not).
+    fn complete(
+        &self,
+        incarnation: u64,
+        update: impl FnOnce(&mut WorkerStats, &mut Vec<Response>),
+    ) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.live != incarnation {
+            return false;
+        }
         inner.in_flight = None;
+        inner.heartbeat += 1;
         let inner = &mut *inner;
         update(&mut inner.stats, &mut inner.responses);
+        true
+    }
+
+    /// Sheds the in-flight request as expired: clears it, beats the
+    /// heartbeat, counts the shed — one critical section, same rules as
+    /// [`WorkerCell::complete`]. Returns whether the shed landed.
+    fn expire(&self, incarnation: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.live != incarnation {
+            return false;
+        }
+        inner.in_flight = None;
+        inner.heartbeat += 1;
+        inner.stats.expired += 1;
+        true
+    }
+
+    /// Records one admission→completion latency sample.
+    fn push_latency(&self, incarnation: u64, ms: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.live == incarnation {
+            inner.latencies.push(ms);
+        }
     }
 
     /// Folds one incarnation's gate transitions into the slot total.
+    /// Deliberately *not* incarnation-gated: transitions are real work the
+    /// hardware executed, whoever's ledger the requests land in.
     fn add_transitions(&self, transitions: u64) {
         self.inner.lock().unwrap().stats.transitions += transitions;
     }
@@ -113,11 +180,58 @@ impl WorkerCell {
         self.inner.lock().unwrap().in_flight.take()
     }
 
+    /// The watchdog's probe: `(heartbeat, request-in-flight?)`.
+    pub fn probe(&self) -> (u64, bool) {
+        let inner = self.inner.lock().unwrap();
+        (inner.heartbeat, inner.in_flight.is_some())
+    }
+
+    /// Condemns the current incarnation (a wedged thread the supervisor
+    /// is writing off): bumps `live` so the thread's future writes are
+    /// poisoned, and takes the in-flight request for requeue — both under
+    /// one lock, so the wedged thread cannot complete the request *and*
+    /// hand it back.
+    pub fn condemn(&self) -> Option<Request> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.live += 1;
+        inner.in_flight.take()
+    }
+
     /// A snapshot of everything the slot has produced so far.
     pub fn snapshot(&self) -> (WorkerStats, Vec<Response>) {
         let inner = self.inner.lock().unwrap();
         (inner.stats, inner.responses.clone())
     }
+
+    /// Drains the slot's recorded latency samples.
+    pub fn take_latencies(&self) -> Vec<f64> {
+        std::mem::take(&mut self.inner.lock().unwrap().latencies)
+    }
+}
+
+/// The read-only pool context every worker incarnation shares: the queue,
+/// the host, the armed faults, and the overload machinery. Bundled so a
+/// respawn is one call, not a ten-argument ritual.
+#[derive(Clone, Copy)]
+pub struct PoolCtx<'a> {
+    /// The bounded work queue.
+    pub queue: &'a BoundedQueue<Request>,
+    /// The shared MPK host (page tables, keys, carve-outs).
+    pub host: &'a SharedHost,
+    /// The provenance profile workers enforce.
+    pub profile: &'a Profile,
+    /// The served script catalog.
+    pub catalog: &'a [ScriptSpec],
+    /// Armed fault injections.
+    pub faults: &'a FaultState,
+    /// The tenant registry (multi-tenant runs only).
+    pub registry: Option<&'a TenantRegistry>,
+    /// The logical clock and shed counters.
+    pub overload: &'a OverloadState,
+    /// Whether workers run the per-thread software TLB.
+    pub tlb: bool,
+    /// Whether to record admission→completion latency samples.
+    pub record_latency: bool,
 }
 
 /// Drains the worker's own untrusted carve-out until the allocator
@@ -139,25 +253,22 @@ fn exhaust_carveout(browser: &mut Browser) -> String {
 }
 
 /// Runs one worker incarnation to queue exhaustion, recording counters,
-/// responses, and the in-flight request in `cell` as it goes.
+/// responses, and the in-flight request in `cell` as it goes —
+/// every write stamped with `incarnation`, so a predecessor the watchdog
+/// condemned can still be running without corrupting this ledger.
 ///
 /// The browser is constructed *inside* the worker thread (it is `!Send`):
 /// only the [`SharedHost`] crosses the thread boundary. A respawned
 /// incarnation claims a fresh carve-out slot from the host, so it starts
 /// with a clean allocator even if its predecessor died by exhaustion.
-#[allow(clippy::too_many_arguments)]
 pub fn run_worker(
     worker: usize,
-    queue: &BoundedQueue<Request>,
-    host: &SharedHost,
-    profile: &Profile,
-    catalog: &[ScriptSpec],
-    faults: &FaultState,
+    incarnation: u64,
+    ctx: PoolCtx<'_>,
     cell: &WorkerCell,
     handler: Option<&Arc<ViolationHandler>>,
-    registry: Option<&TenantRegistry>,
-    tlb: bool,
 ) -> Result<(), ServeError> {
+    let PoolCtx { queue, host, profile, faults, registry, overload, tlb, .. } = ctx;
     if let Some(handler) = handler {
         // A fresh incarnation starts with a clean quarantine breaker; the
         // per-site ledger and the audit log persist across respawns.
@@ -203,7 +314,22 @@ pub fn run_worker(
     });
 
     while let Some(request) = queue.pop() {
-        cell.begin(request);
+        // A condemned incarnation (the watchdog wrote this thread off and
+        // respawned the slot) must not serve: the popped request belongs
+        // to a live worker — hand it back and bow out.
+        if !cell.begin(incarnation, request) {
+            queue.requeue(request);
+            break;
+        }
+        // Deadline shedding at pop: a request whose deadline the logical
+        // clock has already passed is counted expired, never served —
+        // bounding queue wait at `deadline_ticks` service times.
+        if request.deadline != 0 && overload.ticks() >= request.deadline {
+            if cell.expire(incarnation) {
+                overload.tick();
+            }
+            continue;
+        }
         // Tenant-tagged request: bind the tenant's virtual key (possibly
         // stealing an LRU hardware key from an idle tenant) and swap the
         // worker into the tenant's compartment. The lease no longer pins
@@ -220,13 +346,15 @@ pub fn run_worker(
                             // — its neighbours (and this worker) keep
                             // serving.
                             tenant.record_rejected();
-                            cell.complete(|stats, _| {
+                            if cell.complete(incarnation, |stats, _| {
                                 stats.requests += 1;
                                 match request.kind {
                                     RequestKind::PageLoad => stats.page_loads += 1,
                                     RequestKind::Script(_) => stats.scripts += 1,
                                 }
-                            });
+                            }) {
+                                overload.tick();
+                            }
                             continue;
                         }
                         tenant.record_request();
@@ -237,14 +365,16 @@ pub fn run_worker(
                     // barrier pressure or true exhaustion): the request
                     // completes as an error, the worker survives.
                     Err(_) => {
-                        cell.complete(|stats, _| {
+                        if cell.complete(incarnation, |stats, _| {
                             stats.requests += 1;
                             match request.kind {
                                 RequestKind::PageLoad => stats.page_loads += 1,
                                 RequestKind::Script(_) => stats.scripts += 1,
                             }
                             stats.errors += 1;
-                        });
+                        }) {
+                            overload.tick();
+                        }
                         continue;
                     }
                 }
@@ -312,14 +442,16 @@ pub fn run_worker(
                     }
                 };
                 if !touched {
-                    cell.complete(|stats, _| {
+                    if cell.complete(incarnation, |stats, _| {
                         stats.requests += 1;
                         match request.kind {
                             RequestKind::PageLoad => stats.page_loads += 1,
                             RequestKind::Script(_) => stats.scripts += 1,
                         }
                         stats.errors += 1;
-                    });
+                    }) {
+                        overload.tick();
+                    }
                     break 'serve None;
                 }
             }
@@ -336,14 +468,16 @@ pub fn run_worker(
                         // exactly like a real one — the request completes, the
                         // defect lands in the report.
                         None => {
-                            cell.complete(|stats, _| {
+                            if cell.complete(incarnation, |stats, _| {
                                 stats.requests += 1;
                                 match request.kind {
                                     RequestKind::PageLoad => stats.page_loads += 1,
                                     RequestKind::Script(_) => stats.scripts += 1,
                                 }
                                 stats.pkey_faults += 1;
-                            });
+                            }) {
+                                overload.tick();
+                            }
                             break 'serve None;
                         }
                         // With a handler, the injection provokes a *real* MPK
@@ -355,7 +489,7 @@ pub fn run_worker(
                         // the legacy unexpected-fault counter.
                         Some(active) => {
                             let outcome = browser.probe_trusted_access();
-                            cell.complete(|stats, _| {
+                            if cell.complete(incarnation, |stats, _| {
                                 stats.requests += 1;
                                 match request.kind {
                                     RequestKind::PageLoad => stats.page_loads += 1,
@@ -370,7 +504,9 @@ pub fn run_worker(
                                         stats.errors += 1;
                                     }
                                 }
-                            });
+                            }) {
+                                overload.tick();
+                            }
                             if active.tripped() {
                                 if lease.is_some() {
                                     // The *tenant's* breaker tripped: the
@@ -398,10 +534,23 @@ pub fn run_worker(
                     let message = exhaust_carveout(&mut browser);
                     break 'serve Some(ServeError::Worker { worker, message, report: None });
                 }
+                Some(FaultKind::Stall) => {
+                    // The wedge: heartbeat frozen, request in flight,
+                    // thread parked on the stall gate. The watchdog must
+                    // condemn this incarnation and requeue the request;
+                    // the gate opens only once supervision is over, and
+                    // by then this incarnation is poisoned — it exits
+                    // through the restore path with nothing to report.
+                    // Note the gate region was already exited above (the
+                    // worker's barrier epoch is parked), so a wedged
+                    // thread never blocks key revocation either.
+                    faults.stall_until_released();
+                    break 'serve None;
+                }
                 // Setup faults are filtered out by `next_request`.
                 Some(FaultKind::SetupFailure) => unreachable!("setup fault on a live worker"),
             }
-            serve_request(worker, &request, catalog, cell, &mut browser);
+            serve_request(worker, incarnation, &request, ctx, cell, &mut browser);
             None
         };
         // Restore the worker's ambient compartment before anything else
@@ -448,20 +597,22 @@ fn install_tenant(browser: &mut Browser, lease: &TenantLease) {
 }
 
 /// Serves one page-load or script request on the worker's browser,
-/// completing it in `cell`.
+/// completing it in `cell` (and sampling its admission→completion
+/// latency when the run records percentiles).
 fn serve_request(
     worker: usize,
+    incarnation: u64,
     request: &Request,
-    catalog: &[ScriptSpec],
+    ctx: PoolCtx<'_>,
     cell: &WorkerCell,
     browser: &mut Browser,
 ) {
-    match request.kind {
+    let disposed = match request.kind {
         RequestKind::PageLoad => {
             let before = browser.stats().nodes;
             let outcome = browser.load_html(micro_page());
             let after = browser.stats().nodes;
-            cell.complete(|stats, responses| {
+            cell.complete(incarnation, |stats, responses| {
                 stats.requests += 1;
                 stats.page_loads += 1;
                 match outcome {
@@ -481,13 +632,13 @@ fn serve_request(
                     Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
                     Err(_) => stats.errors += 1,
                 }
-            });
+            })
         }
         RequestKind::Script(i) => {
-            let spec = &catalog[i];
+            let spec = &ctx.catalog[i];
             let outcome =
                 browser.eval_script(&spec.source).and_then(|_| browser.call_script("run", &[]));
-            cell.complete(|stats, responses| {
+            cell.complete(incarnation, |stats, responses| {
                 stats.requests += 1;
                 stats.scripts += 1;
                 match outcome {
@@ -503,7 +654,15 @@ fn serve_request(
                     Err(e) if e.is_pkey_violation() => stats.pkey_faults += 1,
                     Err(_) => stats.errors += 1,
                 }
-            });
+            })
         }
+    };
+    if disposed {
+        if ctx.record_latency {
+            if let Some(enqueued) = request.enqueued {
+                cell.push_latency(incarnation, enqueued.elapsed().as_secs_f64() * 1000.0);
+            }
+        }
+        ctx.overload.tick();
     }
 }

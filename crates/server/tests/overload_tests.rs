@@ -1,0 +1,279 @@
+//! Overload resilience: the wedged-worker watchdog, request deadlines,
+//! bounded-wait admission control, and per-tenant fair queueing.
+//!
+//! Every test that can wedge the pool runs under the same abort-style
+//! watchdog as the fault suite: a stalled worker used to be
+//! indistinguishable from a long request, so a regression here hangs
+//! `serve()` forever — the watchdog turns that into a fast CI failure.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pkru_server::{
+    serve, Fault, FaultKind, FaultPlan, ServeConfig, ServeError, ServeReport, TrafficShape,
+    RESTART_BUDGET,
+};
+
+/// Aborts the process if `f` has not returned after `seconds` — a hung
+/// `serve` holds non-unwindable scoped threads, so a panic could never
+/// surface the failure.
+fn with_watchdog<T>(seconds: u64, f: impl FnOnce() -> T) -> T {
+    let done = Arc::new(AtomicBool::new(false));
+    let seen = Arc::clone(&done);
+    thread::spawn(move || {
+        for _ in 0..seconds * 10 {
+            thread::sleep(Duration::from_millis(100));
+            if seen.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        eprintln!("watchdog: serve() hung for {seconds}s; aborting so CI fails fast");
+        std::process::abort();
+    });
+    let result = f();
+    done.store(true, Ordering::Relaxed);
+    result
+}
+
+/// The extended accounting invariant: with overload controls in play a
+/// request can also leave the system by expiring at pop or being
+/// rejected at admission, but it must leave exactly once.
+fn assert_accounted(report: &ServeReport) {
+    assert_eq!(
+        report.requests_served
+            + report.requests_abandoned
+            + report.requests_expired
+            + report.requests_rejected,
+        report.config.requests,
+        "every generated request must be disposed exactly once: {report:?}"
+    );
+}
+
+/// THE headline regression for this suite: a worker wedged mid-request
+/// (injected stall) used to hang `serve()` forever — the supervisor
+/// blocked on a death event that would never come. The watchdog must
+/// declare the slot stalled, requeue its in-flight request, respawn the
+/// slot, and finish every request.
+#[test]
+fn stalled_worker_is_condemned_respawned_and_its_request_retried() {
+    let plan = FaultPlan::none().with(Fault { worker: 0, kind: FaultKind::Stall, at: 3 });
+    let config = ServeConfig {
+        workers: 1,
+        requests: 12,
+        queue_capacity: 4,
+        seed: 11,
+        faults: plan,
+        stall_timeout_ms: 300,
+        ..ServeConfig::default()
+    };
+    let report = with_watchdog(120, || serve(config)).expect("stall must be survivable");
+    assert_accounted(&report);
+    assert_eq!(report.requests_served, 12);
+    assert_eq!(report.workers_stalled, 1, "{report:?}");
+    assert_eq!(report.workers_restarted, 1, "{report:?}");
+    assert_eq!(report.requests_retried, 1, "the stalled request is requeued once");
+    assert_eq!(report.injected_faults, 1);
+    assert!(report.clean(), "{report:?}");
+    assert!(
+        report.to_json().contains("\"workers_stalled\":1"),
+        "an active watchdog must surface in the report JSON"
+    );
+}
+
+/// A stall storm past the per-slot respawn budget must take the
+/// (single-slot) pool down the same way repeated panics do: a typed
+/// error carrying the partial report, never a hang.
+#[test]
+fn stall_storm_exhausts_the_budget_with_a_partial_report() {
+    let plan = FaultPlan::none()
+        .with(Fault { worker: 0, kind: FaultKind::Stall, at: 1 })
+        .with(Fault { worker: 0, kind: FaultKind::Stall, at: 2 })
+        .with(Fault { worker: 0, kind: FaultKind::Stall, at: 3 });
+    let config = ServeConfig {
+        workers: 1,
+        requests: 16,
+        queue_capacity: 4,
+        seed: 5,
+        faults: plan,
+        stall_timeout_ms: 250,
+        ..ServeConfig::default()
+    };
+    let error = with_watchdog(180, || serve(config)).expect_err("budget exhaustion must error");
+    match error {
+        ServeError::Worker { worker, ref message, ref report } => {
+            assert_eq!(worker, 0);
+            assert!(message.contains("stalled"), "unexpected cause: {message}");
+            let report = report.as_deref().expect("partial report");
+            assert_accounted(report);
+            assert_eq!(report.workers_stalled, 3);
+            assert_eq!(report.workers_restarted, RESTART_BUDGET as u64);
+            // Retry-once: the first victim is requeued, later stalls of
+            // the same (already retried) request are not requeued again.
+            assert!(report.requests_retried <= report.workers_stalled);
+        }
+        other => panic!("expected ServeError::Worker, got {other:?}"),
+    }
+}
+
+/// Deadline shedding: with one worker, a deep queue, and a deadline of
+/// two completed-request ticks, most of the backlog expires at pop —
+/// and expired requests still balance the books (`clean` holds).
+#[test]
+fn deadlines_shed_the_stale_backlog_at_pop() {
+    let config = ServeConfig {
+        workers: 1,
+        requests: 40,
+        queue_capacity: 8,
+        seed: 17,
+        deadline_ticks: 2,
+        ..ServeConfig::default()
+    };
+    let report = with_watchdog(120, || serve(config)).expect("shedding is not an error");
+    assert_accounted(&report);
+    assert!(report.requests_expired > 0, "a 2-tick deadline must shed: {report:?}");
+    assert!(report.requests_served >= 1, "the head of the queue is always fresh");
+    assert!(report.clean(), "expiry is an accounted disposition: {report:?}");
+    assert!(report.to_json().contains("\"requests_expired\":"));
+}
+
+/// Admission control: a zero-wait bound on a tiny queue turns producer
+/// blocking into typed rejection, and rejections are accounted.
+#[test]
+fn saturated_admission_rejects_instead_of_blocking() {
+    let config = ServeConfig {
+        workers: 1,
+        requests: 48,
+        queue_capacity: 2,
+        seed: 23,
+        admission_wait_ms: Some(0),
+        ..ServeConfig::default()
+    };
+    let report = with_watchdog(120, || serve(config)).expect("rejection is not an error");
+    assert_accounted(&report);
+    assert!(report.requests_rejected > 0, "a 0ms wait on a 2-slot queue must shed: {report:?}");
+    assert!(report.requests_served > 0);
+    assert!(report.clean(), "{report:?}");
+    // Typed rejection replaces blocking: nothing should have waited.
+    assert_eq!(report.queue.backpressure_waits, report.requests_rejected);
+}
+
+/// Tenant fairness under a 10:1 Zipf skew: the victim tenant's admitted
+/// requests must essentially all complete (bounded completion share),
+/// while the storming tenant is the one paying the rate limiter.
+#[test]
+fn fair_queueing_protects_the_victim_tenant_from_a_zipf_storm() {
+    let config = ServeConfig {
+        workers: 2,
+        requests: 220,
+        // The backlog cap tracks queue capacity; keep it above the
+        // victim's whole offered load so the only thing that can shed
+        // the victim is its token bucket — which depends only on the
+        // deterministic offer order, never on how fast a loaded CI
+        // machine drains the pool.
+        queue_capacity: 32,
+        seed: 31,
+        tenants: 2,
+        tenant_rate: Some(6),
+        traffic: TrafficShape::Zipf { s_milli: 3322 },
+        // Fairness is a property of sustained rates: pace the offered
+        // stream so the storm is a storm, not a single microsecond burst
+        // that slams every sub-queue into its backlog cap at once.
+        pace_us: 500,
+        ..ServeConfig::default()
+    };
+    let report = with_watchdog(180, || serve(config)).expect("fairness run");
+    assert_accounted(&report);
+    assert_eq!(report.per_tenant.len(), 2);
+    let hot = &report.per_tenant[0];
+    let victim = &report.per_tenant[1];
+    assert!(
+        hot.offered > victim.offered * 2,
+        "the Zipf draw must actually skew: hot={} victim={}",
+        hot.offered,
+        victim.offered
+    );
+    assert!(hot.rate_limited > 0, "the storm must hit the token bucket: {report:?}");
+    // The fairness bound: the victim keeps at least 90% of what it
+    // offered, storm or no storm.
+    assert!(
+        victim.requests * 10 >= victim.offered * 9,
+        "victim starved: served {} of {} offered: {report:?}",
+        victim.requests,
+        victim.offered
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"tenant_rate\":6"));
+    assert!(json.contains("\"rate_limited\":"));
+}
+
+/// Latency percentiles only appear when sampling is on, and are ordered.
+#[test]
+fn latency_summary_is_recorded_on_demand_and_ordered() {
+    let config = ServeConfig {
+        workers: 2,
+        requests: 32,
+        queue_capacity: 8,
+        seed: 41,
+        record_latency: true,
+        ..ServeConfig::default()
+    };
+    let report = with_watchdog(120, || serve(config)).expect("clean run");
+    let latency = report.latency.expect("sampling was on");
+    assert_eq!(latency.count, 32);
+    assert!(latency.p50_ms <= latency.p90_ms);
+    assert!(latency.p90_ms <= latency.p99_ms);
+    assert!(latency.p999_ms <= latency.max_ms);
+    assert!(report.to_json().contains("\"latency\":{\"count\":32"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Termination + extended accounting over random overload plans:
+    /// whatever mix of stalls, panics, MPK violations, and allocator
+    /// exhaustion a seeded plan throws at a deadline-and-admission
+    /// constrained pool, `serve` returns and every request is disposed
+    /// exactly once — served, abandoned, expired, or rejected.
+    #[test]
+    fn overloaded_serve_always_terminates_and_accounts_for_every_request(
+        seed in any::<u64>(),
+        workers in 1usize..3,
+        requests in 6u64..18,
+    ) {
+        let faults = FaultPlan::random_overload(seed, workers, requests);
+        let config = ServeConfig {
+            workers,
+            requests,
+            queue_capacity: 4,
+            seed,
+            faults: faults.clone(),
+            deadline_ticks: 6,
+            admission_wait_ms: Some(40),
+            stall_timeout_ms: 200,
+            ..ServeConfig::default()
+        };
+        let outcome = with_watchdog(300, || serve(config));
+        let report = match &outcome {
+            Ok(report) => report,
+            Err(ServeError::Worker { report: Some(report), .. }) => report,
+            Err(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "plan {faults:?}: unexpected error shape {other:?}"
+                )))
+            }
+        };
+        prop_assert_eq!(
+            report.requests_served
+                + report.requests_abandoned
+                + report.requests_expired
+                + report.requests_rejected,
+            requests,
+            "plan {:?} lost requests: {:?}", faults, report
+        );
+        prop_assert_eq!(report.checksum_mismatches, 0, "determinism holds under overload");
+    }
+}

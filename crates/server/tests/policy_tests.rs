@@ -185,10 +185,11 @@ fn audit_json_schema_is_pinned() {
             transitions: 20,
             pkey_faults: 0,
             errors: 0,
+            expired: 0,
         }],
         elapsed_seconds: 0.5,
         throughput_rps: 16.0,
-        queue: QueueStats { enqueued: 8, max_depth: 4, backpressure_waits: 0 },
+        queue: QueueStats { enqueued: 8, max_depth: 4, backpressure_waits: 0, requeued: 0 },
         requests_served: 8,
         transitions: 20,
         checksum_mismatches: 0,
@@ -209,6 +210,10 @@ fn audit_json_schema_is_pinned() {
         audit_dropped: 0,
         per_tenant: Vec::new(),
         tenant_key_stats: None,
+        requests_expired: 0,
+        requests_rejected: 0,
+        workers_stalled: 0,
+        latency: None,
     };
     assert_eq!(
         report.to_json(),

@@ -91,10 +91,11 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
             transitions: 10,
             pkey_faults: 0,
             errors: 0,
+            expired: 0,
         }],
         elapsed_seconds: 0.5,
         throughput_rps: 4.0,
-        queue: QueueStats { enqueued: 2, max_depth: 2, backpressure_waits: 0 },
+        queue: QueueStats { enqueued: 2, max_depth: 2, backpressure_waits: 0, requeued: 0 },
         requests_served: 2,
         transitions: 10,
         checksum_mismatches: 0,
@@ -115,6 +116,10 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
         audit_dropped: 0,
         per_tenant: Vec::new(),
         tenant_key_stats: None,
+        requests_expired: 0,
+        requests_rejected: 0,
+        workers_stalled: 0,
+        latency: None,
     };
     assert_eq!(
         report.to_json(),

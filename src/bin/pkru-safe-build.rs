@@ -25,7 +25,7 @@ use std::process::ExitCode;
 use lir::{parse_module, verify_module, Module};
 use pkru_provenance::Profile;
 use pkru_safe::{run_profiling, Annotations, Pipeline, ProfileInput};
-use pkru_server::{serve, Fault, MpkPolicy, ServeConfig, ServeError};
+use pkru_server::{serve, Fault, MpkPolicy, ServeConfig, ServeError, TrafficShape};
 
 struct Options {
     command: String,
@@ -75,9 +75,11 @@ serve options:
   --queue <n>            queue capacity / backpressure bound (default 32)
   --seed <n>             traffic seed (default 0x5eed)
   --fault <spec>         inject a fault (repeatable):
-                         worker=K,kind=setup|panic|mpk|alloc[,at=N]
+                         worker=K,kind=setup|panic|mpk|alloc|stall[,at=N]
                          (kind=setup breaks every (re)start of worker K;
-                         the others strike K's N-th request, once)
+                         the others strike K's N-th request, once;
+                         kind=stall wedges the worker mid-request until
+                         the watchdog condemns and respawns the slot)
   --mpk-policy <p>       what an MPK violation does (default enforce):
                          enforce        deny; the defect dirties the run
                          audit          single-step past it, log it, go on
@@ -95,6 +97,28 @@ serve options:
   --tenant-policy <p>    per-tenant violation policy (default enforce):
                          enforce|audit|quarantine[:N], as --mpk-policy
                          but scoped to one tenant's compartment
+  --deadline-ticks <n>   shed a request still queued after n completed
+                         requests (logical deadline clock; default 0 =
+                         no deadlines)
+  --admission <ms>       bounded-wait admission control: reject instead
+                         of blocking once the producer has waited ms on
+                         a full queue (0 = shed immediately when full;
+                         default: block forever)
+  --tenant-rate <burst>  per-tenant fair queueing (needs --tenants):
+                         token bucket of <burst> tokens refilled at the
+                         fair share, deficit-round-robin dispatch over
+                         per-tenant sub-queues
+  --stall-timeout <ms>   watchdog deadline: a worker whose heartbeat
+                         stops this long with a request in flight is
+                         condemned and respawned (default 5000)
+  --traffic <shape>      request arrival shape (default uniform):
+                         uniform | burst[:len] | zipf[:s_milli]
+                         (burst: sticky runs of one tenant+kind;
+                         zipf: tenant draw skewed by s = s_milli/1000)
+  --pace <us>            microseconds between offered requests
+                         (default 0 = offer as fast as possible)
+  --latency              record admission-to-completion latency and
+                         report p50/p90/p99/p99.9 percentiles
   --json                 emit the report as JSON on stdout
 
 options:
@@ -152,6 +176,31 @@ fn load_module(options: &Options) -> Result<Module, String> {
     parse_module(&text).map_err(|e| format!("parse error: {e}"))
 }
 
+/// Parses a `--traffic` shape: `uniform`, `burst[:len]` (sticky runs,
+/// default length 8), or `zipf[:s_milli]` (skewed tenant draw, default
+/// s = 1.0).
+fn parse_traffic(spec: &str) -> Result<TrafficShape, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (spec, None),
+    };
+    let parse = |what: &str, raw: Option<&str>, default: u32| -> Result<u32, String> {
+        match raw {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("bad {what} {raw:?}")),
+        }
+    };
+    match name {
+        "uniform" => match param {
+            None => Ok(TrafficShape::Uniform),
+            Some(_) => Err("uniform takes no parameter".into()),
+        },
+        "burst" => Ok(TrafficShape::Bursty { run: parse("burst length", param, 8)? }),
+        "zipf" => Ok(TrafficShape::Zipf { s_milli: parse("zipf s_milli", param, 1000)? }),
+        other => Err(format!("unknown traffic shape {other:?} (uniform|burst[:len]|zipf[:s])")),
+    }
+}
+
 /// Parses the `serve` flags and runs the worker-pool runtime. Unlike the
 /// pipeline commands, `serve` takes no input file: the served catalog is
 /// built in.
@@ -187,6 +236,24 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                     argv.next().ok_or("--tenant-policy needs enforce|audit|quarantine[:N]")?;
                 config.tenant_policy = MpkPolicy::parse(&spec).map_err(|e| e.to_string())?;
             }
+            "--deadline-ticks" => {
+                config.deadline_ticks = parse_num("--deadline-ticks", argv.next())?;
+            }
+            "--admission" => {
+                config.admission_wait_ms = Some(parse_num("--admission", argv.next())?);
+            }
+            "--tenant-rate" => {
+                config.tenant_rate = Some(parse_num("--tenant-rate", argv.next())?);
+            }
+            "--stall-timeout" => {
+                config.stall_timeout_ms = parse_num("--stall-timeout", argv.next())?;
+            }
+            "--traffic" => {
+                let spec = argv.next().ok_or("--traffic needs uniform|burst[:len]|zipf[:s]")?;
+                config.traffic = parse_traffic(&spec)?;
+            }
+            "--pace" => config.pace_us = parse_num("--pace", argv.next())?,
+            "--latency" => config.record_latency = true,
             "--json" => json = true,
             other => return Err(format!("unknown serve option {other:?}")),
         }
@@ -235,6 +302,30 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 report.injected_faults
             );
         }
+        if report.workers_stalled > 0 {
+            println!(
+                "  watchdog: {} stall(s) condemned (deadline {} ms)",
+                report.workers_stalled, report.config.stall_timeout_ms
+            );
+        }
+        if report.requests_expired + report.requests_rejected > 0 {
+            println!(
+                "  overload: {} expired at pop, {} rejected at admission",
+                report.requests_expired, report.requests_rejected
+            );
+        }
+        if let Some(latency) = &report.latency {
+            println!(
+                "  latency ({} sample(s)): p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, \
+                 p99.9 {:.3} ms, max {:.3} ms",
+                latency.count,
+                latency.p50_ms,
+                latency.p90_ms,
+                latency.p99_ms,
+                latency.p999_ms,
+                latency.max_ms
+            );
+        }
         if report.config.mpk_policy != MpkPolicy::Enforce {
             println!(
                 "  {}: {} audited, {} quarantined, {} site(s) flagged, {} logged \
@@ -264,11 +355,17 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 keys.deferred_keys
             );
             for t in &report.per_tenant {
+                let fairness = if report.config.tenant_rate.is_some() {
+                    format!(" ({} offered, {} rate-limited)", t.offered, t.rate_limited)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "    tenant {}: {} request(s), {} rejected, {} bind retr{}, \
+                    "    tenant {}: {} request(s){}, {} rejected, {} bind retr{}, \
                      {} audited, {} quarantined{}",
                     t.tenant,
                     t.requests,
+                    fairness,
                     t.rejected,
                     t.bind_retries,
                     if t.bind_retries == 1 { "y" } else { "ies" },

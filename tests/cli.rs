@@ -517,3 +517,104 @@ fn annotate_emits_gated_module() {
     assert!(stdout.contains("gate.enter.untrusted"), "{stdout}");
     assert!(stdout.contains("__pkru_gate_clib::bump"), "{stdout}");
 }
+
+#[test]
+fn serve_overload_flags_shed_and_expose_the_new_counters() {
+    let out = cli()
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--requests",
+            "48",
+            "--queue",
+            "4",
+            "--seed",
+            "17",
+            "--deadline-ticks",
+            "3",
+            "--admission",
+            "0",
+            "--latency",
+            "--json",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"deadline_ticks\":3",
+        "\"admission_wait_ms\":0",
+        "\"requests_expired\":",
+        "\"requests_rejected\":",
+        "\"latency\":{\"count\":",
+        "\"p99_ms\":",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    // The extended accounting invariant, via the JSON the user sees.
+    let field = |name: &str| -> u64 {
+        stdout
+            .split(&format!("\"{name}\":"))
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("missing {name} in {stdout}"))
+    };
+    assert_eq!(
+        field("requests_served")
+            + field("requests_abandoned")
+            + field("requests_expired")
+            + field("requests_rejected"),
+        48,
+        "{stdout}"
+    );
+}
+
+#[test]
+fn serve_stall_fault_is_survived_by_the_watchdog() {
+    let out = cli()
+        .args([
+            "serve",
+            "--workers",
+            "1",
+            "--requests",
+            "10",
+            "--fault",
+            "worker=0,kind=stall,at=2",
+            "--stall-timeout",
+            "400",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("served 10 request(s)"), "{stdout}");
+    assert!(stdout.contains("watchdog: 1 stall(s) condemned (deadline 400 ms)"), "{stdout}");
+    assert!(stdout.contains("1 restart(s), 1 retried"), "{stdout}");
+}
+
+#[test]
+fn serve_without_overload_flags_keeps_the_report_schema_unchanged() {
+    // The compatibility pin, end to end through the CLI: a flag-free
+    // serve must not leak any of the overload-era keys into its JSON.
+    let out = cli()
+        .args(["serve", "--workers", "2", "--requests", "24", "--seed", "3", "--json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for absent in [
+        "deadline_ticks",
+        "admission_wait_ms",
+        "tenant_rate",
+        "requests_expired",
+        "requests_rejected",
+        "workers_stalled",
+        "latency",
+        "requeued",
+        "rate_limited",
+    ] {
+        assert!(!stdout.contains(absent), "overload key {absent} leaked into {stdout}");
+    }
+}
