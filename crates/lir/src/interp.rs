@@ -1,27 +1,70 @@
 //! The LIR interpreter.
+//!
+//! Two dispatch lanes execute the same modules: the default
+//! direct-threaded lane ([`crate::threaded::ThreadedModule`], pre-decoded
+//! op streams with resolved callees and fused superinstructions) and the
+//! legacy match-per-instruction loop below, kept verbatim as the
+//! reference lane for the `dispatch_ablation` bench and the coherence
+//! proptest. The two are pinned bit-identical (outputs, traps, `instret`,
+//! violation accounting) — only the dispatch cost differs.
 
 use crate::ir::{BinOp, FuncId, Instr, Module, Operand, SiteDomain};
 use crate::machine::Machine;
+use crate::threaded::ThreadedModule;
 use crate::trap::Trap;
 
 /// Maximum call depth (the dom suites nest compartment callbacks deeply,
 /// but anything past this is a runaway recursion).
-const MAX_DEPTH: usize = 200;
+pub(crate) const MAX_DEPTH: usize = 200;
 
 /// Interpreter binding a [`Module`] to a [`Machine`].
 pub struct Interp<'a> {
     module: &'a Module,
     machine: &'a mut Machine,
+    /// Pre-decoded threaded form; `None` selects the legacy loop.
+    threaded: Option<ThreadedModule>,
 }
 
 impl<'a> Interp<'a> {
-    /// Creates an interpreter for `module` over `machine`.
+    /// Creates an interpreter for `module` over `machine` using the
+    /// default direct-threaded dispatch (the module is pre-decoded here,
+    /// once).
     pub fn new(module: &'a Module, machine: &'a mut Machine) -> Interp<'a> {
-        Interp { module, machine }
+        Interp::with_dispatch(module, machine, true)
+    }
+
+    /// Creates an interpreter pinned to the legacy match-per-instruction
+    /// loop (the `--no-threaded` ablation lane).
+    pub fn legacy(module: &'a Module, machine: &'a mut Machine) -> Interp<'a> {
+        Interp::with_dispatch(module, machine, false)
+    }
+
+    /// Creates an interpreter with an explicit dispatch selection.
+    pub fn with_dispatch(
+        module: &'a Module,
+        machine: &'a mut Machine,
+        threaded: bool,
+    ) -> Interp<'a> {
+        let threaded = threaded.then(|| ThreadedModule::decode(module));
+        Interp { module, machine, threaded }
+    }
+
+    /// Creates an interpreter reusing an already-decoded threaded form
+    /// (decode-once-run-many callers; `threaded` must have been decoded
+    /// from `module`).
+    pub fn with_threaded(
+        module: &'a Module,
+        machine: &'a mut Machine,
+        threaded: ThreadedModule,
+    ) -> Interp<'a> {
+        Interp { module, machine, threaded: Some(threaded) }
     }
 
     /// Runs the named entry function with `args`, returning its result.
     pub fn run(&mut self, entry: &str, args: &[i64]) -> Result<Option<i64>, Trap> {
+        if let Some(threaded) = &self.threaded {
+            return threaded.run(self.module, self.machine, entry, args);
+        }
         let id =
             self.module.find(entry).ok_or_else(|| Trap::UndefinedFunction(entry.to_string()))?;
         self.call(id, args, 0)
@@ -190,7 +233,7 @@ fn read(regs: &[i64], op: Operand) -> i64 {
     }
 }
 
-fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, Trap> {
+pub(crate) fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, Trap> {
     Ok(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -222,11 +265,11 @@ fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, Trap> {
 }
 
 /// Function addresses are encoded as `id + 1`, so zero stays "null".
-fn encode_func_addr(id: FuncId) -> i64 {
+pub(crate) fn encode_func_addr(id: FuncId) -> i64 {
     i64::from(id) + 1
 }
 
-fn decode_func_addr(raw: i64, module: &Module) -> Result<FuncId, Trap> {
+pub(crate) fn decode_func_addr(raw: i64, module: &Module) -> Result<FuncId, Trap> {
     if raw <= 0 || raw as usize > module.functions.len() {
         return Err(Trap::BadFunctionAddress(raw));
     }

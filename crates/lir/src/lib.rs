@@ -26,6 +26,7 @@ mod interp;
 mod ir;
 mod machine;
 mod parse;
+mod threaded;
 mod trap;
 mod verify;
 
@@ -38,5 +39,6 @@ pub use ir::{
 };
 pub use machine::{FaultPolicy, Machine, MachineConfig, SharedHost, SyscallFilter};
 pub use parse::{parse_module, ParseError};
+pub use threaded::ThreadedModule;
 pub use trap::Trap;
 pub use verify::{verify_def_use, verify_module, VerifyError};

@@ -176,6 +176,14 @@ pub struct Machine {
     pub instret: u64,
     /// Remaining instruction budget.
     pub fuel: u64,
+    /// Superinstructions executed: fused compare-and-branch ops in the
+    /// threaded interpreter plus bulk page-run memory ops taken by
+    /// [`Machine::mem_read_bytes`]/[`Machine::mem_write_bytes`].
+    pub fused_ops: u64,
+    /// Whether bulk memory superinstructions are taken (the
+    /// `--no-threaded` ablation lane turns them off so the legacy lane
+    /// measures the true per-byte dispatch cost).
+    fused: bool,
     /// The key protecting the trusted pool.
     trusted_pkey: Pkey,
     /// The serve-time MPK violation handler, consulted for pkey faults
@@ -211,6 +219,8 @@ impl Machine {
             output: Vec::new(),
             instret: 0,
             fuel: config.fuel,
+            fused_ops: 0,
+            fused: true,
             trusted_pkey,
             handler: None,
             syscall_filter: SyscallFilter::deny_all(),
@@ -246,6 +256,8 @@ impl Machine {
             output: Vec::new(),
             instret: 0,
             fuel: config.fuel,
+            fused_ops: 0,
+            fused: true,
             trusted_pkey: host.trusted_pkey(),
             handler: None,
             syscall_filter: SyscallFilter::deny_all(),
@@ -430,6 +442,87 @@ impl Machine {
                 })
                 .map(|_| ()),
         }
+    }
+
+    /// Whether bulk memory superinstructions are taken.
+    pub fn fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Selects whether [`Machine::mem_read_bytes`]/[`Machine::mem_write_bytes`]
+    /// may fuse page runs (the ablation toggle; off pins the exact legacy
+    /// per-byte path).
+    pub fn set_fused(&mut self, fused: bool) {
+        self.fused = fused;
+    }
+
+    /// A rights-checked multi-byte load with fault-policy handling.
+    ///
+    /// With fusion on (and the TLB enabled — the bulk path rides the
+    /// TLB's single-page fast path), the buffer is split at page
+    /// boundaries and each run is served by **one** TLB lookup + one
+    /// rights check instead of one per byte; `pkru.allows` still runs
+    /// live on every access, it is simply amortized over the run the way
+    /// a hardware line fill amortizes a walk. A faulting run falls back
+    /// to the per-byte path so fault resolution (audit logging,
+    /// single-step profiling, partial-progress semantics) stays
+    /// byte-identical to the unfused lane.
+    pub fn mem_read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Trap> {
+        if !self.fused || !self.tlb.enabled() {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = self.mem_read_u8(addr.wrapping_add(i as u64))?;
+            }
+            return Ok(());
+        }
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr.wrapping_add(off as u64);
+            let to_page_end = (a | (pkru_vmem::PAGE_SIZE - 1)).wrapping_add(1).wrapping_sub(a);
+            let run = (buf.len() - off).min(to_page_end.max(1) as usize);
+            let pkru = self.cpu.pkru();
+            match self.space.tlb_read(&mut self.tlb, pkru, a, &mut buf[off..off + run]) {
+                Ok(()) => self.fused_ops += 1,
+                Err(_) => {
+                    for i in 0..run {
+                        buf[off + i] = self.mem_read_u8(a.wrapping_add(i as u64))?;
+                    }
+                }
+            }
+            off += run;
+        }
+        Ok(())
+    }
+
+    /// A rights-checked multi-byte store with fault-policy handling.
+    ///
+    /// Same fusion contract as [`Machine::mem_read_bytes`]: one TLB
+    /// lookup + live rights check per page run, per-byte fallback on any
+    /// fault so partial writes land exactly as the unfused lane would
+    /// leave them.
+    pub fn mem_write_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) -> Result<(), Trap> {
+        if !self.fused || !self.tlb.enabled() {
+            for (i, b) in bytes.iter().enumerate() {
+                self.mem_write_u8(addr.wrapping_add(i as u64), *b)?;
+            }
+            return Ok(());
+        }
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let a = addr.wrapping_add(off as u64);
+            let to_page_end = (a | (pkru_vmem::PAGE_SIZE - 1)).wrapping_add(1).wrapping_sub(a);
+            let run = (bytes.len() - off).min(to_page_end.max(1) as usize);
+            let pkru = self.cpu.pkru();
+            match self.space.tlb_write(&mut self.tlb, pkru, a, &bytes[off..off + run]) {
+                Ok(()) => self.fused_ops += 1,
+                Err(_) => {
+                    for i in 0..run {
+                        self.mem_write_u8(a.wrapping_add(i as u64), bytes[off + i])?;
+                    }
+                }
+            }
+            off += run;
+        }
+        Ok(())
     }
 
     /// Applies the fault policy: under [`FaultPolicy::Profile`], consult the

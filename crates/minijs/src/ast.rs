@@ -2,6 +2,8 @@
 
 use std::rc::Rc;
 
+use crate::ic::PropIc;
+
 /// Binary operators.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BinaryOp {
@@ -71,8 +73,8 @@ pub enum AssignOp {
 pub enum Target {
     /// A variable.
     Ident(Rc<str>),
-    /// `obj.prop`.
-    Member(Box<Expr>, Rc<str>),
+    /// `obj.prop`, with the site's inline cache.
+    Member(Box<Expr>, Rc<str>, PropIc),
     /// `obj[index]`.
     Index(Box<Expr>, Box<Expr>),
 }
@@ -107,8 +109,9 @@ pub enum Expr {
     Ident(Rc<str>),
     /// `[a, b, c]`.
     ArrayLit(Vec<Expr>),
-    /// `{k: v, ...}`.
-    ObjectLit(Vec<(Rc<str>, Expr)>),
+    /// `{k: v, ...}`; each property definition carries an inline cache
+    /// for its add-transition.
+    ObjectLit(Vec<(Rc<str>, Expr, PropIc)>),
     /// A function expression.
     Function(Rc<FuncDef>),
     /// `f(args)`; when `callee` is a member expression the receiver
@@ -119,8 +122,8 @@ pub enum Expr {
         /// Argument expressions.
         args: Vec<Expr>,
     },
-    /// `obj.prop`.
-    Member(Box<Expr>, Rc<str>),
+    /// `obj.prop`, with the site's inline cache.
+    Member(Box<Expr>, Rc<str>, PropIc),
     /// `obj[index]`.
     Index(Box<Expr>, Box<Expr>),
     /// A binary operation.

@@ -169,15 +169,33 @@ impl Engine {
         (self.natives.len() - 1) as u32
     }
 
-    /// Defines a host class, returning its ID.
+    /// Defines a host class, returning its ID. Invalidates every inline
+    /// cache: class layouts are IC keys.
     pub fn define_host_class(&mut self, class: HostClass) -> HostClassId {
+        self.heap.bump_ic_epoch();
         self.host_classes.push(class);
         HostClassId((self.host_classes.len() - 1) as u32)
     }
 
     /// Mutable access to a defined host class (to attach methods).
+    /// Invalidates every inline cache — the caller may edit the layout
+    /// cached entries were specialized to.
     pub fn host_class_mut(&mut self, id: HostClassId) -> &mut HostClass {
+        self.heap.bump_ic_epoch();
         &mut self.host_classes[id.0 as usize]
+    }
+
+    /// Enables or disables the property inline caches (the `--no-ic`
+    /// ablation lane). Disabling leaves every site on the slow path;
+    /// re-enabling starts from an invalidated cache.
+    pub fn set_ic_enabled(&mut self, on: bool) {
+        self.heap.ic_enabled = on;
+        self.heap.bump_ic_epoch();
+    }
+
+    /// Inline-cache `(hits, misses)` so far.
+    pub fn ic_stats(&self) -> (u64, u64) {
+        (self.heap.ic_hits, self.heap.ic_misses)
     }
 
     /// Binds a global variable.

@@ -7,9 +7,10 @@ use std::rc::Rc;
 use lir::Machine;
 
 use crate::ast::{AssignOp, BinaryOp, Expr, Stmt, Target, UnaryOp};
-use crate::engine::{HostClass, HostFieldKind, NativeFn};
+use crate::engine::{HostClass, HostField, HostFieldKind, NativeFn};
 use crate::error::EngineError;
 use crate::heap::{Closure, Heap, ObjKind};
+use crate::ic::{IcState, PropIc};
 use crate::parser::fmt_f64;
 use crate::{to_int32, to_uint32, Value};
 
@@ -252,9 +253,9 @@ impl<'a> Ctx<'a> {
             }
             Expr::ObjectLit(props) => {
                 let h = self.heap.new_object();
-                for (key, value_expr) in props {
+                for (key, value_expr, ic) in props {
                     let v = self.eval(value_expr, env)?;
-                    self.heap.prop_set(self.machine, h, key, &v)?;
+                    self.heap.prop_set_ic(self.machine, h, key, &v, ic)?;
                 }
                 Ok(Value::Obj(h))
             }
@@ -264,9 +265,9 @@ impl<'a> Ctx<'a> {
                 Ok(Value::Fun(handle))
             }
             Expr::Call { callee, args } => self.eval_call(callee, args, env),
-            Expr::Member(obj, name) => {
+            Expr::Member(obj, name, ic) => {
                 let receiver = self.eval(obj, env)?;
-                self.member_get(&receiver, name)
+                self.member_get(&receiver, name, Some(ic))
             }
             Expr::Index(obj, idx) => {
                 let receiver = self.eval(obj, env)?;
@@ -341,7 +342,7 @@ impl<'a> Ctx<'a> {
     ) -> Result<Value, EngineError> {
         let mut this = Value::Undefined;
         let target = match callee {
-            Expr::Member(obj, name) => {
+            Expr::Member(obj, name, ic) => {
                 let receiver = self.eval(obj, env)?;
                 // Builtin methods on primitives and arrays dispatch
                 // directly; everything else is a property holding a
@@ -354,7 +355,7 @@ impl<'a> Ctx<'a> {
                     return Ok(result);
                 }
                 this = receiver.clone();
-                let f = self.member_get(&receiver, name)?;
+                let f = self.member_get(&receiver, name, Some(ic))?;
                 return self.call_value(&f, this, &arg_vals);
             }
             other => self.eval(other, env)?,
@@ -412,19 +413,29 @@ impl<'a> Ctx<'a> {
 
     // ---- member / index access ----
 
-    fn member_get(&mut self, receiver: &Value, name: &str) -> Result<Value, EngineError> {
+    fn member_get(
+        &mut self,
+        receiver: &Value,
+        name: &str,
+        ic: Option<&PropIc>,
+    ) -> Result<Value, EngineError> {
         match receiver {
             Value::Str(s) => match name {
                 "length" => Ok(Value::Num(s.chars().count() as f64)),
                 _ => Err(EngineError::Type(format!("string has no property {name}"))),
             },
             Value::Obj(h) => {
+                // The array `length` interposition stays ahead of the
+                // cache, exactly as it sits ahead of the property walk.
                 if name == "length" && self.heap.kind(*h)? == ObjKind::Array {
                     return Ok(Value::Num(self.heap.array_len(self.machine, *h)? as f64));
                 }
-                self.heap.prop_get(self.machine, *h, name)
+                match ic {
+                    Some(ic) => self.heap.prop_get_ic(self.machine, *h, name, ic),
+                    None => self.heap.prop_get(self.machine, *h, name),
+                }
             }
-            Value::HostRef { addr, class } => self.host_field_get(*addr, class.0, name),
+            Value::HostRef { addr, class } => self.host_field_get(*addr, class.0, name, ic),
             Value::Null | Value::Undefined => {
                 Err(EngineError::Type(format!("cannot read {name} of {}", receiver.type_of())))
             }
@@ -440,6 +451,7 @@ impl<'a> Ctx<'a> {
         receiver: &Value,
         name: &Rc<str>,
         value: &Value,
+        ic: Option<&PropIc>,
     ) -> Result<(), EngineError> {
         match receiver {
             Value::Obj(h) => {
@@ -448,11 +460,14 @@ impl<'a> Ctx<'a> {
                     // The vulnerable setter (§5.4).
                     return self.heap.array_set_len(self.machine, *h, n);
                 }
-                self.heap.prop_set(self.machine, *h, name, value)
+                match ic {
+                    Some(ic) => self.heap.prop_set_ic(self.machine, *h, name, value, ic),
+                    None => self.heap.prop_set(self.machine, *h, name, value),
+                }
             }
             Value::HostRef { addr, class } => {
                 let n = self.to_number(value)?;
-                self.host_field_set(*addr, class.0, name, n)
+                self.host_field_set(*addr, class.0, name, n, ic)
             }
             other => {
                 Err(EngineError::Type(format!("cannot set property on a {}", other.type_of())))
@@ -510,9 +525,9 @@ impl<'a> Ctx<'a> {
             Target::Ident(name) => {
                 env.get(name).ok_or_else(|| EngineError::Reference(name.to_string()))
             }
-            Target::Member(obj, name) => {
+            Target::Member(obj, name, ic) => {
                 let receiver = self.eval(obj, env)?;
-                self.member_get(&receiver, name)
+                self.member_get(&receiver, name, Some(ic))
             }
             Target::Index(obj, idx) => {
                 let receiver = self.eval(obj, env)?;
@@ -540,9 +555,9 @@ impl<'a> Ctx<'a> {
                 }
                 Ok(())
             }
-            Target::Member(obj, name) => {
+            Target::Member(obj, name, ic) => {
                 let receiver = self.eval(obj, env)?;
-                self.member_set(&receiver, name, value)
+                self.member_set(&receiver, name, value, Some(ic))
             }
             Target::Index(obj, idx) => {
                 let receiver = self.eval(obj, env)?;
@@ -560,14 +575,48 @@ impl<'a> Ctx<'a> {
             .ok_or_else(|| EngineError::Type("unknown host class".into()))
     }
 
-    fn host_field_get(&mut self, addr: u64, class: u32, name: &str) -> Result<Value, EngineError> {
+    fn host_field_get(
+        &mut self,
+        addr: u64,
+        class: u32,
+        name: &str,
+        ic: Option<&PropIc>,
+    ) -> Result<Value, EngineError> {
+        if self.heap.ic_enabled {
+            if let Some(ic) = ic {
+                match ic.load(self.heap.ic_epoch()) {
+                    Some(IcState::HostMethod { class: cached, method }) if cached == class => {
+                        self.heap.ic_hits += 1;
+                        return Ok(Value::Native(method));
+                    }
+                    Some(IcState::HostField { class: cached, field }) if cached == class => {
+                        self.heap.ic_hits += 1;
+                        return self.host_field_read(addr, field);
+                    }
+                    _ => self.heap.ic_misses += 1,
+                }
+            }
+        }
         let spec = self.host_class(class)?;
         if let Some(&method) = spec.methods.get(name) {
+            if let (true, Some(ic)) = (self.heap.ic_enabled, ic) {
+                ic.store(self.heap.ic_epoch(), IcState::HostMethod { class, method });
+            }
             return Ok(Value::Native(method));
         }
         let Some(field) = spec.fields.get(name).copied() else {
             return Err(EngineError::Type(format!("host class {} has no field {name}", spec.name)));
         };
+        if let (true, Some(ic)) = (self.heap.ic_enabled, ic) {
+            ic.store(self.heap.ic_epoch(), IcState::HostField { class, field });
+        }
+        self.host_field_read(addr, field)
+    }
+
+    /// Reads one host field per its (possibly cached) spec. Every byte
+    /// still moves through the rights-checked machine: caching the spec
+    /// skips the layout lookup, never the PKRU verdict.
+    fn host_field_read(&mut self, addr: u64, field: HostField) -> Result<Value, EngineError> {
         let field_addr = addr + field.offset;
         match field.kind {
             HostFieldKind::U64 => {
@@ -593,10 +642,8 @@ impl<'a> Ctx<'a> {
                     return Ok(Value::Str("".into()));
                 }
                 let len = self.machine.mem_read(ptr)? as usize;
-                let mut bytes = Vec::with_capacity(len);
-                for i in 0..len {
-                    bytes.push(self.machine.mem_read_u8(ptr + 8 + i as u64)?);
-                }
+                let mut bytes = vec![0u8; len];
+                self.machine.mem_read_bytes(ptr + 8, &mut bytes)?;
                 let s = String::from_utf8_lossy(&bytes).into_owned();
                 Ok(Value::Str(s.into()))
             }
@@ -609,10 +656,38 @@ impl<'a> Ctx<'a> {
         class: u32,
         name: &str,
         value: f64,
+        ic: Option<&PropIc>,
     ) -> Result<(), EngineError> {
-        let spec = self.host_class(class)?;
-        let Some(field) = spec.fields.get(name).copied() else {
-            return Err(EngineError::Type(format!("host class {} has no field {name}", spec.name)));
+        // A hit reuses the cached field spec but reruns the writability
+        // and kind checks — only the layout lookup is skipped.
+        let field = if let (true, Some(ic)) = (self.heap.ic_enabled, ic) {
+            match ic.load(self.heap.ic_epoch()) {
+                Some(IcState::HostField { class: cached, field }) if cached == class => {
+                    self.heap.ic_hits += 1;
+                    field
+                }
+                _ => {
+                    self.heap.ic_misses += 1;
+                    let spec = self.host_class(class)?;
+                    let Some(field) = spec.fields.get(name).copied() else {
+                        return Err(EngineError::Type(format!(
+                            "host class {} has no field {name}",
+                            spec.name
+                        )));
+                    };
+                    ic.store(self.heap.ic_epoch(), IcState::HostField { class, field });
+                    field
+                }
+            }
+        } else {
+            let spec = self.host_class(class)?;
+            let Some(field) = spec.fields.get(name).copied() else {
+                return Err(EngineError::Type(format!(
+                    "host class {} has no field {name}",
+                    spec.name
+                )));
+            };
+            field
         };
         if !field.writable {
             return Err(EngineError::Type(format!("host field {name} is read-only")));

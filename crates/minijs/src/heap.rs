@@ -16,6 +16,7 @@ use lir::Machine;
 use crate::ast::FuncDef;
 use crate::error::EngineError;
 use crate::exec::Env;
+use crate::ic::{IcState, PropIc};
 use crate::nanbox::{DecodedBox, NanBox};
 use crate::Value;
 
@@ -60,8 +61,8 @@ pub struct Closure {
 pub struct ObjData {
     /// The object's kind.
     pub kind: ObjKind,
-    /// Property name → slot index.
-    pub shape: HashMap<Rc<str>, u32>,
+    /// The object's shape id (index into [`Heap`]'s shape table).
+    pub shape: u32,
     /// Base address of the property-slot buffer (0 = none yet).
     pub slots_addr: u64,
     /// Capacity of the slot buffer, in slots.
@@ -70,9 +71,29 @@ pub struct ObjData {
     pub elems_addr: u64,
 }
 
+/// An interned shape: the property layout shared by every object built
+/// through the same sequence of property adds.
+///
+/// Shapes are immutable once created; a property add moves the object to
+/// a successor shape found (or created) through `transitions`. That
+/// immutability is what lets inline caches key on the shape id alone —
+/// a `(shape, slot)` pair proven once stays true forever.
+struct ShapeData {
+    /// Property name → slot index.
+    props: HashMap<Rc<str>, u32>,
+    /// Property name → successor shape after adding it (hash-consing).
+    transitions: HashMap<Rc<str>, u32>,
+    /// Number of properties (equals the next free slot index).
+    len: u32,
+}
+
+/// The empty shape every object starts with.
+const EMPTY_SHAPE: u32 = 0;
+
 /// The engine heap.
 pub struct Heap {
     objects: Vec<ObjData>,
+    shapes: Vec<ShapeData>,
     strings: Vec<Rc<str>>,
     string_index: HashMap<Rc<str>, u32>,
     closures: Vec<Closure>,
@@ -85,6 +106,14 @@ pub struct Heap {
     pub elem_reads: u64,
     /// Element writes performed.
     pub elem_writes: u64,
+    /// Whether property sites may consult their inline caches.
+    pub ic_enabled: bool,
+    /// Inline-cache hits (fast-path lookups that skipped the walk).
+    pub ic_hits: u64,
+    /// Inline-cache misses (slow-path lookups, cache refilled).
+    pub ic_misses: u64,
+    /// Global IC validity epoch; starts at 1 so a zeroed entry is stale.
+    ic_epoch: u64,
 }
 
 impl Default for Heap {
@@ -98,6 +127,7 @@ impl Heap {
     pub fn new() -> Heap {
         Heap {
             objects: Vec::new(),
+            shapes: vec![ShapeData { props: HashMap::new(), transitions: HashMap::new(), len: 0 }],
             strings: Vec::new(),
             string_index: HashMap::new(),
             closures: Vec::new(),
@@ -106,7 +136,28 @@ impl Heap {
             vulnerable: true,
             elem_reads: 0,
             elem_writes: 0,
+            ic_enabled: true,
+            ic_hits: 0,
+            ic_misses: 0,
+            ic_epoch: 1,
         }
+    }
+
+    /// The current IC validity epoch.
+    pub fn ic_epoch(&self) -> u64 {
+        self.ic_epoch
+    }
+
+    /// Invalidates every inline cache everywhere: entries filled under
+    /// older epochs stop matching and refill on next use (the `Tlb`
+    /// epoch-flush contract).
+    pub fn bump_ic_epoch(&mut self) {
+        self.ic_epoch += 1;
+    }
+
+    /// The shape id of `h` (inline-cache key).
+    pub fn shape_of(&self, h: ObjHandle) -> Result<u32, EngineError> {
+        Ok(self.obj(h)?.shape)
     }
 
     fn obj(&self, h: ObjHandle) -> Result<&ObjData, EngineError> {
@@ -131,7 +182,7 @@ impl Heap {
         let h = ObjHandle(self.objects.len() as u32);
         self.objects.push(ObjData {
             kind: ObjKind::Plain,
-            shape: HashMap::new(),
+            shape: EMPTY_SHAPE,
             slots_addr: 0,
             slots_cap: 0,
             elems_addr: 0,
@@ -152,7 +203,7 @@ impl Heap {
         let h = ObjHandle(self.objects.len() as u32);
         self.objects.push(ObjData {
             kind: ObjKind::Array,
-            shape: HashMap::new(),
+            shape: EMPTY_SHAPE,
             slots_addr: 0,
             slots_cap: 0,
             elems_addr: addr,
@@ -342,6 +393,21 @@ impl Heap {
         Ok(())
     }
 
+    /// The successor shape after adding `name` to `from`, creating and
+    /// interning it on first use.
+    fn transition(&mut self, from: u32, name: &Rc<str>) -> u32 {
+        if let Some(&to) = self.shapes[from as usize].transitions.get(name) {
+            return to;
+        }
+        let len = self.shapes[from as usize].len;
+        let mut props = self.shapes[from as usize].props.clone();
+        props.insert(Rc::clone(name), len);
+        let to = self.shapes.len() as u32;
+        self.shapes.push(ShapeData { props, transitions: HashMap::new(), len: len + 1 });
+        self.shapes[from as usize].transitions.insert(Rc::clone(name), to);
+        to
+    }
+
     /// Property read `o.name` (own properties only; no prototype chain).
     pub fn prop_get(
         &mut self,
@@ -350,11 +416,45 @@ impl Heap {
         name: &str,
     ) -> Result<Value, EngineError> {
         let data = self.obj(h)?;
-        let Some(&slot) = data.shape.get(name) else {
+        let slots_addr = data.slots_addr;
+        let Some(&slot) = self.shapes[data.shape as usize].props.get(name) else {
             return Ok(Value::Undefined);
         };
-        let addr = data.slots_addr + 8 * u64::from(slot);
-        let raw = machine.mem_read(addr)?;
+        let raw = machine.mem_read(slots_addr + 8 * u64::from(slot))?;
+        self.unbox(NanBox(raw))
+    }
+
+    /// Property read through a per-site inline cache.
+    ///
+    /// A hit skips only the shape walk; the slot read still goes through
+    /// the rights-checked machine, so the PKRU verdict is live on every
+    /// access — access *rights* are never cached, only layout.
+    pub fn prop_get_ic(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        name: &str,
+        ic: &PropIc,
+    ) -> Result<Value, EngineError> {
+        if !self.ic_enabled {
+            return self.prop_get(machine, h, name);
+        }
+        let data = self.obj(h)?;
+        let (shape, slots_addr) = (data.shape, data.slots_addr);
+        if let Some(IcState::Prop { shape: cached, slot }) = ic.load(self.ic_epoch) {
+            if cached == shape {
+                self.ic_hits += 1;
+                let raw = machine.mem_read(slots_addr + 8 * u64::from(slot))?;
+                return self.unbox(NanBox(raw));
+            }
+        }
+        self.ic_misses += 1;
+        let Some(&slot) = self.shapes[shape as usize].props.get(name) else {
+            // Absent properties stay uncached (no negative caching).
+            return Ok(Value::Undefined);
+        };
+        ic.store(self.ic_epoch, IcState::Prop { shape, slot });
+        let raw = machine.mem_read(slots_addr + 8 * u64::from(slot))?;
         self.unbox(NanBox(raw))
     }
 
@@ -367,52 +467,113 @@ impl Heap {
         value: &Value,
     ) -> Result<(), EngineError> {
         let boxed = self.box_value(value);
-        let data = self.obj_mut(h)?;
-        let slot = match data.shape.get(name) {
-            Some(&s) => s,
-            None => {
-                let s = data.shape.len() as u32;
-                if s >= data.slots_cap {
-                    // Grow the slot buffer.
-                    let new_cap = (data.slots_cap * 2).max(8);
-                    let old_addr = data.slots_addr;
-                    let old_cap = data.slots_cap;
-                    let new_addr = machine.alloc.untrusted_alloc(8 * u64::from(new_cap))?;
-                    if old_addr != 0 {
-                        let mut buf = vec![0u8; 8 * old_cap as usize];
-                        {
-                            let mut space = machine.space.lock();
-                            // Both buffers are live M_U allocations.
-                            space.read_supervisor(old_addr, &mut buf).expect("live buffer");
-                            space.write_supervisor(new_addr, &buf).expect("live buffer");
-                        }
-                        machine.alloc.dealloc(old_addr)?;
-                    }
-                    let data = self.obj_mut(h)?;
-                    data.slots_addr = new_addr;
-                    data.slots_cap = new_cap;
-                }
-                let data = self.obj_mut(h)?;
-                data.shape.insert(Rc::clone(name), s);
-                s
+        self.prop_set_slow(machine, h, name, boxed)?;
+        Ok(())
+    }
+
+    /// Property write through a per-site inline cache.
+    ///
+    /// An existing-slot hit skips the shape walk; a transition hit skips
+    /// the walk *and* the transition lookup but only while the slot fits
+    /// the buffer — growth always takes the slow path, so allocation
+    /// behavior is identical with and without the cache.
+    pub fn prop_set_ic(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        name: &Rc<str>,
+        value: &Value,
+        ic: &PropIc,
+    ) -> Result<(), EngineError> {
+        if !self.ic_enabled {
+            return self.prop_set(machine, h, name, value);
+        }
+        let boxed = self.box_value(value);
+        let data = self.obj(h)?;
+        let (shape, slots_addr, slots_cap) = (data.shape, data.slots_addr, data.slots_cap);
+        match ic.load(self.ic_epoch) {
+            Some(IcState::Prop { shape: cached, slot }) if cached == shape => {
+                self.ic_hits += 1;
+                machine.mem_write(slots_addr + 8 * u64::from(slot), boxed.0)?;
+                return Ok(());
             }
-        };
+            Some(IcState::PropAdd { from, to, slot }) if from == shape && slot < slots_cap => {
+                self.ic_hits += 1;
+                // Shape moves before the write, as on the slow path: a
+                // faulting write leaves the property present but unset.
+                self.obj_mut(h)?.shape = to;
+                machine.mem_write(slots_addr + 8 * u64::from(slot), boxed.0)?;
+                return Ok(());
+            }
+            _ => {}
+        }
+        self.ic_misses += 1;
+        let outcome = self.prop_set_slow(machine, h, name, boxed)?;
+        ic.store(self.ic_epoch, outcome);
+        Ok(())
+    }
+
+    /// The uncached property write; returns the cacheable outcome.
+    fn prop_set_slow(
+        &mut self,
+        machine: &mut Machine,
+        h: ObjHandle,
+        name: &Rc<str>,
+        boxed: NanBox,
+    ) -> Result<IcState, EngineError> {
+        let data = self.obj(h)?;
+        let from = data.shape;
+        if let Some(&slot) = self.shapes[from as usize].props.get(name) {
+            let addr = data.slots_addr + 8 * u64::from(slot);
+            machine.mem_write(addr, boxed.0)?;
+            return Ok(IcState::Prop { shape: from, slot });
+        }
+        // Property add: grow the slot buffer if needed, then transition.
+        let slot = self.shapes[from as usize].len;
+        if slot >= data.slots_cap {
+            let new_cap = (data.slots_cap * 2).max(8);
+            let old_addr = data.slots_addr;
+            let old_cap = data.slots_cap;
+            let new_addr = machine.alloc.untrusted_alloc(8 * u64::from(new_cap))?;
+            if old_addr != 0 {
+                let mut buf = vec![0u8; 8 * old_cap as usize];
+                {
+                    let mut space = machine.space.lock();
+                    // Both buffers are live M_U allocations.
+                    space.read_supervisor(old_addr, &mut buf).expect("live buffer");
+                    space.write_supervisor(new_addr, &buf).expect("live buffer");
+                }
+                machine.alloc.dealloc(old_addr)?;
+            }
+            let data = self.obj_mut(h)?;
+            data.slots_addr = new_addr;
+            data.slots_cap = new_cap;
+        }
+        let to = self.transition(from, name);
+        self.obj_mut(h)?.shape = to;
         let addr = self.obj(h)?.slots_addr + 8 * u64::from(slot);
         machine.mem_write(addr, boxed.0)?;
-        Ok(())
+        Ok(IcState::PropAdd { from, to, slot })
     }
 
     /// The object's own property names (insertion-unordered).
     pub fn prop_names(&self, h: ObjHandle) -> Result<Vec<Rc<str>>, EngineError> {
+        let shape = &self.shapes[self.obj(h)?.shape as usize];
         let mut names: Vec<(u32, Rc<str>)> =
-            self.obj(h)?.shape.iter().map(|(k, &v)| (v, Rc::clone(k))).collect();
+            shape.props.iter().map(|(k, &v)| (v, Rc::clone(k))).collect();
         names.sort_by_key(|(slot, _)| *slot);
         Ok(names.into_iter().map(|(_, n)| n).collect())
     }
 
     /// Whether the object has an own property `name`.
     pub fn has_prop(&self, h: ObjHandle, name: &str) -> Result<bool, EngineError> {
-        Ok(self.obj(h)?.shape.contains_key(name))
+        Ok(self.shapes[self.obj(h)?.shape as usize].props.contains_key(name))
+    }
+
+    /// The base address of an object's property-slot buffer (0 = none
+    /// yet); test support for re-keying the page under a cached site.
+    pub fn slots_base(&self, h: ObjHandle) -> Result<u64, EngineError> {
+        Ok(self.obj(h)?.slots_addr)
     }
 
     /// The address of an array's first element (debug intrinsic support).

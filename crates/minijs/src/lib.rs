@@ -33,6 +33,7 @@ mod engine;
 mod error;
 mod exec;
 mod heap;
+mod ic;
 mod lexer;
 mod nanbox;
 mod parser;
@@ -42,6 +43,7 @@ pub use engine::{Engine, HostClass, HostElements, HostField, HostFieldKind, Nati
 pub use error::EngineError;
 pub use exec::Ctx;
 pub use heap::{Heap, HostClassId, ObjHandle, ObjKind};
+pub use ic::{IcEntry, IcState, PropIc};
 pub use nanbox::{DecodedBox, NanBox};
 pub use parser::parse_program;
 

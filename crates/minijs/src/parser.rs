@@ -4,6 +4,7 @@ use std::rc::Rc;
 
 use crate::ast::{AssignOp, BinaryOp, Expr, FuncDef, Stmt, Target, UnaryOp};
 use crate::error::EngineError;
+use crate::ic::PropIc;
 use crate::lexer::{lex, SpannedTok, Tok};
 
 /// Parses a whole program.
@@ -271,7 +272,7 @@ impl Parser {
     fn as_target(&self, e: Expr) -> Result<Target, EngineError> {
         match e {
             Expr::Ident(name) => Ok(Target::Ident(name)),
-            Expr::Member(obj, name) => Ok(Target::Member(obj, name)),
+            Expr::Member(obj, name, ic) => Ok(Target::Member(obj, name, ic)),
             Expr::Index(obj, idx) => Ok(Target::Index(obj, idx)),
             _ => self.error("invalid assignment target"),
         }
@@ -369,7 +370,7 @@ impl Parser {
         loop {
             if self.eat_punct(".") {
                 let name = self.ident()?;
-                e = Expr::Member(Box::new(e), name);
+                e = Expr::Member(Box::new(e), name, PropIc::new());
             } else if self.eat_punct("[") {
                 let idx = self.expr()?;
                 self.expect_punct("]")?;
@@ -454,7 +455,7 @@ impl Parser {
                             }
                         };
                         self.expect_punct(":")?;
-                        props.push((key, self.assign_expr()?));
+                        props.push((key, self.assign_expr()?, PropIc::new()));
                         if self.eat_punct("}") {
                             break;
                         }
@@ -526,7 +527,7 @@ for (var i = 0; i < 10; i++) { if (i == 5) break; else continue; }
     #[test]
     fn member_index_call_chains() {
         let prog = parse_program("a.b[c](d).e;").unwrap();
-        assert!(matches!(&prog[0], Stmt::Expr(Expr::Member(_, _))));
+        assert!(matches!(&prog[0], Stmt::Expr(Expr::Member(..))));
     }
 
     #[test]

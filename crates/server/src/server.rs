@@ -29,7 +29,7 @@ use pkalloc::MAX_WORKERS;
 use pkru_handler::{audit_log_json, AuditRecord, MpkPolicy, ViolationHandler};
 use pkru_provenance::{AllocId, Profile};
 use pkru_tenant::{TenantError, TenantRegistry, VkeyPoolStats};
-use servolite::{Browser, BrowserConfig};
+use servolite::{Browser, BrowserConfig, DispatchOptions};
 use workloads::suites::micro_page;
 
 use crate::fault::{FaultPlan, FaultState};
@@ -115,6 +115,16 @@ pub struct ServeConfig {
     /// `false` is the ablation configuration the `tlb_ablation` bench
     /// measures). Observable behaviour is identical either way.
     pub tlb: bool,
+    /// Threaded (decode-once) dispatch plus fused bulk superinstructions
+    /// in every worker's interpreter (on by default; `false` is the
+    /// ablation lane the `dispatch_ablation` bench prices). Observable
+    /// behaviour is identical either way.
+    pub threaded: bool,
+    /// Shape-keyed, epoch-invalidated inline caches in every worker's
+    /// engine (on by default; `false` is the no-IC ablation lane).
+    /// Observable behaviour is identical either way — a cache hit still
+    /// performs the live PKRU-checked read.
+    pub ic: bool,
     /// Multi-tenant mode: the number of tenants to register (0 — the
     /// default — serves the classic single-U stream and is byte-identical
     /// in behaviour and report JSON to the pre-tenant runtime).
@@ -169,6 +179,8 @@ impl Default for ServeConfig {
             mpk_policy: MpkPolicy::Enforce,
             extra_profile: None,
             tlb: true,
+            threaded: true,
+            ic: true,
             tenants: 0,
             tenant_policy: MpkPolicy::Enforce,
             deadline_ticks: 0,
@@ -254,6 +266,13 @@ pub struct ServeReport {
     /// Software-TLB invalidations (epoch flushes and targeted page
     /// flushes) across all workers.
     pub tlb_flushes: u64,
+    /// Inline-cache hits across all workers' engines (per-browser
+    /// counters folded at incarnation exit, unlike the global TLB ones).
+    pub dispatch_ic_hits: u64,
+    /// Inline-cache misses across all workers' engines.
+    pub dispatch_ic_misses: u64,
+    /// Bulk superinstructions executed across all workers' machines.
+    pub superinstructions_fused: u64,
     /// Violations denied under `enforce` (under that policy, a mirror of
     /// `unexpected_faults`).
     pub violations_enforced: u64,
@@ -309,6 +328,8 @@ impl ServeReport {
     /// omitted entirely, and with `tenants == 0` the tenant fields are
     /// too — keeping the schema byte-identical to the pre-policy,
     /// pre-tenant runtime (the fault-free schema is pinned by test).
+    /// The dispatch counters appear only when a fast path was ablated
+    /// (`threaded` or `ic` off), so the default schema stays pinned.
     pub fn to_json(&self) -> String {
         // All insertion slots are empty strings in the default config.
         let (policy, violations) = if self.config.mpk_policy == MpkPolicy::Enforce {
@@ -446,6 +467,20 @@ impl ServeReport {
         if let Some(latency) = &self.latency {
             overload.push_str(&format!("\"latency\":{},", latency.to_json()));
         }
+        // Dispatch counters only exist in ablation runs (a fast path
+        // turned off), keeping the default schema byte-identical to the
+        // pre-dispatch pins.
+        let dispatch = if self.config.threaded && self.config.ic {
+            String::new()
+        } else {
+            format!(
+                concat!(
+                    "\"dispatch_ic_hits\":{},\"dispatch_ic_misses\":{},",
+                    "\"superinstructions_fused\":{},"
+                ),
+                self.dispatch_ic_hits, self.dispatch_ic_misses, self.superinstructions_fused
+            )
+        };
         // Same discipline for the queue's requeue counter: it only exists
         // in runs where a crash-recovery requeue actually happened.
         let requeued = if self.queue.requeued > 0 {
@@ -462,7 +497,7 @@ impl ServeReport {
                 "\"unexpected_faults\":{},\"errors\":{},",
                 "\"workers_restarted\":{},\"requests_retried\":{},",
                 "\"requests_abandoned\":{},\"injected_faults\":{},{}",
-                "\"tlb_hits\":{},\"tlb_misses\":{},\"tlb_flushes\":{},",
+                "\"tlb_hits\":{},\"tlb_misses\":{},\"tlb_flushes\":{},{}",
                 "{}{}\"per_worker\":[{}]}}"
             ),
             self.config.workers,
@@ -489,6 +524,7 @@ impl ServeReport {
             self.tlb_hits,
             self.tlb_misses,
             self.tlb_flushes,
+            dispatch,
             violations,
             tenants,
             workers.join(",")
@@ -768,6 +804,7 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
             registry,
             overload: &overload,
             tlb: config.tlb,
+            dispatch: DispatchOptions { threaded: config.threaded, ic: config.ic },
             record_latency: config.record_latency,
         };
         let spawn_worker = |slot: usize, incarnation: u64| {
@@ -943,6 +980,9 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
     let mut transitions = 0u64;
     let mut unexpected_faults = 0u64;
     let mut errors = 0u64;
+    let mut dispatch_ic_hits = 0u64;
+    let mut dispatch_ic_misses = 0u64;
+    let mut superinstructions_fused = 0u64;
     let mut latencies: Vec<f64> = Vec::new();
     for cell in &cells {
         let (stats, responses) = cell.snapshot();
@@ -951,6 +991,9 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         transitions += stats.transitions;
         unexpected_faults += stats.pkey_faults;
         errors += stats.errors;
+        dispatch_ic_hits += stats.ic_hits;
+        dispatch_ic_misses += stats.ic_misses;
+        superinstructions_fused += stats.fused_ops;
         if config.record_latency {
             latencies.extend(cell.take_latencies());
         }
@@ -1050,6 +1093,9 @@ pub fn serve(config: ServeConfig) -> Result<ServeReport, ServeError> {
         tlb_hits: tlb_stats.hits,
         tlb_misses: tlb_stats.misses,
         tlb_flushes: tlb_stats.flushes,
+        dispatch_ic_hits,
+        dispatch_ic_misses,
+        superinstructions_fused,
         violations_enforced,
         violations_audited,
         violations_quarantined,

@@ -14,7 +14,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use servolite::{Browser, BrowserConfig};
+use servolite::{Browser, BrowserConfig, DispatchOptions, DispatchStats};
 use workloads::suites::micro_page;
 
 use lir::SharedHost;
@@ -64,6 +64,14 @@ pub struct WorkerStats {
     /// Requests shed at pop because their deadline had already passed
     /// (never served; disjoint from `requests`).
     pub expired: u64,
+    /// Inline-cache hits this worker's engine served (per-browser, unlike
+    /// the global TLB counters — folded here at incarnation exit).
+    pub ic_hits: u64,
+    /// Inline-cache misses (slow property walks that then filled a cache).
+    pub ic_misses: u64,
+    /// Bulk superinstructions the worker's machine executed in place of
+    /// per-byte loops.
+    pub fused_ops: u64,
 }
 
 struct CellInner {
@@ -175,6 +183,17 @@ impl WorkerCell {
         self.inner.lock().unwrap().stats.transitions += transitions;
     }
 
+    /// Folds one incarnation's dispatch counters (inline-cache hits and
+    /// misses, fused superinstructions) into the slot total. Like
+    /// [`WorkerCell::add_transitions`], not incarnation-gated: the counts
+    /// are work the interpreter really did.
+    fn add_dispatch(&self, dispatch: DispatchStats) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.ic_hits += dispatch.ic_hits;
+        inner.stats.ic_misses += dispatch.ic_misses;
+        inner.stats.fused_ops += dispatch.fused_ops;
+    }
+
     /// Takes the request the (dead) incarnation was holding, if any.
     pub fn take_in_flight(&self) -> Option<Request> {
         self.inner.lock().unwrap().in_flight.take()
@@ -230,6 +249,9 @@ pub struct PoolCtx<'a> {
     pub overload: &'a OverloadState,
     /// Whether workers run the per-thread software TLB.
     pub tlb: bool,
+    /// The interpreter fast-path configuration every worker browser is
+    /// built with (threaded dispatch / inline caches).
+    pub dispatch: DispatchOptions,
     /// Whether to record admission→completion latency samples.
     pub record_latency: bool,
 }
@@ -268,7 +290,7 @@ pub fn run_worker(
     cell: &WorkerCell,
     handler: Option<&Arc<ViolationHandler>>,
 ) -> Result<(), ServeError> {
-    let PoolCtx { queue, host, profile, faults, registry, overload, tlb, .. } = ctx;
+    let PoolCtx { queue, host, profile, faults, registry, overload, tlb, dispatch, .. } = ctx;
     if let Some(handler) = handler {
         // A fresh incarnation starts with a clean quarantine breaker; the
         // per-site ledger and the audit log persist across respawns.
@@ -284,13 +306,19 @@ pub fn run_worker(
     // The incarnation's per-thread TLB over the shared host space is
     // configured at machine construction (disabled only in the ablation
     // configuration), so even browser setup traffic goes the right way.
-    let mut browser =
-        Browser::with_tlb(BrowserConfig::Mpk, Some(profile), Some(host), handler.cloned(), tlb)
-            .map_err(|e| ServeError::Worker {
-                worker,
-                message: format!("browser setup: {e}"),
-                report: None,
-            })?;
+    let mut browser = Browser::with_dispatch(
+        BrowserConfig::Mpk,
+        Some(profile),
+        Some(host),
+        handler.cloned(),
+        tlb,
+        dispatch,
+    )
+    .map_err(|e| ServeError::Worker {
+        worker,
+        message: format!("browser setup: {e}"),
+        report: None,
+    })?;
     browser.load_html(micro_page()).map_err(|e| ServeError::Worker {
         worker,
         message: format!("initial page: {e}"),
@@ -574,11 +602,13 @@ pub fn run_worker(
         drop(lease);
         if let Some(error) = die {
             cell.add_transitions(browser.stats().transitions);
+            cell.add_dispatch(browser.dispatch_stats());
             return Err(error);
         }
     }
 
     cell.add_transitions(browser.stats().transitions);
+    cell.add_dispatch(browser.dispatch_stats());
     Ok(())
 }
 

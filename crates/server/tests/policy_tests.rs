@@ -186,6 +186,9 @@ fn audit_json_schema_is_pinned() {
             pkey_faults: 0,
             errors: 0,
             expired: 0,
+            ic_hits: 0,
+            ic_misses: 0,
+            fused_ops: 0,
         }],
         elapsed_seconds: 0.5,
         throughput_rps: 16.0,
@@ -202,6 +205,9 @@ fn audit_json_schema_is_pinned() {
         tlb_hits: 4200,
         tlb_misses: 12,
         tlb_flushes: 3,
+        dispatch_ic_hits: 0,
+        dispatch_ic_misses: 0,
+        superinstructions_fused: 0,
         violations_enforced: 0,
         violations_audited: 1,
         violations_quarantined: 0,

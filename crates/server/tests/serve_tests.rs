@@ -92,6 +92,9 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
             pkey_faults: 0,
             errors: 0,
             expired: 0,
+            ic_hits: 512,
+            ic_misses: 16,
+            fused_ops: 128,
         }],
         elapsed_seconds: 0.5,
         throughput_rps: 4.0,
@@ -108,6 +111,12 @@ fn fault_free_json_is_byte_identical_plus_zeroed_fields() {
         tlb_hits: 640,
         tlb_misses: 8,
         tlb_flushes: 2,
+        // Nonzero on purpose: with both fast paths on (the default
+        // config) the dispatch counters must stay out of the pinned
+        // schema below, however much the interpreter collected.
+        dispatch_ic_hits: 512,
+        dispatch_ic_misses: 16,
+        superinstructions_fused: 128,
         violations_enforced: 0,
         violations_audited: 0,
         violations_quarantined: 0,

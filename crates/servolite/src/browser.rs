@@ -148,6 +148,48 @@ impl BrowserStats {
     }
 }
 
+/// Dispatch ablation knobs: which interpreter fast paths are live.
+///
+/// Both default to on; the ablation lanes of `dispatch_ablation` turn
+/// them off one at a time to price each optimization separately.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchOptions {
+    /// Fused bulk-memory superinstructions (one TLB lookup per page run
+    /// instead of one per byte) in the machine.
+    pub threaded: bool,
+    /// Shape-keyed, epoch-invalidated inline caches in the engine.
+    pub ic: bool,
+}
+
+impl Default for DispatchOptions {
+    fn default() -> DispatchOptions {
+        DispatchOptions { threaded: true, ic: true }
+    }
+}
+
+/// Counters for the dispatch fast paths (all zero when ablated off).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DispatchStats {
+    /// Inline-cache hits across all property-access sites.
+    pub ic_hits: u64,
+    /// Inline-cache misses (fills and refills).
+    pub ic_misses: u64,
+    /// Fused superinstructions executed by the machine.
+    pub fused_ops: u64,
+}
+
+impl DispatchStats {
+    /// Hit rate over all cached lookups, or 0 when no site ever ran.
+    pub fn ic_hit_rate(&self) -> f64 {
+        let total = self.ic_hits + self.ic_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ic_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Shared event-listener table: (node, event) → callbacks.
 pub type Listeners = Rc<RefCell<HashMap<(u64, String), Vec<Value>>>>;
 
@@ -181,7 +223,7 @@ impl Browser {
         config: BrowserConfig,
         profile: Option<&Profile>,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, None, None, true)
+        Browser::build(config, profile, None, None, true, DispatchOptions::default())
     }
 
     /// Creates a worker browser on a [`SharedHost`]: the address space and
@@ -197,7 +239,7 @@ impl Browser {
         profile: Option<&Profile>,
         host: &SharedHost,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, Some(host), None, true)
+        Browser::build(config, profile, Some(host), None, true, DispatchOptions::default())
     }
 
     /// Like [`Browser::with_profile_on`], but installs a serve-time MPK
@@ -211,7 +253,7 @@ impl Browser {
         host: &SharedHost,
         handler: Arc<ViolationHandler>,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, Some(host), Some(handler), true)
+        Browser::build(config, profile, Some(host), Some(handler), true, DispatchOptions::default())
     }
 
     /// The fully general constructor with an explicit software-TLB
@@ -226,7 +268,23 @@ impl Browser {
         handler: Option<Arc<ViolationHandler>>,
         tlb: bool,
     ) -> Result<Browser, BrowserError> {
-        Browser::build(config, profile, host, handler, tlb)
+        Browser::build(config, profile, host, handler, tlb, DispatchOptions::default())
+    }
+
+    /// Like [`Browser::with_tlb`], plus the dispatch ablation knobs:
+    /// `dispatch.threaded` gates the machine's fused bulk-memory
+    /// superinstructions and `dispatch.ic` gates the engine's inline
+    /// caches. Both take effect before any script runs, so an ablation
+    /// lane's counters stay at zero for the whole browser lifetime.
+    pub fn with_dispatch(
+        config: BrowserConfig,
+        profile: Option<&Profile>,
+        host: Option<&SharedHost>,
+        handler: Option<Arc<ViolationHandler>>,
+        tlb: bool,
+        dispatch: DispatchOptions,
+    ) -> Result<Browser, BrowserError> {
+        Browser::build(config, profile, host, handler, tlb, dispatch)
     }
 
     fn build(
@@ -235,6 +293,7 @@ impl Browser {
         host: Option<&SharedHost>,
         handler: Option<Arc<ViolationHandler>>,
         tlb: bool,
+        dispatch: DispatchOptions,
     ) -> Result<Browser, BrowserError> {
         let machine_config = MachineConfig {
             split_allocator: config.split_allocator(),
@@ -251,6 +310,7 @@ impl Browser {
             None => Machine::new(machine_config)?,
         };
         machine.tlb.set_enabled(tlb);
+        machine.set_fused(dispatch.threaded);
         if let Some(handler) = handler.as_ref() {
             machine.set_violation_handler(Arc::clone(handler));
         }
@@ -288,6 +348,7 @@ impl Browser {
         startup_allocations(&mut dom, &mut machine)?;
 
         let mut engine = Engine::new(&mut machine)?;
+        engine.set_ic_enabled(dispatch.ic);
         let dom = Rc::new(RefCell::new(dom));
         let listeners = Rc::new(RefCell::new(HashMap::new()));
         let console = Rc::new(RefCell::new(Vec::new()));
@@ -405,6 +466,12 @@ impl Browser {
             nodes: self.dom.borrow().node_count,
             engine_accesses: self.engine.elem_accesses(),
         }
+    }
+
+    /// Dispatch fast-path counters (inline caches + fused machine ops).
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        let (ic_hits, ic_misses) = self.engine.ic_stats();
+        DispatchStats { ic_hits, ic_misses, fused_ops: self.machine.fused_ops }
     }
 
     /// The site census: (site, domain, allocation count) rows.

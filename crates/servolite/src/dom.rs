@@ -105,9 +105,7 @@ impl Dom {
         let bytes = text.as_bytes();
         let addr = self.alloc(machine, site, 8 + bytes.len().max(1) as u64)?;
         machine.mem_write(addr, bytes.len() as u64)?;
-        for (i, b) in bytes.iter().enumerate() {
-            machine.mem_write_u8(addr + 8 + i as u64, *b)?;
-        }
+        machine.mem_write_bytes(addr + 8, bytes)?;
         Ok(addr)
     }
 
@@ -131,10 +129,8 @@ impl Dom {
             return Ok(String::new());
         }
         let len = machine.mem_read(addr)? as usize;
-        let mut bytes = Vec::with_capacity(len);
-        for i in 0..len {
-            bytes.push(machine.mem_read_u8(addr + 8 + i as u64)?);
-        }
+        let mut bytes = vec![0u8; len];
+        machine.mem_read_bytes(addr + 8, &mut bytes)?;
         Ok(String::from_utf8_lossy(&bytes).into_owned())
     }
 

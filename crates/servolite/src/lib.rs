@@ -32,7 +32,9 @@ mod dom;
 mod html;
 mod sites;
 
-pub use browser::{Browser, BrowserConfig, BrowserError, BrowserStats};
+pub use browser::{
+    Browser, BrowserConfig, BrowserError, BrowserStats, DispatchOptions, DispatchStats,
+};
 pub use dom::{NodeKind, NODE_SIZE};
 pub use html::parse_html;
 pub use sites::{Site, SiteRegistry, SITE_COUNT};

@@ -6,7 +6,7 @@ use std::time::Instant;
 use minijs::Value;
 use pkru_provenance::Profile;
 use pkru_vmem::TlbStats;
-use servolite::{Browser, BrowserConfig, BrowserError};
+use servolite::{Browser, BrowserConfig, BrowserError, DispatchOptions, DispatchStats};
 
 use crate::suites::micro_page;
 use crate::Benchmark;
@@ -194,6 +194,57 @@ pub fn run_benchmark_tlb(
             checksum,
         },
         tlb_stats,
+    ))
+}
+
+/// [`run_benchmark`] with explicit dispatch fast-path knobs, additionally
+/// returning the dispatch counters for the whole browser session.
+///
+/// The knobs exist for the `dispatch_ablation` bench: the lanes run the
+/// identical benchmark with inline caches and fused superinstructions on
+/// or off, and the checksum equality the runner already enforces doubles
+/// as a coherence check on the real workload.
+pub fn run_benchmark_dispatch(
+    config: BrowserConfig,
+    profile: Option<&Profile>,
+    benchmark: &Benchmark,
+    dispatch: DispatchOptions,
+) -> Result<(RunResult, DispatchStats), WorkloadError> {
+    let mut browser = Browser::with_dispatch(config, profile, None, None, true, dispatch)
+        .map_err(|e| browser_err(benchmark, e))?;
+    browser.load_html(micro_page()).map_err(|e| browser_err(benchmark, e))?;
+    browser.eval_script(&benchmark.source).map_err(|e| browser_err(benchmark, e))?;
+    browser.call_script("run", &[]).map_err(|e| browser_err(benchmark, e))?;
+
+    browser.machine.gates.reset_transitions();
+    const REPEATS: u32 = 3;
+    let mut checksum = 0.0;
+    let mut seconds = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        for _ in 0..benchmark.iterations {
+            let v = browser.call_script("run", &[]).map_err(|e| browser_err(benchmark, e))?;
+            checksum = match v {
+                Value::Num(n) => n,
+                _ => return Err(WorkloadError::BadChecksum(benchmark.name.to_string())),
+            };
+        }
+        seconds = seconds.min(start.elapsed().as_secs_f64());
+    }
+    let stats = browser.stats();
+    let dispatch_stats = browser.dispatch_stats();
+    Ok((
+        RunResult {
+            name: benchmark.name,
+            suite: benchmark.suite,
+            sub: benchmark.sub,
+            seconds,
+            iterations: benchmark.iterations,
+            transitions: stats.transitions,
+            percent_mu: stats.percent_untrusted(),
+            checksum,
+        },
+        dispatch_stats,
     ))
 }
 

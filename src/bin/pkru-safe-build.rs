@@ -90,6 +90,13 @@ serve options:
                          sites absorbed from a previous run's audit log)
   --no-tlb               disable the per-worker software TLB (ablation;
                          behaviour is identical, throughput is not)
+  --no-threaded          disable threaded dispatch and fused bulk
+                         superinstructions in worker interpreters
+                         (ablation; behaviour is identical; adds the
+                         dispatch counters to the JSON report)
+  --no-ic                disable the engines' shape-keyed inline caches
+                         (ablation; behaviour is identical; adds the
+                         dispatch counters to the JSON report)
   --tenants <n>          multi-tenant mode: serve a tenant-tagged request
                          mix across n isolated compartments, virtual keys
                          multiplexed onto the hardware key space (default
@@ -230,6 +237,8 @@ fn serve_main<I: Iterator<Item = String>>(mut argv: I) -> Result<(), String> {
                 config.extra_profile = Some(Profile::load(&path).map_err(|e| e.to_string())?);
             }
             "--no-tlb" => config.tlb = false,
+            "--no-threaded" => config.threaded = false,
+            "--no-ic" => config.ic = false,
             "--tenants" => config.tenants = parse_num("--tenants", argv.next())? as usize,
             "--tenant-policy" => {
                 let spec =

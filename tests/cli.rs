@@ -306,6 +306,53 @@ fn serve_json_emits_machine_readable_report() {
 }
 
 #[test]
+fn serve_dispatch_ablation_flags_gate_the_report_schema() {
+    // The default run must not grow the pinned report schema: the
+    // dispatch counters appear only when a fast path is ablated.
+    let base = ["serve", "--workers", "1", "--requests", "8", "--seed", "9", "--json"];
+    let out = cli().args(base).output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["dispatch_ic_hits", "dispatch_ic_misses", "superinstructions_fused"] {
+        assert!(!stdout.contains(key), "default schema grew a {key} field: {stdout}");
+    }
+
+    // --no-threaded: still clean and checksum-identical, no fused ops,
+    // but the inline caches keep serving hits.
+    let out = cli().args(base).arg("--no-threaded").output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in
+        ["\"requests_served\":8", "\"checksum_mismatches\":0", "\"superinstructions_fused\":0"]
+    {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    let hits: u64 = stdout
+        .split("\"dispatch_ic_hits\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("dispatch_ic_hits field");
+    assert!(hits > 0, "legacy-dispatch lane must still serve IC hits: {stdout}");
+
+    // --no-ic: still clean, no cache traffic at all, but the threaded
+    // lane keeps fusing bulk superinstructions.
+    let out = cli().args(base).arg("--no-ic").output().expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"requests_served\":8", "\"dispatch_ic_hits\":0", "\"dispatch_ic_misses\":0"] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    let fused: u64 = stdout
+        .split("\"superinstructions_fused\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("superinstructions_fused field");
+    assert!(fused > 0, "no-IC lane must still fuse bulk ops: {stdout}");
+}
+
+#[test]
 fn serve_tenants_reports_per_tenant_breakdown() {
     // Multi-tenant mode with more tenants than hardware keys: the run
     // must stay clean, and both the human and JSON reports carry the
